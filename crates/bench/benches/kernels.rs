@@ -1,0 +1,90 @@
+//! Criterion benchmarks: one group per GAP kernel, sweeping framework ×
+//! contrasting graphs (shallow power-law Kron vs deep lattice Road).
+//!
+//! These are the statistically sampled companions of the `table4_times`
+//! binary; use `GAPBS_SCALE=tiny|small` to trade time for size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gapbs_bench::scale_from_env;
+use gapbs_core::{all_frameworks, BenchGraph, Kernel, Mode, TrialConfig};
+use gapbs_graph::gen::{GraphSpec, Scale};
+
+fn bench_scale() -> Scale {
+    // Criterion runs many iterations; default to Small even if the
+    // tables use Medium.
+    match std::env::var("GAPBS_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("medium") => Scale::Medium,
+        _ => {
+            let _ = scale_from_env();
+            Scale::Small
+        }
+    }
+}
+
+fn inputs() -> Vec<BenchGraph> {
+    [GraphSpec::Kron, GraphSpec::Road]
+        .into_iter()
+        .map(|s| BenchGraph::generate(s, bench_scale()))
+        .collect()
+}
+
+fn bench_kernel(c: &mut Criterion, kernel: Kernel) {
+    let inputs = inputs();
+    let frameworks = all_frameworks();
+    let config = TrialConfig {
+        trials: 1,
+        verify: false,
+        min_cell_seconds: 0.0,
+        max_trials: 1,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group(kernel.name());
+    group.sample_size(10);
+    for input in &inputs {
+        for fw in &frameworks {
+            // SuiteSparse SSSP on Road is pathologically slow by design
+            // (the paper's 0.35% cell); keep criterion's wall time sane.
+            if kernel == Kernel::Sssp
+                && fw.name() == "SuiteSparse"
+                && input.spec == GraphSpec::Road
+                && bench_scale() >= Scale::Small
+            {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(fw.name(), input.spec.name()),
+                input,
+                |b, input| {
+                    b.iter(|| {
+                        gapbs_core::run_cell(fw.as_ref(), input, kernel, Mode::Baseline, &config)
+                            .best_seconds()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bfs(c: &mut Criterion) {
+    bench_kernel(c, Kernel::Bfs);
+}
+fn sssp(c: &mut Criterion) {
+    bench_kernel(c, Kernel::Sssp);
+}
+fn pr(c: &mut Criterion) {
+    bench_kernel(c, Kernel::Pr);
+}
+fn cc(c: &mut Criterion) {
+    bench_kernel(c, Kernel::Cc);
+}
+fn bc(c: &mut Criterion) {
+    bench_kernel(c, Kernel::Bc);
+}
+fn tc(c: &mut Criterion) {
+    bench_kernel(c, Kernel::Tc);
+}
+
+criterion_group!(kernels, bfs, sssp, pr, cc, bc, tc);
+criterion_main!(kernels);

@@ -1,0 +1,160 @@
+//! Ablation micro-benchmarks for the runtime primitives behind the
+//! design choices DESIGN.md calls out:
+//!
+//! * buffered vs unbuffered frontier appends (GKC §III-E1),
+//! * bucket fusion vs synchronized bucket drains (GraphIt §VI),
+//! * direction-optimizing vs push-only BFS (Beamer),
+//! * TC relabeling on vs off per topology (GAP's heuristic),
+//! * Gauss–Seidel vs Jacobi PR iteration counts (§V-D).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gapbs_graph::gen::{GraphSpec, Scale};
+use gapbs_parallel::{QueueBuffer, SlidingQueue, ThreadPool};
+use gapbs_ref::bfs::{bfs_with_config, BfsConfig};
+use gapbs_ref::sssp::{sssp_with_config, SsspConfig};
+use gapbs_ref::tc::{tc_with_config, TcConfig};
+
+fn frontier_appends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier_append");
+    let n = 100_000usize;
+    group.bench_function("buffered", |b| {
+        b.iter(|| {
+            let q: SlidingQueue<u32> = SlidingQueue::new(n);
+            let mut buf = QueueBuffer::new();
+            for i in 0..n as u32 {
+                buf.push(i, &q);
+            }
+            buf.flush(&q);
+            q.total_pushed()
+        })
+    });
+    group.bench_function("unbuffered", |b| {
+        b.iter(|| {
+            let q: SlidingQueue<u32> = SlidingQueue::new(n);
+            for i in 0..n as u32 {
+                q.push(i);
+            }
+            q.total_pushed()
+        })
+    });
+    group.finish();
+}
+
+fn bucket_fusion(c: &mut Criterion) {
+    let spec = GraphSpec::Road;
+    let wg = spec.generate_weighted(Scale::Small);
+    let pool = ThreadPool::default();
+    let mut group = c.benchmark_group("sssp_bucket_fusion_road");
+    group.sample_size(10);
+    group.bench_function("fused", |b| {
+        b.iter(|| sssp_with_config(&wg, 0, &pool, &SsspConfig::with_delta(2)))
+    });
+    group.bench_function("unfused", |b| {
+        b.iter(|| {
+            sssp_with_config(
+                &wg,
+                0,
+                &pool,
+                &SsspConfig {
+                    delta: 2,
+                    bucket_fusion: false,
+                    fusion_threshold: 0,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn direction_optimization(c: &mut Criterion) {
+    let g = GraphSpec::Kron.generate(Scale::Small);
+    let pool = ThreadPool::default();
+    let mut group = c.benchmark_group("bfs_direction_kron");
+    group.sample_size(10);
+    group.bench_function("direction_optimizing", |b| {
+        b.iter(|| bfs_with_config(&g, 1, &pool, &BfsConfig::default()))
+    });
+    group.bench_function("push_only", |b| {
+        b.iter(|| {
+            bfs_with_config(
+                &g,
+                1,
+                &pool,
+                &BfsConfig {
+                    force_push: true,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn tc_relabeling(c: &mut Criterion) {
+    let pool = ThreadPool::default();
+    let mut group = c.benchmark_group("tc_relabeling");
+    group.sample_size(10);
+    let kron = GraphSpec::Kron.generate(Scale::Small);
+    group.bench_function("kron_relabel", |b| {
+        b.iter(|| {
+            tc_with_config(
+                &kron,
+                &pool,
+                &TcConfig {
+                    force_relabel: true,
+                    force_no_relabel: false,
+                },
+            )
+        })
+    });
+    group.bench_function("kron_no_relabel", |b| {
+        b.iter(|| {
+            tc_with_config(
+                &kron,
+                &pool,
+                &TcConfig {
+                    force_relabel: false,
+                    force_no_relabel: true,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn pr_convergence(c: &mut Criterion) {
+    let g = GraphSpec::Road.generate(Scale::Small);
+    let pool = ThreadPool::default();
+    let mut group = c.benchmark_group("pr_iteration_style_road");
+    group.sample_size(10);
+    group.bench_function("jacobi_gap", |b| b.iter(|| gapbs_ref::pr(&g, &pool)));
+    group.bench_function("gauss_seidel_galois", |b| {
+        b.iter(|| gapbs_galois::pr(&g, 0.85, 1e-4, 100, &pool))
+    });
+    group.finish();
+}
+
+fn worklist_vs_rounds(c: &mut Criterion) {
+    let g = GraphSpec::Road.generate(Scale::Small);
+    let pool = ThreadPool::default();
+    let mut group = c.benchmark_group("bfs_execution_style_road");
+    group.sample_size(10);
+    group.bench_function("async_worklist", |b| {
+        b.iter(|| gapbs_galois::bfs(&g, 0, gapbs_galois::ExecutionStyle::Asynchronous, &pool))
+    });
+    group.bench_function("bulk_synchronous", |b| {
+        b.iter(|| gapbs_galois::bfs(&g, 0, gapbs_galois::ExecutionStyle::BulkSynchronous, &pool))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    primitives,
+    frontier_appends,
+    bucket_fusion,
+    direction_optimization,
+    tc_relabeling,
+    pr_convergence,
+    worklist_vs_rounds
+);
+criterion_main!(primitives);

@@ -1,0 +1,178 @@
+//! Extension experiment: the "programmability problem" the paper names as
+//! future work (§VI) — "we did not analyze the complexity of the
+//! algorithms from one framework to the next".
+//!
+//! As a first-order proxy this binary measures, per framework and kernel,
+//! the number of non-blank, non-comment source lines implementing the
+//! kernel (the same proxy the LAGraph discussion uses: "a mere 97 lines
+//! of very readable code" for BC).
+//!
+//! ```sh
+//! cargo run --release -p gapbs-bench --bin programmability
+//! ```
+
+use std::path::{Path, PathBuf};
+
+struct FrameworkSources {
+    name: &'static str,
+    crate_dir: &'static str,
+    /// Per-kernel file names within `src/` (None = kernel shares a file).
+    kernels: [(&'static str, &'static str); 6],
+    /// Additional shared-infrastructure files counted separately.
+    shared: &'static [&'static str],
+}
+
+const FRAMEWORKS: &[FrameworkSources] = &[
+    FrameworkSources {
+        name: "GAP",
+        crate_dir: "ref",
+        kernels: [
+            ("BFS", "bfs.rs"),
+            ("SSSP", "sssp.rs"),
+            ("CC", "cc.rs"),
+            ("PR", "pr.rs"),
+            ("BC", "bc.rs"),
+            ("TC", "tc.rs"),
+        ],
+        shared: &[],
+    },
+    FrameworkSources {
+        name: "SuiteSparse",
+        crate_dir: "grb",
+        kernels: [
+            ("BFS", "lagraph/bfs.rs"),
+            ("SSSP", "lagraph/sssp.rs"),
+            ("CC", "lagraph/cc.rs"),
+            ("PR", "lagraph/pr.rs"),
+            ("BC", "lagraph/bc.rs"),
+            ("TC", "lagraph/tc.rs"),
+        ],
+        shared: &["matrix.rs", "vector.rs", "ops.rs", "semiring.rs"],
+    },
+    FrameworkSources {
+        name: "Galois",
+        crate_dir: "galois",
+        kernels: [
+            ("BFS", "bfs.rs"),
+            ("SSSP", "sssp.rs"),
+            ("CC", "cc.rs"),
+            ("PR", "pr.rs"),
+            ("BC", "bc.rs"),
+            ("TC", "tc.rs"),
+        ],
+        shared: &["heuristic.rs"],
+    },
+    FrameworkSources {
+        name: "GraphIt",
+        crate_dir: "graphit",
+        kernels: [
+            ("BFS", "bfs.rs"),
+            ("SSSP", "sssp.rs"),
+            ("CC", "cc.rs"),
+            ("PR", "pr.rs"),
+            ("BC", "bc.rs"),
+            ("TC", "tc.rs"),
+        ],
+        shared: &["schedule.rs"],
+    },
+    FrameworkSources {
+        name: "GKC",
+        crate_dir: "gkc",
+        kernels: [
+            ("BFS", "bfs.rs"),
+            ("SSSP", "sssp.rs"),
+            ("CC", "cc.rs"),
+            ("PR", "pr.rs"),
+            ("BC", "bc.rs"),
+            ("TC", "tc.rs"),
+        ],
+        shared: &[],
+    },
+    FrameworkSources {
+        name: "NWGraph",
+        crate_dir: "nwgraph",
+        kernels: [
+            ("BFS", "algorithms.rs"),
+            ("SSSP", "algorithms.rs"),
+            ("CC", "algorithms.rs"),
+            ("PR", "algorithms.rs"),
+            ("BC", "algorithms.rs"),
+            ("TC", "algorithms.rs"),
+        ],
+        shared: &["adjacency.rs"],
+    },
+];
+
+fn main() {
+    let root = workspace_root();
+    println!("PROGRAMMABILITY PROXY — non-blank, non-comment lines per kernel implementation");
+    println!("(shared infrastructure counted once per framework; NWGraph kernels share one file)\n");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "Framework", "BFS", "SSSP", "CC", "PR", "BC", "TC", "shared", "total"
+    );
+    for fw in FRAMEWORKS {
+        let src = root.join("crates").join(fw.crate_dir).join("src");
+        let mut counted_files: Vec<PathBuf> = Vec::new();
+        let mut cells = Vec::new();
+        for (_, file) in fw.kernels {
+            let path = src.join(file);
+            if counted_files.contains(&path) {
+                cells.push("  (=)".to_string());
+                continue;
+            }
+            counted_files.push(path.clone());
+            cells.push(format!("{:>5}", count_code_lines(&path)));
+        }
+        let shared: usize = fw
+            .shared
+            .iter()
+            .map(|f| count_code_lines(&src.join(f)))
+            .sum();
+        let total: usize = counted_files
+            .iter()
+            .map(|p| count_code_lines(p))
+            .sum::<usize>()
+            + shared;
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+            fw.name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], shared, total
+        );
+    }
+    println!(
+        "\nReading: lower kernel counts = terser algorithm expression; larger `shared`\n\
+         = more framework machinery amortized across kernels (the SuiteSparse trade-off)."
+    );
+}
+
+/// Counts non-blank, non-comment, non-test lines of a Rust source file.
+fn count_code_lines(path: &Path) -> usize {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut in_tests = false;
+    let mut count = 0usize;
+    for line in text.lines() {
+        let t = line.trim();
+        if t == "#[cfg(test)]" {
+            in_tests = true;
+        }
+        if in_tests {
+            continue;
+        }
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+fn workspace_root() -> PathBuf {
+    // bench crate manifest dir is crates/bench.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root exists")
+        .to_path_buf()
+}

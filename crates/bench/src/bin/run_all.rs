@@ -1,0 +1,67 @@
+//! Runs the full study end to end: generates the corpus, runs the
+//! complete framework × kernel × graph × mode matrix, prints Tables I–V,
+//! writes the raw CSV, and evaluates the shape claims of EXPERIMENTS.md.
+//!
+//! ```sh
+//! GAPBS_SCALE=medium cargo run --release -p gapbs-bench --bin run_all > results.txt
+//! ```
+
+use gapbs_bench::{corpus, scale_from_env};
+use gapbs_core::report::{render_table1, render_table2, render_table3};
+use gapbs_core::{all_frameworks, run_matrix, Kernel, Mode, TrialConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let config = TrialConfig {
+        trials: std::env::var("GAPBS_TRIALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3),
+        verify: std::env::var("GAPBS_VERIFY").as_deref() != Ok("0"),
+        ..Default::default()
+    };
+    eprintln!(
+        "corpus scale {scale}, {} trials, verify={}",
+        config.trials, config.verify
+    );
+    let inputs = corpus(scale);
+    let frameworks = all_frameworks();
+
+    let rows: Vec<_> = inputs.iter().map(|b| (b.spec, &b.graph)).collect();
+    println!("{}", render_table1(&rows));
+    println!("{}", render_table2(&frameworks));
+    println!("{}", render_table3(&frameworks));
+
+    let total = frameworks.len() * Kernel::ALL.len() * inputs.len() * Mode::ALL.len();
+    let mut done = 0usize;
+    let report = run_matrix(
+        &frameworks,
+        &inputs,
+        &Kernel::ALL,
+        &Mode::ALL,
+        &config,
+        |cell| {
+            done += 1;
+            eprintln!(
+                "  [{done}/{total}] [{}] {:<12} {:<5} {:<8} best={:.4}s verified={}",
+                cell.mode,
+                cell.framework,
+                cell.kernel.name(),
+                cell.graph,
+                cell.best_seconds(),
+                cell.verified
+            );
+        },
+    );
+    println!("{}", report.table4());
+    println!("{}", report.table5());
+
+    let csv_path = std::env::var("GAPBS_CSV").unwrap_or_else(|_| "gapbs_results.csv".into());
+    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
+        eprintln!("could not write {csv_path}: {e}");
+    } else {
+        eprintln!("raw results written to {csv_path}");
+    }
+
+    println!("{}", gapbs_bench::shape_claims(&report));
+}

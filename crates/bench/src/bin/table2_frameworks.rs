@@ -1,0 +1,12 @@
+//! Regenerates Table II: the framework attribute matrix.
+//!
+//! ```sh
+//! cargo run --release -p gapbs-bench --bin table2_frameworks
+//! ```
+
+use gapbs_core::all_frameworks;
+use gapbs_core::report::render_table2;
+
+fn main() {
+    println!("{}", render_table2(&all_frameworks()));
+}

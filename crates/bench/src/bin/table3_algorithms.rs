@@ -1,0 +1,13 @@
+//! Regenerates Table III: the algorithm chosen by each framework per
+//! kernel, with footnotes.
+//!
+//! ```sh
+//! cargo run --release -p gapbs-bench --bin table3_algorithms
+//! ```
+
+use gapbs_core::all_frameworks;
+use gapbs_core::report::render_table3;
+
+fn main() {
+    println!("{}", render_table3(&all_frameworks()));
+}

@@ -1,0 +1,154 @@
+//! Shared plumbing for the benchmark binaries and Criterion benches.
+
+use gapbs_core::{BenchGraph, Kernel, Mode, Report};
+use gapbs_graph::gen::{GraphSpec, Scale};
+
+/// Resolves the corpus scale from `GAPBS_SCALE`
+/// (`tiny|small|medium|large`), defaulting to `medium` — the scale
+/// EXPERIMENTS.md reports.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("GAPBS_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("small") => Scale::Small,
+        Ok("large") => Scale::Large,
+        Ok("medium") | _ => Scale::Medium,
+    }
+}
+
+/// Generates the full five-graph benchmark corpus at a scale.
+pub fn corpus(scale: Scale) -> Vec<BenchGraph> {
+    GraphSpec::TABLE_ORDER
+        .iter()
+        .map(|&spec| BenchGraph::generate(spec, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_table_order() {
+        let c = corpus(Scale::Tiny);
+        let names: Vec<_> = c.iter().map(|b| b.spec.name()).collect();
+        assert_eq!(names, ["Web", "Twitter", "Road", "Kron", "Urand"]);
+    }
+
+    #[test]
+    fn default_scale_is_medium() {
+        std::env::remove_var("GAPBS_SCALE");
+        assert_eq!(scale_from_env(), Scale::Medium);
+    }
+}
+
+/// Evaluates the paper's qualitative claims against this run (see
+/// EXPERIMENTS.md §shape-claims).
+pub fn shape_claims(report: &Report) -> String {
+    let mut out = String::from("SHAPE CLAIMS (paper finding — does this run reproduce it?)\n");
+    let mut claim = |name: &str, ok: Option<bool>| {
+        let verdict = match ok {
+            Some(true) => "REPRODUCED",
+            Some(false) => "NOT REPRODUCED",
+            None => "N/A (missing cells)",
+        };
+        out.push_str(&format!("  [{verdict:>14}] {name}\n"));
+    };
+    let b = Mode::Baseline;
+
+    // 1. §V-D: Gauss–Seidel PR's fewer iterations beat Jacobi where
+    // iteration count dominates — the paper's emphasized case is Road
+    // (331% of GAP; on Twitter even the paper's Galois PR is at 84%).
+    claim(
+        "Gauss-Seidel PR (Galois) clearly faster than Jacobi GAP on Road",
+        report.speedup("Galois", Kernel::Pr, "Road", b).map(|r| r > 1.2),
+    );
+
+    // 2. Label-propagation CC (GraphIt) is the slowest CC, worst on Road.
+    let lp = report.speedup("GraphIt", Kernel::Cc, "Road", b);
+    claim(
+        "Label-propagation CC far slower than Afforest on Road",
+        lp.map(|r| r < 0.5),
+    );
+
+    // 3. §V-A: asynchronous execution helps on Road. The paper's 3.5×
+    // comes from eliding 32-way barrier synchronization; at one core the
+    // barriers are nearly free, so the reproduction target is parity.
+    claim(
+        "Asynchronous Galois BFS at least holds parity with GAP on Road",
+        report
+            .speedup("Galois", Kernel::Bfs, "Road", b)
+            .map(|r| r > 0.85),
+    );
+
+    // 4. SuiteSparse pays its largest penalty on Road SSSP.
+    let ss_road = report.speedup("SuiteSparse", Kernel::Sssp, "Road", b);
+    let ss_kron = report.speedup("SuiteSparse", Kernel::Sssp, "Kron", b);
+    claim(
+        "SuiteSparse SSSP much slower on Road than on Kron (bulk-op tax)",
+        ss_road.zip(ss_kron).map(|(r, k)| r < k && r < 0.5),
+    );
+
+    // 5. GKC TC at least parity with GAP on the skewed graphs.
+    let gkc_tc = ["Web", "Twitter", "Kron"]
+        .iter()
+        .map(|g| report.speedup("GKC", Kernel::Tc, g, b))
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.iter().all(|&r| r > 0.9));
+    claim("GKC TC competitive-or-better on skewed graphs", gkc_tc);
+
+    // 7. §V-B: GraphIt SSSP is comparable to GAP everywhere — both have
+    // bucket fusion (GAP adopted GraphIt's optimization).
+    let graphit_sssp = ["Web", "Twitter", "Road", "Kron", "Urand"]
+        .iter()
+        .map(|g| report.speedup("GraphIt", Kernel::Sssp, g, b))
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.iter().all(|&r| r > 0.6));
+    claim(
+        "GraphIt SSSP comparable to GAP on every graph (shared bucket fusion)",
+        graphit_sssp,
+    );
+
+    // 8. §V-D vs §V-C: SuiteSparse PR (dense bulk iteration, same basic
+    // algorithm as GAP) holds up far better relative than its CC (many
+    // tiny FastSV rounds) on every graph.
+    let ss_pr_vs_cc = ["Web", "Twitter", "Road", "Kron", "Urand"]
+        .iter()
+        .filter_map(|g| {
+            let pr = report.speedup("SuiteSparse", Kernel::Pr, g, b)?;
+            let cc = report.speedup("SuiteSparse", Kernel::Cc, g, b)?;
+            Some(pr > 4.0 * cc)
+        })
+        .all(|ok| ok);
+    claim(
+        "SuiteSparse PR holds up far better than its CC on every graph",
+        Some(ss_pr_vs_cc),
+    );
+
+    // 9. §V-E: GraphIt BC wins on the synthetic graphs (224-272% in the
+    // paper, from the bit-vector frontier + transposed backward pass).
+    let graphit_bc = ["Kron", "Urand"]
+        .iter()
+        .map(|g| report.speedup("GraphIt", Kernel::Bc, g, b))
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.iter().all(|&r| r > 1.1));
+    claim("GraphIt BC faster than GAP on the synthetic graphs", graphit_bc);
+
+    // 6. No framework is uniformly fastest (no all-green row).
+    let mut uniform_winner = false;
+    for fw in ["SuiteSparse", "Galois", "GraphIt", "GKC", "NWGraph"] {
+        let mut all_green = true;
+        for kernel in Kernel::ALL {
+            for g in ["Web", "Twitter", "Road", "Kron", "Urand"] {
+                if let Some(r) = report.speedup(fw, kernel, g, b) {
+                    if r <= 1.0 {
+                        all_green = false;
+                    }
+                }
+            }
+        }
+        uniform_winner |= all_green;
+    }
+    claim("No framework is fastest on every test", Some(!uniform_winner));
+
+    out
+}

@@ -1,0 +1,142 @@
+//! Adapter for the Galois-style framework (`gapbs-galois`).
+
+use crate::framework::{
+    AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels,
+};
+use crate::kernel::{Kernel, Mode};
+use gapbs_galois::cc::CcVariant;
+use gapbs_galois::tc::Relabeling;
+use gapbs_galois::ExecutionStyle;
+use gapbs_graph::types::{Distance, NodeId, Score};
+use gapbs_graph::Graph;
+use gapbs_parallel::ThreadPool;
+
+/// Galois: operator formulation with asynchronous worklists.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GaloisFramework;
+
+impl Framework for GaloisFramework {
+    fn name(&self) -> &'static str {
+        "Galois"
+    }
+
+    fn info(&self) -> FrameworkInfo {
+        FrameworkInfo {
+            name: "Galois",
+            kind: "generic high-level library",
+            data_structure: "outgoing and/or incoming edges",
+            abstraction: "vertex, edge, or chunked-edges centric",
+            synchronization: "level-synchronous or asynchronous",
+            intended_users: "graph domain experts",
+        }
+    }
+
+    fn algorithm(&self, kernel: Kernel) -> AlgorithmChoice {
+        match kernel {
+            Kernel::Bfs => AlgorithmChoice {
+                async_variant: true,
+                ..AlgorithmChoice::plain("Direction-optimizing")
+            },
+            Kernel::Sssp => AlgorithmChoice {
+                async_variant: true,
+                ..AlgorithmChoice::plain("Delta-stepping")
+            },
+            Kernel::Cc => AlgorithmChoice {
+                async_variant: true,
+                ..AlgorithmChoice::plain("Hybrid Afforest")
+            },
+            Kernel::Pr => AlgorithmChoice::plain("Gauss-Seidel SpMV"),
+            Kernel::Bc => AlgorithmChoice {
+                async_variant: true,
+                ..AlgorithmChoice::plain("Brandes")
+            },
+            Kernel::Tc => AlgorithmChoice {
+                relabeling: true,
+                ..AlgorithmChoice::plain("Order invariant")
+            },
+        }
+    }
+
+    fn prepare<'g>(
+        &self,
+        input: &'g BenchGraph,
+        mode: Mode,
+        pool: &ThreadPool,
+    ) -> Box<dyn PreparedKernels + 'g> {
+        // Baseline: degree-sampling heuristic guesses the diameter
+        // (wrongly for Urand, §V). Optimized: the team knows the
+        // diameter — async only for the genuinely deep Road.
+        let style = match mode {
+            Mode::Baseline => gapbs_galois::classify(&input.graph),
+            Mode::Optimized => {
+                if input.spec.high_diameter() {
+                    ExecutionStyle::Asynchronous
+                } else {
+                    ExecutionStyle::BulkSynchronous
+                }
+            }
+        };
+        let cc_variant = match mode {
+            Mode::Baseline => CcVariant::VertexAfforest,
+            Mode::Optimized => CcVariant::EdgeBlockedAfforest,
+        };
+        // Optimized TC excludes relabel time: relabel during preparation.
+        let (tc_graph, tc_relabeling) = match mode {
+            Mode::Baseline => (None, Relabeling::HeuristicTimed),
+            Mode::Optimized => (
+                Some(gapbs_galois::tc::relabel_for_optimized(&input.sym_graph)),
+                Relabeling::AlreadyRelabeled,
+            ),
+        };
+        Box::new(Prepared {
+            input,
+            style,
+            cc_variant,
+            tc_graph,
+            tc_relabeling,
+            pool: pool.clone(),
+        })
+    }
+}
+
+struct Prepared<'g> {
+    input: &'g BenchGraph,
+    style: ExecutionStyle,
+    cc_variant: CcVariant,
+    tc_graph: Option<Graph>,
+    tc_relabeling: Relabeling,
+    pool: ThreadPool,
+}
+
+impl PreparedKernels for Prepared<'_> {
+    fn bfs(&self, source: NodeId) -> Vec<NodeId> {
+        gapbs_galois::bfs(&self.input.graph, source, self.style, &self.pool)
+    }
+
+    fn sssp(&self, source: NodeId) -> Vec<Distance> {
+        gapbs_galois::sssp(
+            &self.input.wgraph,
+            source,
+            self.input.delta,
+            self.style,
+            &self.pool,
+        )
+    }
+
+    fn pr(&self) -> (Vec<Score>, usize) {
+        gapbs_galois::pr(&self.input.graph, 0.85, 1e-4, 100, &self.pool)
+    }
+
+    fn cc(&self) -> Vec<NodeId> {
+        gapbs_galois::cc(&self.input.graph, self.cc_variant, &self.pool)
+    }
+
+    fn bc(&self, sources: &[NodeId]) -> Vec<Score> {
+        gapbs_galois::bc(&self.input.graph, sources, self.style, &self.pool)
+    }
+
+    fn tc(&self) -> u64 {
+        let graph = self.tc_graph.as_ref().unwrap_or(&self.input.sym_graph);
+        gapbs_galois::tc(graph, self.tc_relabeling, &self.pool)
+    }
+}

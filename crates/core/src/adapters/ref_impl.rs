@@ -1,0 +1,93 @@
+//! Adapter for the GAP reference implementations (`gapbs-ref`).
+
+use crate::framework::{
+    AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels,
+};
+use crate::kernel::{Kernel, Mode};
+use gapbs_graph::types::{Distance, NodeId, Score};
+use gapbs_parallel::ThreadPool;
+
+/// The GAP reference implementations — the study's performance baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GapReference;
+
+impl Framework for GapReference {
+    fn name(&self) -> &'static str {
+        "GAP"
+    }
+
+    fn info(&self) -> FrameworkInfo {
+        FrameworkInfo {
+            name: "GAP",
+            kind: "direct implementations",
+            data_structure: "outgoing & incoming edges",
+            abstraction: "vertex-centric",
+            synchronization: "level-synchronous",
+            intended_users: "researchers, benchmarkers",
+        }
+    }
+
+    fn algorithm(&self, kernel: Kernel) -> AlgorithmChoice {
+        match kernel {
+            Kernel::Bfs => AlgorithmChoice::plain("Direction-optimizing"),
+            Kernel::Sssp => AlgorithmChoice {
+                bucket_fusion: true,
+                ..AlgorithmChoice::plain("Delta-stepping")
+            },
+            Kernel::Cc => AlgorithmChoice::plain("Afforest"),
+            Kernel::Pr => AlgorithmChoice::plain("Jacobi SpMV"),
+            Kernel::Bc => AlgorithmChoice::plain("Brandes"),
+            Kernel::Tc => AlgorithmChoice {
+                relabeling: true,
+                ..AlgorithmChoice::plain("Order invariant")
+            },
+        }
+    }
+
+    fn prepare<'g>(
+        &self,
+        input: &'g BenchGraph,
+        _mode: Mode,
+        pool: &ThreadPool,
+    ) -> Box<dyn PreparedKernels + 'g> {
+        // The reference runs identical code in both modes; its Optimized
+        // gains in the paper come from thread placement, which the shared
+        // pool already pins.
+        Box::new(Prepared {
+            input,
+            pool: pool.clone(),
+        })
+    }
+}
+
+struct Prepared<'g> {
+    input: &'g BenchGraph,
+    pool: ThreadPool,
+}
+
+impl PreparedKernels for Prepared<'_> {
+    fn bfs(&self, source: NodeId) -> Vec<NodeId> {
+        gapbs_ref::bfs(&self.input.graph, source, &self.pool)
+    }
+
+    fn sssp(&self, source: NodeId) -> Vec<Distance> {
+        gapbs_ref::sssp(&self.input.wgraph, source, self.input.delta, &self.pool)
+    }
+
+    fn pr(&self) -> (Vec<Score>, usize) {
+        let result = gapbs_ref::pr(&self.input.graph, &self.pool);
+        (result.scores, result.iterations)
+    }
+
+    fn cc(&self) -> Vec<NodeId> {
+        gapbs_ref::cc(&self.input.graph, &self.pool)
+    }
+
+    fn bc(&self, sources: &[NodeId]) -> Vec<Score> {
+        gapbs_ref::bc(&self.input.graph, sources, &self.pool)
+    }
+
+    fn tc(&self) -> u64 {
+        gapbs_ref::tc(&self.input.sym_graph, &self.pool)
+    }
+}

@@ -1,0 +1,103 @@
+//! The test space: six kernels × two rule sets.
+
+/// The six GAP kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kernel {
+    /// Breadth-first search (parent tree).
+    Bfs,
+    /// Single-source shortest paths (distances).
+    Sssp,
+    /// Connected components (labels).
+    Cc,
+    /// PageRank (scores).
+    Pr,
+    /// Betweenness centrality (approximate, 4 roots).
+    Bc,
+    /// Triangle counting (scalar count).
+    Tc,
+}
+
+impl Kernel {
+    /// All kernels in the row order of Table IV/V.
+    pub const ALL: [Kernel; 6] = [
+        Kernel::Bfs,
+        Kernel::Sssp,
+        Kernel::Cc,
+        Kernel::Pr,
+        Kernel::Bc,
+        Kernel::Tc,
+    ];
+
+    /// Upper-case display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Bfs => "BFS",
+            Kernel::Sssp => "SSSP",
+            Kernel::Cc => "CC",
+            Kernel::Pr => "PR",
+            Kernel::Bc => "BC",
+            Kernel::Tc => "TC",
+        }
+    }
+
+    /// Whether the kernel takes a source vertex (and thus uses source
+    /// rotation across trials).
+    pub fn takes_source(self) -> bool {
+        matches!(self, Kernel::Bfs | Kernel::Sssp | Kernel::Bc)
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The two rule sets of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mode {
+    /// Uniform comparison: built-in heuristics only, no per-graph tuning.
+    Baseline,
+    /// Peak performance: per-graph tuning allowed and reported.
+    Optimized,
+}
+
+impl Mode {
+    /// Both modes, Baseline first (Table IV column order).
+    pub const ALL: [Mode; 2] = [Mode::Baseline, Mode::Optimized];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Baseline => "Baseline",
+            Mode::Optimized => "Optimized",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_table_order_matches_paper() {
+        let names: Vec<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["BFS", "SSSP", "CC", "PR", "BC", "TC"]);
+    }
+
+    #[test]
+    fn source_kernels_are_the_traversals() {
+        assert!(Kernel::Bfs.takes_source());
+        assert!(Kernel::Sssp.takes_source());
+        assert!(Kernel::Bc.takes_source());
+        assert!(!Kernel::Pr.takes_source());
+        assert!(!Kernel::Cc.takes_source());
+        assert!(!Kernel::Tc.takes_source());
+    }
+}

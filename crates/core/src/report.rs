@@ -1,0 +1,391 @@
+//! Table renderers: regenerates Tables I–V of the paper from a benchmark
+//! run (plain text and CSV).
+
+use crate::framework::Framework;
+use crate::kernel::{Kernel, Mode};
+use crate::registry::BASELINE_FRAMEWORK;
+use crate::runner::CellRecord;
+use gapbs_graph::gen::{GraphSpec, Scale};
+use gapbs_graph::stats;
+use gapbs_graph::Graph;
+use std::fmt::Write as _;
+
+/// Graph column order used by Tables IV and V.
+pub const GRAPH_ORDER: [GraphSpec; 5] = GraphSpec::TABLE_ORDER;
+
+/// Heat-map classification of a speedup ratio (Table V's color coding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heat {
+    /// Slower than the GAP reference.
+    Red,
+    /// Within ±5% of the reference.
+    White,
+    /// Faster than the reference.
+    Green,
+}
+
+impl Heat {
+    /// Classifies a ratio (1.0 = parity with GAP).
+    pub fn from_ratio(ratio: f64) -> Heat {
+        if ratio < 0.95 {
+            Heat::Red
+        } else if ratio <= 1.05 {
+            Heat::White
+        } else {
+            Heat::Green
+        }
+    }
+}
+
+/// A completed benchmark run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    scale: Scale,
+    cells: Vec<CellRecord>,
+}
+
+impl Report {
+    /// Wraps completed cells.
+    pub fn new(scale: Scale, cells: Vec<CellRecord>) -> Self {
+        Report { scale, cells }
+    }
+
+    /// Corpus scale of the run.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// All recorded cells.
+    pub fn cells(&self) -> &[CellRecord] {
+        &self.cells
+    }
+
+    /// Looks up one cell.
+    pub fn find(
+        &self,
+        framework: &str,
+        kernel: Kernel,
+        graph: &str,
+        mode: Mode,
+    ) -> Option<&CellRecord> {
+        self.cells.iter().find(|c| {
+            c.framework == framework && c.kernel == kernel && c.graph == graph && c.mode == mode
+        })
+    }
+
+    /// Speedup of `framework` over the GAP reference for a test
+    /// (Table V's percentage / 100): above 1.0 = faster than GAP.
+    pub fn speedup(
+        &self,
+        framework: &str,
+        kernel: Kernel,
+        graph: &str,
+        mode: Mode,
+    ) -> Option<f64> {
+        let fw = self.find(framework, kernel, graph, mode)?.stat_seconds();
+        let gap = self
+            .find(BASELINE_FRAMEWORK, kernel, graph, mode)?
+            .stat_seconds();
+        if fw > 0.0 {
+            Some(gap / fw)
+        } else {
+            None
+        }
+    }
+
+    /// The fastest framework and its time for a test (one Table IV cell).
+    pub fn fastest(&self, kernel: Kernel, graph: &str, mode: Mode) -> Option<(&str, f64)> {
+        self.cells
+            .iter()
+            .filter(|c| c.kernel == kernel && c.graph == graph && c.mode == mode && c.verified)
+            .map(|c| (c.framework.as_str(), c.stat_seconds()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Renders Table IV: fastest times for both rule sets, annotated with
+    /// the winning framework.
+    pub fn table4(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TABLE IV — FASTEST TIMES (seconds), corpus scale {}",
+            self.scale
+        );
+        for mode in Mode::ALL {
+            let _ = writeln!(out, "\n  {mode}");
+            let _ = write!(out, "  {:>6}", "Kernel");
+            for g in GRAPH_ORDER {
+                let _ = write!(out, " {:>22}", g.name());
+            }
+            let _ = writeln!(out);
+            for kernel in Kernel::ALL {
+                let _ = write!(out, "  {:>6}", kernel.name());
+                for g in GRAPH_ORDER {
+                    match self.fastest(kernel, g.name(), mode) {
+                        Some((fw, t)) => {
+                            let _ = write!(out, " {:>12.6} ({:>7})", t, fw);
+                        }
+                        None => {
+                            let _ = write!(out, " {:>22}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// Renders Table V: per-framework speedups over the GAP reference as
+    /// percentages with heat classes.
+    pub fn table5(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TABLE V — SPEEDUP OVER GAP REFERENCE (100% = parity), corpus scale {}",
+            self.scale
+        );
+        let frameworks: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if c.framework != BASELINE_FRAMEWORK && !seen.contains(&c.framework) {
+                    seen.push(c.framework.clone());
+                }
+            }
+            seen
+        };
+        for mode in Mode::ALL {
+            let _ = writeln!(out, "\n  {mode}");
+            let _ = write!(out, "  {:>12} {:>6}", "Framework", "Kernel");
+            for g in GRAPH_ORDER {
+                let _ = write!(out, " {:>12}", g.name());
+            }
+            let _ = writeln!(out);
+            for fw in &frameworks {
+                for kernel in Kernel::ALL {
+                    let _ = write!(out, "  {:>12} {:>6}", fw, kernel.name());
+                    for g in GRAPH_ORDER {
+                        match self.speedup(fw, kernel, g.name(), mode) {
+                            Some(r) => {
+                                let heat = match Heat::from_ratio(r) {
+                                    Heat::Red => "-",
+                                    Heat::White => "=",
+                                    Heat::Green => "+",
+                                };
+                                let _ = write!(out, " {:>10.2}%{}", r * 100.0, heat);
+                            }
+                            None => {
+                                let _ = write!(out, " {:>12}", "-");
+                            }
+                        }
+                    }
+                    let _ = writeln!(out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a report back from [`Report::to_csv`] output, so analyses
+    /// (shape claims, custom tables) can run without re-measuring.
+    ///
+    /// Each row contributes one cell whose single recorded time is the
+    /// row's `best_s` (the statistic the tables use).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_csv(text: &str) -> Result<Report, String> {
+        let mut cells = Vec::new();
+        for (idx, line) in text.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() < 8 {
+                return Err(format!("line {}: expected 8+ fields", idx + 1));
+            }
+            let mode = match fields[0] {
+                "Baseline" => Mode::Baseline,
+                "Optimized" => Mode::Optimized,
+                other => return Err(format!("line {}: bad mode {other:?}", idx + 1)),
+            };
+            let kernel = Kernel::ALL
+                .into_iter()
+                .find(|k| k.name() == fields[3])
+                .ok_or_else(|| format!("line {}: bad kernel {:?}", idx + 1, fields[3]))?;
+            let best: f64 = fields[4]
+                .parse()
+                .map_err(|_| format!("line {}: bad time {:?}", idx + 1, fields[4]))?;
+            let verified: bool = fields[7]
+                .parse()
+                .map_err(|_| format!("line {}: bad verified flag", idx + 1))?;
+            cells.push(CellRecord {
+                framework: fields[2].to_string(),
+                kernel,
+                graph: fields[1].to_string(),
+                mode,
+                times: vec![best],
+                verified,
+                note: fields.get(8).unwrap_or(&"").to_string(),
+            });
+        }
+        Ok(Report::new(Scale::Medium, cells))
+    }
+
+    /// Serializes every cell as CSV
+    /// (`mode,graph,framework,kernel,best,mean,trials,verified,note`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("mode,graph,framework,kernel,best_s,mean_s,trials,verified,note\n");
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.6},{:.6},{},{},{}",
+                c.mode,
+                c.graph,
+                c.framework,
+                c.kernel,
+                c.best_seconds(),
+                c.mean_seconds(),
+                c.times.len(),
+                c.verified,
+                c.note.replace(',', ";")
+            );
+        }
+        out
+    }
+}
+
+/// Renders Table I for a corpus: graph statistics at the run's scale.
+pub fn render_table1(graphs: &[(GraphSpec, &Graph)]) -> String {
+    let mut out = String::from(
+        "TABLE I — GRAPHS USED FOR EVALUATION\n\
+         Name     Vertices    Edges       Directed  Degree  Distribution  ApproxDiameter\n",
+    );
+    for (spec, g) in graphs {
+        let s = stats::summarize(g);
+        let _ = writeln!(
+            out,
+            "{:<8} {:<11} {:<11} {:<9} {:<7.1} {:<13} {}",
+            spec.name(),
+            s.num_vertices,
+            s.num_edges,
+            if s.directed { "Y" } else { "N" },
+            s.average_degree,
+            s.degree_family.to_string(),
+            s.approx_diameter
+        );
+    }
+    out
+}
+
+/// Renders Table II: framework attribute matrix.
+pub fn render_table2(frameworks: &[Box<dyn Framework>]) -> String {
+    let mut out = String::from("TABLE II — MAIN ATTRIBUTES OF FRAMEWORKS CONSIDERED\n");
+    for fw in frameworks {
+        let info = fw.info();
+        let _ = writeln!(out, "\n{}", info.name);
+        let _ = writeln!(out, "  Type:             {}", info.kind);
+        let _ = writeln!(out, "  Data structure:   {}", info.data_structure);
+        let _ = writeln!(out, "  Abstraction:      {}", info.abstraction);
+        let _ = writeln!(out, "  Synchronization:  {}", info.synchronization);
+        let _ = writeln!(out, "  Intended users:   {}", info.intended_users);
+    }
+    out
+}
+
+/// Renders Table III: algorithm used by each framework per kernel, with
+/// footnote flags (1 bucket fusion, 2 relabeling, 3 SIMD-analogue,
+/// 4 async variant).
+pub fn render_table3(frameworks: &[Box<dyn Framework>]) -> String {
+    let mut out = String::from("TABLE III — ALGORITHMS USED BY EACH FRAMEWORK\n");
+    let _ = write!(out, "{:>6}", "Task");
+    for fw in frameworks {
+        let _ = write!(out, " {:>24}", fw.name());
+    }
+    let _ = writeln!(out);
+    for kernel in Kernel::ALL {
+        let _ = write!(out, "{:>6}", kernel.name());
+        for fw in frameworks {
+            let _ = write!(out, " {:>24}", fw.algorithm(kernel).render());
+        }
+        let _ = writeln!(out);
+    }
+    out.push_str(
+        "Footnotes: 1 bucket fusion, 2 heuristic relabeling, 3 SIMD-analogue kernels, 4 async variant\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::all_frameworks;
+
+    fn record(fw: &str, kernel: Kernel, graph: &str, mode: Mode, t: f64) -> CellRecord {
+        CellRecord {
+            framework: fw.into(),
+            kernel,
+            graph: graph.into(),
+            mode,
+            times: vec![t],
+            verified: true,
+            note: String::new(),
+        }
+    }
+
+    fn sample_report() -> Report {
+        Report::new(
+            Scale::Tiny,
+            vec![
+                record("GAP", Kernel::Bfs, "Kron", Mode::Baseline, 0.2),
+                record("GKC", Kernel::Bfs, "Kron", Mode::Baseline, 0.1),
+                record("GraphIt", Kernel::Bfs, "Kron", Mode::Baseline, 0.4),
+            ],
+        )
+    }
+
+    #[test]
+    fn speedups_are_relative_to_gap() {
+        let r = sample_report();
+        assert!((r.speedup("GKC", Kernel::Bfs, "Kron", Mode::Baseline).unwrap() - 2.0).abs() < 1e-12);
+        assert!((r.speedup("GraphIt", Kernel::Bfs, "Kron", Mode::Baseline).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastest_picks_the_minimum() {
+        let r = sample_report();
+        let (fw, t) = r.fastest(Kernel::Bfs, "Kron", Mode::Baseline).unwrap();
+        assert_eq!(fw, "GKC");
+        assert!((t - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heat_classes_split_at_parity() {
+        assert_eq!(Heat::from_ratio(0.5), Heat::Red);
+        assert_eq!(Heat::from_ratio(1.0), Heat::White);
+        assert_eq!(Heat::from_ratio(2.0), Heat::Green);
+    }
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let r = sample_report();
+        assert!(r.table4().contains("TABLE IV"));
+        assert!(r.table5().contains("TABLE V"));
+        assert!(r.to_csv().lines().count() >= 4);
+        let fws = all_frameworks();
+        assert!(render_table2(&fws).contains("SuiteSparse"));
+        let t3 = render_table3(&fws);
+        assert!(t3.contains("Label Propagation"));
+        assert!(t3.contains("Lee & Low"));
+    }
+
+    #[test]
+    fn table1_renders_graph_rows() {
+        use gapbs_graph::gen::Scale as GScale;
+        let g = GraphSpec::Kron.generate(GScale::Tiny);
+        let out = render_table1(&[(GraphSpec::Kron, &g)]);
+        assert!(out.contains("Kron"));
+        assert!(out.contains("power"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Galois BFS: bulk-synchronous direction-optimizing for (assumed)
+//! low-diameter graphs, asynchronous label-correcting for (assumed)
+//! high-diameter graphs.
+//!
+//! The asynchronous variant maintains a single sparse worklist; an
+//! operator application relaxes a vertex's depth label and re-activates
+//! its neighbors. There are no rounds, so deep graphs avoid thousands of
+//! barriers — at the price of redundant relaxations on shallow graphs
+//! (the paper's Urand Baseline anomaly).
+
+use crate::heuristic::ExecutionStyle;
+use gapbs_graph::types::{NodeId, NO_PARENT};
+use gapbs_graph::Graph;
+use gapbs_parallel::atomics::as_atomic_u32;
+use gapbs_parallel::{AtomicBitmap, ChunkedWorklist, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Runs BFS from `source` using the given execution style.
+pub fn bfs(g: &Graph, source: NodeId, style: ExecutionStyle, pool: &ThreadPool) -> Vec<NodeId> {
+    match style {
+        ExecutionStyle::BulkSynchronous => bulk_sync(g, source, pool),
+        ExecutionStyle::Asynchronous => asynchronous(g, source, pool),
+    }
+}
+
+/// Asynchronous label-correcting BFS. Depth labels converge to true BFS
+/// depths; parents are updated together with depths, so the final parent
+/// of `v` sits at depth `depth(v) - 1`.
+fn asynchronous(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
+    let n = g.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    if n == 0 {
+        return parent;
+    }
+    parent[source as usize] = source;
+    let depth: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    depth[source as usize].store(0, Ordering::Relaxed);
+    let parents = as_atomic_u32(&mut parent);
+    let worklist = ChunkedWorklist::new(pool.clone());
+    worklist.for_each(vec![source], |u, push| {
+        let du = depth[u as usize].load(Ordering::Relaxed);
+        for &v in g.out_neighbors(u) {
+            let nd = du + 1;
+            // Operator: relax the depth label (fetch-min via CAS loop).
+            let mut cur = depth[v as usize].load(Ordering::Relaxed);
+            while nd < cur {
+                match depth[v as usize].compare_exchange_weak(
+                    cur,
+                    nd,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        parents[v as usize].store(u, Ordering::Relaxed);
+                        push(v);
+                        break;
+                    }
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    });
+    // A racing relaxation can leave parent[v] pointing at a vertex whose
+    // own depth later improved; one repair sweep restores the BFS-tree
+    // invariant (parent depth = depth - 1).
+    pool.for_each_index(n, Schedule::Static, |v| {
+        let p = parents[v as usize].load(Ordering::Relaxed);
+        if p == NO_PARENT || v as NodeId == source {
+            return;
+        }
+        let dv = depth[v].load(Ordering::Relaxed);
+        if depth[p as usize].load(Ordering::Relaxed) + 1 != dv {
+            for &u in g.in_neighbors(v as NodeId) {
+                if depth[u as usize].load(Ordering::Relaxed) + 1 == dv {
+                    parents[v as usize].store(u, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    });
+    parent
+}
+
+/// Bulk-synchronous direction-optimizing BFS (the same family of
+/// algorithm as GAP; the paper notes the two use the same approach on
+/// power-law graphs, with Galois paying generic-library overhead).
+fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
+    let n = g.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    if n == 0 {
+        return parent;
+    }
+    parent[source as usize] = source;
+    let mut queue = SlidingQueue::new(n + 1);
+    queue.push(source);
+    queue.slide_window();
+    let front = AtomicBitmap::new(n);
+    let parents = as_atomic_u32(&mut parent);
+    let mut edges_to_check = g.num_arcs() as u64;
+    let mut scout = g.out_degree(source) as u64;
+    while !queue.is_window_empty() {
+        if scout > edges_to_check / 15 {
+            // Pull phase.
+            front.clear();
+            for &u in queue.window() {
+                front.set(u as usize);
+            }
+            let mut awake = queue.window_len() as u64;
+            loop {
+                let prev = awake;
+                let next = AtomicBitmap::new(n);
+                let count = AtomicU64::new(0);
+                pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
+                    if parents[v].load(Ordering::Relaxed) == NO_PARENT {
+                        for &u in g.in_neighbors(v as NodeId) {
+                            if front.get(u as usize) {
+                                parents[v].store(u, Ordering::Relaxed);
+                                next.set(v);
+                                count.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                });
+                awake = count.into_inner();
+                front.copy_from(&next);
+                if awake == 0 || (awake <= n as u64 / 18 && awake < prev) {
+                    break;
+                }
+            }
+            queue.reset();
+            for v in front.iter_ones() {
+                queue.push(v as NodeId);
+            }
+            queue.slide_window();
+            scout = 1;
+        } else {
+            edges_to_check = edges_to_check.saturating_sub(scout);
+            let window = queue.window();
+            let new_scout = AtomicU64::new(0);
+            pool.run(|tid| {
+                let mut buf = QueueBuffer::new();
+                let mut local = 0u64;
+                let stride = pool.num_threads();
+                let mut i = tid;
+                while i < window.len() {
+                    let u = window[i];
+                    for &v in g.out_neighbors(u) {
+                        if parents[v as usize].load(Ordering::Relaxed) == NO_PARENT
+                            && parents[v as usize]
+                                .compare_exchange(
+                                    NO_PARENT,
+                                    u,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        {
+                            buf.push(v, &queue);
+                            local += g.out_degree(v) as u64;
+                        }
+                    }
+                    i += stride;
+                }
+                buf.flush(&queue);
+                new_scout.fetch_add(local, Ordering::Relaxed);
+            });
+            scout = new_scout.into_inner();
+            queue.slide_window();
+        }
+        if queue.is_window_empty() {
+            break;
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapbs_graph::edgelist::edges;
+    use gapbs_graph::{gen, Builder};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn depths_of(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
+        use std::collections::VecDeque;
+        let mut depth = vec![None; g.num_vertices()];
+        let mut q = VecDeque::new();
+        depth[source as usize] = Some(0);
+        q.push_back(source);
+        while let Some(u) = q.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if depth[v as usize].is_none() {
+                    depth[v as usize] = Some(depth[u as usize].unwrap() + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        depth
+    }
+
+    fn check_tree(g: &Graph, source: NodeId, parent: &[NodeId]) {
+        let depth = depths_of(g, source);
+        for v in g.vertices() {
+            let p = parent[v as usize];
+            assert_eq!(
+                p == NO_PARENT,
+                depth[v as usize].is_none(),
+                "reachability mismatch at {v}"
+            );
+            if p != NO_PARENT && v != source {
+                assert!(g.out_csr().has_edge(p, v), "no edge ({p},{v})");
+                assert_eq!(
+                    depth[p as usize].unwrap() + 1,
+                    depth[v as usize].unwrap(),
+                    "depth mismatch at {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_styles_build_valid_trees_on_road() {
+        let g = gen::road(&gen::RoadConfig::gap_like(20), 7);
+        let p = pool();
+        for style in [ExecutionStyle::Asynchronous, ExecutionStyle::BulkSynchronous] {
+            let parent = bfs(&g, 0, style, &p);
+            check_tree(&g, 0, &parent);
+        }
+    }
+
+    #[test]
+    fn both_styles_build_valid_trees_on_kron() {
+        let g = gen::kron(9, 10, 2);
+        let p = pool();
+        for style in [ExecutionStyle::Asynchronous, ExecutionStyle::BulkSynchronous] {
+            let parent = bfs(&g, 5, style, &p);
+            check_tree(&g, 5, &parent);
+        }
+    }
+
+    #[test]
+    fn directed_reachability_respected() {
+        let g = Builder::new()
+            .build(edges([(0, 1), (2, 0)]))
+            .unwrap();
+        let parent = bfs(&g, 0, ExecutionStyle::Asynchronous, &pool());
+        assert_eq!(parent[1], 0);
+        assert_eq!(parent[2], NO_PARENT);
+    }
+}

@@ -1,0 +1,172 @@
+//! GKC betweenness centrality: Brandes with a per-arc successor bitmap
+//! (the same family as GAP — Table V shows GKC BC within a few percent of
+//! GAP on every graph), driven by the local-buffer frontier machinery.
+
+use gapbs_graph::types::{NodeId, Score};
+use gapbs_graph::Graph;
+use gapbs_parallel::atomics::AtomicF64;
+use gapbs_parallel::{AtomicBitmap, ThreadPool};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Runs Brandes BC from `sources`, normalized by the maximum score.
+pub fn bc(g: &Graph, sources: &[NodeId], pool: &ThreadPool) -> Vec<Score> {
+    let n = g.num_vertices();
+    let mut scores = vec![0.0; n];
+    if n == 0 {
+        return scores;
+    }
+    let succ = AtomicBitmap::new(g.num_arcs());
+    for &s in sources {
+        succ.clear();
+        let depth: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNVISITED)).collect();
+        let sigma: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
+        depth[s as usize].store(0, Ordering::Relaxed);
+        sigma[s as usize].store(1.0);
+        let mut levels = vec![vec![s]];
+        loop {
+            let frontier = levels.last().expect("root level");
+            if frontier.is_empty() {
+                levels.pop();
+                break;
+            }
+            let d = (levels.len() - 1) as u32;
+            let next = Mutex::new(Vec::new());
+            let stride = pool.num_threads();
+            pool.run(|tid| {
+                let mut local = Vec::new();
+                let mut i = tid;
+                while i < frontier.len() {
+                    let u = frontier[i];
+                    let su = sigma[u as usize].load();
+                    let base = g.out_csr().offset(u);
+                    let row = g.out_neighbors(u);
+                    let mut k = 0;
+                    while k < row.len() {
+                        let v = row[k];
+                        let dv = depth[v as usize].load(Ordering::Relaxed);
+                        if dv == UNVISITED
+                            && depth[v as usize]
+                                .compare_exchange(
+                                    UNVISITED,
+                                    d + 1,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        {
+                            local.push(v);
+                            sigma[v as usize].fetch_add(su);
+                            succ.set(base + k);
+                        } else if depth[v as usize].load(Ordering::Relaxed) == d + 1 {
+                            sigma[v as usize].fetch_add(su);
+                            succ.set(base + k);
+                        }
+                        k += 1;
+                    }
+                    i += stride;
+                }
+                next.lock().append(&mut local);
+            });
+            levels.push(next.into_inner());
+        }
+        let delta: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
+        for level in levels.iter().rev().skip(1) {
+            let stride = pool.num_threads();
+            pool.run(|tid| {
+                let mut i = tid;
+                while i < level.len() {
+                    let u = level[i];
+                    let su = sigma[u as usize].load();
+                    let base = g.out_csr().offset(u);
+                    let row = g.out_neighbors(u);
+                    let mut acc = 0.0;
+                    let mut k = 0;
+                    while k < row.len() {
+                        if succ.get(base + k) {
+                            let v = row[k] as usize;
+                            acc += (su / sigma[v].load()) * (1.0 + delta[v].load());
+                        }
+                        k += 1;
+                    }
+                    delta[u as usize].store(acc);
+                    i += stride;
+                }
+            });
+        }
+        for v in 0..n {
+            if v as NodeId != s {
+                scores[v] += delta[v].load();
+            }
+        }
+    }
+    let max = scores.iter().cloned().fold(0.0, Score::max);
+    if max > 0.0 {
+        for v in &mut scores {
+            *v /= max;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapbs_graph::gen;
+
+    #[test]
+    fn matches_sequential_brandes() {
+        use std::collections::VecDeque;
+        for seed in [1, 6] {
+            let g = gen::kron(8, 8, seed);
+            let sources = [0, 4, 8, 12];
+            let got = bc(&g, &sources, &ThreadPool::new(4));
+            let n = g.num_vertices();
+            let mut want = vec![0.0f64; n];
+            for &s in &sources {
+                let mut depth = vec![i64::MAX; n];
+                let mut sigma = vec![0.0f64; n];
+                let mut order = Vec::new();
+                let mut q = VecDeque::new();
+                depth[s as usize] = 0;
+                sigma[s as usize] = 1.0;
+                q.push_back(s);
+                while let Some(u) = q.pop_front() {
+                    order.push(u);
+                    for &v in g.out_neighbors(u) {
+                        if depth[v as usize] == i64::MAX {
+                            depth[v as usize] = depth[u as usize] + 1;
+                            q.push_back(v);
+                        }
+                        if depth[v as usize] == depth[u as usize] + 1 {
+                            sigma[v as usize] += sigma[u as usize];
+                        }
+                    }
+                }
+                let mut delta = vec![0.0f64; n];
+                for &u in order.iter().rev() {
+                    for &v in g.out_neighbors(u) {
+                        if depth[v as usize] == depth[u as usize] + 1 {
+                            delta[u as usize] += (sigma[u as usize] / sigma[v as usize])
+                                * (1.0 + delta[v as usize]);
+                        }
+                    }
+                    if u != s {
+                        want[u as usize] += delta[u as usize];
+                    }
+                }
+            }
+            let max = want.iter().cloned().fold(0.0, f64::max);
+            if max > 0.0 {
+                for w in &mut want {
+                    *w /= max;
+                }
+            }
+            for v in 0..n {
+                assert!((got[v] - want[v]).abs() < 1e-9, "seed {seed} vertex {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! GKC triangle counting: the Lee & Low family — provably correct exact
+//! counting over a degree-ordered orientation, with skewness-driven
+//! relabeling and a branch-reduced merge intersection ("SIMD set
+//! intersection" stand-in).
+//!
+//! "GKC sorts vertices depending on degree skewness, then ... performs
+//! set intersections with vectors that were previously visited, thereby
+//! increasing data reuse in caches" (§V-F). The combination wins on every
+//! graph in Table V — including Road, where the heuristic *declines* to
+//! sort and the naive path's low overhead wins.
+
+use gapbs_graph::perm;
+use gapbs_graph::types::NodeId;
+use gapbs_graph::Graph;
+use gapbs_parallel::{Schedule, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts triangles of an undirected graph.
+///
+/// # Panics
+///
+/// Panics if `g` is directed.
+pub fn tc(g: &Graph, pool: &ThreadPool) -> u64 {
+    assert!(!g.is_directed(), "TC expects the symmetrized graph");
+    if degree_skewness(g) > 2.0 {
+        let relabeled = perm::apply(g, &perm::degree_descending(g));
+        count(&relabeled, pool)
+    } else {
+        count(g, pool)
+    }
+}
+
+/// Sampled skewness proxy: mean degree over median degree.
+pub fn degree_skewness(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    if n < 10 {
+        return 0.0;
+    }
+    let sample = 1000.min(n);
+    let stride = (n / sample).max(1);
+    let mut degrees: Vec<usize> = (0..n)
+        .step_by(stride)
+        .take(sample)
+        .map(|u| g.out_degree(u as NodeId))
+        .collect();
+    degrees.sort_unstable();
+    let median = degrees[degrees.len() / 2].max(1) as f64;
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+    mean / median
+}
+
+/// Orientation count with the branch-reduced merge kernel. Iterating `v`
+/// in ascending id order keeps recently intersected adjacency lists warm
+/// (the "previously visited vectors" reuse).
+fn count(g: &Graph, pool: &ThreadPool) -> u64 {
+    let total = AtomicU64::new(0);
+    pool.for_each_index(g.num_vertices(), Schedule::Dynamic(64), |u| {
+        let u = u as NodeId;
+        let adj_u = g.out_neighbors(u);
+        let prefix_u = &adj_u[..adj_u.partition_point(|&x| x < u)];
+        let mut local = 0u64;
+        for &v in prefix_u {
+            local += merge_count(prefix_u, g.out_neighbors(v), v);
+        }
+        if local > 0 {
+            total.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    total.into_inner()
+}
+
+/// Branch-reduced merge counting common elements strictly below
+/// `ceiling`. Index advances are computed arithmetically from
+/// comparisons, the scalar shape of a SIMD set-intersection kernel.
+fn merge_count(a: &[NodeId], b: &[NodeId], ceiling: NodeId) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() && a[i] < ceiling && b[j] < ceiling {
+        let (x, y) = (a[i], b[j]);
+        count += u64::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapbs_graph::edgelist::edges;
+    use gapbs_graph::{gen, Builder};
+
+    fn brute(g: &Graph) -> u64 {
+        let mut c = 0;
+        for u in g.vertices() {
+            for &v in g.out_neighbors(u) {
+                if v <= u {
+                    continue;
+                }
+                for &w in g.out_neighbors(v) {
+                    if w > v && g.out_csr().has_edge(u, w) {
+                        c += 1;
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 1..4 {
+            let g = gen::kron(8, 10, seed);
+            assert_eq!(tc(&g, &ThreadPool::new(4)), brute(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn skewness_heuristic_separates_topologies() {
+        let road = gen::road(&gen::RoadConfig::gap_like(32), 1);
+        assert!(degree_skewness(&road) <= 2.0, "road must not relabel");
+        let kron = gen::kron(11, 16, 1);
+        assert!(degree_skewness(&kron) > 2.0, "kron must relabel");
+    }
+
+    #[test]
+    fn k5_counts_ten() {
+        let mut e = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                e.push((i, j));
+            }
+        }
+        let g = Builder::new().symmetrize(true).build(edges(e)).unwrap();
+        assert_eq!(tc(&g, &ThreadPool::new(2)), 10);
+    }
+}

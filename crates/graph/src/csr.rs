@@ -1,0 +1,250 @@
+//! Compressed sparse row adjacency structures.
+//!
+//! A [`CsrGraph`] stores one direction of adjacency (all out-neighbors, or
+//! all in-neighbors) of a graph. Adjacency lists are sorted by destination
+//! and duplicate-free — the construction invariant the paper notes every
+//! evaluated framework maintains.
+
+use crate::types::{NodeId, Weight};
+
+/// One direction of adjacency in compressed sparse row form.
+///
+/// `offsets` has `num_vertices() + 1` entries; the neighbors of vertex `u`
+/// occupy `targets[offsets[u]..offsets[u + 1]]`, sorted ascending with no
+/// duplicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotone, do not start at zero, or do
+    /// not end at `targets.len()`, or if any adjacency list is unsorted or
+    /// contains duplicates or out-of-range targets. These are programming
+    /// errors in construction code, not user-input errors, hence panics
+    /// rather than `Result`.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            targets.len(),
+            "offsets must end at targets.len()"
+        );
+        let n = offsets.len() - 1;
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "offsets must be monotone");
+        }
+        for u in 0..n {
+            let row = &targets[offsets[u]..offsets[u + 1]];
+            for pair in row.windows(2) {
+                assert!(
+                    pair[0] < pair[1],
+                    "adjacency list of {u} must be sorted and duplicate-free"
+                );
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < n, "target {last} out of range");
+            }
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Builds a CSR without validating invariants.
+    ///
+    /// Used by the builder after it has established sortedness itself.
+    pub(crate) fn from_parts_unchecked(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored directed arcs.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u` in this direction.
+    pub fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// The sorted neighbor slice of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Offset of the first neighbor of `u` inside [`Self::targets_raw`].
+    pub fn offset(&self, u: NodeId) -> usize {
+        self.offsets[u as usize]
+    }
+
+    /// The raw offsets array (length `num_vertices() + 1`).
+    pub fn offsets_raw(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw flattened target array.
+    pub fn targets_raw(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Returns `true` if edge `(u, v)` is present, via binary search.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over `(u, v)` arcs in CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_vertices() as NodeId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+}
+
+/// Weighted compressed sparse row adjacency.
+///
+/// Weights are stored in a parallel array so that unweighted kernels can walk
+/// `targets` without touching weights (matching GAP's `WNode` layout intent
+/// while keeping cache behaviour predictable at this scale).
+#[derive(Debug, Clone, PartialEq, Eq)]
+
+pub struct WCsrGraph {
+    csr: CsrGraph,
+    weights: Vec<Weight>,
+}
+
+impl WCsrGraph {
+    /// Builds a weighted CSR from an unweighted CSR plus a parallel weight
+    /// array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != csr.num_edges()`.
+    pub fn from_parts(csr: CsrGraph, weights: Vec<Weight>) -> Self {
+        assert_eq!(
+            weights.len(),
+            csr.num_edges(),
+            "weight array must parallel the target array"
+        );
+        WCsrGraph { csr, weights }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of stored directed arcs.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.csr.degree(u)
+    }
+
+    /// The sorted neighbor slice of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.csr.neighbors(u)
+    }
+
+    /// The weight slice parallel to [`Self::neighbors`] for `u`.
+    pub fn weights(&self, u: NodeId) -> &[Weight] {
+        let lo = self.csr.offset(u);
+        let hi = self.csr.offset(u + 1);
+        &self.weights[lo..hi]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `u`.
+    pub fn neighbors_weighted(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.neighbors(u)
+            .iter()
+            .copied()
+            .zip(self.weights(u).iter().copied())
+    }
+
+    /// The unweighted view of this adjacency.
+    pub fn unweighted(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The raw flattened weight array.
+    pub fn weights_raw(&self) -> &[Weight] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> {1,2}, 1 -> {3}, 2 -> {3}, 3 -> {}
+        CsrGraph::from_parts(vec![0, 2, 3, 4, 4], vec![1, 2, 3, 3])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = diamond();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn edge_iteration_covers_all_arcs() {
+        let g = diamond();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_rows_rejected() {
+        CsrGraph::from_parts(vec![0, 2], vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_targets_rejected() {
+        CsrGraph::from_parts(vec![0, 1], vec![7]);
+    }
+
+    #[test]
+    fn weighted_parallel_arrays() {
+        let g = diamond();
+        let wg = WCsrGraph::from_parts(g, vec![10, 20, 30, 40]);
+        assert_eq!(wg.weights(0), &[10, 20]);
+        let pairs: Vec<_> = wg.neighbors_weighted(0).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn weight_length_mismatch_rejected() {
+        WCsrGraph::from_parts(diamond(), vec![1, 2]);
+    }
+}

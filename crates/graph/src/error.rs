@@ -1,0 +1,121 @@
+//! Error types for graph construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a graph from an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An edge endpoint is outside the declared vertex range.
+    EndpointOutOfRange {
+        /// Offending vertex id.
+        node: u64,
+        /// Number of vertices the builder was configured with.
+        num_vertices: u64,
+    },
+    /// The builder was asked for a graph with zero vertices but edges exist.
+    EdgesWithoutVertices,
+    /// A weighted edge carried a non-positive weight, which delta-stepping
+    /// (and the GAP spec) does not permit.
+    NonPositiveWeight {
+        /// Source endpoint of the offending edge.
+        src: u64,
+        /// Destination endpoint of the offending edge.
+        dst: u64,
+        /// The rejected weight.
+        weight: i64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EndpointOutOfRange { node, num_vertices } => write!(
+                f,
+                "edge endpoint {node} out of range for graph with {num_vertices} vertices"
+            ),
+            BuildError::EdgesWithoutVertices => {
+                write!(f, "edge list is non-empty but vertex count is zero")
+            }
+            BuildError::NonPositiveWeight { src, dst, weight } => write!(
+                f,
+                "edge ({src}, {dst}) has non-positive weight {weight}; GAP SSSP requires positive weights"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Errors raised by graph I/O routines.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line of an edge-list file failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The parsed edge list violated a builder invariant.
+    Build(BuildError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Build(e) => write!(f, "build error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            GraphError::Build(e) => Some(e),
+            GraphError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+impl From<BuildError> for GraphError {
+    fn from(e: BuildError) -> Self {
+        GraphError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = BuildError::EndpointOutOfRange {
+            node: 10,
+            num_vertices: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains('5'));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn graph_error_sources_chain() {
+        let e = GraphError::from(BuildError::EdgesWithoutVertices);
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,297 @@
+//! The benchmark corpus: five graphs mirroring Table I at configurable
+//! scale.
+//!
+//! | Name    | Stand-in for        | Directed | Degree family | Diameter regime |
+//! |---------|---------------------|----------|---------------|-----------------|
+//! | Road    | USA road network    | yes      | bounded (≈2.4)| huge            |
+//! | Twitter | follow graph        | yes      | power law (≈24)| tiny           |
+//! | Web     | .sk web crawl       | yes      | power law (≈38)| moderate (tail)|
+//! | Kron    | Graph500 Kronecker  | no       | power law (≈16)| tiny           |
+//! | Urand   | Erdős–Rényi         | no       | normal (≈16)  | tiny            |
+
+use super::rmat::{rmat_edges, RmatConfig};
+use super::road::{road_edges, RoadConfig};
+use super::{build_graph, erdos, weighted_companion};
+use crate::edgelist::Edge;
+use crate::graph::{Graph, WGraph};
+use crate::types::NodeId;
+
+/// Identifier of one of the five benchmark graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GraphSpec {
+    /// Road-network-like lattice: bounded degree, huge diameter.
+    Road,
+    /// Social-network-like R-MAT: heavy power-law skew, tiny diameter.
+    Twitter,
+    /// Web-crawl-like R-MAT with a high-diameter tail.
+    Web,
+    /// Graph500 Kronecker, undirected.
+    Kron,
+    /// Uniform random (Erdős–Rényi), undirected.
+    Urand,
+}
+
+impl GraphSpec {
+    /// All five benchmark graphs in Table IV's column order
+    /// (Web, Twitter, Road, Kron, Urand).
+    pub const TABLE_ORDER: [GraphSpec; 5] = [
+        GraphSpec::Web,
+        GraphSpec::Twitter,
+        GraphSpec::Road,
+        GraphSpec::Kron,
+        GraphSpec::Urand,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphSpec::Road => "Road",
+            GraphSpec::Twitter => "Twitter",
+            GraphSpec::Web => "Web",
+            GraphSpec::Kron => "Kron",
+            GraphSpec::Urand => "Urand",
+        }
+    }
+
+    /// Whether the graph is directed (Table I's `Directed` column).
+    pub fn is_directed(self) -> bool {
+        matches!(self, GraphSpec::Road | GraphSpec::Twitter | GraphSpec::Web)
+    }
+
+    /// The degree-distribution family expected of this topology
+    /// (Table I's `Degree Distribution` column).
+    pub fn degree_family(self) -> DegreeFamily {
+        match self {
+            GraphSpec::Road => DegreeFamily::Bounded,
+            GraphSpec::Twitter | GraphSpec::Web | GraphSpec::Kron => DegreeFamily::Power,
+            GraphSpec::Urand => DegreeFamily::Normal,
+        }
+    }
+
+    /// Whether the topology has a high diameter (drives algorithm selection
+    /// heuristics in Galois, §V).
+    pub fn high_diameter(self) -> bool {
+        matches!(self, GraphSpec::Road)
+    }
+
+    /// Deterministic seed used for this graph's generator.
+    pub fn seed(self) -> u64 {
+        match self {
+            GraphSpec::Road => 0x0c0a_d001,
+            GraphSpec::Twitter => 0x7717_7e20,
+            GraphSpec::Web => 0x3e5b_c4a11,
+            GraphSpec::Kron => 0x6b20_4e00,
+            GraphSpec::Urand => 0x02a4_d000,
+        }
+    }
+
+    /// Generates the edge list, vertex count and symmetrize flag for this
+    /// graph at the given scale.
+    fn edges(self, scale: Scale) -> (usize, Vec<Edge>, bool) {
+        match self {
+            GraphSpec::Road => {
+                let cfg = RoadConfig::gap_like(scale.road_side());
+                (cfg.num_vertices(), road_edges(&cfg, self.seed()), false)
+            }
+            GraphSpec::Twitter => {
+                let cfg = RmatConfig {
+                    scale: scale.rmat_scale(),
+                    edges_per_vertex: 24,
+                    a: 0.65,
+                    b: 0.15,
+                    c: 0.15,
+                    shuffle_ids: true,
+                };
+                (cfg.num_vertices(), rmat_edges(&cfg, self.seed()), false)
+            }
+            GraphSpec::Web => {
+                let cfg = RmatConfig {
+                    scale: scale.rmat_scale(),
+                    edges_per_vertex: 38,
+                    a: 0.60,
+                    b: 0.19,
+                    c: 0.19,
+                    shuffle_ids: true,
+                };
+                let mut edges = rmat_edges(&cfg, self.seed());
+                let core_n = cfg.num_vertices();
+                // High-diameter tail: a bidirectional chain of extra pages
+                // hanging off page 0 stretches the diameter the way deep
+                // site hierarchies do in the .sk crawl (Table I: 135 vs
+                // Twitter's 14).
+                let tail = 10 * scale.rmat_scale() as usize;
+                let mut prev = 0 as NodeId;
+                for i in 0..tail {
+                    let v = (core_n + i) as NodeId;
+                    edges.push(Edge::new(prev, v));
+                    edges.push(Edge::new(v, prev));
+                    prev = v;
+                }
+                (core_n + tail, edges, false)
+            }
+            GraphSpec::Kron => {
+                let cfg = RmatConfig::graph500(scale.rmat_scale() + 1, 8);
+                (cfg.num_vertices(), rmat_edges(&cfg, self.seed()), true)
+            }
+            GraphSpec::Urand => {
+                let s = scale.rmat_scale() + 1;
+                (1 << s, erdos::urand_edges(s, 16, self.seed()), true)
+            }
+        }
+    }
+
+    /// Generates the unweighted graph at the given scale.
+    pub fn generate(self, scale: Scale) -> Graph {
+        let (n, edges, sym) = self.edges(scale);
+        build_graph(n, edges, sym)
+    }
+
+    /// Generates the weighted companion (same topology, GAP-style uniform
+    /// weights) at the given scale.
+    pub fn generate_weighted(self, scale: Scale) -> WGraph {
+        let (n, edges, sym) = self.edges(scale);
+        weighted_companion(n, &edges, sym, self.seed())
+    }
+}
+
+impl std::fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Degree-distribution family, as classified in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegreeFamily {
+    /// Bounded maximum degree (road networks).
+    Bounded,
+    /// Power-law / heavy-tailed.
+    Power,
+    /// Concentrated around the mean (uniform random).
+    Normal,
+}
+
+impl std::fmt::Display for DegreeFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegreeFamily::Bounded => "bounded",
+            DegreeFamily::Power => "power",
+            DegreeFamily::Normal => "normal",
+        })
+    }
+}
+
+/// Corpus scale presets. The paper's graphs have 10⁸–10⁹ edges; these
+/// presets shrink every graph proportionally so that the full 30-test
+/// matrix runs on a laptop while preserving the topology contrasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scale {
+    /// Sub-second corpus for unit and property tests (≈1k vertices).
+    Tiny,
+    /// Seconds-scale corpus for integration tests (≈8k vertices).
+    Small,
+    /// Default benchmark corpus (≈16–64k vertices, 10⁵–10⁶ arcs).
+    Medium,
+    /// Stress corpus (4× Medium edge counts).
+    Large,
+}
+
+impl Scale {
+    /// log2 vertex count used for the directed R-MAT graphs.
+    fn rmat_scale(self) -> u32 {
+        match self {
+            Scale::Tiny => 9,
+            Scale::Small => 12,
+            Scale::Medium => 14,
+            Scale::Large => 16,
+        }
+    }
+
+    /// Side length of the road lattice.
+    fn road_side(self) -> usize {
+        match self {
+            Scale::Tiny => 24,
+            Scale::Small => 64,
+            Scale::Medium => 160,
+            Scale::Large => 320,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        })
+    }
+}
+
+/// One generated corpus member: the spec plus both graph forms.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Which benchmark graph this is.
+    pub spec: GraphSpec,
+    /// Unweighted form (BFS, PR, CC, BC, TC).
+    pub graph: Graph,
+    /// Weighted companion with identical topology (SSSP).
+    pub wgraph: WGraph,
+}
+
+/// Generates the full five-graph corpus at the given scale, in Table IV
+/// column order.
+pub fn corpus(scale: Scale) -> Vec<CorpusEntry> {
+    GraphSpec::TABLE_ORDER
+        .iter()
+        .map(|&spec| CorpusEntry {
+            spec,
+            graph: spec.generate(scale),
+            wgraph: spec.generate_weighted(scale),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_five_entries_in_table_order() {
+        let c = corpus(Scale::Tiny);
+        let names: Vec<_> = c.iter().map(|e| e.spec.name()).collect();
+        assert_eq!(names, ["Web", "Twitter", "Road", "Kron", "Urand"]);
+    }
+
+    #[test]
+    fn directedness_matches_table_one() {
+        for entry in corpus(Scale::Tiny) {
+            assert_eq!(
+                entry.graph.is_directed(),
+                entry.spec.is_directed(),
+                "{}",
+                entry.spec
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_and_unweighted_topologies_agree() {
+        for entry in corpus(Scale::Tiny) {
+            assert_eq!(entry.graph.num_vertices(), entry.wgraph.num_vertices());
+            assert_eq!(entry.graph.num_arcs(), entry.wgraph.num_arcs());
+            let g = &entry.graph;
+            for u in g.vertices().step_by(37) {
+                assert_eq!(g.out_neighbors(u), entry.wgraph.out_neighbors(u));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = GraphSpec::Kron.generate(Scale::Tiny);
+        let b = GraphSpec::Kron.generate(Scale::Tiny);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,60 @@
+//! Erdős–Rényi uniform random generation (the `Urand` input).
+//!
+//! GAP's Urand graph is a uniform random graph with the same vertex and
+//! edge counts as Kron, giving a normal(ish) degree distribution and a low
+//! diameter without power-law hubs — the topology the paper uses to isolate
+//! skew effects (e.g. Afforest being less effective on Urand, §V-C).
+
+use super::build_graph;
+use crate::edgelist::Edge;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n * edges_per_vertex / 2` uniform random edge tuples over
+/// `2^scale` vertices.
+pub fn urand_edges(scale: u32, edges_per_vertex: usize, seed: u64) -> Vec<Edge> {
+    let n = 1usize << scale;
+    let m = n * (edges_per_vertex / 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let src = rng.gen_range(0..n) as NodeId;
+        let dst = rng.gen_range(0..n) as NodeId;
+        edges.push(Edge::new(src, dst));
+    }
+    edges
+}
+
+/// Generates the undirected `Urand` benchmark graph with target arc degree
+/// `edges_per_vertex`.
+pub fn urand(scale: u32, edges_per_vertex: usize, seed: u64) -> Graph {
+    let edges = urand_edges(scale, edges_per_vertex, seed);
+    build_graph(1 << scale, edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urand_has_uniform_degrees() {
+        let g = urand(10, 16, 9);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(!g.is_directed());
+        let max_deg = g.vertices().map(|u| g.out_degree(u)).max().unwrap();
+        let avg = g.average_degree();
+        // Uniform random: max degree stays within a small factor of average.
+        assert!(
+            (max_deg as f64) < avg * 4.0,
+            "max {max_deg} vs avg {avg} too skewed for urand"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(urand_edges(8, 8, 3), urand_edges(8, 8, 3));
+        assert_ne!(urand_edges(8, 8, 3), urand_edges(8, 8, 4));
+    }
+}

@@ -1,0 +1,182 @@
+//! R-MAT / Kronecker edge generation (the `Kron`, `Twitter`-like and
+//! `Web`-like inputs).
+//!
+//! The Kron graph in GAP is produced by the Graph500 Kronecker generator,
+//! which is equivalent to R-MAT with partition probabilities
+//! `A = 0.57, B = 0.19, C = 0.19`. The Twitter- and Web-like stand-ins use
+//! the same recursive process with different skew so that their degree
+//! distributions are power-law like the originals (see Table I).
+
+use super::build_graph;
+use crate::edgelist::Edge;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of an R-MAT recursive edge generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average number of generated edge tuples per vertex.
+    pub edges_per_vertex: usize,
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Randomly permute vertex ids afterwards, hiding locality the way
+    /// Graph500 prescribes.
+    pub shuffle_ids: bool,
+}
+
+impl RmatConfig {
+    /// Graph500 Kronecker parameters at the given scale and edge factor.
+    pub fn graph500(scale: u32, edges_per_vertex: usize) -> Self {
+        RmatConfig {
+            scale,
+            edges_per_vertex,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            shuffle_ids: true,
+        }
+    }
+
+    /// Number of vertices implied by `scale`.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// Generates a directed R-MAT edge list.
+///
+/// # Panics
+///
+/// Panics if the quadrant probabilities are malformed (`a + b + c >= 1`
+/// must leave a positive remainder for the fourth quadrant).
+pub fn rmat_edges(config: &RmatConfig, seed: u64) -> Vec<Edge> {
+    let d = 1.0 - config.a - config.b - config.c;
+    assert!(
+        d > 0.0 && config.a > 0.0 && config.b >= 0.0 && config.c >= 0.0,
+        "rmat quadrant probabilities must be positive and sum below 1"
+    );
+    let n = config.num_vertices();
+    let m = n * config.edges_per_vertex;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut src, mut dst) = (0usize, 0usize);
+        for _ in 0..config.scale {
+            src <<= 1;
+            dst <<= 1;
+            let r: f64 = rng.gen();
+            if r < config.a {
+                // top-left: no bits set
+            } else if r < config.a + config.b {
+                dst |= 1;
+            } else if r < config.a + config.b + config.c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        edges.push(Edge::new(src as NodeId, dst as NodeId));
+    }
+    if config.shuffle_ids {
+        let perm = random_permutation(n, &mut rng);
+        for e in &mut edges {
+            e.src = perm[e.src as usize];
+            e.dst = perm[e.dst as usize];
+        }
+    }
+    edges
+}
+
+fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<NodeId> {
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    // Fisher–Yates
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Generates Kron edges: Graph500 Kronecker parameters, undirected intent
+/// (callers symmetrize).
+pub fn kron_edges(scale: u32, edges_per_vertex: usize, seed: u64) -> Vec<Edge> {
+    rmat_edges(&RmatConfig::graph500(scale, edges_per_vertex / 2), seed)
+}
+
+/// Generates the undirected `Kron` benchmark graph.
+///
+/// `edges_per_vertex` is the target *arc* degree (Table I reports 15.7 for
+/// the full-scale graph); half as many edge tuples are generated and then
+/// mirrored.
+pub fn kron(scale: u32, edges_per_vertex: usize, seed: u64) -> Graph {
+    let edges = kron_edges(scale, edges_per_vertex, seed);
+    build_graph(1 << scale, edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_is_undirected_with_requested_size() {
+        let g = kron(8, 16, 42);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(!g.is_directed());
+        // Dedup and self-loop collisions shave some arcs; expect within 40%.
+        let target = 256 * 16;
+        assert!(g.num_arcs() > target / 2, "arcs = {}", g.num_arcs());
+        assert!(g.num_arcs() <= target + target / 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = kron_edges(7, 8, 1);
+        let b = kron_edges(7, 8, 1);
+        assert_eq!(a, b);
+        let c = kron_edges(7, 8, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_skew_creates_hubs() {
+        // With heavy skew, the max degree should dwarf the average.
+        let cfg = RmatConfig {
+            scale: 10,
+            edges_per_vertex: 8,
+            a: 0.65,
+            b: 0.15,
+            c: 0.15,
+            shuffle_ids: false,
+        };
+        let g = build_graph(1 << 10, rmat_edges(&cfg, 3), false);
+        let max_deg = g.vertices().map(|u| g.out_degree(u)).max().unwrap();
+        let avg = g.average_degree();
+        assert!(
+            (max_deg as f64) > avg * 8.0,
+            "max {max_deg} vs avg {avg} is not skewed"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant")]
+    fn malformed_probabilities_panic() {
+        let cfg = RmatConfig {
+            scale: 4,
+            edges_per_vertex: 4,
+            a: 0.5,
+            b: 0.3,
+            c: 0.3,
+            shuffle_ids: false,
+        };
+        let _ = rmat_edges(&cfg, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Road-network-like generation (the `Road` input).
+//!
+//! GAP's Road graph (USA road network) is the outlier of the corpus:
+//! bounded degree (average 2.4), enormous diameter (~6,300), directed but
+//! nearly symmetric. The stand-in is a sparse 2-D lattice: each grid point
+//! connects to a subset of its 4-neighborhood (random deletions keep the
+//! average degree near 2.4 and stretch the diameter), plus a sprinkle of
+//! diagonal "shortcut" streets. The giant component of such a lattice has
+//! diameter Θ(width + height), reproducing the many-iteration behaviour
+//! that makes Road hard for bulk-synchronous frameworks (§VI).
+
+use super::build_graph;
+use crate::edgelist::Edge;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the road-like lattice generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoadConfig {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Percentage (0–100) of lattice edges kept.
+    pub keep_percent: u32,
+    /// Number of random diagonal shortcut edges per 100 vertices.
+    pub diagonals_per_100: u32,
+}
+
+impl RoadConfig {
+    /// A configuration matching Road's Table I attributes at a given grid
+    /// side length: average degree ≈ 2.4, huge diameter.
+    pub fn gap_like(side: usize) -> Self {
+        RoadConfig {
+            width: side,
+            height: side,
+            keep_percent: 62,
+            diagonals_per_100: 2,
+        }
+    }
+
+    /// Number of vertices in the lattice.
+    pub fn num_vertices(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// Generates the directed (symmetric) road-like edge list.
+pub fn road_edges(config: &RoadConfig, seed: u64) -> Vec<Edge> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (w, h) = (config.width, config.height);
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut edges = Vec::new();
+    let push_both = |edges: &mut Vec<Edge>, a: NodeId, b: NodeId| {
+        edges.push(Edge::new(a, b));
+        edges.push(Edge::new(b, a));
+    };
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w && rng.gen_range(0..100) < config.keep_percent {
+                push_both(&mut edges, id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h && rng.gen_range(0..100) < config.keep_percent {
+                push_both(&mut edges, id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    // Diagonal shortcuts: local streets cutting corners, not long-range
+    // links (long-range links would collapse the diameter).
+    let diagonals = config.num_vertices() * config.diagonals_per_100 as usize / 100;
+    for _ in 0..diagonals {
+        let x = rng.gen_range(0..w.saturating_sub(1));
+        let y = rng.gen_range(0..h.saturating_sub(1));
+        push_both(&mut edges, id(x, y), id(x + 1, y + 1));
+    }
+    // Stitch each row's first column to the next row so the giant component
+    // spans the grid even with deletions (mirrors highway backbones).
+    for y in 0..h.saturating_sub(1) {
+        if rng.gen_range(0..100) < 80 {
+            push_both(&mut edges, id(0, y), id(0, y + 1));
+        }
+    }
+    edges
+}
+
+/// Generates the `Road` benchmark graph.
+///
+/// The output is *directed* (like GAP's Road) but symmetric, since roads
+/// carry both directions in the source data's overwhelming majority.
+pub fn road(config: &RoadConfig, seed: u64) -> Graph {
+    let edges = road_edges(config, seed);
+    build_graph(config.num_vertices(), edges, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_has_bounded_degree_and_directed_flag() {
+        let g = road(&RoadConfig::gap_like(40), 11);
+        assert!(g.is_directed());
+        assert_eq!(g.num_vertices(), 1600);
+        let avg = g.average_degree();
+        assert!(
+            (1.6..3.4).contains(&avg),
+            "average degree {avg} outside road-like band"
+        );
+        let max_deg = g.vertices().map(|u| g.out_degree(u)).max().unwrap();
+        assert!(max_deg <= 8, "lattice degree bound violated: {max_deg}");
+    }
+
+    #[test]
+    fn road_is_symmetric_despite_directedness() {
+        let g = road(&RoadConfig::gap_like(16), 5);
+        for u in g.vertices() {
+            for &v in g.out_neighbors(u) {
+                assert!(
+                    g.out_neighbors(v).contains(&u),
+                    "missing reverse arc {v}->{u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RoadConfig::gap_like(12);
+        assert_eq!(road_edges(&cfg, 1), road_edges(&cfg, 1));
+        assert_ne!(road_edges(&cfg, 1), road_edges(&cfg, 2));
+    }
+}

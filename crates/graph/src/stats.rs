@@ -1,0 +1,317 @@
+//! Topology statistics backing Table I: vertex/edge counts, average degree,
+//! degree-distribution classification, and an approximate diameter probe.
+
+use crate::gen::corpus::DegreeFamily;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use std::collections::VecDeque;
+
+/// Summary of a graph's topology, one row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges (GAP counting: undirected edges count once).
+    pub num_edges: usize,
+    /// Whether the graph is directed.
+    pub directed: bool,
+    /// Average arc degree.
+    pub average_degree: f64,
+    /// Classified degree-distribution family.
+    pub degree_family: DegreeFamily,
+    /// Approximate diameter from a double-sweep BFS probe.
+    pub approx_diameter: usize,
+}
+
+/// Computes the full Table I row for a graph.
+pub fn summarize(g: &Graph) -> GraphSummary {
+    GraphSummary {
+        num_vertices: g.num_vertices(),
+        num_edges: g.num_edges(),
+        directed: g.is_directed(),
+        average_degree: g.average_degree(),
+        degree_family: classify_degrees(g),
+        approx_diameter: approx_diameter(g),
+    }
+}
+
+/// Maximum out-degree.
+pub fn max_degree(g: &Graph) -> usize {
+    g.vertices().map(|u| g.out_degree(u)).max().unwrap_or(0)
+}
+
+/// Sample variance of the out-degree distribution.
+pub fn degree_variance(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = g.average_degree();
+    let ss: f64 = g
+        .vertices()
+        .map(|u| {
+            let d = g.out_degree(u) as f64 - mean;
+            d * d
+        })
+        .sum();
+    ss / n as f64
+}
+
+/// Classifies the degree distribution into Table I's three families using
+/// simple, robust moments:
+///
+/// * **bounded** — the maximum degree is a small constant (road networks);
+/// * **power** — the maximum degree dwarfs the mean (heavy tail);
+/// * **normal** — otherwise (degrees concentrate around the mean).
+pub fn classify_degrees(g: &Graph) -> DegreeFamily {
+    let max = max_degree(g) as f64;
+    let mean = g.average_degree().max(f64::MIN_POSITIVE);
+    if max <= 16.0 && max <= mean * 4.0 {
+        DegreeFamily::Bounded
+    } else if max >= mean * 8.0 {
+        DegreeFamily::Power
+    } else {
+        DegreeFamily::Normal
+    }
+}
+
+/// Sequential BFS returning the eccentricity (greatest finite depth) and the
+/// farthest vertex reached from `source`, following out-edges.
+pub fn bfs_eccentricity(g: &Graph, source: NodeId) -> (usize, NodeId) {
+    let n = g.num_vertices();
+    let mut depth = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    depth[source as usize] = 0;
+    queue.push_back(source);
+    let mut far = (0usize, source);
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u as usize];
+        if du > far.0 {
+            far = (du, u);
+        }
+        for &v in g.out_neighbors(u) {
+            if depth[v as usize] == usize::MAX {
+                depth[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    far
+}
+
+/// Approximate diameter via the classic double-sweep heuristic, repeated
+/// from a few vertices: BFS from a start vertex, then BFS again from the
+/// farthest vertex found; the second eccentricity lower-bounds the diameter
+/// and is usually tight on real topologies.
+///
+/// GAP's Table I itself reports an *approximate* diameter, so a heuristic
+/// probe is faithful to the benchmark's own methodology.
+pub fn approx_diameter(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0usize;
+    // A few deterministic, spread-out starting points, plus the highest-
+    // degree vertex (guaranteed to sit in the dense core of power-law
+    // graphs, where the spread-out picks may all be low-reach).
+    let max_deg_vertex = (0..n as NodeId)
+        .max_by_key(|&u| g.out_degree(u))
+        .unwrap_or(0);
+    let starts = [0usize, n / 3, (2 * n) / 3]
+        .into_iter()
+        .map(|i| i.min(n - 1) as NodeId)
+        .chain(std::iter::once(max_deg_vertex));
+    for s in starts {
+        if g.out_degree(s) == 0 {
+            continue;
+        }
+        let (_, far) = bfs_eccentricity(g, s);
+        let (ecc2, _) = bfs_eccentricity(g, far);
+        best = best.max(ecc2);
+    }
+    best
+}
+
+/// Per-level traversal profile of a BFS — the workload-characterization
+/// view behind the GAP suite's design (the paper's cited companion study
+/// shows topology dominates workload behaviour).
+///
+/// For each level the profile records the frontier size and its outgoing
+/// edge count, plus which direction a direction-optimizing traversal
+/// (GAP's `alpha`/`beta` thresholds) would pick. On Road-like graphs the
+/// profile is long and thin (hundreds of tiny frontiers); on power-law
+/// graphs it is short and explosive (one giant level) — the contrast that
+/// decides most of Table V.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierProfile {
+    /// Frontier size per BFS level, starting at the source's level.
+    pub frontier_sizes: Vec<usize>,
+    /// Outgoing edges of each frontier.
+    pub frontier_edges: Vec<usize>,
+    /// Levels a direction-optimizing traversal would run bottom-up.
+    pub pull_levels: Vec<bool>,
+}
+
+impl FrontierProfile {
+    /// Number of levels (the traversal depth + 1).
+    pub fn depth(&self) -> usize {
+        self.frontier_sizes.len()
+    }
+
+    /// The largest frontier as a fraction of reached vertices.
+    pub fn peak_fraction(&self) -> f64 {
+        let total: usize = self.frontier_sizes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.frontier_sizes.iter().max().expect("non-empty") as f64 / total as f64
+    }
+
+    /// Number of levels predicted to run bottom-up.
+    pub fn pull_level_count(&self) -> usize {
+        self.pull_levels.iter().filter(|&&p| p).count()
+    }
+}
+
+/// Computes the [`FrontierProfile`] of a BFS from `source` with GAP's
+/// direction-optimizing thresholds (`alpha = 15`, `beta = 18`).
+pub fn frontier_profile(g: &Graph, source: NodeId) -> FrontierProfile {
+    let n = g.num_vertices();
+    let mut depth = vec![usize::MAX; n];
+    let mut frontier = vec![source];
+    depth[source as usize] = 0;
+    let mut sizes = Vec::new();
+    let mut edges = Vec::new();
+    let mut pulls = Vec::new();
+    let mut edges_to_check = g.num_arcs();
+    while !frontier.is_empty() {
+        let scout: usize = frontier.iter().map(|&u| g.out_degree(u)).sum();
+        sizes.push(frontier.len());
+        edges.push(scout);
+        pulls.push(scout > edges_to_check / 15 || frontier.len() > n / 18);
+        edges_to_check = edges_to_check.saturating_sub(scout);
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.out_neighbors(u) {
+                if depth[v as usize] == usize::MAX {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    FrontierProfile {
+        frontier_sizes: sizes,
+        frontier_edges: edges,
+        pull_levels: pulls,
+    }
+}
+
+/// Histogram of out-degrees as `(degree, count)` pairs sorted by degree.
+pub fn degree_histogram(g: &Graph) -> Vec<(usize, usize)> {
+    let mut hist = std::collections::BTreeMap::new();
+    for u in g.vertices() {
+        *hist.entry(g.out_degree(u)).or_insert(0usize) += 1;
+    }
+    hist.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, RoadConfig};
+
+    #[test]
+    fn path_graph_diameter_is_exact() {
+        // 0 - 1 - 2 - 3 - 4 (undirected path)
+        let g = crate::Builder::new()
+            .symmetrize(true)
+            .build(crate::edgelist::edges([(0, 1), (1, 2), (2, 3), (3, 4)]))
+            .unwrap();
+        assert_eq!(approx_diameter(&g), 4);
+    }
+
+    #[test]
+    fn eccentricity_finds_farthest() {
+        let g = crate::Builder::new()
+            .symmetrize(true)
+            .build(crate::edgelist::edges([(0, 1), (1, 2)]))
+            .unwrap();
+        let (ecc, far) = bfs_eccentricity(&g, 0);
+        assert_eq!(ecc, 2);
+        assert_eq!(far, 2);
+    }
+
+    #[test]
+    fn road_classifies_bounded_and_deep() {
+        let g = gen::road(&RoadConfig::gap_like(48), 3);
+        let s = summarize(&g);
+        assert_eq!(s.degree_family, DegreeFamily::Bounded);
+        assert!(
+            s.approx_diameter >= 48,
+            "road diameter {} too small",
+            s.approx_diameter
+        );
+    }
+
+    #[test]
+    fn kron_classifies_power_and_shallow() {
+        let g = gen::kron(11, 16, 42);
+        let s = summarize(&g);
+        assert_eq!(s.degree_family, DegreeFamily::Power);
+        assert!(
+            s.approx_diameter <= 12,
+            "kron diameter {} too large",
+            s.approx_diameter
+        );
+    }
+
+    #[test]
+    fn urand_classifies_normal() {
+        let g = gen::urand(11, 16, 42);
+        assert_eq!(classify_degrees(&g), DegreeFamily::Normal);
+    }
+
+    #[test]
+    fn frontier_profile_separates_topologies() {
+        // Road: long, thin profile; Kron: short, explosive one.
+        let road = gen::road(&gen::RoadConfig::gap_like(32), 2);
+        let rp = frontier_profile(&road, 0);
+        let kron = gen::kron(10, 16, 2);
+        let kp = frontier_profile(&kron, 0);
+        assert!(
+            rp.depth() > 4 * kp.depth(),
+            "road depth {} vs kron depth {}",
+            rp.depth(),
+            kp.depth()
+        );
+        assert!(
+            kp.peak_fraction() > rp.peak_fraction(),
+            "kron peak {} vs road peak {}",
+            kp.peak_fraction(),
+            rp.peak_fraction()
+        );
+    }
+
+    #[test]
+    fn frontier_profile_counts_are_consistent() {
+        let g = gen::urand(9, 8, 4);
+        let p = frontier_profile(&g, 0);
+        let reached: usize = p.frontier_sizes.iter().sum();
+        let (ecc, _) = bfs_eccentricity(&g, 0);
+        assert_eq!(p.depth(), ecc + 1, "levels = eccentricity + 1");
+        assert!(reached <= g.num_vertices());
+        assert_eq!(p.frontier_sizes[0], 1, "level 0 is the source alone");
+        // Power-law/uniform shallow graphs should predict some pull use.
+        assert!(p.pull_level_count() >= 1);
+    }
+
+    #[test]
+    fn histogram_counts_every_vertex() {
+        let g = gen::urand(8, 8, 1);
+        let total: usize = degree_histogram(&g).iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+}

@@ -1,0 +1,189 @@
+//! GraphIt BFS: one level-synchronous algorithm, three schedules
+//! (push, pull, direction-optimizing).
+//!
+//! The Optimized schedule for Road is push-only: "it does not use
+//! direction optimization (always push). This eliminates the runtime
+//! overhead of checking the number of active vertices" (§V-A).
+
+use crate::schedule::{Direction, FrontierLayout, Schedule};
+use gapbs_graph::types::{NodeId, NO_PARENT};
+use gapbs_graph::Graph;
+use gapbs_parallel::atomics::as_atomic_u32;
+use gapbs_parallel::{AtomicBitmap, Schedule as LoopSched, ThreadPool};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Runs BFS from `source` under the given schedule.
+pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) -> Vec<NodeId> {
+    let n = g.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    if n == 0 {
+        return parent;
+    }
+    parent[source as usize] = source;
+    let parents = as_atomic_u32(&mut parent);
+    let mut frontier: Vec<NodeId> = vec![source];
+    let visited = AtomicBitmap::new(n);
+    visited.set(source as usize);
+    let mut edges_to_check = g.num_arcs() as u64;
+    let mut scout = g.out_degree(source) as u64;
+    while !frontier.is_empty() {
+        let pull = match schedule.direction {
+            Direction::Push => false,
+            Direction::Pull => true,
+            Direction::DirectionOptimizing => {
+                // The "runtime overhead of checking the number of active
+                // vertices" the Road schedule avoids.
+                scout > edges_to_check / 15
+            }
+        };
+        if pull {
+            let front = AtomicBitmap::new(n);
+            for &u in &frontier {
+                front.set(u as usize);
+            }
+            let next = Mutex::new(Vec::new());
+            let awake = AtomicU64::new(0);
+            pool.for_each_index(n, LoopSched::Dynamic(1024), |v| {
+                if !visited.get(v) {
+                    for &u in g.in_neighbors(v as NodeId) {
+                        if front.get(u as usize) {
+                            parents[v].store(u, Ordering::Relaxed);
+                            visited.set(v);
+                            awake.fetch_add(g.out_degree(v as NodeId) as u64, Ordering::Relaxed);
+                            next.lock().push(v as NodeId);
+                            break;
+                        }
+                    }
+                }
+            });
+            edges_to_check = edges_to_check.saturating_sub(scout);
+            scout = awake.into_inner();
+            frontier = next.into_inner();
+        } else {
+            edges_to_check = edges_to_check.saturating_sub(scout);
+            let (next, new_scout) = push_step(g, parents, &visited, &frontier, schedule, pool);
+            scout = new_scout;
+            frontier = next;
+        }
+    }
+    parent
+}
+
+fn push_step(
+    g: &Graph,
+    parents: &[AtomicU32],
+    visited: &AtomicBitmap,
+    frontier: &[NodeId],
+    schedule: &Schedule,
+    pool: &ThreadPool,
+) -> (Vec<NodeId>, u64) {
+    let scout = AtomicU64::new(0);
+    match schedule.frontier {
+        FrontierLayout::SparseQueue => {
+            let next = Mutex::new(Vec::new());
+            let stride = pool.num_threads();
+            pool.run(|tid| {
+                let mut local = Vec::new();
+                let mut s = 0u64;
+                let mut i = tid;
+                while i < frontier.len() {
+                    let u = frontier[i];
+                    for &v in g.out_neighbors(u) {
+                        if visited.set_if_unset(v as usize) {
+                            parents[v as usize].store(u, Ordering::Relaxed);
+                            local.push(v);
+                            s += g.out_degree(v) as u64;
+                        }
+                    }
+                    i += stride;
+                }
+                next.lock().append(&mut local);
+                scout.fetch_add(s, Ordering::Relaxed);
+            });
+            (next.into_inner(), scout.into_inner())
+        }
+        FrontierLayout::BitVector => {
+            // Dense next-frontier bitmap, then a sweep to extract it.
+            let n = g.num_vertices();
+            let next_bits = AtomicBitmap::new(n);
+            let stride = pool.num_threads();
+            pool.run(|tid| {
+                let mut s = 0u64;
+                let mut i = tid;
+                while i < frontier.len() {
+                    let u = frontier[i];
+                    for &v in g.out_neighbors(u) {
+                        if visited.set_if_unset(v as usize) {
+                            parents[v as usize].store(u, Ordering::Relaxed);
+                            next_bits.set(v as usize);
+                            s += g.out_degree(v) as u64;
+                        }
+                    }
+                    i += stride;
+                }
+                scout.fetch_add(s, Ordering::Relaxed);
+            });
+            let next: Vec<NodeId> = next_bits.iter_ones().map(|v| v as NodeId).collect();
+            (next, scout.into_inner())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapbs_graph::gen;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn check(g: &Graph, source: NodeId, parent: &[NodeId]) {
+        use std::collections::VecDeque;
+        let mut depth = vec![usize::MAX; g.num_vertices()];
+        let mut q = VecDeque::new();
+        depth[source as usize] = 0;
+        q.push_back(source);
+        while let Some(u) = q.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if depth[v as usize] == usize::MAX {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        for v in g.vertices() {
+            let p = parent[v as usize];
+            assert_eq!(p == NO_PARENT, depth[v as usize] == usize::MAX, "at {v}");
+            if p != NO_PARENT && v != source {
+                assert_eq!(depth[p as usize] + 1, depth[v as usize], "at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_schedules_produce_valid_trees() {
+        let g = gen::kron(9, 10, 6);
+        let p = pool();
+        for direction in [Direction::Push, Direction::Pull, Direction::DirectionOptimizing] {
+            for frontier in [FrontierLayout::SparseQueue, FrontierLayout::BitVector] {
+                let s = Schedule {
+                    direction,
+                    frontier,
+                    ..Schedule::baseline()
+                };
+                let parent = bfs(&g, 2, &s, &p);
+                check(&g, 2, &parent);
+            }
+        }
+    }
+
+    #[test]
+    fn push_only_works_on_road() {
+        let g = gen::road(&gen::RoadConfig::gap_like(20), 4);
+        let s = Schedule::optimized_for(gapbs_graph::gen::GraphSpec::Road);
+        let parent = bfs(&g, 0, &s, &pool());
+        check(&g, 0, &parent);
+    }
+}

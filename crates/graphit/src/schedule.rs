@@ -1,0 +1,123 @@
+//! The scheduling language: strategy knobs applied to algorithm skeletons.
+
+use gapbs_graph::gen::GraphSpec;
+
+/// Edge traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Always push (sparse frontier scatters).
+    Push,
+    /// Always pull (dense gather over destinations).
+    Pull,
+    /// Heuristic switching (direction-optimizing), with GAP's thresholds.
+    DirectionOptimizing,
+}
+
+/// Frontier data layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierLayout {
+    /// Sparse vertex queue.
+    SparseQueue,
+    /// Dense bit vector (GraphIt's default; "advantageous when there are
+    /// many active elements", §V-E).
+    BitVector,
+}
+
+/// Set-intersection method for TC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intersection {
+    /// Linear merge of sorted lists.
+    Merge,
+    /// The "naive" method GAP uses, better on small graphs (§V-F).
+    Naive,
+}
+
+/// A complete schedule: every knob the kernels consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Traversal direction for frontier kernels.
+    pub direction: Direction,
+    /// Frontier representation.
+    pub frontier: FrontierLayout,
+    /// Bucket fusion in SSSP (GraphIt's own contribution, on by default).
+    pub bucket_fusion: bool,
+    /// Cache tiling (blocked in-edge processing) for PR/CC.
+    pub cache_tiling: bool,
+    /// Short-circuit (pointer-jump) labels in CC's label propagation.
+    pub short_circuit: bool,
+    /// TC intersection method.
+    pub intersection: Intersection,
+}
+
+impl Schedule {
+    /// The Baseline schedule: defaults only, no per-graph tuning
+    /// (GraphIt's autotuner was not allowed in the Baseline data set).
+    pub fn baseline() -> Self {
+        Schedule {
+            direction: Direction::DirectionOptimizing,
+            frontier: FrontierLayout::BitVector,
+            bucket_fusion: true,
+            cache_tiling: false,
+            short_circuit: false,
+            intersection: Intersection::Merge,
+        }
+    }
+
+    /// The hand-tuned Optimized schedule for a specific graph, following
+    /// the §V descriptions: push-only BFS on Road (no direction-check
+    /// overhead), sparse frontier on Road BC, cache-tiled PR and CC on the
+    /// social graphs, short-circuited CC on Road, naive TC intersection on
+    /// Road.
+    pub fn optimized_for(spec: GraphSpec) -> Self {
+        let mut s = Schedule::baseline();
+        match spec {
+            GraphSpec::Road => {
+                s.direction = Direction::Push;
+                s.frontier = FrontierLayout::SparseQueue;
+                s.short_circuit = true;
+                s.intersection = Intersection::Naive;
+            }
+            GraphSpec::Twitter | GraphSpec::Kron | GraphSpec::Web => {
+                s.cache_tiling = true;
+            }
+            GraphSpec::Urand => {
+                s.cache_tiling = true;
+            }
+        }
+        s
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_untuned() {
+        let s = Schedule::baseline();
+        assert_eq!(s.direction, Direction::DirectionOptimizing);
+        assert!(!s.cache_tiling);
+        assert!(s.bucket_fusion);
+    }
+
+    #[test]
+    fn road_schedule_disables_direction_optimization() {
+        let s = Schedule::optimized_for(GraphSpec::Road);
+        assert_eq!(s.direction, Direction::Push);
+        assert!(s.short_circuit);
+        assert_eq!(s.intersection, Intersection::Naive);
+    }
+
+    #[test]
+    fn social_schedules_enable_tiling() {
+        for spec in [GraphSpec::Twitter, GraphSpec::Kron, GraphSpec::Web] {
+            assert!(Schedule::optimized_for(spec).cache_tiling, "{spec}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! LAGraph connected components: FastSV (Zhang, Azad, Hu) over the
+//! `min-second` semiring.
+//!
+//! FastSV iterates three dense-vector rules — stochastic hooking,
+//! aggressive hooking, and shortcutting — until the parent vector `f`
+//! stabilizes. The paper notes the GraphBLAS C API's assignment with a MIN
+//! accumulator is undefined for duplicate indices, so LAGraph's CC carries
+//! its own scatter-min kernel; [`scatter_min`] is that kernel here.
+
+use super::LaGraphContext;
+use crate::ops::{mxv, Mask};
+use crate::semiring::MinSecond;
+use crate::vector::GrbVector;
+use crate::GrbIndex;
+use gapbs_graph::types::NodeId;
+use gapbs_parallel::ThreadPool;
+
+/// Runs FastSV, returning per-vertex component labels.
+pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
+    let n = ctx.num_vertices();
+    let mut f: Vec<GrbIndex> = (0..n).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    let semiring = MinSecond::default();
+    loop {
+        // gp = f[f] (grandparent).
+        let gp: Vec<GrbIndex> = f.iter().map(|&p| f[p as usize]).collect();
+        // mngp = min over neighbors of gp: one masked-free mxv per
+        // direction (weak connectivity on directed graphs needs both).
+        // Full storage: FastSV's vectors are dense, and the mxv gather
+        // needs O(1) access to gp.
+        let mut gp_vec = GrbVector::full(n, GrbIndex::MAX);
+        gp_vec.as_full_slice_mut().copy_from_slice(&gp);
+        let mut mngp: Vec<GrbIndex> = gp.clone();
+        let pulled: GrbVector<GrbIndex> =
+            mxv(&semiring, &ctx.a, &gp_vec, None::<&Mask<'_, ()>>, pool);
+        for (i, &v) in pulled.iter() {
+            let slot = &mut mngp[i as usize];
+            *slot = (*slot).min(v);
+        }
+        if ctx.directed {
+            let pulled_t: GrbVector<GrbIndex> =
+                mxv(&semiring, &ctx.at, &gp_vec, None::<&Mask<'_, ()>>, pool);
+            for (i, &v) in pulled_t.iter() {
+                let slot = &mut mngp[i as usize];
+                *slot = (*slot).min(v);
+            }
+        }
+        let mut changed = false;
+        // Stochastic hooking: f[f[i]] = min(f[f[i]], mngp[i]).
+        let hooks: Vec<(GrbIndex, GrbIndex)> = (0..n as usize)
+            .map(|i| (f[i], mngp[i]))
+            .collect();
+        changed |= scatter_min(&mut f, &hooks);
+        // Aggressive hooking: f[i] = min(f[i], mngp[i], gp[i]).
+        for i in 0..n as usize {
+            let target = mngp[i].min(gp[i]);
+            if target < f[i] {
+                f[i] = target;
+                changed = true;
+            }
+        }
+        // Shortcutting: f[i] = f[f[i]].
+        for i in 0..n as usize {
+            let ff = f[f[i] as usize];
+            if ff < f[i] {
+                f[i] = ff;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    f.into_iter().map(|x| x as NodeId).collect()
+}
+
+/// Scatter with MIN reduction on duplicate targets: `dst[idx] =
+/// min(dst[idx], value)` for every `(idx, value)` pair. Returns whether
+/// anything changed. (The GraphBLAS C API leaves duplicate-index assign
+/// undefined; FastSV needs the min-reduction semantics, §V-C.)
+pub fn scatter_min(dst: &mut [GrbIndex], updates: &[(GrbIndex, GrbIndex)]) -> bool {
+    let mut changed = false;
+    for &(idx, value) in updates {
+        let slot = &mut dst[idx as usize];
+        if value < *slot {
+            *slot = value;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapbs_graph::edgelist::edges;
+    use gapbs_graph::{gen, Builder};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
+
+    fn labels_partition_eq(a: &[NodeId], b: &[NodeId]) -> bool {
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        a.iter().zip(b).all(|(&x, &y)| {
+            *fwd.entry(x).or_insert(y) == y && *bwd.entry(y).or_insert(x) == x
+        })
+    }
+
+    #[test]
+    fn islands_get_distinct_labels() {
+        let g = Builder::new()
+            .symmetrize(true)
+            .num_vertices(5)
+            .build(edges([(0, 1), (2, 3)]))
+            .unwrap();
+        let ctx = LaGraphContext::from_graph(&g);
+        let c = cc(&ctx, &pool());
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[2], c[3]);
+        assert_ne!(c[0], c[2]);
+        assert_ne!(c[4], c[0]);
+    }
+
+    #[test]
+    fn directed_weak_connectivity() {
+        let g = Builder::new().build(edges([(0, 1), (2, 1)])).unwrap();
+        let ctx = LaGraphContext::from_graph(&g);
+        let c = cc(&ctx, &pool());
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graphs() {
+        for seed in 1..4 {
+            let g = gen::urand(8, 6, seed);
+            let ctx = LaGraphContext::from_graph(&g);
+            let got = cc(&ctx, &pool());
+            let want = union_find(&g);
+            assert!(labels_partition_eq(&got, &want), "seed {seed}");
+        }
+    }
+
+    fn union_find(g: &gapbs_graph::Graph) -> Vec<NodeId> {
+        let n = g.num_vertices();
+        let mut p: Vec<usize> = (0..n).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for u in 0..n {
+            for &v in g.out_neighbors(u as NodeId) {
+                let (a, b) = (find(&mut p, u), find(&mut p, v as usize));
+                if a != b {
+                    p[a.max(b)] = a.min(b);
+                }
+            }
+        }
+        (0..n).map(|u| find(&mut p, u) as NodeId).collect()
+    }
+
+    #[test]
+    fn scatter_min_reduces_duplicates() {
+        let mut dst = vec![9, 9, 9];
+        let changed = scatter_min(&mut dst, &[(1, 5), (1, 3), (1, 7)]);
+        assert!(changed);
+        assert_eq!(dst, vec![9, 3, 9]);
+        assert!(!scatter_min(&mut dst, &[(1, 4)]));
+    }
+}

@@ -1,0 +1,156 @@
+//! LAGraph SSSP: delta-stepping over the `min-plus` tropical semiring.
+//!
+//! Each relaxation wave is a whole-vector `vxm`; bucket membership is
+//! recomputed with `select` over the full distance vector. The paper notes
+//! SuiteSparse SSSP "cannot yet exploit the bitmap data structure", so
+//! every bucket pays bulk-operation overhead — the source of its extreme
+//! slowness on Road (Table V).
+
+use super::LaGraphContext;
+use crate::ops::{select, vxm, Mask};
+use crate::semiring::MinPlus;
+use crate::vector::GrbVector;
+use crate::GrbIndex;
+use gapbs_graph::types::{Distance, NodeId, INF_DIST};
+use gapbs_graph::Weight;
+
+/// Runs delta-stepping from `source`, returning distances.
+///
+/// # Panics
+///
+/// Panics if the context has no weighted matrix.
+pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance> {
+    let aw = ctx
+        .aw
+        .as_ref()
+        .expect("LaGraphContext::from_wgraph required for SSSP");
+    let n = ctx.num_vertices();
+    let mut dist = vec![INF_DIST; n as usize];
+    if n == 0 {
+        return dist;
+    }
+    let delta_d = Distance::from(delta.max(1));
+    let semiring = MinPlus::default();
+
+    // t: full distance vector (GraphBLAS full storage).
+    let mut t: GrbVector<Distance> = GrbVector::full(n, INF_DIST);
+    t.set(GrbIndex::from(source), 0);
+
+    let mut bucket: i64 = 0;
+    loop {
+        // Active vertices of the current bucket, via select over t — the
+        // O(n) whole-vector scan LAGraph pays per bucket.
+        let lo = bucket * delta_d;
+        let hi = lo + delta_d;
+        let mut active = select(&t, |_, &d| d >= lo && d < hi);
+        // Drain the bucket to a fixed point.
+        while active.nvals() > 0 {
+            let reach: GrbVector<Distance> =
+                vxm(&semiring, &active, aw, None::<&Mask<'_, ()>>);
+            let mut next_active = Vec::new();
+            {
+                let tv = t.as_full_slice_mut();
+                for (j, &nd) in reach.iter() {
+                    if nd < tv[j as usize] {
+                        tv[j as usize] = nd;
+                        if nd < hi {
+                            next_active.push((j, nd));
+                        }
+                    }
+                }
+            }
+            active = GrbVector::from_entries(n, next_active);
+        }
+        // Find the next non-empty bucket by scanning the minimum
+        // unfinished distance (full-vector reduce).
+        let next_min = t
+            .as_full_slice()
+            .iter()
+            .copied()
+            .filter(|&d| d >= hi && d < INF_DIST)
+            .min();
+        match next_min {
+            Some(d) => bucket = d / delta_d,
+            None => break,
+        }
+    }
+
+    dist.copy_from_slice(t.as_full_slice());
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapbs_graph::edgelist::wedges;
+    use gapbs_graph::{gen, Builder};
+
+    #[test]
+    fn tiny_graph_distances() {
+        let g = Builder::new()
+            .build_weighted(wedges([(0, 1, 1), (1, 2, 1), (0, 2, 5)]))
+            .unwrap();
+        let gd = Builder::new()
+            .build(gapbs_graph::edgelist::edges([(0, 1), (1, 2), (0, 2)]))
+            .unwrap();
+        let ctx = LaGraphContext::from_wgraph(&gd, &g);
+        assert_eq!(sssp(&ctx, 0, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_dijkstra_for_multiple_deltas() {
+        let edges = gen::kron_edges(7, 8, 11);
+        let wg = gen::weighted_companion(128, &edges, true, 11);
+        let g = {
+            let mut b = Vec::new();
+            for u in wg.vertices() {
+                for v in wg.out_neighbors(u) {
+                    b.push(gapbs_graph::Edge::new(u, *v));
+                }
+            }
+            Builder::new().num_vertices(128).build(b).unwrap()
+        };
+        let ctx = LaGraphContext::from_wgraph(&g, &wg);
+        let want = gapbs_verify_dijkstra(&wg, 0);
+        for delta in [1, 16, 300] {
+            assert_eq!(sssp(&ctx, 0, delta), want, "delta={delta}");
+        }
+    }
+
+    fn gapbs_verify_dijkstra(g: &gapbs_graph::WGraph, source: NodeId) -> Vec<Distance> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut dist = vec![INF_DIST; g.num_vertices()];
+        let mut heap = BinaryHeap::new();
+        dist[source as usize] = 0;
+        heap.push(Reverse((0 as Distance, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for (v, w) in g.out_neighbors_weighted(u) {
+                let nd = d + Distance::from(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let g = Builder::new()
+            .num_vertices(3)
+            .build(gapbs_graph::edgelist::edges([(0, 1)]))
+            .unwrap();
+        let wg = Builder::new()
+            .num_vertices(3)
+            .build_weighted(wedges([(0, 1, 2)]))
+            .unwrap();
+        let ctx = LaGraphContext::from_wgraph(&g, &wg);
+        let d = sssp(&ctx, 0, 4);
+        assert_eq!(d, vec![0, 2, INF_DIST]);
+    }
+}

@@ -1,0 +1,289 @@
+//! GraphBLAS vectors with switchable storage.
+//!
+//! SuiteSparse internally moves vectors between a sparse list, a bitmap
+//! and a full array; the paper notes the BFS converts `q` to a bitmap for
+//! pull steps and to a sparse list for push steps, *with the conversion
+//! time included in the run time*. [`GrbVector`] exposes the same three
+//! representations and explicit conversions so the kernels can (and must)
+//! pay that cost.
+
+use crate::GrbIndex;
+
+/// Storage representation of a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Sorted `(index, value)` list — best for very sparse vectors.
+    Sparse,
+    /// Presence bitmap plus value slots — best for medium density and
+    /// O(1) membership tests.
+    Bitmap,
+    /// Every entry present — best for dense data like PageRank scores.
+    Full,
+}
+
+#[derive(Debug, Clone)]
+enum Repr<T> {
+    Sparse(Vec<(GrbIndex, T)>),
+    Bitmap(Vec<Option<T>>),
+    Full(Vec<T>),
+}
+
+/// A GraphBLAS vector of logical length `n` with explicit entries.
+#[derive(Debug, Clone)]
+pub struct GrbVector<T> {
+    n: GrbIndex,
+    repr: Repr<T>,
+}
+
+impl<T: Clone> GrbVector<T> {
+    /// An empty sparse vector of length `n`.
+    pub fn new(n: GrbIndex) -> Self {
+        GrbVector {
+            n,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// A full vector with every entry set to `fill`.
+    pub fn full(n: GrbIndex, fill: T) -> Self {
+        GrbVector {
+            n,
+            repr: Repr::Full(vec![fill; n as usize]),
+        }
+    }
+
+    /// A sparse vector from `(index, value)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or duplicated.
+    pub fn from_entries(n: GrbIndex, mut entries: Vec<(GrbIndex, T)>) -> Self {
+        entries.sort_by_key(|&(i, _)| i);
+        for w in entries.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate index {}", w[0].0);
+        }
+        if let Some(&(last, _)) = entries.last() {
+            assert!(last < n, "index {last} out of range {n}");
+        }
+        GrbVector {
+            n,
+            repr: Repr::Sparse(entries),
+        }
+    }
+
+    /// Logical length.
+    pub fn size(&self) -> GrbIndex {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nvals(&self) -> u64 {
+        match &self.repr {
+            Repr::Sparse(v) => v.len() as u64,
+            Repr::Bitmap(b) => b.iter().filter(|e| e.is_some()).count() as u64,
+            Repr::Full(v) => v.len() as u64,
+        }
+    }
+
+    /// Current storage representation.
+    pub fn storage(&self) -> Storage {
+        match &self.repr {
+            Repr::Sparse(_) => Storage::Sparse,
+            Repr::Bitmap(_) => Storage::Bitmap,
+            Repr::Full(_) => Storage::Full,
+        }
+    }
+
+    /// Value at `i`, if present.
+    pub fn get(&self, i: GrbIndex) -> Option<&T> {
+        match &self.repr {
+            Repr::Sparse(v) => v
+                .binary_search_by_key(&i, |&(idx, _)| idx)
+                .ok()
+                .map(|pos| &v[pos].1),
+            Repr::Bitmap(b) => b[i as usize].as_ref(),
+            Repr::Full(v) => Some(&v[i as usize]),
+        }
+    }
+
+    /// `true` if entry `i` exists.
+    pub fn contains(&self, i: GrbIndex) -> bool {
+        self.get(i).is_some()
+    }
+
+    /// Sets entry `i` to `value` (inserting if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: GrbIndex, value: T) {
+        assert!(i < self.n, "index {i} out of range {}", self.n);
+        match &mut self.repr {
+            Repr::Sparse(v) => match v.binary_search_by_key(&i, |&(idx, _)| idx) {
+                Ok(pos) => v[pos].1 = value,
+                Err(pos) => v.insert(pos, (i, value)),
+            },
+            Repr::Bitmap(b) => b[i as usize] = Some(value),
+            Repr::Full(v) => v[i as usize] = value,
+        }
+    }
+
+    /// Iterates `(index, value)` entries in ascending index order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (GrbIndex, &T)> + '_> {
+        match &self.repr {
+            Repr::Sparse(v) => Box::new(v.iter().map(|(i, t)| (*i, t))),
+            Repr::Bitmap(b) => Box::new(
+                b.iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| e.as_ref().map(|t| (i as GrbIndex, t))),
+            ),
+            Repr::Full(v) => Box::new(v.iter().enumerate().map(|(i, t)| (i as GrbIndex, t))),
+        }
+    }
+
+    /// Converts to the requested representation, returning the number of
+    /// entries moved (a proxy for the conversion cost SuiteSparse pays).
+    /// Converting to `Full` requires a `fill` for missing entries.
+    pub fn convert(&mut self, to: Storage, fill: Option<T>) -> u64 {
+        let moved = self.nvals();
+        let n = self.n as usize;
+        let old = std::mem::replace(&mut self.repr, Repr::Sparse(Vec::new()));
+        self.repr = match to {
+            Storage::Sparse => {
+                let mut entries: Vec<(GrbIndex, T)> = Vec::new();
+                collect_entries(old, &mut entries);
+                Repr::Sparse(entries)
+            }
+            Storage::Bitmap => {
+                let mut slots: Vec<Option<T>> = vec![None; n];
+                let mut entries = Vec::new();
+                collect_entries(old, &mut entries);
+                for (i, t) in entries {
+                    slots[i as usize] = Some(t);
+                }
+                Repr::Bitmap(slots)
+            }
+            Storage::Full => {
+                let fill = fill.expect("converting to Full requires a fill value");
+                let mut values = vec![fill; n];
+                let mut entries = Vec::new();
+                collect_entries(old, &mut entries);
+                for (i, t) in entries {
+                    values[i as usize] = t;
+                }
+                Repr::Full(values)
+            }
+        };
+        moved
+    }
+
+    /// Removes all entries (keeps the representation).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Sparse(v) => v.clear(),
+            Repr::Bitmap(b) => b.iter_mut().for_each(|e| *e = None),
+            Repr::Full(_) => {
+                self.repr = Repr::Sparse(Vec::new());
+            }
+        }
+    }
+
+    /// Direct slice access for full vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is not in `Full` storage.
+    pub fn as_full_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Full(v) => v,
+            _ => panic!("vector is not in Full storage"),
+        }
+    }
+
+    /// Mutable slice access for full vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is not in `Full` storage.
+    pub fn as_full_slice_mut(&mut self) -> &mut [T] {
+        match &mut self.repr {
+            Repr::Full(v) => v,
+            _ => panic!("vector is not in Full storage"),
+        }
+    }
+}
+
+fn collect_entries<T>(repr: Repr<T>, out: &mut Vec<(GrbIndex, T)>) {
+    match repr {
+        Repr::Sparse(v) => out.extend(v),
+        Repr::Bitmap(b) => out.extend(
+            b.into_iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.map(|t| (i as GrbIndex, t))),
+        ),
+        Repr::Full(v) => out.extend(v.into_iter().enumerate().map(|(i, t)| (i as GrbIndex, t))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_set_get_roundtrip() {
+        let mut v: GrbVector<i32> = GrbVector::new(10);
+        assert_eq!(v.nvals(), 0);
+        v.set(3, 30);
+        v.set(7, 70);
+        v.set(3, 31); // overwrite
+        assert_eq!(v.get(3), Some(&31));
+        assert_eq!(v.get(4), None);
+        assert_eq!(v.nvals(), 2);
+    }
+
+    #[test]
+    fn conversions_preserve_entries() {
+        let mut v = GrbVector::from_entries(8, vec![(1, 'a'), (5, 'b')]);
+        for (to, fill) in [
+            (Storage::Bitmap, None),
+            (Storage::Sparse, None),
+            (Storage::Full, Some('?')),
+        ] {
+            let moved = v.convert(to, fill);
+            assert_eq!(moved, if to == Storage::Full { 2 } else { 2 });
+            assert_eq!(v.storage(), to);
+            assert_eq!(v.get(1), Some(&'a'));
+            assert_eq!(v.get(5), Some(&'b'));
+        }
+        // Full storage fills the holes.
+        assert_eq!(v.get(0), Some(&'?'));
+        assert_eq!(v.nvals(), 8);
+    }
+
+    #[test]
+    fn iter_is_index_ordered() {
+        let v = GrbVector::from_entries(10, vec![(7, 1), (2, 2), (4, 3)]);
+        let idx: Vec<GrbIndex> = v.iter().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![2, 4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_entries_rejected() {
+        let _ = GrbVector::from_entries(4, vec![(1, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_rejected() {
+        let mut v: GrbVector<u8> = GrbVector::new(2);
+        v.set(2, 0);
+    }
+
+    #[test]
+    fn full_slice_access() {
+        let mut v = GrbVector::full(3, 1.5f64);
+        v.as_full_slice_mut()[1] = 2.5;
+        assert_eq!(v.as_full_slice(), &[1.5, 2.5, 1.5]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Compare-and-swap helpers shared by the kernels: atomic minimum on
+//! distances, atomic add on floating-point scores, and typed wrappers the
+//! paper's frameworks rely on (NWGraph lists "atomic operators for floats"
+//! among its required non-standard features, §III-C).
+
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
+
+/// Atomically lowers `slot` to `value` if `value` is smaller. Returns
+/// `true` when this call changed the stored minimum — the signal SSSP uses
+/// to re-activate a vertex.
+pub fn fetch_min_i64(slot: &AtomicI64, value: i64) -> bool {
+    let mut cur = slot.load(Ordering::Relaxed);
+    while value < cur {
+        match slot.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// Atomically lowers `slot` to `value` if `value` is smaller (`u32` labels,
+/// used by connected-components hooking).
+pub fn fetch_min_u32(slot: &AtomicU32, value: u32) -> bool {
+    let mut cur = slot.load(Ordering::Relaxed);
+    while value < cur {
+        match slot.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// An `f64` cell supporting atomic add via CAS on the bit pattern.
+#[derive(Debug)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Creates a cell holding `value`.
+    pub fn new(value: f64) -> Self {
+        AtomicF64 {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Loads the current value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `delta`, returning the previous value.
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Default for AtomicF64 {
+    fn default() -> Self {
+        AtomicF64::new(0.0)
+    }
+}
+
+/// Reinterprets a `&mut [u32]` as atomic cells for the duration of a
+/// parallel region. The layout of `AtomicU32` matches `u32` exactly.
+pub fn as_atomic_u32(slice: &mut [u32]) -> &[AtomicU32] {
+    // Safety: AtomicU32 has the same size/alignment as u32, and the
+    // exclusive borrow guarantees no non-atomic aliasing for the lifetime.
+    unsafe { &*(slice as *mut [u32] as *const [AtomicU32]) }
+}
+
+/// Reinterprets a `&mut [i64]` as atomic cells for a parallel region.
+pub fn as_atomic_i64(slice: &mut [i64]) -> &[AtomicI64] {
+    // Safety: identical layout; exclusive borrow prevents mixed access.
+    unsafe { &*(slice as *mut [i64] as *const [AtomicI64]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn fetch_min_keeps_global_minimum() {
+        let slot = AtomicI64::new(i64::MAX);
+        assert!(fetch_min_i64(&slot, 10));
+        assert!(!fetch_min_i64(&slot, 11));
+        assert!(fetch_min_i64(&slot, 9));
+        assert_eq!(slot.into_inner(), 9);
+    }
+
+    #[test]
+    fn concurrent_fetch_min_converges() {
+        let slot = AtomicI64::new(i64::MAX);
+        let pool = ThreadPool::new(4);
+        pool.run(|tid| {
+            for i in (0..1000).rev() {
+                fetch_min_i64(&slot, (i * 4 + tid) as i64);
+            }
+        });
+        assert_eq!(slot.into_inner(), 0);
+    }
+
+    #[test]
+    fn atomic_f64_adds_exactly() {
+        let cell = AtomicF64::new(0.0);
+        let pool = ThreadPool::new(4);
+        pool.run(|_| {
+            for _ in 0..1000 {
+                cell.fetch_add(0.5);
+            }
+        });
+        assert!((cell.load() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomic_views_alias_storage() {
+        let mut labels = vec![5u32, 6, 7];
+        {
+            let atoms = as_atomic_u32(&mut labels);
+            fetch_min_u32(&atoms[1], 2);
+        }
+        assert_eq!(labels, vec![5, 2, 7]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bucket priority structure for delta-stepping SSSP, with the bucket
+//! fusion fast path.
+//!
+//! Delta-stepping partitions tentative distances into buckets of width
+//! `delta`; buckets are processed in order, and a vertex whose distance
+//! improves is pushed into the bucket of its new distance. GraphIt's
+//! *bucket fusion* optimization (§VI) lets a thread keep processing the
+//! next bucket without a global synchronization when it is small enough —
+//! reducing rounds by ~10× on high-diameter graphs. The structure here
+//! supports both styles; the fusion decision is the caller's.
+
+use parking_lot::Mutex;
+
+/// A concurrent bucket array keyed by priority level.
+///
+/// Levels are unbounded: the structure grows lazily as higher buckets are
+/// touched. Each bucket is a mutex-protected vector — pushes are batched by
+/// callers (per-thread buffers) so lock traffic stays low.
+#[derive(Debug)]
+pub struct BucketQueue<T> {
+    buckets: Vec<Mutex<Vec<T>>>,
+    current: usize,
+}
+
+impl<T> BucketQueue<T> {
+    /// Creates an empty bucket queue with `initial_levels` pre-allocated.
+    pub fn new(initial_levels: usize) -> Self {
+        BucketQueue {
+            buckets: (0..initial_levels.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            current: 0,
+        }
+    }
+
+    /// Index of the bucket currently being processed.
+    pub fn current_level(&self) -> usize {
+        self.current
+    }
+
+    /// Pushes one item into `level`.
+    ///
+    /// Levels below the current one are clamped up to the current level:
+    /// delta-stepping re-relaxations can land in the active bucket but
+    /// never in a completed one.
+    pub fn push(&self, level: usize, item: T) {
+        let level = level.max(self.current);
+        assert!(
+            level < self.buckets.len(),
+            "bucket level {level} beyond capacity {}; call ensure_levels first",
+            self.buckets.len()
+        );
+        self.buckets[level].lock().push(item);
+    }
+
+    /// Pushes a batch into `level`.
+    pub fn push_batch(&self, level: usize, items: &mut Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let level = level.max(self.current);
+        assert!(
+            level < self.buckets.len(),
+            "bucket level {level} beyond capacity {}; call ensure_levels first",
+            self.buckets.len()
+        );
+        self.buckets[level].lock().append(items);
+    }
+
+    /// Grows the structure so that `level` is addressable.
+    pub fn ensure_levels(&mut self, level: usize) {
+        while self.buckets.len() <= level {
+            self.buckets.push(Mutex::new(Vec::new()));
+        }
+    }
+
+    /// Takes the entire contents of the current bucket, leaving it empty.
+    pub fn take_current(&self) -> Vec<T> {
+        std::mem::take(&mut *self.buckets[self.current].lock())
+    }
+
+    /// Number of items waiting in the current bucket (approximate under
+    /// concurrency).
+    pub fn current_len(&self) -> usize {
+        self.buckets[self.current].lock().len()
+    }
+
+    /// Advances to the next non-empty bucket. Returns `false` when every
+    /// remaining bucket is empty (the algorithm is done).
+    pub fn advance(&mut self) -> bool {
+        let start = self.current + 1;
+        for level in start..self.buckets.len() {
+            if !self.buckets[level].get_mut().is_empty() {
+                self.current = level;
+                return true;
+            }
+        }
+        self.current = self.buckets.len();
+        false
+    }
+
+    /// Total items across all buckets (exact only when quiescent).
+    pub fn total_len(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().len()).sum()
+    }
+
+    /// Number of addressable levels.
+    pub fn num_levels(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_levels_in_order() {
+        let mut q = BucketQueue::new(8);
+        q.push(2, "c");
+        q.push(0, "a");
+        q.push(1, "b");
+        assert_eq!(q.take_current(), vec!["a"]);
+        assert!(q.advance());
+        assert_eq!(q.current_level(), 1);
+        assert_eq!(q.take_current(), vec!["b"]);
+        assert!(q.advance());
+        assert_eq!(q.take_current(), vec!["c"]);
+        assert!(!q.advance());
+    }
+
+    #[test]
+    fn stale_pushes_clamp_to_current_level() {
+        let mut q = BucketQueue::new(4);
+        q.push(1, 10u32);
+        assert!(q.advance());
+        // A relaxation targeting an already-completed bucket lands in the
+        // active one instead.
+        q.push(0, 11);
+        let mut items = q.take_current();
+        items.sort_unstable();
+        assert_eq!(items, vec![10, 11]);
+    }
+
+    #[test]
+    fn ensure_levels_grows() {
+        let mut q = BucketQueue::new(1);
+        q.ensure_levels(10);
+        q.push(10, 1u8);
+        assert_eq!(q.num_levels(), 11);
+        assert_eq!(q.total_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn pushing_past_capacity_panics() {
+        let q = BucketQueue::new(2);
+        q.push(5, 0u8);
+    }
+
+    #[test]
+    fn batch_push_moves_items() {
+        let q = BucketQueue::new(2);
+        let mut batch = vec![1u32, 2, 3];
+        q.push_batch(0, &mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(q.current_len(), 3);
+    }
+}

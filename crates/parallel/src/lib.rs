@@ -1,0 +1,42 @@
+//! Shared parallel runtime for the GAPBS reproduction.
+//!
+//! The six frameworks in the paper sit on different C++ runtimes (OpenMP,
+//! TBB, cilk, a custom Galois runtime). This crate is their common Rust
+//! substrate, exposing each execution style the paper contrasts:
+//!
+//! * [`ThreadPool`] + [`ThreadPool::for_each_index`] — bulk-synchronous
+//!   loops with static / dynamic / guided scheduling (the OpenMP-style
+//!   frameworks),
+//! * [`SlidingQueue`] / [`QueueBuffer`] — the GAP reference's frontier
+//!   structure with per-thread buffered appends,
+//! * [`ChunkedWorklist`] — Galois-style asynchronous work-stealing worklist
+//!   with termination detection,
+//! * [`OrderedWorklist`] — the OBIM-style approximate-priority variant
+//!   asynchronous delta-stepping needs for work efficiency,
+//! * [`BucketQueue`] — the delta-stepping bucket priority structure,
+//!   including the bucket-fusion fast path from GraphIt,
+//! * [`AtomicBitmap`] — dense visited/frontier sets,
+//! * [`LocalBuffer`] — GKC-style cache-sized thread-local output buffers,
+//! * [`atomics`] — min/max/add CAS loops for the label arrays kernels share.
+//!
+//! Thread count defaults to the machine's available parallelism and can be
+//! pinned with the `GAPBS_THREADS` environment variable, mirroring
+//! `OMP_NUM_THREADS` in the paper's methodology (§IV-A fixes 32 cores for
+//! the Baseline data set).
+
+pub mod atomics;
+pub mod bitmap;
+pub mod buckets;
+pub mod local_buffer;
+pub mod ordered;
+pub mod pool;
+pub mod sliding_queue;
+pub mod worklist;
+
+pub use bitmap::AtomicBitmap;
+pub use buckets::BucketQueue;
+pub use local_buffer::LocalBuffer;
+pub use ordered::OrderedWorklist;
+pub use pool::{Schedule, ThreadPool};
+pub use sliding_queue::{QueueBuffer, SlidingQueue};
+pub use worklist::ChunkedWorklist;

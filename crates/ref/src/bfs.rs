@@ -1,0 +1,284 @@
+//! Direction-optimizing breadth-first search (Beamer, Asanović, Patterson).
+//!
+//! The traversal alternates between a *top-down* (push) step over a sparse
+//! frontier queue and a *bottom-up* (pull) step over a dense bitmap. The
+//! heuristic switches top-down → bottom-up when the frontier's outgoing
+//! edge count exceeds `1/alpha` of the unexplored edges, and back when the
+//! frontier shrinks below `n / beta` vertices — GAP's `alpha = 15`,
+//! `beta = 18` defaults.
+
+use gapbs_graph::types::{NodeId, NO_PARENT};
+use gapbs_graph::Graph;
+use gapbs_parallel::atomics::as_atomic_u32;
+use gapbs_parallel::{AtomicBitmap, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Tuning knobs of the direction-optimizing heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsConfig {
+    /// Push→pull switch threshold (GAP default 15).
+    pub alpha: u64,
+    /// Pull→push switch threshold (GAP default 18).
+    pub beta: u64,
+    /// Disable the bottom-up phase entirely (always push). GraphIt's
+    /// Optimized schedule for Road does this; exposed here for ablations.
+    pub force_push: bool,
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        BfsConfig {
+            alpha: 15,
+            beta: 18,
+            force_push: false,
+        }
+    }
+}
+
+/// Runs direction-optimizing BFS from `source`, returning the parent array:
+/// `parent[source] == source`, unreached vertices hold
+/// [`NO_PARENT`].
+pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
+    bfs_with_config(g, source, pool, &BfsConfig::default())
+}
+
+/// [`bfs`] with explicit direction-optimization knobs.
+pub fn bfs_with_config(
+    g: &Graph,
+    source: NodeId,
+    pool: &ThreadPool,
+    config: &BfsConfig,
+) -> Vec<NodeId> {
+    let n = g.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    if n == 0 {
+        return parent;
+    }
+    parent[source as usize] = source;
+    let mut queue = SlidingQueue::new(n + 1);
+    queue.push(source);
+    queue.slide_window();
+    let front = AtomicBitmap::new(n);
+    let next = AtomicBitmap::new(n);
+    // Edges left to explore, for the push→pull heuristic.
+    let mut edges_to_check = g.num_arcs() as u64;
+    let mut scout_count = g.out_degree(source) as u64;
+
+    let parents = as_atomic_u32(&mut parent);
+    while !queue.is_window_empty() {
+        if !config.force_push && scout_count > edges_to_check / config.alpha.max(1) {
+            // Bottom-up phase: convert queue → bitmap, pull until the
+            // frontier is small again, convert back.
+            queue_to_bitmap(&queue, &front);
+            let mut awake_count = queue.window_len() as u64;
+            let mut old_awake;
+            loop {
+                old_awake = awake_count;
+                next.clear();
+                awake_count = bottom_up_step(g, parents, &front, &next, pool);
+                front.copy_from(&next);
+                if awake_count == 0
+                    || (awake_count <= n as u64 / config.beta.max(1) && awake_count < old_awake)
+                {
+                    break;
+                }
+            }
+            bitmap_to_queue(&front, &mut queue, pool);
+            scout_count = 1; // stay top-down for at least one step
+        } else {
+            edges_to_check = edges_to_check.saturating_sub(scout_count);
+            scout_count = top_down_step(g, parents, &queue, pool);
+            queue.slide_window();
+        }
+        if queue.is_window_empty() {
+            break;
+        }
+    }
+    parent
+}
+
+/// One push step: frontier vertices claim their unvisited neighbors.
+/// Returns the total out-degree of newly visited vertices (scout count).
+fn top_down_step(
+    g: &Graph,
+    parents: &[AtomicU32],
+    queue: &SlidingQueue<NodeId>,
+    pool: &ThreadPool,
+) -> u64 {
+    let window = queue.window();
+    let scout = AtomicU64::new(0);
+    pool.run(|tid| {
+        let mut buffer = QueueBuffer::new();
+        let mut local_scout = 0u64;
+        let nthreads = pool.num_threads();
+        let mut i = tid;
+        while i < window.len() {
+            let u = window[i];
+            for &v in g.out_neighbors(u) {
+                if parents[v as usize].load(Ordering::Relaxed) == NO_PARENT
+                    && parents[v as usize]
+                        .compare_exchange(NO_PARENT, u, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    buffer.push(v, queue);
+                    local_scout += g.out_degree(v) as u64;
+                }
+            }
+            i += nthreads;
+        }
+        buffer.flush(queue);
+        scout.fetch_add(local_scout, Ordering::Relaxed);
+    });
+    scout.into_inner()
+}
+
+/// One pull step: every unvisited vertex scans its in-neighbors for a
+/// frontier member. Returns the number of newly awakened vertices.
+fn bottom_up_step(
+    g: &Graph,
+    parents: &[AtomicU32],
+    front: &AtomicBitmap,
+    next: &AtomicBitmap,
+    pool: &ThreadPool,
+) -> u64 {
+    let n = g.num_vertices();
+    let awake = AtomicU64::new(0);
+    pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
+        if parents[v].load(Ordering::Relaxed) == NO_PARENT {
+            for &u in g.in_neighbors(v as NodeId) {
+                if front.get(u as usize) {
+                    parents[v].store(u, Ordering::Relaxed);
+                    next.set(v);
+                    awake.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    });
+    awake.into_inner()
+}
+
+fn queue_to_bitmap(queue: &SlidingQueue<NodeId>, bitmap: &AtomicBitmap) {
+    bitmap.clear();
+    for &u in queue.window() {
+        bitmap.set(u as usize);
+    }
+}
+
+fn bitmap_to_queue(bitmap: &AtomicBitmap, queue: &mut SlidingQueue<NodeId>, _pool: &ThreadPool) {
+    queue.reset();
+    for v in bitmap.iter_ones() {
+        queue.push(v as NodeId);
+    }
+    queue.slide_window();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapbs_graph::edgelist::edges;
+    use gapbs_graph::{gen, Builder};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn depths_from_parents(g: &Graph, source: NodeId, parent: &[NodeId]) -> Vec<Option<usize>> {
+        // Recover depth by walking parents; panics on malformed trees.
+        (0..g.num_vertices() as NodeId)
+            .map(|v| {
+                if parent[v as usize] == NO_PARENT {
+                    return None;
+                }
+                let mut cur = v;
+                let mut d = 0usize;
+                while cur != source {
+                    cur = parent[cur as usize];
+                    d += 1;
+                    assert!(d <= g.num_vertices(), "cycle in parent tree");
+                }
+                Some(d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn path_graph_parents_form_the_path() {
+        let g = Builder::new()
+            .symmetrize(true)
+            .build(edges([(0, 1), (1, 2), (2, 3)]))
+            .unwrap();
+        let parent = bfs(&g, 0, &pool());
+        assert_eq!(parent[0], 0);
+        assert_eq!(parent[1], 0);
+        assert_eq!(parent[2], 1);
+        assert_eq!(parent[3], 2);
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_parent() {
+        let g = Builder::new()
+            .num_vertices(4)
+            .build(edges([(0, 1)]))
+            .unwrap();
+        let parent = bfs(&g, 0, &pool());
+        assert_eq!(parent[1], 0);
+        assert_eq!(parent[2], NO_PARENT);
+        assert_eq!(parent[3], NO_PARENT);
+    }
+
+    #[test]
+    fn depths_match_sequential_bfs_on_random_graph() {
+        let g = gen::kron(9, 12, 5);
+        let parent = bfs(&g, 3, &pool());
+        let (ecc, _) = gapbs_graph::stats::bfs_eccentricity(&g, 3);
+        let depths = depths_from_parents(&g, 3, &parent);
+        let max_depth = depths.iter().flatten().max().copied().unwrap();
+        assert_eq!(max_depth, ecc, "parent-tree depth must equal BFS depth");
+    }
+
+    #[test]
+    fn forced_push_agrees_with_direction_optimizing() {
+        let g = gen::urand(9, 10, 2);
+        let p = pool();
+        let a = bfs(&g, 0, &p);
+        let b = bfs_with_config(
+            &g,
+            0,
+            &p,
+            &BfsConfig {
+                force_push: true,
+                ..Default::default()
+            },
+        );
+        // Parent choices may differ; reachability must not.
+        let reach_a: Vec<bool> = a.iter().map(|&x| x != NO_PARENT).collect();
+        let reach_b: Vec<bool> = b.iter().map(|&x| x != NO_PARENT).collect();
+        assert_eq!(reach_a, reach_b);
+    }
+
+    #[test]
+    fn directed_graph_follows_edge_direction() {
+        // 0 -> 1 -> 2, and 3 -> 0: vertex 3 unreachable from 0.
+        let g = Builder::new()
+            .build(edges([(0, 1), (1, 2), (3, 0)]))
+            .unwrap();
+        let parent = bfs(&g, 0, &pool());
+        assert_eq!(parent[2], 1);
+        assert_eq!(parent[3], NO_PARENT);
+    }
+
+    #[test]
+    fn high_diameter_road_is_fully_reached() {
+        let g = gen::road(&gen::RoadConfig::gap_like(24), 8);
+        let p = pool();
+        let parent = bfs(&g, 0, &p);
+        let reached = parent.iter().filter(|&&x| x != NO_PARENT).count();
+        // The backbone stitching keeps the giant component large.
+        assert!(
+            reached > g.num_vertices() / 2,
+            "only {reached} of {} reached",
+            g.num_vertices()
+        );
+    }
+}

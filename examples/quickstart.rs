@@ -1,0 +1,43 @@
+//! Quickstart: generate a benchmark graph and run all six GAP kernels
+//! with the reference framework.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gapbs::core::adapters::GapReference;
+use gapbs::core::{run_cell, BenchGraph, Kernel, Mode, TrialConfig};
+use gapbs::graph::gen::{GraphSpec, Scale};
+use gapbs::graph::stats;
+
+fn main() {
+    // 1. Generate a corpus member (Kron at Small scale: ~8k vertices).
+    let input = BenchGraph::generate(GraphSpec::Kron, Scale::Small);
+    let summary = stats::summarize(&input.graph);
+    println!(
+        "Graph: {} — {} vertices, {} edges, avg degree {:.1}, {} degrees, diameter ≈ {}",
+        input.spec,
+        summary.num_vertices,
+        summary.num_edges,
+        summary.average_degree,
+        summary.degree_family,
+        summary.approx_diameter
+    );
+
+    // 2. Run every kernel under the Baseline rules, verified.
+    let config = TrialConfig {
+        trials: 2,
+        ..Default::default()
+    };
+    println!("\n{:<6} {:>12} {:>10}  note", "kernel", "best (s)", "verified");
+    for kernel in Kernel::ALL {
+        let record = run_cell(&GapReference, &input, kernel, Mode::Baseline, &config);
+        println!(
+            "{:<6} {:>12.6} {:>10}  {}",
+            kernel.name(),
+            record.best_seconds(),
+            record.verified,
+            record.note
+        );
+    }
+}

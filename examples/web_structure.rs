@@ -1,0 +1,78 @@
+//! Web-graph structure analysis on the Web-like corpus graph — the
+//! workload the paper's `.sk` crawl represents: skewed degrees *and* a
+//! deep tail (Table I gives Web a diameter of 135 vs Twitter's 14).
+//!
+//! Exercises the public API across crates:
+//! * component structure via two different frameworks (cross-checked),
+//! * the frontier-profile workload view that explains the topology's
+//!   effect on frameworks,
+//! * hub/authority extremes from the degree structure.
+//!
+//! ```sh
+//! cargo run --release --example web_structure
+//! ```
+
+use gapbs::core::adapters::{GapReference, SuiteSparseFramework};
+use gapbs::core::framework::Framework;
+use gapbs::core::{BenchGraph, Mode};
+use gapbs::graph::gen::{GraphSpec, Scale};
+use gapbs::graph::stats;
+use gapbs::parallel::ThreadPool;
+use std::collections::HashMap;
+
+fn main() {
+    let input = BenchGraph::generate(GraphSpec::Web, Scale::Small);
+    let g = &input.graph;
+    let summary = stats::summarize(g);
+    println!(
+        "Web-like crawl: {} pages, {} links, avg out-degree {:.1}, diameter ≈ {}",
+        summary.num_vertices, summary.num_edges, summary.average_degree, summary.approx_diameter
+    );
+
+    // Component structure, computed by two frameworks and cross-checked —
+    // the study's own validation discipline (§VI).
+    let pool = ThreadPool::default();
+    let labels_a = GapReference.prepare(&input, Mode::Baseline, &pool).cc();
+    let labels_b = SuiteSparseFramework
+        .prepare(&input, Mode::Baseline, &pool)
+        .cc();
+    let counts = |labels: &[u32]| {
+        let mut m: HashMap<u32, usize> = HashMap::new();
+        for &l in labels {
+            *m.entry(l).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<usize> = m.into_values().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    };
+    let (sa, sb) = (counts(&labels_a), counts(&labels_b));
+    assert_eq!(sa, sb, "Afforest and FastSV must induce the same partition sizes");
+    println!(
+        "\nComponents: {} total; largest holds {:.1}% of pages (Afforest and FastSV agree)",
+        sa.len(),
+        100.0 * sa[0] as f64 / g.num_vertices() as f64
+    );
+
+    // Workload view: how a traversal experiences this topology.
+    let profile = stats::frontier_profile(g, input.source_candidates[0]);
+    println!(
+        "\nTraversal profile from a core page: {} levels, peak level holds {:.1}% of reached pages,\n\
+         direction-optimizing BFS would pull on {} levels",
+        profile.depth(),
+        profile.peak_fraction() * 100.0,
+        profile.pull_level_count()
+    );
+    println!(
+        "(Twitter-like graphs finish in ~5 levels; the deep-tail levels here are the\n\
+         paper's explanation for Web's moderate diameter, Table I)"
+    );
+
+    // Hubs (many outgoing links) and authorities (many incoming).
+    let hub = g.vertices().max_by_key(|&u| g.out_degree(u)).expect("non-empty");
+    let authority = g.vertices().max_by_key(|&u| g.in_degree(u)).expect("non-empty");
+    println!(
+        "\nExtremes: hub page {hub} links out to {} pages; authority page {authority} is linked from {} pages",
+        g.out_degree(hub),
+        g.in_degree(authority)
+    );
+}

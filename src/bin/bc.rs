@@ -1,0 +1,10 @@
+//! GAP-style `bc` binary: bc benchmark.
+//!
+//! ```sh
+//! cargo run --release --bin bc -- -g 12 -n 3
+//! cargo run --release --bin bc -- -c twitter -x gkc
+//! ```
+
+fn main() {
+    gapbs::cli::run_kernel_binary(gapbs::core::Kernel::Bc);
+}

@@ -1,0 +1,10 @@
+//! GAP-style `bfs` binary: breadth-first search benchmark.
+//!
+//! ```sh
+//! cargo run --release --bin bfs -- -g 12 -n 5
+//! cargo run --release --bin bfs -- -c road -x galois
+//! ```
+
+fn main() {
+    gapbs::cli::run_kernel_binary(gapbs::core::Kernel::Bfs);
+}

@@ -1,0 +1,10 @@
+//! GAP-style `cc` binary: cc benchmark.
+//!
+//! ```sh
+//! cargo run --release --bin cc -- -g 12 -n 3
+//! cargo run --release --bin cc -- -c twitter -x gkc
+//! ```
+
+fn main() {
+    gapbs::cli::run_kernel_binary(gapbs::core::Kernel::Cc);
+}

@@ -1,0 +1,10 @@
+//! GAP-style `pr` binary: pr benchmark.
+//!
+//! ```sh
+//! cargo run --release --bin pr -- -g 12 -n 3
+//! cargo run --release --bin pr -- -c twitter -x gkc
+//! ```
+
+fn main() {
+    gapbs::cli::run_kernel_binary(gapbs::core::Kernel::Pr);
+}

@@ -1,0 +1,10 @@
+//! GAP-style `sssp` binary: sssp benchmark.
+//!
+//! ```sh
+//! cargo run --release --bin sssp -- -g 12 -n 3
+//! cargo run --release --bin sssp -- -c twitter -x gkc
+//! ```
+
+fn main() {
+    gapbs::cli::run_kernel_binary(gapbs::core::Kernel::Sssp);
+}

@@ -1,0 +1,10 @@
+//! GAP-style `tc` binary: tc benchmark.
+//!
+//! ```sh
+//! cargo run --release --bin tc -- -g 12 -n 3
+//! cargo run --release --bin tc -- -c twitter -x gkc
+//! ```
+
+fn main() {
+    gapbs::cli::run_kernel_binary(gapbs::core::Kernel::Tc);
+}
