@@ -1,17 +1,23 @@
-//! Criterion benchmarks: one group per GAP kernel, sweeping framework ×
+//! Kernel benchmarks: one group per GAP kernel, sweeping framework ×
 //! contrasting graphs (shallow power-law Kron vs deep lattice Road).
 //!
-//! These are the statistically sampled companions of the `table4_times`
-//! binary; use `GAPBS_SCALE=tiny|small` to trade time for size.
+//! Plain timing harness (no external bench framework): each cell is
+//! sampled `SAMPLES` times and the minimum/median are reported, matching
+//! GAP's best-of-N convention. These are the statistically sampled
+//! companions of the `table4_times` binary; use `GAPBS_SCALE=tiny|small`
+//! to trade time for size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use gapbs_bench::scale_from_env;
 use gapbs_core::{all_frameworks, BenchGraph, Kernel, Mode, TrialConfig};
 use gapbs_graph::gen::{GraphSpec, Scale};
 
+const SAMPLES: usize = 5;
+
 fn bench_scale() -> Scale {
-    // Criterion runs many iterations; default to Small even if the
-    // tables use Medium.
+    // Benchmarks repeat every cell; default to Small even if the tables
+    // use Medium.
     match std::env::var("GAPBS_SCALE").as_deref() {
         Ok("tiny") => Scale::Tiny,
         Ok("medium") => Scale::Medium,
@@ -22,15 +28,22 @@ fn bench_scale() -> Scale {
     }
 }
 
-fn inputs() -> Vec<BenchGraph> {
-    [GraphSpec::Kron, GraphSpec::Road]
-        .into_iter()
-        .map(|s| BenchGraph::generate(s, bench_scale()))
-        .collect()
+fn sample(label: &str, samples: usize, mut f: impl FnMut()) {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{label:<48} min {:>10.6}s  median {:>10.6}s  ({samples} samples)",
+        times[0],
+        times[times.len() / 2]
+    );
 }
 
-fn bench_kernel(c: &mut Criterion, kernel: Kernel) {
-    let inputs = inputs();
+fn bench_kernel(kernel: Kernel, inputs: &[BenchGraph]) {
     let frameworks = all_frameworks();
     let config = TrialConfig {
         trials: 1,
@@ -39,12 +52,11 @@ fn bench_kernel(c: &mut Criterion, kernel: Kernel) {
         max_trials: 1,
         ..Default::default()
     };
-    let mut group = c.benchmark_group(kernel.name());
-    group.sample_size(10);
-    for input in &inputs {
+    println!("== {} ==", kernel.name());
+    for input in inputs {
         for fw in &frameworks {
             // SuiteSparse SSSP on Road is pathologically slow by design
-            // (the paper's 0.35% cell); keep criterion's wall time sane.
+            // (the paper's 0.35% cell); keep the sweep's wall time sane.
             if kernel == Kernel::Sssp
                 && fw.name() == "SuiteSparse"
                 && input.spec == GraphSpec::Road
@@ -52,39 +64,34 @@ fn bench_kernel(c: &mut Criterion, kernel: Kernel) {
             {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(fw.name(), input.spec.name()),
-                input,
-                |b, input| {
-                    b.iter(|| {
-                        gapbs_core::run_cell(fw.as_ref(), input, kernel, Mode::Baseline, &config)
-                            .best_seconds()
-                    })
-                },
-            );
+            let label = format!("{}/{}/{}", kernel.name(), fw.name(), input.spec.name());
+            sample(&label, SAMPLES, || {
+                gapbs_core::run_cell(fw.as_ref(), input, kernel, Mode::Baseline, &config)
+                    .best_seconds();
+            });
         }
     }
-    group.finish();
 }
 
-fn bfs(c: &mut Criterion) {
-    bench_kernel(c, Kernel::Bfs);
+fn main() {
+    // `cargo test` also executes harness-less bench targets; only run the
+    // full sweep under `cargo bench` (which passes `--bench`).
+    if !std::env::args().any(|a| a == "--bench") {
+        println!("kernels: skipped (pass --bench, i.e. run via `cargo bench`)");
+        return;
+    }
+    let inputs: Vec<BenchGraph> = [GraphSpec::Kron, GraphSpec::Road]
+        .into_iter()
+        .map(|s| BenchGraph::generate(s, bench_scale()))
+        .collect();
+    for kernel in [
+        Kernel::Bfs,
+        Kernel::Sssp,
+        Kernel::Pr,
+        Kernel::Cc,
+        Kernel::Bc,
+        Kernel::Tc,
+    ] {
+        bench_kernel(kernel, &inputs);
+    }
 }
-fn sssp(c: &mut Criterion) {
-    bench_kernel(c, Kernel::Sssp);
-}
-fn pr(c: &mut Criterion) {
-    bench_kernel(c, Kernel::Pr);
-}
-fn cc(c: &mut Criterion) {
-    bench_kernel(c, Kernel::Cc);
-}
-fn bc(c: &mut Criterion) {
-    bench_kernel(c, Kernel::Bc);
-}
-fn tc(c: &mut Criterion) {
-    bench_kernel(c, Kernel::Tc);
-}
-
-criterion_group!(kernels, bfs, sssp, pr, cc, bc, tc);
-criterion_main!(kernels);

@@ -1,0 +1,70 @@
+//! Perf regression gate: diffs two run ledgers and exits non-zero when
+//! any (framework, kernel, graph, mode) cell got slower beyond the noise
+//! thresholds.
+//!
+//! ```sh
+//! cargo run -p gapbs-bench --bin perf_compare -- baseline.jsonl candidate.jsonl
+//! ```
+//!
+//! Exit codes: 0 clean, 1 regressions found, 2 usage or read error.
+
+use gapbs_bench::perf::{compare, CompareConfig};
+use gapbs_telemetry::Ledger;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: perf_compare [options] <baseline.jsonl> <candidate.jsonl>
+  --ratio <r>    ratio threshold for a real change (default 1.25)
+  --floor <s>    absolute seconds floor for a real change (default 0.005)";
+
+fn main() {
+    let mut config = CompareConfig::default();
+    let mut paths = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("flag {name} needs a numeric value\n{USAGE}");
+                    exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--ratio" => config.ratio_threshold = value("--ratio"),
+            "--floor" => config.absolute_floor = value("--floor"),
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+
+    let read = |path: &str| {
+        Ledger::read(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let candidate = read(candidate_path);
+    eprintln!(
+        "baseline {baseline_path}: {} trials; candidate {candidate_path}: {} trials \
+         (ratio > {:.2}x and > {:.3}s counts as a change)",
+        baseline.len(),
+        candidate.len(),
+        config.ratio_threshold,
+        config.absolute_floor,
+    );
+
+    let result = compare(&baseline, &candidate, &config);
+    print!("{}", result.render());
+    if result.has_regressions() {
+        exit(1);
+    }
+}

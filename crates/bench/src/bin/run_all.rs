@@ -12,7 +12,7 @@ use gapbs_core::{all_frameworks, run_matrix, Kernel, Mode, TrialConfig};
 
 fn main() {
     let scale = scale_from_env();
-    let config = TrialConfig {
+    let mut config = TrialConfig {
         trials: std::env::var("GAPBS_TRIALS")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -20,10 +20,32 @@ fn main() {
         verify: std::env::var("GAPBS_VERIFY").as_deref() != Ok("0"),
         ..Default::default()
     };
+    // `--ledger [path]` appends one JSONL record per trial (default
+    // results/ledger.jsonl). Counters are non-zero only when built with
+    // `--features telemetry`; times and phases are always real.
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ledger" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with('-') => args.next().expect("peeked"),
+                    _ => "results/ledger.jsonl".into(),
+                };
+                config.ledger_path = Some(path.into());
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (supported: --ledger [path])");
+                std::process::exit(2);
+            }
+        }
+    }
     eprintln!(
         "corpus scale {scale}, {} trials, verify={}",
         config.trials, config.verify
     );
+    if let Some(path) = &config.ledger_path {
+        eprintln!("ledger: {}", path.display());
+    }
     let inputs = corpus(scale);
     let frameworks = all_frameworks();
 

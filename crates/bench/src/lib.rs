@@ -3,6 +3,8 @@
 use gapbs_core::{BenchGraph, Kernel, Mode, Report};
 use gapbs_graph::gen::{GraphSpec, Scale};
 
+pub mod perf;
+
 /// Resolves the corpus scale from `GAPBS_SCALE`
 /// (`tiny|small|medium|large`), defaulting to `medium` — the scale
 /// EXPERIMENTS.md reports.

@@ -1,0 +1,277 @@
+//! Ledger diffing: the perf regression gate.
+//!
+//! Two run ledgers (see `gapbs_telemetry::Ledger`) are compared cell by
+//! cell, where a cell is a (framework, kernel, graph, mode) combination.
+//! The statistic per cell is the *minimum* trial time — the same "best of
+//! n" statistic the GAP benchmark reports, and the one least sensitive to
+//! scheduling noise. A cell regresses only when the candidate minimum is
+//! both a configurable ratio above the baseline minimum *and* slower by an
+//! absolute floor, so microsecond-scale cells cannot trip the gate on
+//! timer jitter.
+
+use gapbs_telemetry::TrialRecord;
+use std::collections::BTreeMap;
+
+/// A cell identity: (framework, kernel, graph, mode).
+pub type CellKey = (String, String, String, String);
+
+/// Thresholds for calling a time difference real.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Candidate/baseline ratio that counts as a change (both directions).
+    pub ratio_threshold: f64,
+    /// Absolute seconds the minima must differ by; guards tiny cells.
+    pub absolute_floor: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            ratio_threshold: 1.25,
+            absolute_floor: 0.005,
+        }
+    }
+}
+
+/// One cell present in both ledgers.
+#[derive(Debug, Clone)]
+pub struct CellDelta {
+    /// (framework, kernel, graph, mode).
+    pub key: CellKey,
+    /// Minimum trial seconds in the baseline ledger.
+    pub baseline: f64,
+    /// Minimum trial seconds in the candidate ledger.
+    pub candidate: f64,
+}
+
+impl CellDelta {
+    /// Candidate/baseline time ratio (>1 means the candidate is slower).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.candidate / self.baseline
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Outcome of diffing two ledgers.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Cells where the candidate is slower beyond both thresholds.
+    pub regressions: Vec<CellDelta>,
+    /// Cells where the candidate is faster beyond both thresholds.
+    pub improvements: Vec<CellDelta>,
+    /// Cells present in both ledgers with no significant change.
+    pub unchanged: Vec<CellDelta>,
+    /// Cells only the baseline ledger has.
+    pub baseline_only: Vec<CellKey>,
+    /// Cells only the candidate ledger has.
+    pub candidate_only: Vec<CellKey>,
+}
+
+impl Comparison {
+    /// True when the gate should fail the build.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable table of the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut section = |title: &str, cells: &[CellDelta]| {
+            if cells.is_empty() {
+                return;
+            }
+            out.push_str(title);
+            out.push('\n');
+            for c in cells {
+                let (fw, kernel, graph, mode) = &c.key;
+                out.push_str(&format!(
+                    "  {fw:<12} {kernel:<5} {graph:<8} {mode:<10} {:>10.6}s -> {:>10.6}s  ({:>6.2}x)\n",
+                    c.baseline,
+                    c.candidate,
+                    c.ratio(),
+                ));
+            }
+        };
+        section("REGRESSIONS", &self.regressions);
+        section("IMPROVEMENTS", &self.improvements);
+        for (title, keys) in [
+            ("BASELINE ONLY (cell missing from candidate)", &self.baseline_only),
+            ("CANDIDATE ONLY (cell missing from baseline)", &self.candidate_only),
+        ] {
+            if !keys.is_empty() {
+                out.push_str(title);
+                out.push('\n');
+                for (fw, kernel, graph, mode) in keys {
+                    out.push_str(&format!("  {fw:<12} {kernel:<5} {graph:<8} {mode}\n"));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{} regressed, {} improved, {} unchanged\n",
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged.len(),
+        ));
+        out
+    }
+}
+
+/// Collapses trial records to the minimum seconds per cell.
+pub fn best_by_cell(records: &[TrialRecord]) -> BTreeMap<CellKey, f64> {
+    let mut best = BTreeMap::new();
+    for r in records {
+        let entry = best.entry(r.cell_key()).or_insert(f64::INFINITY);
+        if r.seconds < *entry {
+            *entry = r.seconds;
+        }
+    }
+    best
+}
+
+/// Diffs two ledgers' trial records under the given thresholds.
+pub fn compare(
+    baseline: &[TrialRecord],
+    candidate: &[TrialRecord],
+    config: &CompareConfig,
+) -> Comparison {
+    let base = best_by_cell(baseline);
+    let cand = best_by_cell(candidate);
+    let mut result = Comparison::default();
+    for (key, &b) in &base {
+        let Some(&c) = cand.get(key) else {
+            result.baseline_only.push(key.clone());
+            continue;
+        };
+        let delta = CellDelta {
+            key: key.clone(),
+            baseline: b,
+            candidate: c,
+        };
+        let significant = (c - b).abs() > config.absolute_floor;
+        if significant && c > b * config.ratio_threshold {
+            result.regressions.push(delta);
+        } else if significant && b > c * config.ratio_threshold {
+            result.improvements.push(delta);
+        } else {
+            result.unchanged.push(delta);
+        }
+    }
+    for key in cand.keys() {
+        if !base.contains_key(key) {
+            result.candidate_only.push(key.clone());
+        }
+    }
+    // Worst regression first, best improvement first.
+    result
+        .regressions
+        .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    result
+        .improvements
+        .sort_by(|a, b| a.ratio().total_cmp(&b.ratio()));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(fw: &str, kernel: &str, trial: u64, seconds: f64) -> TrialRecord {
+        TrialRecord {
+            framework: fw.into(),
+            kernel: kernel.into(),
+            graph: "Kron".into(),
+            mode: "Baseline".into(),
+            trial,
+            seconds,
+            ..TrialRecord::default()
+        }
+    }
+
+    #[test]
+    fn best_by_cell_takes_the_minimum_trial() {
+        let records = [
+            record("GAP", "bfs", 0, 0.30),
+            record("GAP", "bfs", 1, 0.10),
+            record("GAP", "bfs", 2, 0.20),
+        ];
+        let best = best_by_cell(&records);
+        assert_eq!(best.len(), 1);
+        let key = records[0].cell_key();
+        assert_eq!(best[&key], 0.10);
+    }
+
+    #[test]
+    fn detects_injected_two_x_slowdown() {
+        let baseline = [
+            record("GAP", "bfs", 0, 0.100),
+            record("GAP", "pr", 0, 0.200),
+        ];
+        // bfs got 2x slower; pr is unchanged.
+        let candidate = [
+            record("GAP", "bfs", 0, 0.200),
+            record("GAP", "pr", 0, 0.200),
+        ];
+        let cmp = compare(&baseline, &candidate, &CompareConfig::default());
+        assert!(cmp.has_regressions());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].key.1, "bfs");
+        assert!((cmp.regressions[0].ratio() - 2.0).abs() < 1e-12);
+        assert_eq!(cmp.unchanged.len(), 1);
+    }
+
+    #[test]
+    fn ignores_sub_threshold_noise() {
+        // 10% jitter, under the 1.25x ratio threshold.
+        let baseline = [record("GAP", "bfs", 0, 0.100)];
+        let candidate = [record("GAP", "bfs", 0, 0.110)];
+        let cmp = compare(&baseline, &candidate, &CompareConfig::default());
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.unchanged.len(), 1);
+
+        // 3x ratio but only 2ms absolute — under the 5ms floor, so a
+        // microsecond-scale cell cannot trip the gate.
+        let baseline = [record("GAP", "tc", 0, 0.001)];
+        let candidate = [record("GAP", "tc", 0, 0.003)];
+        let cmp = compare(&baseline, &candidate, &CompareConfig::default());
+        assert!(!cmp.has_regressions());
+    }
+
+    #[test]
+    fn reports_improvements_and_missing_cells() {
+        let baseline = [
+            record("GAP", "bfs", 0, 0.400),
+            record("GAP", "cc", 0, 0.100),
+        ];
+        let candidate = [
+            record("GAP", "bfs", 0, 0.100),
+            record("Galois", "cc", 0, 0.100),
+        ];
+        let cmp = compare(&baseline, &candidate, &CompareConfig::default());
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.improvements.len(), 1);
+        assert!((cmp.improvements[0].ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(cmp.baseline_only.len(), 1);
+        assert_eq!(cmp.candidate_only.len(), 1);
+        let rendered = cmp.render();
+        assert!(rendered.contains("IMPROVEMENTS"));
+        assert!(rendered.contains("BASELINE ONLY"));
+    }
+
+    #[test]
+    fn regressions_sort_worst_first() {
+        let baseline = [
+            record("GAP", "bfs", 0, 0.100),
+            record("GAP", "pr", 0, 0.100),
+        ];
+        let candidate = [
+            record("GAP", "bfs", 0, 0.150),
+            record("GAP", "pr", 0, 0.300),
+        ];
+        let cmp = compare(&baseline, &candidate, &CompareConfig::default());
+        assert_eq!(cmp.regressions.len(), 2);
+        assert_eq!(cmp.regressions[0].key.1, "pr");
+    }
+}

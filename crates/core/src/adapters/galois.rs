@@ -84,7 +84,10 @@ impl Framework for GaloisFramework {
         let (tc_graph, tc_relabeling) = match mode {
             Mode::Baseline => (None, Relabeling::HeuristicTimed),
             Mode::Optimized => (
-                Some(gapbs_galois::tc::relabel_for_optimized(&input.sym_graph)),
+                Some({
+                    let _relabel = gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
+                    gapbs_galois::tc::relabel_for_optimized(&input.sym_graph)
+                }),
                 Relabeling::AlreadyRelabeled,
             ),
         };

@@ -12,6 +12,8 @@ use crate::report::Report;
 use crate::spec::{SourcePicker, BC_ROOTS, PR_TOLERANCE};
 use gapbs_graph::gen::Scale;
 use gapbs_parallel::ThreadPool;
+use gapbs_telemetry::{Ledger, Phase, Span, TrialRecord};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Trial protocol configuration.
@@ -37,6 +39,10 @@ pub struct TrialConfig {
     pub min_cell_seconds: f64,
     /// Hard cap on trials per cell.
     pub max_trials: usize,
+    /// Append one JSONL record per trial to this ledger file. Counters in
+    /// the records are all-zero unless the build has the `telemetry`
+    /// feature; times and phases are always real.
+    pub ledger_path: Option<PathBuf>,
 }
 
 impl Default for TrialConfig {
@@ -49,6 +55,7 @@ impl Default for TrialConfig {
             source_override: None,
             min_cell_seconds: 0.4,
             max_trials: 16,
+            ledger_path: None,
         }
     }
 }
@@ -106,7 +113,19 @@ pub fn run_cell(
     config: &TrialConfig,
 ) -> CellRecord {
     let pool = ThreadPool::new(config.threads);
-    let prepared = framework.prepare(input, mode, &pool);
+    let ledger = config.ledger_path.as_ref().and_then(|path| {
+        Ledger::open(path)
+            .map_err(|e| eprintln!("ledger {}: {e}", path.display()))
+            .ok()
+    });
+    // Phase/counter marks advance trial by trial; the delta between marks
+    // is what one trial (plus, for trial 0, the build) cost.
+    let mut phases_mark = gapbs_telemetry::span::phase_times();
+    let mut counters_mark = gapbs_telemetry::snapshot();
+    let prepared = {
+        let _build = Span::enter(Phase::Build);
+        framework.prepare(input, mode, &pool)
+    };
     let mut picker = SourcePicker::from_candidates(input.source_candidates.clone(), config.seed);
     let mut times = Vec::with_capacity(config.trials);
     let mut verified = true;
@@ -128,6 +147,7 @@ pub fn run_cell(
                 let parent = prepared.bfs(source);
                 times.push(start.elapsed().as_secs_f64());
                 if verify_this {
+                    let _vs = Span::enter(Phase::Verify);
                     verified &= gapbs_verify::verify_bfs(&input.graph, source, &parent).is_ok();
                 }
             }
@@ -137,6 +157,7 @@ pub fn run_cell(
                 let dist = prepared.sssp(source);
                 times.push(start.elapsed().as_secs_f64());
                 if verify_this {
+                    let _vs = Span::enter(Phase::Verify);
                     verified &= gapbs_verify::verify_sssp(&input.wgraph, source, &dist).is_ok();
                 }
             }
@@ -146,6 +167,7 @@ pub fn run_cell(
                 times.push(start.elapsed().as_secs_f64());
                 note = format!("{iterations} iters");
                 if verify_this {
+                    let _vs = Span::enter(Phase::Verify);
                     verified &=
                         gapbs_verify::verify_pr(&input.graph, &scores, PR_TOLERANCE * 50.0)
                             .is_ok();
@@ -156,6 +178,7 @@ pub fn run_cell(
                 let labels = prepared.cc();
                 times.push(start.elapsed().as_secs_f64());
                 if verify_this {
+                    let _vs = Span::enter(Phase::Verify);
                     verified &= gapbs_verify::verify_cc(&input.graph, &labels).is_ok();
                 }
             }
@@ -168,6 +191,7 @@ pub fn run_cell(
                 let scores = prepared.bc(&sources);
                 times.push(start.elapsed().as_secs_f64());
                 if verify_this {
+                    let _vs = Span::enter(Phase::Verify);
                     verified &= gapbs_verify::verify_bc(&input.graph, &sources, &scores).is_ok();
                 }
             }
@@ -177,8 +201,36 @@ pub fn run_cell(
                 times.push(start.elapsed().as_secs_f64());
                 note = format!("{count} triangles");
                 if verify_this {
+                    let _vs = Span::enter(Phase::Verify);
                     verified &= gapbs_verify::verify_tc(&input.sym_graph, count).is_ok();
                 }
+            }
+        }
+        let trial_seconds = *times.last().expect("every arm records a time");
+        gapbs_telemetry::span::clock()
+            .accrue(Phase::Kernel, (trial_seconds * 1e9) as u64);
+        if let Some(ledger) = &ledger {
+            let now_phases = gapbs_telemetry::span::phase_times();
+            let now_counters = gapbs_telemetry::snapshot();
+            let record = TrialRecord {
+                framework: framework.name().to_string(),
+                kernel: kernel.name().to_lowercase(),
+                graph: input.spec.name().to_string(),
+                mode: mode.to_string(),
+                trial: trial as u64,
+                seconds: trial_seconds,
+                verified,
+                threads: config.threads as u64,
+                num_vertices: input.graph.num_vertices() as u64,
+                num_arcs: input.graph.num_arcs() as u64,
+                counters: now_counters.delta(&counters_mark),
+                phases: now_phases.delta(&phases_mark),
+                git_rev: String::new(),
+            };
+            phases_mark = now_phases;
+            counters_mark = now_counters;
+            if let Err(e) = ledger.append(&record) {
+                eprintln!("ledger append: {e}");
             }
         }
         trial += 1;
@@ -240,6 +292,7 @@ mod tests {
             source_override: None,
             min_cell_seconds: 0.0,
             max_trials: 1,
+            ledger_path: None,
         }
     }
 

@@ -50,6 +50,10 @@ fn single_source(
             let worklist = ChunkedWorklist::new(pool.clone());
             worklist.for_each(vec![source], |u, push| {
                 let du = depth[u as usize].load(Ordering::Relaxed);
+                gapbs_telemetry::record(
+                    gapbs_telemetry::Counter::EdgesExamined,
+                    g.out_degree(u) as u64,
+                );
                 for &v in g.out_neighbors(u) {
                     let nd = du + 1;
                     let mut cur = depth[v as usize].load(Ordering::Relaxed);
@@ -74,12 +78,15 @@ fn single_source(
             let mut frontier = vec![source];
             let mut d = 0u32;
             while !frontier.is_empty() {
-                let next = parking_lot::Mutex::new(Vec::new());
+                gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+                let next = gapbs_parallel::sync::Mutex::new(Vec::new());
                 let stride = pool.num_threads();
                 pool.run(|tid| {
                     let mut local = Vec::new();
+                    let mut examined = 0u64;
                     let mut i = tid;
                     while i < frontier.len() {
+                        examined += g.out_degree(frontier[i]) as u64;
                         for &v in g.out_neighbors(frontier[i]) {
                             if depth[v as usize]
                                 .compare_exchange(
@@ -95,6 +102,7 @@ fn single_source(
                         }
                         i += stride;
                     }
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
                     next.lock().append(&mut local);
                 });
                 frontier = next.into_inner();

@@ -9,6 +9,7 @@
 //! (the paper's Urand Baseline anomaly).
 
 use crate::heuristic::ExecutionStyle;
+use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::as_atomic_u32;
@@ -39,6 +40,10 @@ fn asynchronous(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let worklist = ChunkedWorklist::new(pool.clone());
     worklist.for_each(vec![source], |u, push| {
         let du = depth[u as usize].load(Ordering::Relaxed);
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::EdgesExamined,
+            g.out_degree(u) as u64,
+        );
         for &v in g.out_neighbors(u) {
             let nd = du + 1;
             // Operator: relax the depth label (fetch-min via CAS loop).
@@ -98,8 +103,15 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let parents = as_atomic_u32(&mut parent);
     let mut edges_to_check = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
+    let mut was_pull = false;
     while !queue.is_window_empty() {
-        if scout > edges_to_check / 15 {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+        let pull = stats::switch_to_pull(scout, edges_to_check);
+        if pull != was_pull {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
+            was_pull = pull;
+        }
+        if pull {
             // Pull phase.
             front.clear();
             for &u in queue.window() {
@@ -112,7 +124,9 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                 let count = AtomicU64::new(0);
                 pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
                     if parents[v].load(Ordering::Relaxed) == NO_PARENT {
+                        let mut scanned = 0u64;
                         for &u in g.in_neighbors(v as NodeId) {
+                            scanned += 1;
                             if front.get(u as usize) {
                                 parents[v].store(u, Ordering::Relaxed);
                                 next.set(v);
@@ -120,11 +134,15 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                                 break;
                             }
                         }
+                        gapbs_telemetry::record(
+                            gapbs_telemetry::Counter::EdgesExamined,
+                            scanned,
+                        );
                     }
                 });
                 awake = count.into_inner();
                 front.copy_from(&next);
-                if awake == 0 || (awake <= n as u64 / 18 && awake < prev) {
+                if stats::switch_to_push(awake, prev, n as u64) {
                     break;
                 }
             }
@@ -143,8 +161,10 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                 let mut local = 0u64;
                 let stride = pool.num_threads();
                 let mut i = tid;
+                let mut examined = 0u64;
                 while i < window.len() {
                     let u = window[i];
+                    examined += g.out_degree(u) as u64;
                     for &v in g.out_neighbors(u) {
                         if parents[v as usize].load(Ordering::Relaxed) == NO_PARENT
                             && parents[v as usize]
@@ -163,6 +183,7 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                     i += stride;
                 }
                 buf.flush(&queue);
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
                 new_scout.fetch_add(local, Ordering::Relaxed);
             });
             scout = new_scout.into_inner();

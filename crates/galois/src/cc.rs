@@ -38,8 +38,10 @@ pub fn cc(g: &Graph, variant: CcVariant, pool: &ThreadPool) -> Vec<NodeId> {
     {
         let cells = as_atomic_u32(&mut comp);
         for round in 0..NEIGHBOR_ROUNDS {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             pool.for_each_index(n, Schedule::Dynamic(512), |u| {
                 if let Some(&v) = g.out_neighbors(u as NodeId).get(round) {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, 1);
                     link(u as NodeId, v, cells);
                 }
             });
@@ -89,14 +91,18 @@ pub fn cc(g: &Graph, variant: CcVariant, pool: &ThreadPool) -> Vec<NodeId> {
 }
 
 fn finish_vertex(g: &Graph, u: NodeId, cells: &[AtomicU32]) {
+    let mut scanned = 0u64;
     for &v in g.out_neighbors(u).iter().skip(NEIGHBOR_ROUNDS) {
+        scanned += 1;
         link(u, v, cells);
     }
     if g.is_directed() {
         for &v in g.in_neighbors(u) {
+            scanned += 1;
             link(u, v, cells);
         }
     }
+    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
 }
 
 fn link(u: NodeId, v: NodeId, comp: &[AtomicU32]) {

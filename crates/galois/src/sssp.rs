@@ -11,7 +11,7 @@ use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::{WGraph, Weight};
 use gapbs_parallel::atomics::{as_atomic_i64, fetch_min_i64};
 use gapbs_parallel::{OrderedWorklist, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::Ordering;
 
 /// Runs SSSP from `source` using the given execution style.
@@ -46,6 +46,10 @@ fn asynchronous(g: &WGraph, source: NodeId, pool: &ThreadPool) -> Vec<Distance> 
     let worklist = OrderedWorklist::new(pool.clone());
     worklist.for_each(vec![(0usize, source)], |u, push| {
         let du = cells[u as usize].load(Ordering::Relaxed);
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::EdgesExamined,
+            g.out_degree(u) as u64,
+        );
         for (v, w) in g.out_neighbors_weighted(u) {
             let nd = du + Distance::from(w);
             if fetch_min_i64(&cells[v as usize], nd) {
@@ -81,17 +85,20 @@ fn bulk_sync(g: &WGraph, source: NodeId, delta: Weight, pool: &ThreadPool) -> Ve
             if frontier.is_empty() {
                 break;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let level = current as Distance;
             let collected = Mutex::new(Vec::new());
             let stride = pool.num_threads();
             pool.run(|tid| {
                 let mut out = Vec::new();
+                let mut examined = 0u64;
                 let mut i = tid;
                 while i < frontier.len() {
                     let u = frontier[i];
                     let du = cells[u as usize].load(Ordering::Relaxed);
                     if du / delta == level {
                         for (v, w) in g.out_neighbors_weighted(u) {
+                            examined += 1;
                             let nd = du + Distance::from(w);
                             if fetch_min_i64(&cells[v as usize], nd) {
                                 out.push(((nd / delta) as usize, v));
@@ -100,11 +107,16 @@ fn bulk_sync(g: &WGraph, source: NodeId, delta: Weight, pool: &ThreadPool) -> Ve
                     }
                     i += stride;
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
                 collected.lock().append(&mut out);
             });
             for (lvl, v) in collected.into_inner() {
                 if buckets.len() <= lvl {
                     buckets.resize_with(lvl + 1, Vec::new);
+                }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, 1);
+                if lvl < current {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::BucketReRelaxations, 1);
                 }
                 buckets[lvl.max(current)].push(v);
             }

@@ -35,7 +35,11 @@ pub fn tc(g: &Graph, relabeling: Relabeling, pool: &ThreadPool) -> u64 {
     match relabeling {
         Relabeling::HeuristicTimed => {
             if skewed(g) {
-                let relabeled = perm::apply(g, &perm::degree_descending(g));
+                let relabeled = {
+                    let _relabel =
+                        gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
+                    perm::apply(g, &perm::degree_descending(g))
+                };
                 count(&relabeled, pool)
             } else {
                 count(g, pool)
@@ -78,6 +82,11 @@ fn count(g: &Graph, pool: &ThreadPool) -> u64 {
         let u = u as NodeId;
         let adj_u = g.out_neighbors(u);
         let prefix_u = &adj_u[..adj_u.partition_point(|&x| x < u)];
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::TcIntersections,
+            prefix_u.len() as u64,
+        );
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, adj_u.len() as u64);
         let mut local = 0u64;
         for &v in prefix_u {
             let adj_v = g.out_neighbors(v);

@@ -6,7 +6,7 @@ use gapbs_graph::types::{NodeId, Score};
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::AtomicF64;
 use gapbs_parallel::{AtomicBitmap, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 const UNVISITED: u32 = u32::MAX;
@@ -32,17 +32,20 @@ pub fn bc(g: &Graph, sources: &[NodeId], pool: &ThreadPool) -> Vec<Score> {
                 levels.pop();
                 break;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let d = (levels.len() - 1) as u32;
             let next = Mutex::new(Vec::new());
             let stride = pool.num_threads();
             pool.run(|tid| {
                 let mut local = Vec::new();
+                let mut examined = 0u64;
                 let mut i = tid;
                 while i < frontier.len() {
                     let u = frontier[i];
                     let su = sigma[u as usize].load();
                     let base = g.out_csr().offset(u);
                     let row = g.out_neighbors(u);
+                    examined += row.len() as u64;
                     let mut k = 0;
                     while k < row.len() {
                         let v = row[k];
@@ -68,6 +71,7 @@ pub fn bc(g: &Graph, sources: &[NodeId], pool: &ThreadPool) -> Vec<Score> {
                     }
                     i += stride;
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
                 next.lock().append(&mut local);
             });
             levels.push(next.into_inner());

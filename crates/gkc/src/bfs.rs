@@ -7,6 +7,7 @@
 //! the least per-iteration overhead of the suite — the property behind
 //! GKC's strong Road BFS showing (157.85% of GAP, Table V).
 
+use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::as_atomic_u32;
@@ -32,8 +33,15 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let next = AtomicBitmap::new(n);
     let mut edges_left = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
+    let mut was_pull = false;
     while !queue.is_window_empty() {
-        if scout > edges_left / 15 {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+        let pull = stats::switch_to_pull(scout, edges_left);
+        if pull != was_pull {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
+            was_pull = pull;
+        }
+        if pull {
             // Pull phase over dense bitmaps.
             front.clear();
             for &u in queue.window() {
@@ -60,11 +68,15 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                             }
                             k += 1;
                         }
+                        gapbs_telemetry::record(
+                            gapbs_telemetry::Counter::EdgesExamined,
+                            (k + 1).min(row.len()) as u64,
+                        );
                     }
                 });
                 awake = count.into_inner();
                 front.copy_from(&next);
-                if awake == 0 || (awake <= n as u64 / 18 && awake < prev) {
+                if stats::switch_to_push(awake, prev, n as u64) {
                     break;
                 }
             }
@@ -83,9 +95,11 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                 // Cache-sized local buffer, flushed in bulk (§III-E1/E2).
                 let mut buf = QueueBuffer::with_capacity(LOCAL_BUFFER);
                 let mut local_scout = 0u64;
+                let mut examined = 0u64;
                 let mut i = tid;
                 while i < window.len() {
                     let u = window[i];
+                    examined += g.out_degree(u) as u64;
                     for &v in g.out_neighbors(u) {
                         if parents[v as usize].load(Ordering::Relaxed) == NO_PARENT
                             && parents[v as usize]
@@ -104,6 +118,7 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                     i += stride;
                 }
                 buf.flush(&queue);
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
                 scout_sum.fetch_add(local_scout, Ordering::Relaxed);
             });
             scout = scout_sum.into_inner();

@@ -26,11 +26,16 @@ pub fn cc(g: &Graph, pool: &ThreadPool) -> Vec<NodeId> {
     {
         let cells = as_atomic_u32(&mut comp);
         loop {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let hooked = AtomicU64::new(0);
             // Hook phase: for every edge (u, v), point the larger root at
             // the smaller.
             pool.for_each_index(n, Schedule::Dynamic(1024), |u| {
                 let mut local_hooks = 0u64;
+                gapbs_telemetry::record(
+                    gapbs_telemetry::Counter::EdgesExamined,
+                    g.out_degree(u as NodeId) as u64,
+                );
                 for &v in g.out_neighbors(u as NodeId) {
                     let cu = cells[u].load(Ordering::Relaxed);
                     let cv = cells[v as usize].load(Ordering::Relaxed);

@@ -37,6 +37,9 @@ pub fn pr(
     let mut iterations = 0;
     for iter in 0..max_iters {
         iterations = iter + 1;
+        gapbs_telemetry::record(gapbs_telemetry::Counter::PrIterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, g.num_arcs() as u64);
         let dangling: Score = (0..n)
             .filter(|&v| g.out_degree(v as NodeId) == 0)
             .map(|v| scores[v].load())

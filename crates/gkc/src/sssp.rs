@@ -8,7 +8,7 @@ use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::{WGraph, Weight};
 use gapbs_parallel::atomics::{as_atomic_i64, fetch_min_i64};
 use gapbs_parallel::{LocalBuffer, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::Ordering;
 
 /// Runs delta-stepping from `source`.
@@ -35,6 +35,7 @@ pub fn sssp(g: &WGraph, source: NodeId, delta: Weight, pool: &ThreadPool) -> Vec
             if frontier.is_empty() {
                 break;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let level = current as Distance;
             let collected = Mutex::new(Vec::new());
             let stride = pool.num_threads();
@@ -46,11 +47,13 @@ pub fn sssp(g: &WGraph, source: NodeId, delta: Weight, pool: &ThreadPool) -> Vec
                     collected.lock().append(items);
                 };
                 let mut i = tid;
+                let mut examined = 0u64;
                 while i < frontier.len() {
                     let u = frontier[i];
                     let du = cells[u as usize].load(Ordering::Relaxed);
                     if du / delta == level {
                         for (v, w) in g.out_neighbors_weighted(u) {
+                            examined += 1;
                             let nd = du + Distance::from(w);
                             if fetch_min_i64(&cells[v as usize], nd) {
                                 buf.push(((nd / delta) as usize, v), &mut sink);
@@ -60,10 +63,15 @@ pub fn sssp(g: &WGraph, source: NodeId, delta: Weight, pool: &ThreadPool) -> Vec
                     i += stride;
                 }
                 buf.flush(&mut sink);
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
             });
             for (lvl, v) in collected.into_inner() {
                 if buckets.len() <= lvl {
                     buckets.resize_with(lvl + 1, Vec::new);
+                }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, 1);
+                if lvl < current {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::BucketReRelaxations, 1);
                 }
                 buckets[lvl.max(current)].push(v);
             }

@@ -9,15 +9,14 @@ use super::build_graph;
 use crate::edgelist::Edge;
 use crate::graph::Graph;
 use crate::types::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 
 /// Generates `n * edges_per_vertex / 2` uniform random edge tuples over
 /// `2^scale` vertices.
 pub fn urand_edges(scale: u32, edges_per_vertex: usize, seed: u64) -> Vec<Edge> {
     let n = 1usize << scale;
     let m = n * (edges_per_vertex / 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
         let src = rng.gen_range(0..n) as NodeId;

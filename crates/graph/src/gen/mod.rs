@@ -25,8 +25,7 @@ use crate::builder::Builder;
 use crate::edgelist::{Edge, WEdge};
 use crate::graph::{Graph, WGraph};
 use crate::types::Weight;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 
 /// Maximum generated edge weight, exclusive. GAP draws uniform integer
 /// weights from `[1, 256)`.
@@ -35,7 +34,7 @@ pub const MAX_WEIGHT: Weight = 256;
 /// Attaches uniform random weights in `[1, 256)` to an edge list, the way
 /// GAP synthesizes weights for SSSP inputs.
 pub fn with_uniform_weights(edges: &[Edge], seed: u64) -> Vec<WEdge> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5747_4150); // "GAPW"
+    let mut rng = SeededRng::seed_from_u64(seed ^ 0x5747_4150); // "GAPW"
     edges
         .iter()
         .map(|e| WEdge::new(e.src, e.dst, rng.gen_range(1..MAX_WEIGHT)))

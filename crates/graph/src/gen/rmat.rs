@@ -11,8 +11,7 @@ use super::build_graph;
 use crate::edgelist::Edge;
 use crate::graph::Graph;
 use crate::types::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 
 /// Parameters of an R-MAT recursive edge generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,14 +64,14 @@ pub fn rmat_edges(config: &RmatConfig, seed: u64) -> Vec<Edge> {
     );
     let n = config.num_vertices();
     let m = n * config.edges_per_vertex;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
         let (mut src, mut dst) = (0usize, 0usize);
         for _ in 0..config.scale {
             src <<= 1;
             dst <<= 1;
-            let r: f64 = rng.gen();
+            let r = rng.gen_f64();
             if r < config.a {
                 // top-left: no bits set
             } else if r < config.a + config.b {
@@ -96,7 +95,7 @@ pub fn rmat_edges(config: &RmatConfig, seed: u64) -> Vec<Edge> {
     edges
 }
 
-fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<NodeId> {
+fn random_permutation(n: usize, rng: &mut SeededRng) -> Vec<NodeId> {
     let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
     // Fisher–Yates
     for i in (1..n).rev() {

@@ -13,8 +13,7 @@ use super::build_graph;
 use crate::edgelist::Edge;
 use crate::graph::Graph;
 use crate::types::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 
 /// Parameters of the road-like lattice generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +48,7 @@ impl RoadConfig {
 
 /// Generates the directed (symmetric) road-like edge list.
 pub fn road_edges(config: &RoadConfig, seed: u64) -> Vec<Edge> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let (w, h) = (config.width, config.height);
     let id = |x: usize, y: usize| (y * w + x) as NodeId;
     let mut edges = Vec::new();

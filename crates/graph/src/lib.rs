@@ -14,7 +14,7 @@
 //!   (Road, Twitter, Web, Kron, Urand) at configurable scale,
 //! * [`stats`] — the topology statistics reported in Table I
 //!   (degree distribution classification and an approximate diameter probe),
-//! * [`io`] — GAP-compatible `.el`/`.wel` text edge lists plus serde support.
+//! * [`io`] — GAP-compatible `.el`/`.wel` text edge lists plus a binary snapshot format.
 //!
 //! # Example
 //!
@@ -34,6 +34,7 @@ pub mod gen;
 pub mod graph;
 pub mod io;
 pub mod perm;
+pub mod rng;
 pub mod scc;
 pub mod stats;
 pub mod types;

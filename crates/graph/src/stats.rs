@@ -133,6 +133,37 @@ pub fn approx_diameter(g: &Graph) -> usize {
     best
 }
 
+/// GAP's direction-optimizing `alpha`: switch push→pull when the
+/// frontier's outgoing edges exceed `1/alpha` of the unexplored edges.
+pub const DO_ALPHA: u64 = 15;
+
+/// GAP's direction-optimizing `beta`: switch pull→push when the frontier
+/// shrinks below `n / beta` vertices.
+pub const DO_BETA: u64 = 18;
+
+/// GAP's push→pull test. Every direction-optimizing traversal in the
+/// suite (and [`frontier_profile`]'s prediction) shares this predicate so
+/// the thresholds cannot drift apart between kernels and analysis.
+#[inline]
+pub fn switch_to_pull(scout_edges: u64, edges_to_check: u64) -> bool {
+    scout_edges > edges_to_check / DO_ALPHA
+}
+
+/// GAP's pull→push test: the awake count dropped below `n / beta` and is
+/// still shrinking (or the traversal finished).
+#[inline]
+pub fn switch_to_push(awake: u64, prev_awake: u64, n: u64) -> bool {
+    awake == 0 || (awake <= n / DO_BETA && awake < prev_awake)
+}
+
+/// One-shot per-level direction prediction for traversals (and profiles)
+/// that decide each level independently instead of tracking the push/pull
+/// state machine: pull when either threshold trips.
+#[inline]
+pub fn predict_pull(scout_edges: u64, edges_to_check: u64, frontier_len: u64, n: u64) -> bool {
+    switch_to_pull(scout_edges, edges_to_check) || frontier_len > n / DO_BETA
+}
+
 /// Per-level traversal profile of a BFS — the workload-characterization
 /// view behind the GAP suite's design (the paper's cited companion study
 /// shows topology dominates workload behaviour).
@@ -175,7 +206,7 @@ impl FrontierProfile {
 }
 
 /// Computes the [`FrontierProfile`] of a BFS from `source` with GAP's
-/// direction-optimizing thresholds (`alpha = 15`, `beta = 18`).
+/// direction-optimizing thresholds ([`DO_ALPHA`], [`DO_BETA`]).
 pub fn frontier_profile(g: &Graph, source: NodeId) -> FrontierProfile {
     let n = g.num_vertices();
     let mut depth = vec![usize::MAX; n];
@@ -189,7 +220,12 @@ pub fn frontier_profile(g: &Graph, source: NodeId) -> FrontierProfile {
         let scout: usize = frontier.iter().map(|&u| g.out_degree(u)).sum();
         sizes.push(frontier.len());
         edges.push(scout);
-        pulls.push(scout > edges_to_check / 15 || frontier.len() > n / 18);
+        pulls.push(predict_pull(
+            scout as u64,
+            edges_to_check as u64,
+            frontier.len() as u64,
+            n as u64,
+        ));
         edges_to_check = edges_to_check.saturating_sub(scout);
         let mut next = Vec::new();
         for &u in &frontier {
@@ -306,6 +342,22 @@ mod tests {
         assert_eq!(p.frontier_sizes[0], 1, "level 0 is the source alone");
         // Power-law/uniform shallow graphs should predict some pull use.
         assert!(p.pull_level_count() >= 1);
+    }
+
+    #[test]
+    fn direction_predicates_follow_gap_thresholds() {
+        // alpha: 100 outgoing edges > 1000/15 unexplored trips the switch.
+        assert!(switch_to_pull(100, 1000));
+        assert!(!switch_to_pull(5, 1000));
+        // beta: awake below n/18 and shrinking (or finished) goes push.
+        assert!(switch_to_push(0, 10, 1000));
+        assert!(switch_to_push(50, 60, 1000));
+        assert!(!switch_to_push(55, 60, 180)); // not below 180/18 = 10
+        assert!(!switch_to_push(50, 50, 1000)); // not shrinking
+        // One-shot prediction trips on either threshold.
+        assert!(predict_pull(100, 1000, 1, 1000));
+        assert!(predict_pull(0, 1000, 500, 1000));
+        assert!(!predict_pull(5, 1000, 1, 1000));
     }
 
     #[test]

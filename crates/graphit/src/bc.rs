@@ -13,7 +13,7 @@ use gapbs_graph::types::{NodeId, Score};
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::AtomicF64;
 use gapbs_parallel::{AtomicBitmap, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 const UNVISITED: u32 = u32::MAX;
@@ -63,6 +63,7 @@ fn single_source(
             levels.pop();
             break;
         }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let d = (levels.len() - 1) as u32;
         let next: Vec<NodeId> = match frontier_layout {
             FrontierLayout::BitVector => {
@@ -119,9 +120,11 @@ fn expand<F: Fn(NodeId) + Sync>(
     let stride = pool.num_threads();
     pool.run(|tid| {
         let mut i = tid;
+        let mut examined = 0u64;
         while i < frontier.len() {
             let u = frontier[i];
             let su = sigma[u as usize].load();
+            examined += g.out_degree(u) as u64;
             for &v in g.out_neighbors(u) {
                 let dv = depth[v as usize].load(Ordering::Relaxed);
                 if dv == UNVISITED {
@@ -140,6 +143,7 @@ fn expand<F: Fn(NodeId) + Sync>(
             }
             i += stride;
         }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
     });
 }
 

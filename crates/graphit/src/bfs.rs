@@ -6,11 +6,12 @@
 //! overhead of checking the number of active vertices" (§V-A).
 
 use crate::schedule::{Direction, FrontierLayout, Schedule};
+use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::as_atomic_u32;
 use gapbs_parallel::{AtomicBitmap, Schedule as LoopSched, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Runs BFS from `source` under the given schedule.
@@ -27,16 +28,22 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
     visited.set(source as usize);
     let mut edges_to_check = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
+    let mut was_pull = false;
     while !frontier.is_empty() {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let pull = match schedule.direction {
             Direction::Push => false,
             Direction::Pull => true,
             Direction::DirectionOptimizing => {
                 // The "runtime overhead of checking the number of active
                 // vertices" the Road schedule avoids.
-                scout > edges_to_check / 15
+                stats::switch_to_pull(scout, edges_to_check)
             }
         };
+        if pull != was_pull {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
+            was_pull = pull;
+        }
         if pull {
             let front = AtomicBitmap::new(n);
             for &u in &frontier {
@@ -46,7 +53,9 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
             let awake = AtomicU64::new(0);
             pool.for_each_index(n, LoopSched::Dynamic(1024), |v| {
                 if !visited.get(v) {
+                    let mut scanned = 0u64;
                     for &u in g.in_neighbors(v as NodeId) {
+                        scanned += 1;
                         if front.get(u as usize) {
                             parents[v].store(u, Ordering::Relaxed);
                             visited.set(v);
@@ -55,6 +64,7 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
                             break;
                         }
                     }
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
                 }
             });
             edges_to_check = edges_to_check.saturating_sub(scout);
@@ -86,9 +96,11 @@ fn push_step(
             pool.run(|tid| {
                 let mut local = Vec::new();
                 let mut s = 0u64;
+                let mut examined = 0u64;
                 let mut i = tid;
                 while i < frontier.len() {
                     let u = frontier[i];
+                    examined += g.out_degree(u) as u64;
                     for &v in g.out_neighbors(u) {
                         if visited.set_if_unset(v as usize) {
                             parents[v as usize].store(u, Ordering::Relaxed);
@@ -98,6 +110,7 @@ fn push_step(
                     }
                     i += stride;
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
                 next.lock().append(&mut local);
                 scout.fetch_add(s, Ordering::Relaxed);
             });
@@ -110,9 +123,11 @@ fn push_step(
             let stride = pool.num_threads();
             pool.run(|tid| {
                 let mut s = 0u64;
+                let mut examined = 0u64;
                 let mut i = tid;
                 while i < frontier.len() {
                     let u = frontier[i];
+                    examined += g.out_degree(u) as u64;
                     for &v in g.out_neighbors(u) {
                         if visited.set_if_unset(v as usize) {
                             parents[v as usize].store(u, Ordering::Relaxed);
@@ -122,6 +137,7 @@ fn push_step(
                     }
                     i += stride;
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
                 scout.fetch_add(s, Ordering::Relaxed);
             });
             let next: Vec<NodeId> = next_bits.iter_ones().map(|v| v as NodeId).collect();

@@ -31,11 +31,14 @@ pub fn cc(g: &Graph, short_circuit: bool, pool: &ThreadPool) -> Vec<NodeId> {
         active.set(v);
     }
     loop {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let next = AtomicBitmap::new(n);
         pool.for_each_index(n, LoopSched::Dynamic(512), |u| {
             if !active.get(u) {
                 return;
             }
+            let scanned =
+                g.out_degree(u as NodeId) as u64 + if g.is_directed() { g.in_degree(u as NodeId) as u64 } else { 0 };
             let lu = cells[u].load(Ordering::Relaxed);
             for &v in g.out_neighbors(u as NodeId) {
                 if fetch_min_u32(&cells[v as usize], lu) {
@@ -55,6 +58,7 @@ pub fn cc(g: &Graph, short_circuit: bool, pool: &ThreadPool) -> Vec<NodeId> {
                     }
                 }
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
         });
         if short_circuit {
             // Pointer jumping: collapse label chains each round.

@@ -50,6 +50,9 @@ pub fn pr(
     let mut iterations = 0;
     for iter in 0..max_iters {
         iterations = iter + 1;
+        gapbs_telemetry::record(gapbs_telemetry::Counter::PrIterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, g.num_arcs() as u64);
         for v in 0..n {
             let d = g.out_degree(v as NodeId);
             outgoing[v] = if d > 0 { scores[v] / d as Score } else { 0.0 };

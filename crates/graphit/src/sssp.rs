@@ -10,7 +10,7 @@ use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::{WGraph, Weight};
 use gapbs_parallel::atomics::{as_atomic_i64, fetch_min_i64};
 use gapbs_parallel::ThreadPool;
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::Ordering;
 
 /// The bucket-size threshold below which a fused (synchronization-free)
@@ -48,6 +48,7 @@ pub fn sssp(
             if frontier.is_empty() {
                 break;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let level = current as Distance;
             let fused = bucket_fusion && frontier.len() <= FUSION_THRESHOLD;
             let produced: Vec<(usize, NodeId)> = if fused || pool.num_threads() == 1 {
@@ -74,6 +75,10 @@ pub fn sssp(
                 if buckets.len() <= lvl {
                     buckets.resize_with(lvl + 1, Vec::new);
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, 1);
+                if lvl < current {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::BucketReRelaxations, 1);
+                }
                 buckets[lvl.max(current)].push(v);
             }
         }
@@ -97,6 +102,10 @@ fn relax(
     if du / delta != level {
         return;
     }
+    gapbs_telemetry::record(
+        gapbs_telemetry::Counter::EdgesExamined,
+        g.out_degree(u) as u64,
+    );
     for (v, w) in g.out_neighbors_weighted(u) {
         let nd = du + Distance::from(w);
         if fetch_min_i64(&cells[v as usize], nd) {

@@ -63,10 +63,15 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
     let mut d = 0u32;
     // Forward: one sweep over A per level advances every column.
     while !frontier.is_empty() {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let mut acc: Vec<(GrbIndex, [f64; BATCH])> = Vec::new();
         let mut slot_of: std::collections::HashMap<GrbIndex, usize> =
             std::collections::HashMap::new();
         for &(u, counts) in &frontier {
+            gapbs_telemetry::record(
+                gapbs_telemetry::Counter::EdgesExamined,
+                ctx.a.row(u).len() as u64,
+            );
             for j in ctx.a.row(u) {
                 let j = *j;
                 // Per-column mask: only columns that have not discovered

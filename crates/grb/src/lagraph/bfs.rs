@@ -10,6 +10,7 @@ use crate::ops::{vxm, Mask};
 use crate::semiring::AnySecondI;
 use crate::vector::{GrbVector, Storage};
 use crate::GrbIndex;
+use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_parallel::ThreadPool;
 
@@ -30,12 +31,18 @@ pub fn bfs(ctx: &LaGraphContext, source: NodeId, pool: &ThreadPool) -> Vec<NodeI
     let mut q: GrbVector<()> = GrbVector::from_entries(n, vec![(GrbIndex::from(source), ())]);
 
     let mut edges_unexplored = ctx.a.nvals();
+    let mut was_pull = false;
     while q.nvals() > 0 {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let frontier_edges: u64 = q
             .iter()
             .map(|(k, _)| ctx.a.row(k).len() as u64)
             .sum();
-        let pull = frontier_edges > edges_unexplored / 15 || q.nvals() > n / 18;
+        let pull = stats::predict_pull(frontier_edges, edges_unexplored, q.nvals() as u64, n as u64);
+        if pull != was_pull {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
+            was_pull = pull;
+        }
         edges_unexplored = edges_unexplored.saturating_sub(frontier_edges);
 
         let discovered: GrbVector<Option<GrbIndex>> = if pull {

@@ -24,6 +24,7 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
     }
     let semiring = MinSecond::default();
     loop {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         // gp = f[f] (grandparent).
         let gp: Vec<GrbIndex> = f.iter().map(|&p| f[p as usize]).collect();
         // mngp = min over neighbors of gp: one masked-free mxv per

@@ -30,6 +30,8 @@ pub fn pr(
     let mut iterations = 0;
     for iter in 0..max_iters {
         iterations = iter + 1;
+        gapbs_telemetry::record(gapbs_telemetry::Counter::PrIterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         // c_k = scores_k / outdeg_k, held as a *full* vector so the mxv
         // gather reads it with O(1) indexing — SuiteSparse keeps PR's
         // iteration vectors dense for exactly this reason. Dangling

@@ -45,6 +45,7 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance
         let mut active = select(&t, |_, &d| d >= lo && d < hi);
         // Drain the bucket to a fixed point.
         while active.nvals() > 0 {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let reach: GrbVector<Distance> =
                 vxm(&semiring, &active, aw, None::<&Mask<'_, ()>>);
             let mut next_active = Vec::new();
@@ -53,6 +54,10 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance
                 for (j, &nd) in reach.iter() {
                     if nd < tv[j as usize] {
                         tv[j as usize] = nd;
+                        gapbs_telemetry::record(
+                            gapbs_telemetry::Counter::BucketRelaxations,
+                            1,
+                        );
                         if nd < hi {
                             next_active.push((j, nd));
                         }

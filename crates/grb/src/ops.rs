@@ -13,7 +13,7 @@ use crate::semiring::{AddMonoid, Semiring};
 use crate::vector::GrbVector;
 use crate::GrbIndex;
 use gapbs_parallel::{Schedule, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 
 /// A structural mask over vector positions.
 #[derive(Debug, Clone, Copy)]
@@ -62,8 +62,10 @@ where
     let n = a.ncols();
     let mut acc: Vec<Option<Y>> = vec![None; n as usize];
     let add = semiring.add();
+    let mut scanned = 0u64;
     for (k, xv) in x.iter() {
         for (j, w) in a.row_weighted(k) {
+            scanned += 1;
             if let Some(m) = mask {
                 if !m.allows(j) {
                     continue;
@@ -82,6 +84,7 @@ where
             });
         }
     }
+    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
     let entries: Vec<(GrbIndex, Y)> = acc
         .into_iter()
         .enumerate()
@@ -117,7 +120,9 @@ where
         }
         let add = semiring.add();
         let mut acc: Option<Y> = None;
+        let mut scanned = 0u64;
         for (k, w) in a.row_weighted(i) {
+            scanned += 1;
             if let Some(xv) = x.get(k) {
                 let product = semiring.multiply(k, w, xv);
                 acc = Some(match acc.take() {
@@ -129,6 +134,7 @@ where
                 }
             }
         }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
         if let Some(y) = acc {
             collected.lock().push((i, y));
         }
@@ -197,6 +203,11 @@ pub fn mxm_pair_masked_sum(l: &GrbMatrix, u_t: &GrbMatrix, pool: &ThreadPool) ->
         if row_l.is_empty() {
             return;
         }
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::TcIntersections,
+            row_l.len() as u64,
+        );
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, row_l.len() as u64);
         let mut local = Vec::new();
         // Mask C by L: only positions (i, j) with L_ij present.
         for &j in row_l {

@@ -11,7 +11,7 @@ use gapbs_graph::types::{Distance, NodeId, Score, INF_DIST, NO_PARENT};
 use gapbs_graph::Weight;
 use gapbs_parallel::atomics::{as_atomic_i64, as_atomic_u32, fetch_min_i64, AtomicF64};
 use gapbs_parallel::{AtomicBitmap, Schedule, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -35,9 +35,16 @@ where
     let mut frontier = vec![source];
     let visited = AtomicBitmap::new(n);
     visited.set(source as usize);
+    let mut was_pull = false;
     while !frontier.is_empty() {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         // Untuned switch: pull whenever the frontier passes 5% of V.
-        if frontier.len() > n / 20 {
+        let pull = frontier.len() > n / 20;
+        if pull != was_pull {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
+            was_pull = pull;
+        }
+        if pull {
             let front = AtomicBitmap::new(n);
             for &u in &frontier {
                 front.set(u as usize);
@@ -45,7 +52,9 @@ where
             let next = Mutex::new(Vec::new());
             pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
                 if !visited.get(v) {
+                    let mut scanned = 0u64;
                     for u in incoming.neighbors(v as NodeId) {
+                        scanned += 1;
                         if front.get(u as usize) {
                             parents[v].store(u, Ordering::Relaxed);
                             visited.set(v);
@@ -53,6 +62,7 @@ where
                             break;
                         }
                     }
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
                 }
             });
             frontier = next.into_inner();
@@ -61,10 +71,12 @@ where
             let stride = pool.num_threads();
             pool.run(|tid| {
                 let mut local = Vec::new();
+                let mut local_edges = 0u64;
                 let mut i = tid;
                 while i < frontier.len() {
                     let u = frontier[i];
                     for v in out.neighbors(u) {
+                        local_edges += 1;
                         if visited.set_if_unset(v as usize) {
                             parents[v as usize].store(u, Ordering::Relaxed);
                             local.push(v);
@@ -72,6 +84,7 @@ where
                     }
                     i += stride;
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, local_edges);
                 next.lock().append(&mut local);
             });
             frontier = next.into_inner();
@@ -108,17 +121,20 @@ where
             if frontier.is_empty() {
                 break;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let level = current as Distance;
             let collected = Mutex::new(Vec::new());
             let stride = pool.num_threads();
             pool.run(|tid| {
                 let mut out = Vec::new();
+                let mut local_edges = 0u64;
                 let mut i = tid;
                 while i < frontier.len() {
                     let u = frontier[i];
                     let du = cells[u as usize].load(Ordering::Relaxed);
                     if du / delta == level {
                         for (v, w) in g.neighbors_weighted(u) {
+                            local_edges += 1;
                             let nd = du + Distance::from(w);
                             if fetch_min_i64(&cells[v as usize], nd) {
                                 out.push(((nd / delta) as usize, v));
@@ -127,11 +143,16 @@ where
                     }
                     i += stride;
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, local_edges);
                 collected.lock().append(&mut out);
             });
             for (lvl, v) in collected.into_inner() {
                 if buckets.len() <= lvl {
                     buckets.resize_with(lvl + 1, Vec::new);
+                }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, 1);
+                if lvl < current {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::BucketReRelaxations, 1);
                 }
                 buckets[lvl.max(current)].push(v);
             }
@@ -169,6 +190,8 @@ where
     let mut iterations = 0;
     for iter in 0..max_iters {
         iterations = iter + 1;
+        gapbs_telemetry::record(gapbs_telemetry::Counter::PrIterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let dangling: Score = (0..n)
             .filter(|&v| out_degree[v] == 0)
             .map(|v| scores[v].load())
@@ -178,6 +201,10 @@ where
             n,
             0.0f64,
             |v| {
+                gapbs_telemetry::record(
+                    gapbs_telemetry::Counter::EdgesExamined,
+                    incoming.degree(v as NodeId) as u64,
+                );
                 let sum: Score = incoming
                     .neighbors(v as NodeId)
                     .map(|u| scores[u as usize].load() / out_degree[u as usize] as Score)
@@ -219,8 +246,10 @@ where
     {
         let cells = as_atomic_u32(&mut comp);
         for round in 0..ROUNDS {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             pool.for_each_index(n, Schedule::Dynamic(512), |u| {
                 if let Some(v) = g.neighbors(u as NodeId).nth(round) {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, 1);
                     link(u as NodeId, v, cells);
                 }
             });
@@ -232,17 +261,21 @@ where
         // that lead *outside* the giant component.
         pool.for_each_index(n, Schedule::Dynamic(512), |u| {
             let cu = find(cells, u as NodeId);
+            let mut scanned = 0u64;
             if cu == giant {
                 for v in g.neighbors(u as NodeId) {
+                    scanned += 1;
                     if find(cells, v) != giant {
                         link(u as NodeId, v, cells);
                     }
                 }
             } else {
                 for v in g.neighbors(u as NodeId).skip(ROUNDS) {
+                    scanned += 1;
                     link(u as NodeId, v, cells);
                 }
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
         });
         compress(cells, pool);
     }
@@ -272,16 +305,19 @@ where
                 levels.pop();
                 break;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let d = (levels.len() - 1) as u32;
             let next = Mutex::new(Vec::new());
             let stride = pool.num_threads();
             pool.run(|tid| {
                 let mut local = Vec::new();
+                let mut local_edges = 0u64;
                 let mut i = tid;
                 while i < frontier.len() {
                     let u = frontier[i];
                     let su = sigma[u as usize].load();
                     for v in out.neighbors(u) {
+                        local_edges += 1;
                         let dv = depth[v as usize].load(Ordering::Relaxed);
                         if dv == UNVISITED_DEPTH
                             && depth[v as usize]
@@ -301,6 +337,7 @@ where
                     }
                     i += stride;
                 }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, local_edges);
                 next.lock().append(&mut local);
             });
             levels.push(next.into_inner());
@@ -374,9 +411,13 @@ where
     pool.run(|tid| {
         let mut local = 0u64;
         let mut u = tid;
+        let mut local_isect = 0u64;
+        let mut local_edges = 0u64;
         while u < n {
             let adj_u = &adj[u];
             let prefix_u = &adj_u[..adj_u.partition_point(|&x| (x as usize) < u)];
+            local_isect += prefix_u.len() as u64;
+            local_edges += adj_u.len() as u64;
             for &v in prefix_u {
                 let adj_v = &adj[v as usize];
                 let (mut i, mut j) = (0usize, 0usize);
@@ -398,6 +439,8 @@ where
             }
             u += stride;
         }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::TcIntersections, local_isect);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, local_edges);
         total.fetch_add(local, Ordering::Relaxed);
     });
     total.into_inner()

@@ -9,7 +9,7 @@
 //! reducing rounds by ~10× on high-diameter graphs. The structure here
 //! supports both styles; the fusion decision is the caller's.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// A concurrent bucket array keyed by priority level.
 ///
@@ -44,6 +44,10 @@ impl<T> BucketQueue<T> {
     /// delta-stepping re-relaxations can land in the active bucket but
     /// never in a completed one.
     pub fn push(&self, level: usize, item: T) {
+        gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, 1);
+        if level < self.current {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::BucketReRelaxations, 1);
+        }
         let level = level.max(self.current);
         assert!(
             level < self.buckets.len(),
@@ -57,6 +61,13 @@ impl<T> BucketQueue<T> {
     pub fn push_batch(&self, level: usize, items: &mut Vec<T>) {
         if items.is_empty() {
             return;
+        }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, items.len() as u64);
+        if level < self.current {
+            gapbs_telemetry::record(
+                gapbs_telemetry::Counter::BucketReRelaxations,
+                items.len() as u64,
+            );
         }
         let level = level.max(self.current);
         assert!(

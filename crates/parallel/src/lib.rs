@@ -31,6 +31,7 @@ pub mod local_buffer;
 pub mod ordered;
 pub mod pool;
 pub mod sliding_queue;
+pub mod sync;
 pub mod worklist;
 
 pub use bitmap::AtomicBitmap;

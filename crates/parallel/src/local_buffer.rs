@@ -46,6 +46,10 @@ impl<T> LocalBuffer<T> {
         S: FnMut(&mut Vec<T>),
     {
         if !self.items.is_empty() {
+            gapbs_telemetry::record(
+                gapbs_telemetry::Counter::FrontierPushes,
+                self.items.len() as u64,
+            );
             sink(&mut self.items);
             self.items.clear();
         }

@@ -9,7 +9,7 @@
 //! the redundant relaxations a plain FIFO/LIFO worklist does.
 
 use crate::pool::ThreadPool;
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Items drawn per lock acquisition.

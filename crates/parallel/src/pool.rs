@@ -20,7 +20,7 @@ pub enum Schedule {
 
 /// A scoped fork-join thread pool.
 ///
-/// Threads are spawned per parallel region via `crossbeam::scope`; at the
+/// Threads are spawned per parallel region via `std::thread::scope`; at the
 /// graph scales in this reproduction the spawn cost is dwarfed by the loop
 /// bodies, and scoping keeps borrows of graph data simple and safe.
 ///
@@ -174,7 +174,7 @@ impl ThreadPool {
             }
             return acc;
         }
-        let partials = parking_lot::Mutex::new(Vec::with_capacity(self.num_threads));
+        let partials = crate::sync::Mutex::new(Vec::with_capacity(self.num_threads));
         let next = AtomicUsize::new(0);
         let chunk = (n / (self.num_threads * 8)).max(1);
         self.run(|_| {

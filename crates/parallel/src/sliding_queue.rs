@@ -63,6 +63,7 @@ impl<T: Copy> SlidingQueue<T> {
         if items.is_empty() {
             return;
         }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::FrontierPushes, items.len() as u64);
         let start = self.tail.fetch_add(items.len(), Ordering::Relaxed);
         assert!(
             start + items.len() <= self.storage.len(),

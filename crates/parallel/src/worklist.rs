@@ -4,13 +4,61 @@
 //! "concurrent sparse worklists" that let data-driven algorithms run
 //! *asynchronously*: there are no rounds — threads push and pop active
 //! vertices until the worklist drains (§III-B). This module reproduces
-//! that execution model with crossbeam deques (one local FIFO worker per
-//! thread plus stealing) and a pending-counter termination detector.
+//! that execution model with per-thread chunked FIFO deques (one local
+//! worker per thread plus batch stealing) and a pending-counter
+//! termination detector.
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::pool::ThreadPool;
+use crate::sync::Mutex;
+
+/// One thread's deque: the owner pops from the front (FIFO keeps
+/// label-correcting operators near priority order); thieves take a batch
+/// from the back. Lock-based — at reproduction scale the lock is
+/// uncontended because owners batch their local work.
+#[derive(Debug)]
+struct Deque<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Deque<T> {
+    fn new() -> Self {
+        Deque {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, item: T) {
+        self.items.lock().push_back(item);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.items.lock().pop_front()
+    }
+
+    /// Steals up to half the victim's items (at least one), returning one
+    /// to work on immediately and appending the rest to `local`.
+    fn steal_batch_and_pop(&self, local: &Deque<T>) -> Option<T> {
+        let mut victim = self.items.lock();
+        let take = victim.len().div_ceil(2);
+        if take == 0 {
+            return None;
+        }
+        let first = victim.pop_back();
+        if take > 1 {
+            let mut mine = local.items.lock();
+            for _ in 1..take {
+                match victim.pop_back() {
+                    Some(item) => mine.push_back(item),
+                    None => break,
+                }
+            }
+        }
+        first
+    }
+}
 
 /// An asynchronous chunked worklist executor.
 ///
@@ -62,27 +110,25 @@ impl ChunkedWorklist {
             // matters: label-correcting operators (BFS/SSSP relaxations)
             // process items in near-priority order under FIFO but do
             // exponentially redundant work under LIFO on deep graphs.
-            let mut queue = std::collections::VecDeque::from(initial);
+            let mut queue = VecDeque::from(initial);
             while let Some(item) = queue.pop_front() {
-                op(item, &mut |v| queue.push_back(v));
+                op(item, &mut |v| {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::WorklistPushes, 1);
+                    queue.push_back(v);
+                });
             }
             return;
         }
-        let injector = Injector::new();
         let pending = AtomicUsize::new(initial.len());
-        for item in initial {
-            injector.push(item);
+        let deques: Vec<Deque<T>> = (0..nthreads).map(|_| Deque::new()).collect();
+        // Scatter the seed set round-robin so every thread starts busy.
+        for (i, item) in initial.into_iter().enumerate() {
+            deques[i % nthreads].push(item);
         }
-        let workers: Vec<Worker<T>> = (0..nthreads).map(|_| Worker::new_fifo()).collect();
-        let stealers: Vec<Stealer<T>> = workers.iter().map(|w| w.stealer()).collect();
-        let workers: Vec<parking_lot::Mutex<Option<Worker<T>>>> = workers
-            .into_iter()
-            .map(|w| parking_lot::Mutex::new(Some(w)))
-            .collect();
         self.pool.run(|tid| {
-            let local = workers[tid].lock().take().expect("worker taken once");
+            let local = &deques[tid];
             loop {
-                let item = local.pop().or_else(|| Self::steal(tid, &injector, &local, &stealers));
+                let item = local.pop().or_else(|| Self::steal(tid, local, &deques));
                 match item {
                     Some(item) => {
                         let mut pushed = 0usize;
@@ -90,6 +136,10 @@ impl ChunkedWorklist {
                             local.push(v);
                             pushed += 1;
                         });
+                        gapbs_telemetry::record(
+                            gapbs_telemetry::Counter::WorklistPushes,
+                            pushed as u64,
+                        );
                         // One pop finished, `pushed` new items appeared.
                         if pushed > 0 {
                             pending.fetch_add(pushed, Ordering::SeqCst);
@@ -109,29 +159,14 @@ impl ChunkedWorklist {
         });
     }
 
-    fn steal<T>(
-        tid: usize,
-        injector: &Injector<T>,
-        local: &Worker<T>,
-        stealers: &[Stealer<T>],
-    ) -> Option<T> {
-        loop {
-            match injector.steal_batch_and_pop(local) {
-                Steal::Success(item) => return Some(item),
-                Steal::Retry => continue,
-                Steal::Empty => break,
-            }
-        }
-        for (i, stealer) in stealers.iter().enumerate() {
+    fn steal<T>(tid: usize, local: &Deque<T>, deques: &[Deque<T>]) -> Option<T> {
+        for (i, victim) in deques.iter().enumerate() {
             if i == tid {
                 continue;
             }
-            loop {
-                match stealer.steal_batch_and_pop(local) {
-                    Steal::Success(item) => return Some(item),
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
-                }
+            if let Some(item) = victim.steal_batch_and_pop(local) {
+                gapbs_telemetry::record(gapbs_telemetry::Counter::WorklistSteals, 1);
+                return Some(item);
             }
         }
         None
@@ -197,5 +232,19 @@ mod tests {
             });
             assert_eq!(count.into_inner(), 63, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn steal_moves_batches_to_the_thief() {
+        let victim = Deque::new();
+        let thief = Deque::new();
+        for i in 0..10u32 {
+            victim.push(i);
+        }
+        let got = victim.steal_batch_and_pop(&thief);
+        assert!(got.is_some());
+        // Half of ten taken: one returned, four relocated.
+        assert_eq!(thief.items.lock().len(), 4);
+        assert_eq!(victim.items.lock().len(), 5);
     }
 }

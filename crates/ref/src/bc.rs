@@ -11,7 +11,7 @@ use gapbs_graph::types::{NodeId, Score};
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::AtomicF64;
 use gapbs_parallel::{AtomicBitmap, ThreadPool};
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 const UNVISITED: u32 = u32::MAX;
@@ -60,16 +60,19 @@ fn single_source(
             levels.pop();
             break;
         }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let d = (levels.len() - 1) as u32;
         let next = Mutex::new(Vec::new());
         let nthreads = pool.num_threads();
         pool.run(|tid| {
             let mut local_next = Vec::new();
+            let mut local_edges = 0u64;
             let mut i = tid;
             while i < frontier.len() {
                 let u = frontier[i];
                 let base = g.out_csr().offset(u);
                 let su = sigma[u as usize].load();
+                local_edges += g.out_degree(u) as u64;
                 for (k, &v) in g.out_neighbors(u).iter().enumerate() {
                     let dv = depth[v as usize].load(Ordering::Relaxed);
                     if dv == UNVISITED {
@@ -90,6 +93,7 @@ fn single_source(
                 }
                 i += nthreads;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, local_edges);
             next.lock().append(&mut local_next);
         });
         let next = next.into_inner();

@@ -7,6 +7,7 @@
 //! frontier shrinks below `n / beta` vertices — GAP's `alpha = 15`,
 //! `beta = 18` defaults.
 
+use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::as_atomic_u32;
@@ -16,9 +17,9 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 /// Tuning knobs of the direction-optimizing heuristic.
 #[derive(Debug, Clone, Copy)]
 pub struct BfsConfig {
-    /// Push→pull switch threshold (GAP default 15).
+    /// Push→pull switch threshold (GAP default [`stats::DO_ALPHA`]).
     pub alpha: u64,
-    /// Pull→push switch threshold (GAP default 18).
+    /// Pull→push switch threshold (GAP default [`stats::DO_BETA`]).
     pub beta: u64,
     /// Disable the bottom-up phase entirely (always push). GraphIt's
     /// Optimized schedule for Road does this; exposed here for ablations.
@@ -28,8 +29,8 @@ pub struct BfsConfig {
 impl Default for BfsConfig {
     fn default() -> Self {
         BfsConfig {
-            alpha: 15,
-            beta: 18,
+            alpha: stats::DO_ALPHA,
+            beta: stats::DO_BETA,
             force_push: false,
         }
     }
@@ -69,10 +70,12 @@ pub fn bfs_with_config(
         if !config.force_push && scout_count > edges_to_check / config.alpha.max(1) {
             // Bottom-up phase: convert queue → bitmap, pull until the
             // frontier is small again, convert back.
+            gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
             queue_to_bitmap(&queue, &front);
             let mut awake_count = queue.window_len() as u64;
             let mut old_awake;
             loop {
+                gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
                 old_awake = awake_count;
                 next.clear();
                 awake_count = bottom_up_step(g, parents, &front, &next, pool);
@@ -84,8 +87,10 @@ pub fn bfs_with_config(
                 }
             }
             bitmap_to_queue(&front, &mut queue, pool);
+            gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
             scout_count = 1; // stay top-down for at least one step
         } else {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             edges_to_check = edges_to_check.saturating_sub(scout_count);
             scout_count = top_down_step(g, parents, &queue, pool);
             queue.slide_window();
@@ -110,10 +115,12 @@ fn top_down_step(
     pool.run(|tid| {
         let mut buffer = QueueBuffer::new();
         let mut local_scout = 0u64;
+        let mut local_edges = 0u64;
         let nthreads = pool.num_threads();
         let mut i = tid;
         while i < window.len() {
             let u = window[i];
+            local_edges += g.out_degree(u) as u64;
             for &v in g.out_neighbors(u) {
                 if parents[v as usize].load(Ordering::Relaxed) == NO_PARENT
                     && parents[v as usize]
@@ -127,6 +134,7 @@ fn top_down_step(
             i += nthreads;
         }
         buffer.flush(queue);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, local_edges);
         scout.fetch_add(local_scout, Ordering::Relaxed);
     });
     scout.into_inner()
@@ -145,7 +153,9 @@ fn bottom_up_step(
     let awake = AtomicU64::new(0);
     pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
         if parents[v].load(Ordering::Relaxed) == NO_PARENT {
+            let mut scanned = 0u64;
             for &u in g.in_neighbors(v as NodeId) {
+                scanned += 1;
                 if front.get(u as usize) {
                     parents[v].store(u, Ordering::Relaxed);
                     next.set(v);
@@ -153,6 +163,7 @@ fn bottom_up_step(
                     break;
                 }
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
         }
     });
     awake.into_inner()

@@ -34,9 +34,11 @@ pub fn cc(g: &Graph, pool: &ThreadPool) -> Vec<NodeId> {
         // Phase 1: sample the first NEIGHBOR_ROUNDS neighbors of every
         // vertex.
         for round in 0..NEIGHBOR_ROUNDS {
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             pool.for_each_index(n, Schedule::Dynamic(512), |u| {
                 let neighbors = g.out_neighbors(u as NodeId);
                 if let Some(&v) = neighbors.get(round) {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, 1);
                     link(u as NodeId, v, comp_atomic);
                 }
             });
@@ -52,15 +54,19 @@ pub fn cc(g: &Graph, pool: &ThreadPool) -> Vec<NodeId> {
             if find(comp_atomic, u as NodeId) == giant {
                 return;
             }
+            let mut scanned = 0u64;
             for &v in g.out_neighbors(u as NodeId).iter().skip(NEIGHBOR_ROUNDS) {
+                scanned += 1;
                 link(u as NodeId, v, comp_atomic);
             }
             if g.is_directed() {
                 // Weak connectivity on directed graphs needs in-edges too.
                 for &v in g.in_neighbors(u as NodeId) {
+                    scanned += 1;
                     link(u as NodeId, v, comp_atomic);
                 }
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
         });
         compress(comp_atomic, pool);
     }

@@ -66,6 +66,9 @@ pub fn pr_with_config(g: &Graph, pool: &ThreadPool, config: &PrConfig) -> PrResu
     // because every framework here does the same redistribution.
     for iter in 0..config.max_iters {
         iterations = iter + 1;
+        gapbs_telemetry::record(gapbs_telemetry::Counter::PrIterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, g.num_arcs() as u64);
         // Phase 1: per-vertex outgoing contribution.
         for v in 0..n {
             let d = g.out_degree(v as NodeId);

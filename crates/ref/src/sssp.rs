@@ -11,7 +11,7 @@ use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::{WGraph, Weight};
 use gapbs_parallel::atomics::{as_atomic_i64, fetch_min_i64};
 use gapbs_parallel::ThreadPool;
-use parking_lot::Mutex;
+use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::Ordering;
 
 /// Tuning knobs for delta-stepping.
@@ -91,6 +91,7 @@ pub fn sssp_with_config(
             if frontier.is_empty() {
                 break;
             }
+            gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let level = current as Distance;
             let fused = config.bucket_fusion && frontier.len() <= config.fusion_threshold;
             let new_items: Vec<(usize, NodeId)> = if fused || pool.num_threads() == 1 {
@@ -117,6 +118,10 @@ pub fn sssp_with_config(
             for (lvl, v) in new_items {
                 if buckets.len() <= lvl {
                     buckets.resize_with(lvl + 1, Vec::new);
+                }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, 1);
+                if lvl < current {
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::BucketReRelaxations, 1);
                 }
                 // Stale entries for completed buckets go to the current one.
                 let lvl = lvl.max(current);
@@ -146,6 +151,10 @@ fn relax_vertex(
     if du / delta != level {
         return; // stale: u was improved into a later wave of this bucket
     }
+    gapbs_telemetry::record(
+        gapbs_telemetry::Counter::EdgesExamined,
+        g.out_degree(u) as u64,
+    );
     for (v, w) in g.out_neighbors_weighted(u) {
         let nd = du + Distance::from(w);
         if relax_to(&dist[v as usize], nd) {

@@ -60,7 +60,10 @@ pub fn tc_with_config(g: &Graph, pool: &ThreadPool, config: &TcConfig) -> u64 {
         worth_relabeling(g)
     };
     if relabel {
-        let permuted = perm::apply(g, &perm::degree_descending(g));
+        let permuted = {
+            let _relabel = gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
+            perm::apply(g, &perm::degree_descending(g))
+        };
         count_oriented(&permuted, pool)
     } else {
         count_oriented(g, pool)
@@ -100,6 +103,11 @@ fn count_oriented(g: &Graph, pool: &ThreadPool) -> u64 {
         let mut local = 0u64;
         let adj_u = g.out_neighbors(u);
         let prefix_u = &adj_u[..adj_u.partition_point(|&x| x < u)];
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::TcIntersections,
+            prefix_u.len() as u64,
+        );
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, adj_u.len() as u64);
         for &v in prefix_u {
             local += intersect_below(prefix_u, g.out_neighbors(v), v);
         }

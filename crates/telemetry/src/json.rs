@@ -1,0 +1,368 @@
+//! A dependency-free JSON encoder and recursive-descent parser.
+//!
+//! The run ledger needs exactly one serialization format and the build
+//! must work with no external crates, so this module implements the
+//! subset of JSON the ledger uses: objects, arrays, strings (with escape
+//! handling), finite numbers, booleans, and null. Numbers are kept as
+//! `f64` — ledger counters fit in 2^53 at any reproduction scale.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys are ordered (BTreeMap) so encoding
+/// is deterministic — byte-identical ledgers diff cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().collect())
+    }
+
+    /// The value at `key` if this is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a finite number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a non-negative integer (ledger counters).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Encodes to compact JSON text (no whitespace, sorted keys).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(*n, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document, requiring it to span the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a position-annotated message on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; ledger treats null as missing
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Surrogates outside the BMP are not produced by the
+                        // ledger encoder; map unpaired ones to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().expect("non-empty by bounds check");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        map.insert(key, parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-3", "2.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.encode()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::obj([
+            ("name".into(), Json::Str("BFS \"fast\"\n".into())),
+            ("times".into(), Json::Arr(vec![Json::Num(0.5), Json::Num(3.0)])),
+            (
+                "inner".into(),
+                Json::obj([("ok".into(), Json::Bool(true)), ("n".into(), Json::Null)]),
+            ),
+        ]);
+        let text = v.encode();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_encode_without_fraction() {
+        assert_eq!(Json::Num(1234567.0).encode(), "1234567");
+        assert_eq!(Json::Num(0.25).encode(), "0.25");
+    }
+
+    #[test]
+    fn keys_are_sorted_for_deterministic_diffs() {
+        let v = Json::obj([
+            ("zeta".into(), Json::Num(1.0)),
+            ("alpha".into(), Json::Num(2.0)),
+        ]);
+        assert_eq!(v.encode(), "{\"alpha\":2,\"zeta\":1}");
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let v = Json::Str("Erdős–Rényi\t\u{1}".into());
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9\"").unwrap(),
+            Json::Str("Aé".into())
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in ["{", "[1,", "\"open", "{\"a\" 1}", "tru", "1 2", ""] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
+    }
+}

@@ -1,0 +1,360 @@
+//! The JSON-lines run ledger.
+//!
+//! One line per trial: kernel, graph, framework, mode, trial index, the
+//! timed seconds, the phase breakdown, the work counters, and the git
+//! revision that produced the run. Ledgers accumulate under `results/`
+//! and form the repo's machine-checkable perf trajectory: `perf_compare`
+//! diffs two of them and gates regressions.
+//!
+//! Pollard & Norris (arXiv:1704.02003) argue cross-framework numbers are
+//! only trustworthy with a reproducible measurement methodology; a ledger
+//! line is exactly the record needed to re-derive any Table IV/V cell.
+
+use crate::counters::{Counter, CounterSet};
+use crate::json::Json;
+use crate::span::{Phase, PhaseTimes};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Ledger schema version; bump on breaking field changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One trial's record — one JSONL line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrialRecord {
+    /// Framework display name ("GAP", "Galois", ...).
+    pub framework: String,
+    /// Kernel short name ("bfs", "sssp", "pr", "cc", "bc", "tc").
+    pub kernel: String,
+    /// Graph name ("Web", "Twitter", "Road", "Kron", "Urand").
+    pub graph: String,
+    /// Rule set ("Baseline" / "Optimized").
+    pub mode: String,
+    /// Trial index within the cell.
+    pub trial: u64,
+    /// The timed kernel seconds (what Table IV aggregates).
+    pub seconds: f64,
+    /// Whether this trial's output verified.
+    pub verified: bool,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Vertices of the input graph.
+    pub num_vertices: u64,
+    /// Arcs of the input graph (`m` for work-efficiency ratios).
+    pub num_arcs: u64,
+    /// Work counters captured for this trial.
+    pub counters: CounterSet,
+    /// Per-phase seconds accrued during this trial (build on trial 0).
+    pub phases: PhaseTimes,
+    /// Git revision of the producing build ("unknown" outside a repo).
+    pub git_rev: String,
+}
+
+impl TrialRecord {
+    /// Encodes the record as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let counters = Json::obj(
+            self.counters
+                .iter()
+                .map(|(c, v)| (c.name().to_string(), Json::Num(v as f64))),
+        );
+        let phases = Json::obj(
+            self.phases
+                .iter()
+                .map(|(p, s)| (p.name().to_string(), Json::Num(s))),
+        );
+        let mut fields = vec![
+            ("v".to_string(), Json::Num(SCHEMA_VERSION as f64)),
+            ("framework".to_string(), Json::Str(self.framework.clone())),
+            ("kernel".to_string(), Json::Str(self.kernel.clone())),
+            ("graph".to_string(), Json::Str(self.graph.clone())),
+            ("mode".to_string(), Json::Str(self.mode.clone())),
+            ("trial".to_string(), Json::Num(self.trial as f64)),
+            ("seconds".to_string(), Json::Num(self.seconds)),
+            ("verified".to_string(), Json::Bool(self.verified)),
+            ("threads".to_string(), Json::Num(self.threads as f64)),
+            ("n".to_string(), Json::Num(self.num_vertices as f64)),
+            ("m".to_string(), Json::Num(self.num_arcs as f64)),
+            ("counters".to_string(), counters),
+            ("phases".to_string(), phases),
+            ("git_rev".to_string(), Json::Str(self.git_rev.clone())),
+        ];
+        if let Some(teps) = self.counters.teps(self.seconds) {
+            fields.push(("teps".to_string(), Json::Num(teps)));
+        }
+        if let Some(ratio) = self.counters.work_ratio(self.num_arcs) {
+            fields.push(("work_ratio".to_string(), Json::Num(ratio)));
+        }
+        Json::obj(fields).encode()
+    }
+
+    /// Parses one JSONL line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or missing required fields.
+    pub fn from_json_line(line: &str) -> Result<TrialRecord, String> {
+        let v = Json::parse(line)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+        let mut counters = CounterSet::zero();
+        if let Some(Json::Obj(map)) = v.get("counters") {
+            for (key, value) in map {
+                if let (Some(c), Some(n)) = (Counter::from_name(key), value.as_u64()) {
+                    counters.set(c, n);
+                }
+            }
+        }
+        let mut phases = PhaseTimes::zero();
+        if let Some(Json::Obj(map)) = v.get("phases") {
+            for (key, value) in map {
+                if let (Some(p), Some(s)) = (Phase::from_name(key), value.as_f64()) {
+                    phases.set(p, s);
+                }
+            }
+        }
+        Ok(TrialRecord {
+            framework: str_field("framework")?,
+            kernel: str_field("kernel")?,
+            graph: str_field("graph")?,
+            mode: str_field("mode")?,
+            trial: u64_field("trial")?,
+            seconds: v
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .ok_or("missing number field \"seconds\"")?,
+            verified: v.get("verified").and_then(Json::as_bool).unwrap_or(true),
+            threads: u64_field("threads").unwrap_or(1),
+            num_vertices: u64_field("n").unwrap_or(0),
+            num_arcs: u64_field("m").unwrap_or(0),
+            counters,
+            phases,
+            git_rev: str_field("git_rev").unwrap_or_else(|_| "unknown".into()),
+        })
+    }
+
+    /// The grouping key `perf_compare` diffs on.
+    pub fn cell_key(&self) -> (String, String, String, String) {
+        (
+            self.framework.clone(),
+            self.kernel.clone(),
+            self.graph.clone(),
+            self.mode.clone(),
+        )
+    }
+}
+
+/// An append-only JSONL ledger file.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    git_rev: String,
+}
+
+impl Ledger {
+    /// Opens (creating directories as needed) a ledger at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Ledger> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(Ledger {
+            path,
+            git_rev: detect_git_rev(),
+        })
+    }
+
+    /// The ledger file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The git revision stamped onto appended records.
+    pub fn git_rev(&self) -> &str {
+        &self.git_rev
+    }
+
+    /// Appends one record as a JSONL line, filling in the git revision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn append(&self, record: &TrialRecord) -> std::io::Result<()> {
+        let mut record = record.clone();
+        if record.git_rev.is_empty() || record.git_rev == "unknown" {
+            record.git_rev = self.git_rev.clone();
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{}", record.to_json_line())
+    }
+
+    /// Reads every well-formed record from a ledger file, skipping blank
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and the first parse failure.
+    pub fn read(path: impl AsRef<Path>) -> Result<Vec<TrialRecord>, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        text.lines()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .map(|(i, line)| {
+                TrialRecord::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))
+            })
+            .collect()
+    }
+}
+
+/// Resolves the current git revision by reading `.git/HEAD` (walking up
+/// from the working directory), avoiding a subprocess in the runner.
+pub fn detect_git_rev() -> String {
+    let mut dir = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(_) => return "unknown".into(),
+    };
+    loop {
+        let head_path = dir.join(".git/HEAD");
+        if let Ok(head) = std::fs::read_to_string(&head_path) {
+            let head = head.trim();
+            if let Some(reference) = head.strip_prefix("ref: ") {
+                if let Ok(rev) = std::fs::read_to_string(dir.join(".git").join(reference)) {
+                    return short_rev(rev.trim());
+                }
+                // Packed refs: scan .git/packed-refs for the ref.
+                if let Ok(packed) = std::fs::read_to_string(dir.join(".git/packed-refs")) {
+                    for line in packed.lines() {
+                        if let Some((rev, name)) = line.split_once(' ') {
+                            if name == reference {
+                                return short_rev(rev);
+                            }
+                        }
+                    }
+                }
+                return "unknown".into();
+            }
+            return short_rev(head);
+        }
+        if !dir.pop() {
+            return "unknown".into();
+        }
+    }
+}
+
+fn short_rev(rev: &str) -> String {
+    rev.chars().take(12).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrialRecord {
+        let mut counters = CounterSet::zero();
+        counters.set(Counter::EdgesExamined, 1234);
+        counters.set(Counter::Iterations, 7);
+        let mut phases = PhaseTimes::zero();
+        phases.set(Phase::Kernel, 0.125);
+        phases.set(Phase::Verify, 0.5);
+        TrialRecord {
+            framework: "GAP".into(),
+            kernel: "bfs".into(),
+            graph: "Road".into(),
+            mode: "Baseline".into(),
+            trial: 2,
+            seconds: 0.125,
+            verified: true,
+            threads: 4,
+            num_vertices: 1000,
+            num_arcs: 4000,
+            counters,
+            phases,
+            git_rev: "abc123def456".into(),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = sample();
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'), "must be a single line");
+        let back = TrialRecord::from_json_line(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn derived_metrics_are_emitted() {
+        let line = sample().to_json_line();
+        let v = Json::parse(&line).unwrap();
+        let teps = v.get("teps").and_then(Json::as_f64).unwrap();
+        assert!((teps - 1234.0 / 0.125).abs() < 1e-6);
+        let ratio = v.get("work_ratio").and_then(Json::as_f64).unwrap();
+        assert!((ratio - 1234.0 / 4000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_appends_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!(
+            "gapbs-ledger-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let ledger = Ledger::open(&path).unwrap();
+        let mut a = sample();
+        a.git_rev = "unknown".into(); // exercise auto-stamping
+        let b = sample();
+        ledger.append(&a).unwrap();
+        ledger.append(&b).unwrap();
+        let records = Ledger::read(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], b);
+        assert_eq!(records[0].git_rev, ledger.git_rev(), "rev was stamped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_counter_keys_are_ignored_not_fatal() {
+        let mut line = sample().to_json_line();
+        line = line.replace(
+            "\"counters\":{",
+            "\"counters\":{\"future_counter\":9,",
+        );
+        let back = TrialRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.counters.get(Counter::EdgesExamined), 1234);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        assert!(TrialRecord::from_json_line("{nope").is_err());
+        assert!(TrialRecord::from_json_line("{}").is_err(), "missing fields");
+    }
+
+    #[test]
+    fn git_rev_resolves_in_this_repo() {
+        // The test runs inside the repository, so a real rev should be
+        // found; outside a repo "unknown" is the contract.
+        let rev = detect_git_rev();
+        assert!(rev == "unknown" || rev.len() == 12, "rev = {rev:?}");
+    }
+}

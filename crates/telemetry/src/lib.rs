@@ -1,0 +1,72 @@
+//! Execution telemetry for the GAPBS reproduction.
+//!
+//! The paper's §V narratives are claims about *work performed* — edges
+//! examined, direction switches, bucket relaxations, iterations — but a
+//! wall-clock-only harness can assert Table V ratios without explaining
+//! them. This crate makes the work visible:
+//!
+//! * [`counters`] — a lock-free registry of per-thread relaxed-atomic
+//!   cells over a fixed counter vocabulary, aggregated on demand;
+//! * [`span`] — phase timers (`build`, `relabel`, `kernel`, `verify`)
+//!   that expose restructuring cost per the GAP timing rules;
+//! * [`ledger`] — the JSON-lines run ledger (`results/ledger.jsonl`):
+//!   one record per trial with times, counters, and the git revision, the
+//!   machine-checkable perf trajectory `perf_compare` diffs;
+//! * [`json`] — the dependency-free JSON encoder/parser the ledger uses.
+//!
+//! # Feature gating
+//!
+//! Instrumentation sites in the framework crates call [`record`]
+//! unconditionally. With the `enabled` cargo feature off (the default)
+//! that call is an empty `#[inline(always)]` function and the hot loops
+//! compile to the uninstrumented code — Baseline timing claims are
+//! unaffected. Each dependent crate forwards a `telemetry` feature here.
+
+pub mod counters;
+pub mod json;
+pub mod ledger;
+pub mod span;
+
+pub use counters::{record, snapshot, Counter, CounterSet, Registry};
+pub use ledger::{Ledger, TrialRecord};
+pub use span::{Phase, PhaseTimes, Span};
+
+/// `true` when the crate was compiled with global recording active.
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Runs `f` with the global counter registry zeroed, returning its result
+/// plus everything counted during the call.
+///
+/// Captures serialize on an internal lock so concurrent captures (e.g.
+/// parallel test threads) don't attribute each other's work.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, CounterSet) {
+    static CAPTURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    counters::reset();
+    let result = f();
+    (result, counters::snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_flag_matches_feature() {
+        assert_eq!(is_enabled(), cfg!(feature = "enabled"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn capture_scopes_global_counts() {
+        let ((), counts) = capture(|| {
+            record(Counter::EdgesExamined, 7);
+            record(Counter::EdgesExamined, 5);
+        });
+        assert_eq!(counts.get(Counter::EdgesExamined), 12);
+        let ((), empty) = capture(|| {});
+        assert_eq!(empty.get(Counter::EdgesExamined), 0);
+    }
+}

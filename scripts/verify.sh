@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 (build + tests) plus a tiny-corpus smoke of the
+# telemetry ledger and the perf regression gate, so the gate itself is
+# exercised on every PR.
+#
+#   scripts/verify.sh            # everything
+#   SKIP_SMOKE=1 scripts/verify.sh   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== telemetry feature parity: build + tests with counters on =="
+cargo build -q --features telemetry
+cargo test -q --features telemetry --test shape_claims
+
+if [[ "${SKIP_SMOKE:-0}" == "1" ]]; then
+    echo "SKIP_SMOKE=1: skipping ledger/perf_compare smoke"
+    exit 0
+fi
+
+echo "== smoke: tiny-corpus run_all --ledger =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+GAPBS_SCALE=tiny GAPBS_TRIALS=1 GAPBS_CSV="$smoke_dir/results.csv" \
+    cargo run -q --release --features telemetry -p gapbs-bench --bin run_all -- \
+    --ledger "$smoke_dir/ledger.jsonl" > "$smoke_dir/run_all.out"
+[[ -s "$smoke_dir/ledger.jsonl" ]] || { echo "FAIL: ledger is empty"; exit 1; }
+for fw in GAP SuiteSparse Galois GraphIt GKC NWGraph; do
+    grep -q "\"framework\":\"$fw\"" "$smoke_dir/ledger.jsonl" \
+        || { echo "FAIL: no ledger records for $fw"; exit 1; }
+done
+if grep -q '"edges_examined":0,' "$smoke_dir/ledger.jsonl"; then
+    echo "FAIL: some trial recorded zero edges examined"
+    exit 1
+fi
+
+echo "== smoke: perf_compare gate =="
+# Identical ledgers must pass...
+cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+    "$smoke_dir/ledger.jsonl" "$smoke_dir/ledger.jsonl"
+# ...and an injected 10x slowdown must fail the gate.
+sed 's/"seconds":\([0-9.e-]*\)/"seconds":1.0/' "$smoke_dir/ledger.jsonl" \
+    > "$smoke_dir/slow.jsonl"
+if cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+    "$smoke_dir/ledger.jsonl" "$smoke_dir/slow.jsonl" > /dev/null; then
+    echo "FAIL: perf_compare did not flag a synthetic regression"
+    exit 1
+fi
+
+echo "verify.sh: all checks passed"

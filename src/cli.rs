@@ -48,6 +48,8 @@ pub struct CliOptions {
     pub mode: Mode,
     /// Verify outputs.
     pub verify: bool,
+    /// Append per-trial JSONL records to this ledger file.
+    pub ledger: Option<String>,
     /// Unconsumed (kernel-specific) flags, as (flag, value) pairs.
     pub extra: Vec<(String, String)>,
 }
@@ -81,6 +83,7 @@ impl CliOptions {
             framework: "gap".into(),
             mode: Mode::Baseline,
             verify: true,
+            ledger: None,
             extra: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -102,6 +105,7 @@ impl CliOptions {
                 "-o" => opts.mode = Mode::Optimized,
                 "-v" => opts.verify = true,
                 "-V" => opts.verify = false,
+                "--ledger" => opts.ledger = Some(value("--ledger")?),
                 "-h" | "--help" => return Err(USAGE.into()),
                 other if other.starts_with('-') => {
                     let v = it.next().unwrap_or_default();
@@ -192,6 +196,7 @@ impl CliOptions {
             verify: self.verify,
             source_override: self.fixed_source,
             max_trials: self.trials.max(1).max(16),
+            ledger_path: self.ledger.as_ref().map(std::path::PathBuf::from),
             ..Default::default()
         }
     }
@@ -343,6 +348,7 @@ usage: <kernel> [options]
   -x <fw>      framework: gap|suitesparse|galois|graphit|gkc|nwgraph
   -o           Optimized rules (default Baseline)
   -V           skip verification
+  --ledger <path>  append per-trial JSONL records to a run ledger
 kernel-specific: sssp: -d <delta>; pr: -i <iters> -t <tol>";
 
 #[cfg(test)]
@@ -378,6 +384,18 @@ mod tests {
         let o = parse(&["-c", "road"]);
         assert_eq!(o.source, GraphSource::Corpus(GraphSpec::Road));
         assert!(CliOptions::parse(["-c".into(), "nope".into()]).is_err());
+    }
+
+    #[test]
+    fn ledger_flag_threads_into_trial_config() {
+        let o = parse(&["--ledger", "out/ledger.jsonl"]);
+        assert_eq!(o.ledger.as_deref(), Some("out/ledger.jsonl"));
+        let config = o.trial_config();
+        assert_eq!(
+            config.ledger_path.as_deref(),
+            Some(std::path::Path::new("out/ledger.jsonl"))
+        );
+        assert!(parse(&[]).trial_config().ledger_path.is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn mini_study_runs_and_renders_all_tables() {
         source_override: None,
         min_cell_seconds: 0.0,
         max_trials: 2,
+        ledger_path: None,
     };
     let mut progress_lines = 0usize;
     let report = run_matrix(
@@ -89,6 +90,7 @@ fn disabling_verification_skips_oracles_but_keeps_times() {
         source_override: None,
         min_cell_seconds: 0.0,
         max_trials: 1,
+        ledger_path: None,
     };
     let record = gapbs::core::run_cell(
         frameworks[0].as_ref(),

@@ -1,23 +1,37 @@
-//! Property-based tests (proptest) over the core data structures and the
+//! Randomized property tests over the core data structures and the
 //! kernels' algebraic invariants.
+//!
+//! Each property is checked against a deterministic stream of random
+//! edge lists (seeded xoshiro, see `gapbs::graph::rng`), so failures
+//! reproduce exactly without an external shrinker.
 
 use gapbs::graph::edgelist::{Edge, WEdge};
+use gapbs::graph::rng::SeededRng;
 use gapbs::graph::types::{NodeId, INF_DIST, NO_PARENT};
 use gapbs::graph::{perm, Builder, Graph, WGraph};
 use gapbs::parallel::ThreadPool;
-use proptest::prelude::*;
 
 const N: NodeId = 48;
+const CASES: u64 = 24;
 
-fn arb_edges() -> impl Strategy<Value = Vec<Edge>> {
-    proptest::collection::vec((0..N, 0..N).prop_map(|(a, b)| Edge::new(a, b)), 0..300)
+fn rand_edges(rng: &mut SeededRng) -> Vec<Edge> {
+    let count = rng.gen_range(0..300usize);
+    (0..count)
+        .map(|_| Edge::new(rng.gen_range(0..N), rng.gen_range(0..N)))
+        .collect()
 }
 
-fn arb_wedges() -> impl Strategy<Value = Vec<WEdge>> {
-    proptest::collection::vec(
-        (0..N, 0..N, 1..64i32).prop_map(|(a, b, w)| WEdge::new(a, b, w)),
-        0..300,
-    )
+fn rand_wedges(rng: &mut SeededRng) -> Vec<WEdge> {
+    let count = rng.gen_range(0..300usize);
+    (0..count)
+        .map(|_| {
+            WEdge::new(
+                rng.gen_range(0..N),
+                rng.gen_range(0..N),
+                rng.gen_range(1..64i32),
+            )
+        })
+        .collect()
 }
 
 fn build(edges: Vec<Edge>, symmetrize: bool) -> Graph {
@@ -35,61 +49,91 @@ fn build_weighted(edges: Vec<WEdge>) -> WGraph {
         .expect("valid weighted edges")
 }
 
-proptest! {
-    /// Builder invariant: adjacency is sorted, deduplicated, in range.
-    #[test]
-    fn builder_produces_sorted_dedup_adjacency(edges in arb_edges(), sym in any::<bool>()) {
-        let g = build(edges, sym);
+/// Runs `check` over `CASES` deterministic random cases. The case seed is
+/// passed through so assertion messages can name the failing case.
+fn for_cases(tag: u64, mut check: impl FnMut(u64, &mut SeededRng)) {
+    for case in 0..CASES {
+        let seed = tag * 10_000 + case;
+        let mut rng = SeededRng::seed_from_u64(seed);
+        check(seed, &mut rng);
+    }
+}
+
+/// Builder invariant: adjacency is sorted, deduplicated, in range.
+#[test]
+fn builder_produces_sorted_dedup_adjacency() {
+    for_cases(1, |seed, rng| {
+        let sym = rng.next_u64() & 1 == 1;
+        let g = build(rand_edges(rng), sym);
         for u in g.vertices() {
             let row = g.out_neighbors(u);
             for w in row.windows(2) {
-                prop_assert!(w[0] < w[1], "row of {u} not sorted/dedup");
+                assert!(w[0] < w[1], "case {seed}: row of {u} not sorted/dedup");
             }
-            prop_assert!(row.iter().all(|&v| (v as usize) < g.num_vertices()));
+            assert!(row.iter().all(|&v| (v as usize) < g.num_vertices()));
         }
         // In-adjacency mirrors out-adjacency.
         let out_arcs: usize = g.vertices().map(|u| g.out_degree(u)).sum();
         let in_arcs: usize = g.vertices().map(|u| g.in_degree(u)).sum();
-        prop_assert_eq!(out_arcs, in_arcs);
-    }
+        assert_eq!(out_arcs, in_arcs, "case {seed}");
+    });
+}
 
-    /// Symmetrized graphs are actually symmetric.
-    #[test]
-    fn symmetrize_makes_adjacency_symmetric(edges in arb_edges()) {
-        let g = build(edges, true);
+/// Symmetrized graphs are actually symmetric.
+#[test]
+fn symmetrize_makes_adjacency_symmetric() {
+    for_cases(2, |seed, rng| {
+        let g = build(rand_edges(rng), true);
         for u in g.vertices() {
             for &v in g.out_neighbors(u) {
-                prop_assert!(g.out_csr().has_edge(v, u), "missing mirror of ({u},{v})");
+                assert!(
+                    g.out_csr().has_edge(v, u),
+                    "case {seed}: missing mirror of ({u},{v})"
+                );
             }
         }
-    }
+    });
+}
 
-    /// BFS parent trees are valid: parent edges exist and reachability
-    /// matches a sequential BFS.
-    #[test]
-    fn bfs_parent_tree_is_valid(edges in arb_edges()) {
-        let g = build(edges, false);
+/// BFS parent trees are valid: parent edges exist and reachability
+/// matches a sequential BFS.
+#[test]
+fn bfs_parent_tree_is_valid() {
+    for_cases(3, |seed, rng| {
+        let g = build(rand_edges(rng), false);
         let pool = ThreadPool::new(2);
         let parent = gapbs::gap_ref::bfs(&g, 0, &pool);
-        prop_assert!(gapbs::verify::verify_bfs(&g, 0, &parent).is_ok());
+        assert!(
+            gapbs::verify::verify_bfs(&g, 0, &parent).is_ok(),
+            "case {seed}"
+        );
         let _ = parent.iter().filter(|&&p| p != NO_PARENT).count();
-    }
+    });
+}
 
-    /// SSSP equals Dijkstra for every delta.
-    #[test]
-    fn sssp_equals_dijkstra(edges in arb_wedges(), delta in 1i32..64) {
+/// SSSP equals Dijkstra for every delta.
+#[test]
+fn sssp_equals_dijkstra() {
+    for_cases(4, |seed, rng| {
+        let edges = rand_wedges(rng);
+        let delta = rng.gen_range(1i32..64);
         let g = build_weighted(edges);
         let pool = ThreadPool::new(2);
         let got = gapbs::gap_ref::sssp(&g, 0, delta, &pool);
-        prop_assert!(gapbs::verify::verify_sssp(&g, 0, &got).is_ok());
-        prop_assert_eq!(got[0], 0);
-        prop_assert!(got.iter().all(|&d| d == INF_DIST || d >= 0));
-    }
+        assert!(
+            gapbs::verify::verify_sssp(&g, 0, &got).is_ok(),
+            "case {seed} (delta {delta})"
+        );
+        assert_eq!(got[0], 0, "case {seed}");
+        assert!(got.iter().all(|&d| d == INF_DIST || d >= 0), "case {seed}");
+    });
+}
 
-    /// Triangle counts are invariant under vertex relabeling.
-    #[test]
-    fn tc_is_permutation_invariant(edges in arb_edges(), seed in 0u64..1000) {
-        let g = build(edges, true);
+/// Triangle counts are invariant under vertex relabeling.
+#[test]
+fn tc_is_permutation_invariant() {
+    for_cases(5, |seed, rng| {
+        let g = build(rand_edges(rng), true);
         let pool = ThreadPool::new(2);
         let base = gapbs::gap_ref::tc(&g, &pool);
         // Derive a permutation from the seed deterministically.
@@ -103,15 +147,17 @@ proptest! {
         }
         let p = perm::Permutation::new(order);
         let permuted = perm::apply(&g, &p);
-        prop_assert_eq!(gapbs::gap_ref::tc(&permuted, &pool), base);
-    }
+        assert_eq!(gapbs::gap_ref::tc(&permuted, &pool), base, "case {seed}");
+    });
+}
 
-    /// The asynchronous OBIM-ordered SSSP agrees with the verifier's
-    /// Dijkstra oracle on arbitrary graphs (the ordered worklist must not
-    /// lose or duplicate relaxations).
-    #[test]
-    fn async_obim_sssp_is_exact(edges in arb_wedges()) {
-        let g = build_weighted(edges);
+/// The asynchronous OBIM-ordered SSSP agrees with the verifier's
+/// Dijkstra oracle on arbitrary graphs (the ordered worklist must not
+/// lose or duplicate relaxations).
+#[test]
+fn async_obim_sssp_is_exact() {
+    for_cases(6, |seed, rng| {
+        let g = build_weighted(rand_wedges(rng));
         let pool = ThreadPool::new(2);
         let got = gapbs::galois::sssp(
             &g,
@@ -120,50 +166,62 @@ proptest! {
             gapbs::galois::ExecutionStyle::Asynchronous,
             &pool,
         );
-        prop_assert!(gapbs::verify::verify_sssp(&g, 0, &got).is_ok());
-    }
+        assert!(
+            gapbs::verify::verify_sssp(&g, 0, &got).is_ok(),
+            "case {seed}"
+        );
+    });
+}
 
-    /// All CC implementations induce the same partition.
-    #[test]
-    fn cc_partitions_agree(edges in arb_edges()) {
-        let g = build(edges, true);
+/// All CC implementations induce the same partition.
+#[test]
+fn cc_partitions_agree() {
+    for_cases(7, |seed, rng| {
+        let g = build(rand_edges(rng), true);
         let pool = ThreadPool::new(2);
         let a = gapbs::gap_ref::cc(&g, &pool);
         let b = gapbs::gkc::cc(&g, &pool);
         let c = gapbs::graphit::cc(&g, false, &pool);
-        prop_assert!(gapbs::verify::verify_cc(&g, &a).is_ok());
-        prop_assert!(gapbs::verify::verify_cc(&g, &b).is_ok());
-        prop_assert!(gapbs::verify::verify_cc(&g, &c).is_ok());
-    }
+        assert!(gapbs::verify::verify_cc(&g, &a).is_ok(), "case {seed}");
+        assert!(gapbs::verify::verify_cc(&g, &b).is_ok(), "case {seed}");
+        assert!(gapbs::verify::verify_cc(&g, &c).is_ok(), "case {seed}");
+    });
+}
 
-    /// PageRank scores form a probability distribution.
-    #[test]
-    fn pr_is_a_distribution(edges in arb_edges()) {
-        let g = build(edges, false);
+/// PageRank scores form a probability distribution.
+#[test]
+fn pr_is_a_distribution() {
+    for_cases(8, |seed, rng| {
+        let g = build(rand_edges(rng), false);
         let pool = ThreadPool::new(2);
         let result = gapbs::gap_ref::pr(&g, &pool);
         let total: f64 = result.scores.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-4, "sum = {total}");
-        prop_assert!(result.scores.iter().all(|&s| s >= 0.0));
-    }
+        assert!((total - 1.0).abs() < 1e-4, "case {seed}: sum = {total}");
+        assert!(result.scores.iter().all(|&s| s >= 0.0), "case {seed}");
+    });
+}
 
-    /// Graph I/O round-trips arbitrary graphs.
-    #[test]
-    fn binary_io_roundtrips(edges in arb_edges(), sym in any::<bool>()) {
-        let g = build(edges, sym);
+/// Graph I/O round-trips arbitrary graphs.
+#[test]
+fn binary_io_roundtrips() {
+    for_cases(9, |seed, rng| {
+        let sym = rng.next_u64() & 1 == 1;
+        let g = build(rand_edges(rng), sym);
         let mut buf = Vec::new();
         gapbs::graph::io::write_binary(&g, &mut buf).expect("write to vec");
         let g2 = gapbs::graph::io::read_binary(&buf[..]).expect("read back");
-        prop_assert_eq!(g, g2);
-    }
+        assert_eq!(g, g2, "case {seed}");
+    });
+}
 
-    /// Every pair of vertices in the largest SCC is mutually reachable,
-    /// and the SCC is maximal w.r.t. sampled outside vertices.
-    #[test]
-    fn largest_scc_members_are_mutually_reachable(edges in arb_edges()) {
-        let g = build(edges, false);
+/// Every pair of vertices in the largest SCC is mutually reachable,
+/// and the SCC is maximal w.r.t. sampled outside vertices.
+#[test]
+fn largest_scc_members_are_mutually_reachable() {
+    for_cases(10, |seed, rng| {
+        let g = build(rand_edges(rng), false);
         let scc = gapbs::graph::scc::largest_scc(&g);
-        prop_assert!(!scc.is_empty() || g.num_vertices() == 0);
+        assert!(!scc.is_empty() || g.num_vertices() == 0, "case {seed}");
         // Reachability oracle via sequential BFS.
         let reaches = |from: NodeId, to: NodeId| -> bool {
             let mut seen = vec![false; g.num_vertices()];
@@ -185,45 +243,52 @@ proptest! {
         // Sample pairs (full quadratic check would dominate the test).
         for (i, &a) in scc.iter().enumerate().step_by(7) {
             let b = scc[(i * 13 + 1) % scc.len()];
-            prop_assert!(reaches(a, b), "{a} cannot reach {b} inside the SCC");
-            prop_assert!(reaches(b, a), "{b} cannot reach {a} inside the SCC");
+            assert!(reaches(a, b), "case {seed}: {a} cannot reach {b} in SCC");
+            assert!(reaches(b, a), "case {seed}: {b} cannot reach {a} in SCC");
         }
-    }
+    });
+}
 
-    /// Frontier profiles partition the reachable set and level sizes sum
-    /// to the reach count.
-    #[test]
-    fn frontier_profile_is_consistent(edges in arb_edges()) {
-        let g = build(edges, false);
+/// Frontier profiles partition the reachable set and level sizes sum
+/// to the reach count.
+#[test]
+fn frontier_profile_is_consistent() {
+    for_cases(11, |seed, rng| {
+        let g = build(rand_edges(rng), false);
         if g.num_vertices() == 0 {
-            return Ok(());
+            return;
         }
         let p = gapbs::graph::stats::frontier_profile(&g, 0);
         let total: usize = p.frontier_sizes.iter().sum();
-        prop_assert!(total >= 1, "source always reached");
-        prop_assert!(total <= g.num_vertices());
-        prop_assert_eq!(p.frontier_sizes.len(), p.frontier_edges.len());
-        prop_assert_eq!(p.frontier_sizes.len(), p.pull_levels.len());
+        assert!(total >= 1, "case {seed}: source always reached");
+        assert!(total <= g.num_vertices(), "case {seed}");
+        assert_eq!(p.frontier_sizes.len(), p.frontier_edges.len(), "case {seed}");
+        assert_eq!(p.frontier_sizes.len(), p.pull_levels.len(), "case {seed}");
         // Edge counts per level are bounded by the graph's arc count.
-        prop_assert!(p.frontier_edges.iter().all(|&e| e <= g.num_arcs()));
-    }
+        assert!(
+            p.frontier_edges.iter().all(|&e| e <= g.num_arcs()),
+            "case {seed}"
+        );
+    });
+}
 
-    /// Degree-descending relabeling is a bijection preserving the degree
-    /// multiset.
-    #[test]
-    fn relabeling_preserves_structure(edges in arb_edges()) {
-        let g = build(edges, true);
+/// Degree-descending relabeling is a bijection preserving the degree
+/// multiset.
+#[test]
+fn relabeling_preserves_structure() {
+    for_cases(12, |seed, rng| {
+        let g = build(rand_edges(rng), true);
         let p = perm::degree_descending(&g);
         let inv = p.inverse();
         for u in g.vertices() {
-            prop_assert_eq!(inv.new_id(p.new_id(u)), u);
+            assert_eq!(inv.new_id(p.new_id(u)), u, "case {seed}");
         }
         let h = perm::apply(&g, &p);
-        prop_assert_eq!(g.num_arcs(), h.num_arcs());
+        assert_eq!(g.num_arcs(), h.num_arcs(), "case {seed}");
         let mut dg: Vec<_> = g.vertices().map(|u| g.out_degree(u)).collect();
         let mut dh: Vec<_> = h.vertices().map(|u| h.out_degree(u)).collect();
         dg.sort_unstable();
         dh.sort_unstable();
-        prop_assert_eq!(dg, dh);
-    }
+        assert_eq!(dg, dh, "case {seed}");
+    });
 }

@@ -20,6 +20,7 @@ fn best(fw: &dyn Framework, input: &BenchGraph, kernel: Kernel) -> f64 {
         source_override: None,
         min_cell_seconds: 0.2,
         max_trials: 10,
+        ledger_path: None,
     };
     gapbs::core::run_cell(fw, input, kernel, Mode::Baseline, &config).best_seconds()
 }
@@ -99,6 +100,61 @@ fn gauss_seidel_needs_fewer_iterations_than_jacobi() {
     assert!(
         gs < jacobi,
         "gauss-seidel used {gs} iterations, jacobi {jacobi}"
+    );
+}
+
+/// §V-D as a *work* claim: the counters show Gauss–Seidel's advantage is
+/// fewer PageRank sweeps, not faster sweeps. Unlike the timing variant
+/// above, this holds on any machine at any load.
+#[cfg(feature = "telemetry")]
+#[test]
+fn gauss_seidel_pr_records_fewer_sweeps_than_jacobi() {
+    use gapbs::parallel::ThreadPool;
+    use gapbs_telemetry::{capture, Counter};
+    let g = GraphSpec::Road.generate(Scale::Tiny);
+    let pool = ThreadPool::new(1);
+    let config = gapbs::gap_ref::pr::PrConfig {
+        damping: 0.85,
+        tolerance: 1e-7,
+        max_iters: 500,
+    };
+    let (_, jacobi) = capture(|| gapbs::gap_ref::pr::pr_with_config(&g, &pool, &config));
+    let (_, gs) = capture(|| gapbs::galois::pr(&g, 0.85, 1e-7, 500, &pool));
+    let (j, s) = (
+        jacobi.get(Counter::PrIterations),
+        gs.get(Counter::PrIterations),
+    );
+    assert!(j > 0 && s > 0, "both runs must count sweeps (jacobi={j}, gauss-seidel={s})");
+    assert!(s < j, "gauss-seidel counted {s} sweeps, jacobi {j}");
+}
+
+/// §V-A as a *work* claim: direction optimization's whole point is that
+/// the pull phase stops scanning a vertex's row at the first visited
+/// parent, so a DO-BFS on a low-diameter power-law graph examines fewer
+/// than m edges — where a pure top-down BFS must examine all m reachable
+/// arcs.
+#[cfg(feature = "telemetry")]
+#[test]
+fn direction_optimizing_bfs_examines_under_m_edges_on_kron() {
+    use gapbs::parallel::ThreadPool;
+    use gapbs_telemetry::{capture, Counter};
+    let g = GraphSpec::Kron.generate(Scale::Tiny);
+    let pool = ThreadPool::new(1);
+    // Kron leaves many vertices isolated; start from the densest one.
+    let source = (0..g.num_vertices() as u32)
+        .max_by_key(|&u| g.out_degree(u))
+        .expect("non-empty graph");
+    let (_, counters) = capture(|| gapbs::gap_ref::bfs::bfs(&g, source, &pool));
+    let examined = counters.get(Counter::EdgesExamined);
+    let m = g.num_arcs() as u64;
+    assert!(examined > 0, "DO-BFS must count examined edges");
+    assert!(
+        examined < m,
+        "DO-BFS examined {examined} edges, expected fewer than m = {m}"
+    );
+    assert!(
+        counters.get(Counter::DirectionSwitches) >= 2,
+        "kron should trigger at least one push->pull->push round trip"
     );
 }
 
