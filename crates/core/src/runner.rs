@@ -104,7 +104,11 @@ impl CellRecord {
     }
 }
 
-/// Runs one cell of the benchmark matrix.
+/// Runs one cell of the benchmark matrix on a freshly provisioned pool.
+///
+/// Prefer [`run_cell_in_pool`] when running more than one cell: the
+/// persistent pool's worker team should be spawned once per run, not
+/// once per cell.
 pub fn run_cell(
     framework: &dyn Framework,
     input: &BenchGraph,
@@ -113,6 +117,22 @@ pub fn run_cell(
     config: &TrialConfig,
 ) -> CellRecord {
     let pool = ThreadPool::new(config.threads);
+    run_cell_in_pool(framework, input, kernel, mode, config, &pool)
+}
+
+/// Runs one cell of the benchmark matrix on an existing pool.
+///
+/// The pool's thread count is authoritative for execution; callers
+/// should build it from `config.threads` (as [`run_matrix`] does) so
+/// ledger records describe the actual team size.
+pub fn run_cell_in_pool(
+    framework: &dyn Framework,
+    input: &BenchGraph,
+    kernel: Kernel,
+    mode: Mode,
+    config: &TrialConfig,
+    pool: &ThreadPool,
+) -> CellRecord {
     let ledger = config.ledger_path.as_ref().and_then(|path| {
         Ledger::open(path)
             .map_err(|e| eprintln!("ledger {}: {e}", path.display()))
@@ -124,7 +144,7 @@ pub fn run_cell(
     let mut counters_mark = gapbs_telemetry::snapshot();
     let prepared = {
         let _build = Span::enter(Phase::Build);
-        framework.prepare(input, mode, &pool)
+        framework.prepare(input, mode, pool)
     };
     let mut picker = SourcePicker::from_candidates(input.source_candidates.clone(), config.seed);
     let mut times = Vec::with_capacity(config.trials);
@@ -220,7 +240,7 @@ pub fn run_cell(
                 trial: trial as u64,
                 seconds: trial_seconds,
                 verified,
-                threads: config.threads as u64,
+                threads: pool.num_threads() as u64,
                 num_vertices: input.graph.num_vertices() as u64,
                 num_arcs: input.graph.num_arcs() as u64,
                 counters: now_counters.delta(&counters_mark),
@@ -262,12 +282,16 @@ pub fn run_matrix<F>(
 where
     F: FnMut(&CellRecord),
 {
+    // One persistent worker team for the whole matrix: every cell's
+    // regions reuse it, so a full run pays exactly one spawn event.
+    let pool = ThreadPool::new(config.threads);
     let mut cells = Vec::new();
     for mode in modes {
         for input in inputs {
             for framework in frameworks {
                 for &kernel in kernels {
-                    let record = run_cell(framework.as_ref(), input, kernel, *mode, config);
+                    let record =
+                        run_cell_in_pool(framework.as_ref(), input, kernel, *mode, config, &pool);
                     progress(&record);
                     cells.push(record);
                 }

@@ -45,6 +45,7 @@ pub fn pr(
             / nf;
         let error = pool.reduce_index(
             n,
+            gapbs_parallel::Schedule::Guided,
             0.0f64,
             |v| {
                 let mut sum = 0.0;
@@ -64,7 +65,13 @@ pub fn pr(
         // only geometrically and dominates the error tail. One O(n)
         // rescale per sweep restores the faster-than-Jacobi convergence
         // Gauss–Seidel PageRank is known for.
-        let mass = pool.reduce_index(n, 0.0f64, |v| scores[v].load(), |a, b| a + b);
+        let mass = pool.reduce_index(
+            n,
+            gapbs_parallel::Schedule::Static,
+            0.0f64,
+            |v| scores[v].load(),
+            |a, b| a + b,
+        );
         if mass > 0.0 {
             pool.for_each_index(n, gapbs_parallel::Schedule::Static, |v| {
                 scores[v].store(scores[v].load() / mass);

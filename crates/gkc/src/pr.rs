@@ -47,6 +47,7 @@ pub fn pr(
             / nf;
         let error = pool.reduce_index(
             n,
+            gapbs_parallel::Schedule::Guided,
             0.0f64,
             |v| {
                 let row = g.in_neighbors(v as NodeId);
@@ -67,7 +68,13 @@ pub fn pr(
         // Per-sweep mass renormalization: in-place updates inflate total
         // mass, and the excess decays too slowly to hit the tolerance in
         // the expected sweep count.
-        let mass = pool.reduce_index(n, 0.0f64, |v| scores[v].load(), |a, b| a + b);
+        let mass = pool.reduce_index(
+            n,
+            gapbs_parallel::Schedule::Static,
+            0.0f64,
+            |v| scores[v].load(),
+            |a, b| a + b,
+        );
         if mass > 0.0 {
             pool.for_each_index(n, gapbs_parallel::Schedule::Static, |v| {
                 scores[v].store(scores[v].load() / mass);

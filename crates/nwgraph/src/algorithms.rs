@@ -199,6 +199,7 @@ where
             / nf;
         let error = pool.reduce_index(
             n,
+            Schedule::Guided,
             0.0f64,
             |v| {
                 gapbs_telemetry::record(
@@ -218,7 +219,13 @@ where
         );
         // Renormalize the in-place sweep's inflated mass (see the
         // Gauss–Seidel discussion in gapbs-galois::pr).
-        let mass = pool.reduce_index(n, 0.0f64, |v| scores[v].load(), |a, b| a + b);
+        let mass = pool.reduce_index(
+            n,
+            Schedule::Static,
+            0.0f64,
+            |v| scores[v].load(),
+            |a, b| a + b,
+        );
         if mass > 0.0 {
             pool.for_each_index(n, Schedule::Static, |v| {
                 scores[v].store(scores[v].load() / mass);

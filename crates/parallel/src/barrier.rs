@@ -1,0 +1,201 @@
+//! The region barrier of the persistent thread pool.
+//!
+//! A [`RegionBarrier`] coordinates one leader and a fixed team of
+//! workers through an unbounded sequence of fork-join regions. It is an
+//! epoch (sense-reversing) barrier split into two halves:
+//!
+//! * **release** — the leader publishes a job payload and bumps the
+//!   epoch; workers parked on the start condvar compare the epoch to the
+//!   last one they ran and wake exactly once per region.
+//! * **completion latch** — each worker increments a done-count after
+//!   finishing the job; the leader blocks until the whole team has
+//!   checked in, which is what makes it sound to hand workers a borrowed
+//!   closure (the borrow cannot end before every use of it has).
+//!
+//! The payload travels inside the same mutex as the epoch, so the
+//! epoch observation that wakes a worker also happens-after the payload
+//! store — no torn job reads, no separate fence reasoning.
+
+use crate::sync::Mutex;
+use std::sync::Condvar;
+
+/// What a worker observes when it comes back from [`RegionBarrier::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Wake<J> {
+    /// Epoch of the region being entered; pass it to the next `wait`.
+    pub epoch: u64,
+    /// The region's job, or `None` when the pool is shutting down.
+    pub job: Option<J>,
+    /// How many times the worker blocked on the condvar before waking
+    /// with work (0 when the region was already released on arrival).
+    pub parks: u64,
+}
+
+#[derive(Debug)]
+struct Gate<J> {
+    epoch: u64,
+    job: Option<J>,
+    shutdown: bool,
+}
+
+/// Epoch-release / completion-latch barrier for one leader and
+/// `workers` team members (the leader itself is not counted).
+#[derive(Debug)]
+pub struct RegionBarrier<J> {
+    workers: usize,
+    gate: Mutex<Gate<J>>,
+    start: Condvar,
+    done: Mutex<usize>,
+    finished: Condvar,
+}
+
+impl<J: Copy> RegionBarrier<J> {
+    /// A barrier for a team of `workers` (excluding the leader).
+    pub fn new(workers: usize) -> Self {
+        RegionBarrier {
+            workers,
+            gate: Mutex::new(Gate {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Mutex::new(0),
+            finished: Condvar::new(),
+        }
+    }
+
+    /// Team size the completion latch waits for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Leader half, phase 1: publish `job`, open a new epoch, and wake
+    /// the team. Resets the completion latch first, so a leader that
+    /// panicked out of a *previous* region's body (after its workers
+    /// checked in) cannot leave a stale done-count behind.
+    pub fn release(&self, job: J) {
+        *self.done.lock() = 0;
+        let mut gate = self.gate.lock();
+        gate.job = Some(job);
+        gate.epoch += 1;
+        drop(gate);
+        self.start.notify_all();
+    }
+
+    /// Worker half, phase 1: park until the epoch moves past
+    /// `last_epoch` (or shutdown), then return the new epoch and job.
+    pub fn wait(&self, last_epoch: u64) -> Wake<J> {
+        let mut gate = self.gate.lock();
+        let mut parks = 0u64;
+        loop {
+            if gate.shutdown {
+                return Wake {
+                    epoch: gate.epoch,
+                    job: None,
+                    parks,
+                };
+            }
+            if gate.epoch != last_epoch {
+                return Wake {
+                    epoch: gate.epoch,
+                    job: gate.job,
+                    parks,
+                };
+            }
+            parks += 1;
+            gate = self.start.wait(gate).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Worker half, phase 2: check in as finished with the current
+    /// region, waking the leader once the whole team has.
+    pub fn complete(&self) {
+        let mut done = self.done.lock();
+        *done += 1;
+        if *done >= self.workers {
+            self.finished.notify_one();
+        }
+    }
+
+    /// Leader half, phase 2: block until every worker has checked in.
+    pub fn await_team(&self) {
+        let mut done = self.done.lock();
+        while *done < self.workers {
+            done = self.finished.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Permanently releases the team with no job; `wait` returns
+    /// `job: None` from now on.
+    pub fn shutdown(&self) {
+        self.gate.lock().shutdown = true;
+        self.start.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn releases_exactly_one_wake_per_epoch() {
+        let barrier = RegionBarrier::<u32>::new(2);
+        let ran = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut epoch = 0;
+                    loop {
+                        let wake = barrier.wait(epoch);
+                        let Some(job) = wake.job else { break };
+                        epoch = wake.epoch;
+                        ran.fetch_add(job as u64, Ordering::Relaxed);
+                        barrier.complete();
+                    }
+                });
+            }
+            for region in 0..50 {
+                barrier.release(region);
+                barrier.await_team();
+            }
+            barrier.shutdown();
+        });
+        // 2 workers x sum(0..50) — every region ran exactly once per worker.
+        assert_eq!(ran.into_inner(), 2 * (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_region_is_open() {
+        let barrier = RegionBarrier::<u8>::new(1);
+        barrier.release(7);
+        let wake = barrier.wait(0);
+        assert_eq!(wake.job, Some(7));
+        assert_eq!(wake.parks, 0, "no park when work was already released");
+    }
+
+    #[test]
+    fn shutdown_wakes_parked_workers() {
+        let barrier = RegionBarrier::<u8>::new(1);
+        std::thread::scope(|s| {
+            let t = s.spawn(|| barrier.wait(0));
+            // Give the worker a chance to park, then shut down.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            barrier.shutdown();
+            assert!(t.join().unwrap().job.is_none());
+        });
+    }
+
+    #[test]
+    fn release_resets_a_stale_done_count() {
+        let barrier = RegionBarrier::<u8>::new(1);
+        // Simulate a leader that panicked after its worker completed.
+        barrier.complete();
+        barrier.release(1);
+        // The latch must now require a fresh completion.
+        assert_eq!(*barrier.done.lock(), 0);
+        barrier.complete();
+        barrier.await_team();
+    }
+}

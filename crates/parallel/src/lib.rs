@@ -6,7 +6,10 @@
 //!
 //! * [`ThreadPool`] + [`ThreadPool::for_each_index`] — bulk-synchronous
 //!   loops with static / dynamic / guided scheduling (the OpenMP-style
-//!   frameworks),
+//!   frameworks). The pool is *persistent*: workers spawn once, park on
+//!   an epoch barrier between regions ([`barrier`]), and `Dynamic`/
+//!   `Guided` loops claim chunks from per-worker work-stealing range
+//!   deques ([`deque`]) rather than one shared counter,
 //! * [`SlidingQueue`] / [`QueueBuffer`] — the GAP reference's frontier
 //!   structure with per-thread buffered appends,
 //! * [`ChunkedWorklist`] — Galois-style asynchronous work-stealing worklist
@@ -25,8 +28,10 @@
 //! the Baseline data set).
 
 pub mod atomics;
+pub mod barrier;
 pub mod bitmap;
 pub mod buckets;
+pub mod deque;
 pub mod local_buffer;
 pub mod ordered;
 pub mod pool;

@@ -1,6 +1,25 @@
-//! Scoped thread pool with OpenMP-style loop scheduling.
+//! Persistent fork-join thread pool with OpenMP-style loop scheduling.
+//!
+//! Workers are spawned **once** per pool and park between regions on an
+//! epoch barrier ([`crate::barrier`]); launching a region is a mutex
+//! handshake, not `num_threads` OS thread spawns. BFS/SSSP/PR launch one
+//! region per level, bucket, or sweep, so a trial that used to pay
+//! thousands of spawn/join cycles now pays them exactly once — the
+//! OpenMP persistent-team behaviour the GAP reference kernels assume.
+//!
+//! `Dynamic`/`Guided` scheduling claims chunks from per-worker
+//! work-stealing range deques ([`crate::deque`]) instead of one shared
+//! counter, so skewed power-law loops no longer serialize every chunk
+//! claim through a single contended cache line.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::barrier::RegionBarrier;
+use crate::deque::{ChunkPolicy, RangeDeques, MAX_INDEX};
+use gapbs_telemetry::{record, Counter};
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Loop-scheduling policy, mirroring OpenMP's `schedule` clause which the
 /// GAP reference kernels select per loop (e.g. `dynamic, 64` over vertices,
@@ -9,20 +28,182 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub enum Schedule {
     /// Contiguous equal slices per thread: lowest overhead, no balancing.
     Static,
-    /// Threads grab fixed-size chunks from a shared counter: balances
-    /// skewed work (power-law adjacency) at the cost of one atomic per
-    /// chunk.
+    /// Threads claim fixed-size chunks from per-worker stealing deques:
+    /// balances skewed work (power-law adjacency) with an uncontended
+    /// local claim in the common case.
     Dynamic(usize),
-    /// Chunks start large and shrink: a compromise used for loops whose
-    /// tail is irregular.
+    /// Chunks start large and shrink geometrically toward the loop tail:
+    /// a compromise for loops whose tail is irregular.
     Guided,
 }
 
-/// A scoped fork-join thread pool.
+/// Parses a thread-count string (the `GAPBS_THREADS` format).
 ///
-/// Threads are spawned per parallel region via `std::thread::scope`; at the
-/// graph scales in this reproduction the spawn cost is dwarfed by the loop
-/// bodies, and scoping keeps borrows of graph data simple and safe.
+/// # Errors
+///
+/// Rejects zero, signs, garbage, and anything else that is not a
+/// positive integer, with a message naming the offending value.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err("GAPBS_THREADS must be a positive integer, got 0".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "GAPBS_THREADS must be a positive integer, got {value:?}"
+        )),
+    }
+}
+
+/// Resolves the default thread count: `GAPBS_THREADS` if set, otherwise
+/// the machine's available parallelism.
+///
+/// # Errors
+///
+/// Returns the [`parse_threads`] error when `GAPBS_THREADS` is set to an
+/// invalid value — a benchmark config with a typoed thread count must
+/// fail loudly, not silently run on all cores.
+pub fn try_default_threads() -> Result<usize, String> {
+    match std::env::var("GAPBS_THREADS") {
+        Ok(value) => parse_threads(&value),
+        Err(std::env::VarError::NotPresent) => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("GAPBS_THREADS is set but is not valid UTF-8".into())
+        }
+    }
+}
+
+/// Resolves the default thread count: `GAPBS_THREADS` if set, otherwise
+/// the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics when `GAPBS_THREADS` is set but invalid (garbage or `0`), so
+/// a misconfigured benchmark aborts instead of measuring the wrong
+/// machine shape. Use [`try_default_threads`] to handle the error.
+pub fn default_threads() -> usize {
+    try_default_threads()
+        .unwrap_or_else(|e| panic!("{e} (unset it or set a positive thread count)"))
+}
+
+/// Lifetime telemetry of one pool, readable in any build (the global
+/// telemetry counters mirror these, but only under `--features
+/// telemetry`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker-team bring-ups: 0 before the pool's first region, exactly 1
+    /// after — the team spawns lazily on first use and never again, which
+    /// is the property the persistent pool exists to provide (and puts
+    /// the spawn inside the first trial's telemetry window).
+    pub spawn_events: u64,
+    /// Parallel regions launched (`run` / `for_each_index` /
+    /// `reduce_index` calls, including single-threaded inline ones).
+    pub regions: u64,
+    /// Ranges stolen between workers by `Dynamic`/`Guided` loops.
+    pub steals: u64,
+    /// Times a worker blocked on the region barrier waiting for work.
+    pub parks: u64,
+}
+
+/// A type-erased pointer to a region's `Fn(usize)` body.
+///
+/// Validity: the leader publishes a `Job` only via `RegionBarrier::release`
+/// and does not return from [`ThreadPool::run`] until every worker has
+/// checked back in through the completion latch, so the borrow behind the
+/// raw pointer strictly outlives every dereference.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+}
+
+impl Job {
+    fn erase<F: Fn(usize) + Sync>(f: &F) -> Job {
+        let wide: &(dyn Fn(usize) + Sync) = f;
+        // SAFETY: erases the borrow's lifetime from the fat pointer's
+        // type only — the leader upholds the real lifetime by joining
+        // the team before `run` returns (see the struct docs).
+        let f: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(wide) };
+        Job { f }
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Job(..)")
+    }
+}
+
+// SAFETY: the pointee is `Sync` (shared calls are safe from any thread)
+// and the leader keeps it alive for the whole region (see `Job` docs).
+unsafe impl Send for Job {}
+
+thread_local! {
+    /// Whether the current thread is already executing a region body.
+    /// A nested `run` from inside a region executes inline instead of
+    /// re-entering the barrier (the outer region owns the workers).
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// State shared between the pool handles and the worker threads.
+#[derive(Debug)]
+struct Core {
+    num_threads: usize,
+    barrier: RegionBarrier<Job>,
+    /// Serializes concurrent `run` callers from different threads; a
+    /// region owns the whole team.
+    leader: crate::sync::Mutex<()>,
+    /// Set by a worker whose region body panicked; the leader re-raises.
+    panicked: AtomicBool,
+    /// `true` once the worker team has been spawned (fast path of
+    /// [`ThreadPool::ensure_team`]).
+    team_ready: AtomicBool,
+    spawn_events: AtomicU64,
+    regions: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl Core {
+    fn note_region(&self) {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        record(Counter::PoolRegions, 1);
+    }
+
+    fn note_steals(&self, steals: u64) {
+        if steals > 0 {
+            self.steals.fetch_add(steals, Ordering::Relaxed);
+            record(Counter::PoolSteals, steals);
+        }
+    }
+}
+
+/// Owns the worker handles; dropped when the last `ThreadPool` clone
+/// goes away, releasing and joining the team.
+#[derive(Debug)]
+struct Inner {
+    core: Arc<Core>,
+    /// Spawned lazily by [`ThreadPool::ensure_team`] on the first region;
+    /// empty until then (and forever on a 1-thread pool).
+    workers: crate::sync::Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.core.barrier.shutdown();
+        for handle in self.workers.get_mut().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A persistent fork-join thread pool.
+///
+/// `num_threads - 1` workers are spawned lazily at the pool's first
+/// parallel region — exactly once per pool — and park between regions;
+/// the thread calling [`ThreadPool::run`] participates as thread 0,
+/// OpenMP-master style. Clones share the same worker team, and the team
+/// is joined when the last clone drops.
 ///
 /// # Example
 ///
@@ -36,10 +217,11 @@ pub enum Schedule {
 ///     sum.fetch_add(i, Ordering::Relaxed);
 /// });
 /// assert_eq!(sum.into_inner(), 99 * 100 / 2);
+/// assert_eq!(pool.stats().spawn_events, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ThreadPool {
-    num_threads: usize,
+    inner: Arc<Inner>,
 }
 
 impl Default for ThreadPool {
@@ -48,52 +230,122 @@ impl Default for ThreadPool {
     }
 }
 
-/// Resolves the default thread count: `GAPBS_THREADS` if set, otherwise
-/// the machine's available parallelism.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("GAPBS_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 impl ThreadPool {
-    /// Creates a pool that runs parallel regions on `num_threads` threads.
+    /// Creates a pool whose team runs parallel regions on `num_threads`
+    /// threads (`num_threads - 1` spawned workers plus the caller).
     ///
     /// # Panics
     ///
     /// Panics if `num_threads` is zero.
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads > 0, "thread pool needs at least one thread");
-        ThreadPool { num_threads }
+        let core = Arc::new(Core {
+            num_threads,
+            barrier: RegionBarrier::new(num_threads - 1),
+            leader: crate::sync::Mutex::new(()),
+            panicked: AtomicBool::new(false),
+            team_ready: AtomicBool::new(false),
+            spawn_events: AtomicU64::new(0),
+            regions: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        });
+        ThreadPool {
+            inner: Arc::new(Inner {
+                core,
+                workers: crate::sync::Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Spawns the worker team on the pool's first region (idempotent).
+    ///
+    /// Lazy spawning keeps a never-used pool free and, more importantly,
+    /// attributes the one spawn event to the work that first needed the
+    /// team — so a ledgered benchmark run shows the spawn inside its
+    /// first trial's counter window instead of losing it to setup.
+    fn ensure_team(&self) {
+        let core = &self.inner.core;
+        if core.team_ready.load(Ordering::Acquire) {
+            return;
+        }
+        let mut workers = self.inner.workers.lock();
+        if core.team_ready.load(Ordering::Acquire) {
+            return;
+        }
+        core.spawn_events.fetch_add(1, Ordering::Relaxed);
+        record(Counter::PoolWorkerSpawns, 1);
+        *workers = (1..core.num_threads)
+            .map(|tid| {
+                let core = Arc::clone(core);
+                std::thread::Builder::new()
+                    .name(format!("gapbs-pool-{tid}"))
+                    .spawn(move || worker_loop(&core, tid))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        core.team_ready.store(true, Ordering::Release);
     }
 
     /// Number of threads used for parallel regions.
     pub fn num_threads(&self) -> usize {
-        self.num_threads
+        self.inner.core.num_threads
     }
 
-    /// Runs `f(thread_id)` on every pool thread and joins.
+    /// Snapshot of this pool's lifetime spawn/region/steal/park counts.
+    pub fn stats(&self) -> PoolStats {
+        let core = &self.inner.core;
+        PoolStats {
+            spawn_events: core.spawn_events.load(Ordering::Relaxed),
+            regions: core.regions.load(Ordering::Relaxed),
+            steals: core.steals.load(Ordering::Relaxed),
+            parks: core.parks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f(thread_id)` on every pool thread and returns when all of
+    /// them have finished (a full fork-join region).
+    ///
+    /// Called from inside a region body, the nested region executes all
+    /// thread ids inline on the calling thread — the outer region
+    /// already owns the team.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any thread's `f` after the region joins.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize) + Sync,
     {
-        if self.num_threads == 1 {
+        self.ensure_team();
+        let core = &self.inner.core;
+        core.note_region();
+        if core.num_threads == 1 {
             f(0);
             return;
         }
-        std::thread::scope(|s| {
-            for tid in 0..self.num_threads {
-                let f = &f;
-                s.spawn(move || f(tid));
+        if IN_REGION.with(Cell::get) {
+            for tid in 0..core.num_threads {
+                f(tid);
             }
-        });
+            return;
+        }
+        let _leader = core.leader.lock();
+        core.barrier.release(Job::erase(&f));
+        IN_REGION.with(|c| c.set(true));
+        let lead = catch_unwind(AssertUnwindSafe(|| f(0)));
+        IN_REGION.with(|c| c.set(false));
+        // Always join the team before unwinding: workers hold a borrow
+        // of `f` until the completion latch opens.
+        core.barrier.await_team();
+        let worker_panicked = core.panicked.swap(false, Ordering::Relaxed);
+        match lead {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if worker_panicked => {
+                panic!("a pool worker panicked during a parallel region")
+            }
+            Ok(()) => {}
+        }
     }
 
     /// Parallel `for i in 0..n` under the given schedule.
@@ -104,61 +356,41 @@ impl ThreadPool {
         if n == 0 {
             return;
         }
-        if self.num_threads == 1 {
+        let threads = self.num_threads();
+        if threads == 1 {
+            self.ensure_team();
+            self.inner.core.note_region();
             for i in 0..n {
                 f(i);
             }
             return;
         }
-        match schedule {
-            Schedule::Static => self.run(|tid| {
-                let per = n.div_ceil(self.num_threads);
-                let lo = (tid * per).min(n);
-                let hi = ((tid + 1) * per).min(n);
+        let state = LoopState::new(n, threads, schedule);
+        let core = &self.inner.core;
+        self.run(|tid| {
+            let mut body = |lo: usize, hi: usize| {
                 for i in lo..hi {
                     f(i);
                 }
-            }),
-            Schedule::Dynamic(chunk) => {
-                let chunk = chunk.max(1);
-                let next = AtomicUsize::new(0);
-                self.run(|_| loop {
-                    let lo = next.fetch_add(chunk, Ordering::Relaxed);
-                    if lo >= n {
-                        break;
-                    }
-                    let hi = (lo + chunk).min(n);
-                    for i in lo..hi {
-                        f(i);
-                    }
-                });
-            }
-            Schedule::Guided => {
-                let next = AtomicUsize::new(0);
-                self.run(|_| loop {
-                    let lo = next.load(Ordering::Relaxed);
-                    if lo >= n {
-                        break;
-                    }
-                    let remaining = n - lo;
-                    let chunk = (remaining / (2 * self.num_threads)).max(1);
-                    let lo = next.fetch_add(chunk, Ordering::Relaxed);
-                    if lo >= n {
-                        break;
-                    }
-                    let hi = (lo + chunk).min(n);
-                    for i in lo..hi {
-                        f(i);
-                    }
-                });
-            }
-        }
+            };
+            core.note_steals(state.drain(tid, &mut body));
+        });
     }
 
-    /// Parallel map-reduce over `0..n`: `map(i)` values are combined with
-    /// `fold` within each thread and the per-thread partials reduced with
-    /// `fold` again.
-    pub fn reduce_index<T, M, F>(&self, n: usize, identity: T, map: M, fold: F) -> T
+    /// Parallel map-reduce over `0..n` under the given schedule:
+    /// `map(i)` values are combined with `fold` within each thread and
+    /// the per-thread partials reduced with `fold` again.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gapbs_parallel::{Schedule, ThreadPool};
+    ///
+    /// let pool = ThreadPool::new(3);
+    /// let sum = pool.reduce_index(1000, Schedule::Guided, 0u64, |i| i as u64, |a, b| a + b);
+    /// assert_eq!(sum, 999 * 1000 / 2);
+    /// ```
+    pub fn reduce_index<T, M, F>(&self, n: usize, schedule: Schedule, identity: T, map: M, fold: F) -> T
     where
         T: Clone + Send + Sync,
         M: Fn(usize) -> T + Sync,
@@ -167,34 +399,191 @@ impl ThreadPool {
         if n == 0 {
             return identity;
         }
-        if self.num_threads == 1 {
+        let threads = self.num_threads();
+        if threads == 1 {
+            self.ensure_team();
+            self.inner.core.note_region();
             let mut acc = identity;
             for i in 0..n {
                 acc = fold(acc, map(i));
             }
             return acc;
         }
-        let partials = crate::sync::Mutex::new(Vec::with_capacity(self.num_threads));
-        let next = AtomicUsize::new(0);
-        let chunk = (n / (self.num_threads * 8)).max(1);
-        self.run(|_| {
-            let mut acc = identity.clone();
-            loop {
-                let lo = next.fetch_add(chunk, Ordering::Relaxed);
-                if lo >= n {
-                    break;
-                }
-                let hi = (lo + chunk).min(n);
+        let state = LoopState::new(n, threads, schedule);
+        let core = &self.inner.core;
+        let partials = crate::sync::Mutex::new(Vec::with_capacity(threads));
+        self.run(|tid| {
+            // Option dance: `drain` takes an `FnMut`, which cannot move a
+            // captured accumulator out; `take`/put-back keeps `fold` by-value.
+            let mut acc = Some(identity.clone());
+            let mut body = |lo: usize, hi: usize| {
+                let mut a = acc.take().expect("accumulator present between chunks");
                 for i in lo..hi {
-                    acc = fold(acc, map(i));
+                    a = fold(a, map(i));
                 }
-            }
-            partials.lock().push(acc);
+                acc = Some(a);
+            };
+            let steals = state.drain(tid, &mut body);
+            core.note_steals(steals);
+            partials
+                .lock()
+                .push(acc.expect("accumulator present after drain"));
         });
         partials
             .into_inner()
             .into_iter()
             .fold(identity, |a, b| fold(a, b))
+    }
+}
+
+/// The scoped-spawn baseline this pool replaced: spawns `num_threads`
+/// fresh OS threads for the single region `f`, `std::thread::scope`
+/// style. Kept public so `region_bench` (and the verify.sh smoke) can
+/// measure the persistent pool's per-region overhead against it.
+pub fn scoped_run<F>(num_threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if num_threads == 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for tid in 0..num_threads {
+            let f = &f;
+            s.spawn(move || f(tid));
+        }
+    });
+}
+
+/// Chunk-claiming state of one loop region.
+#[derive(Debug)]
+enum LoopState {
+    /// One contiguous slice per thread, computed from the thread id.
+    Static { n: usize, threads: usize },
+    /// Per-worker stealing deques (`Dynamic`/`Guided`, n <= u32::MAX).
+    Stealing {
+        deques: RangeDeques,
+        policy: ChunkPolicy,
+    },
+    /// Shared-counter fallback for loops too long to pack (never hit at
+    /// reproduction scale). The chunk is sized inside the claiming CAS
+    /// loop from the freshly observed remainder.
+    Shared {
+        next: AtomicUsize,
+        n: usize,
+        threads: usize,
+        policy: ChunkPolicy,
+    },
+}
+
+impl LoopState {
+    fn new(n: usize, threads: usize, schedule: Schedule) -> LoopState {
+        let policy = match schedule {
+            Schedule::Static => return LoopState::Static { n, threads },
+            Schedule::Dynamic(chunk) => ChunkPolicy::Fixed(chunk.max(1)),
+            Schedule::Guided => ChunkPolicy::Half,
+        };
+        if n <= MAX_INDEX {
+            LoopState::Stealing {
+                deques: RangeDeques::split(n, threads),
+                policy,
+            }
+        } else {
+            LoopState::Shared {
+                next: AtomicUsize::new(0),
+                n,
+                threads,
+                policy,
+            }
+        }
+    }
+
+    /// Feeds `body` every chunk thread `tid` is responsible for, and
+    /// returns how many ranges it stole from other workers.
+    fn drain(&self, tid: usize, body: &mut dyn FnMut(usize, usize)) -> u64 {
+        match self {
+            LoopState::Static { n, threads } => {
+                let per = n.div_ceil(*threads);
+                let lo = (tid * per).min(*n);
+                let hi = ((tid + 1) * per).min(*n);
+                if lo < hi {
+                    body(lo, hi);
+                }
+                0
+            }
+            LoopState::Stealing { deques, policy } => {
+                let mut steals = 0u64;
+                loop {
+                    while let Some((lo, hi)) = deques.claim(tid, *policy) {
+                        body(lo, hi);
+                    }
+                    if deques.steal(tid, &mut steals) {
+                        continue;
+                    }
+                    // Everything looked empty; a range mid-steal is
+                    // invisible, so yield once and re-scan before
+                    // leaving the region to the thief.
+                    std::thread::yield_now();
+                    if !deques.steal(tid, &mut steals) {
+                        break;
+                    }
+                }
+                steals
+            }
+            LoopState::Shared {
+                next,
+                n,
+                threads,
+                policy,
+            } => {
+                loop {
+                    let mut chunk = 0usize;
+                    let claimed = next.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                        if cur >= *n {
+                            return None;
+                        }
+                        let remaining = *n - cur;
+                        chunk = match policy {
+                            ChunkPolicy::Fixed(size) => (*size).clamp(1, remaining),
+                            // Guided over a shared counter: the classic
+                            // remaining / 2T, shrunk from the value the
+                            // CAS actually claims against.
+                            ChunkPolicy::Half => (remaining / (2 * *threads)).max(1),
+                        };
+                        Some(cur + chunk)
+                    });
+                    match claimed {
+                        Ok(lo) => body(lo, (lo + chunk).min(*n)),
+                        Err(_) => break,
+                    }
+                }
+                0
+            }
+        }
+    }
+}
+
+/// Body of one spawned worker: park, run the published job, check in.
+fn worker_loop(core: &Core, tid: usize) {
+    let mut epoch = 0u64;
+    loop {
+        let wake = core.barrier.wait(epoch);
+        if wake.parks > 0 {
+            core.parks.fetch_add(wake.parks, Ordering::Relaxed);
+            record(Counter::PoolParks, wake.parks);
+        }
+        let Some(job) = wake.job else { return };
+        epoch = wake.epoch;
+        IN_REGION.with(|c| c.set(true));
+        // SAFETY: the leader keeps the pointee alive until every worker
+        // has called `complete` for this region (see `Job`).
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(tid) }));
+        IN_REGION.with(|c| c.set(false));
+        if result.is_err() {
+            core.panicked.store(true, Ordering::Relaxed);
+        }
+        core.barrier.complete();
     }
 }
 
@@ -220,6 +609,98 @@ mod tests {
     }
 
     #[test]
+    fn exactly_once_under_contention_and_awkward_shapes() {
+        // Small n vs threads, n == 1, primes, and skewed bodies that
+        // force stealing: every index must be delivered exactly once.
+        let pool = ThreadPool::new(5);
+        for schedule in [Schedule::Static, Schedule::Dynamic(3), Schedule::Guided] {
+            for n in [1usize, 2, 4, 5, 17, 97, 1009] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                pool.for_each_index(n, schedule, |i| {
+                    // Skew: early indices are ~100x heavier, so late
+                    // workers drain and steal.
+                    if i < n / 8 {
+                        std::hint::black_box((0..100).sum::<usize>());
+                    }
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                let bad: Vec<usize> = (0..n)
+                    .filter(|&i| hits[i].load(Ordering::Relaxed) != 1)
+                    .collect();
+                assert!(bad.is_empty(), "{schedule:?} n={n}: bad {bad:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_regions_observe_prior_writes() {
+        // Region k writes f(k-1)'s outputs + 1; any missed barrier
+        // ordering or lost region shows up as a wrong final value.
+        let pool = ThreadPool::new(4);
+        let n = 257;
+        let cells: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for round in 0..100 {
+            pool.for_each_index(n, Schedule::Dynamic(8), |i| {
+                let seen = cells[i].load(Ordering::Relaxed);
+                assert_eq!(seen, round, "index {i} missed a region's write");
+                cells[i].store(seen + 1, Ordering::Relaxed);
+            });
+        }
+        assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) == 100));
+    }
+
+    #[test]
+    fn one_spawn_event_many_regions() {
+        let pool = ThreadPool::new(3);
+        for _ in 0..50 {
+            pool.for_each_index(64, Schedule::Guided, |i| {
+                std::hint::black_box(i);
+            });
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.spawn_events, 1, "workers spawned once, not per region");
+        assert_eq!(stats.regions, 50);
+        // Clones share the team and its stats.
+        let clone = pool.clone();
+        clone.run(|_| {});
+        assert_eq!(pool.stats().regions, 51);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let pool = ThreadPool::new(3);
+        let calls = AtomicUsize::new(0);
+        pool.run(|_| {
+            // A nested region from inside a region body must not
+            // deadlock; it executes every tid inline.
+            pool.run(|_| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        // 3 outer bodies x 3 inline nested tids.
+        assert_eq!(calls.into_inner(), 9);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The team is still alive and consistent afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.for_each_index(10, Schedule::Static, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 45);
+    }
+
+    #[test]
     fn empty_range_is_a_no_op() {
         ThreadPool::new(2).for_each_index(0, Schedule::Static, |_| panic!("must not run"));
     }
@@ -237,10 +718,21 @@ mod tests {
     }
 
     #[test]
-    fn reduce_sums_correctly() {
+    fn reduce_sums_correctly_under_every_schedule() {
         let pool = ThreadPool::new(3);
-        let total = pool.reduce_index(10_000, 0u64, |i| i as u64, |a, b| a + b);
-        assert_eq!(total, 9_999 * 10_000 / 2);
+        for schedule in [Schedule::Static, Schedule::Dynamic(64), Schedule::Guided] {
+            let total = pool.reduce_index(10_000, schedule, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(total, 9_999 * 10_000 / 2, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn scoped_baseline_still_covers_every_tid() {
+        let sum = AtomicUsize::new(0);
+        scoped_run(4, |tid| {
+            sum.fetch_add(tid + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 1 + 2 + 3 + 4);
     }
 
     #[test]
@@ -252,5 +744,18 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_count_parsing_is_strict() {
+        assert_eq!(parse_threads("8"), Ok(8));
+        assert_eq!(parse_threads(" 4 "), Ok(4));
+        for bad in ["0", "", "two", "-3", "4.5", "8 cores"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(
+                err.contains("positive integer"),
+                "{bad:?} -> {err:?} should name the constraint"
+            );
+        }
     }
 }

@@ -95,6 +95,7 @@ pub fn pr_with_config(g: &Graph, pool: &ThreadPool, config: &PrConfig) -> PrResu
         }
         let error: Score = pool.reduce_index(
             n,
+            Schedule::Static,
             0.0,
             |v| (next[v] - scores[v]).abs(),
             |a, b| a + b,

@@ -42,11 +42,23 @@ pub enum Counter {
     PrIterations,
     /// Neighbor-list intersections performed by triangle counting.
     TcIntersections,
+    /// Worker teams brought up by a `ThreadPool` — one event per pool,
+    /// regardless of how many regions it later runs.
+    PoolWorkerSpawns,
+    /// Parallel regions launched on a `ThreadPool` (every `run` /
+    /// `for_each_index` / `reduce_index` entry).
+    PoolRegions,
+    /// Index ranges stolen from another worker's loop deque during
+    /// `Dynamic`/`Guided` scheduling.
+    PoolSteals,
+    /// Times a pool worker blocked on the region barrier waiting for
+    /// work (a spurious condvar wakeup counts once per re-block).
+    PoolParks,
 }
 
 impl Counter {
     /// Every counter, in ledger order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 14] = [
         Counter::EdgesExamined,
         Counter::FrontierPushes,
         Counter::Iterations,
@@ -57,6 +69,10 @@ impl Counter {
         Counter::WorklistSteals,
         Counter::PrIterations,
         Counter::TcIntersections,
+        Counter::PoolWorkerSpawns,
+        Counter::PoolRegions,
+        Counter::PoolSteals,
+        Counter::PoolParks,
     ];
 
     /// Number of counters in the vocabulary.
@@ -75,6 +91,10 @@ impl Counter {
             Counter::WorklistSteals => "worklist_steals",
             Counter::PrIterations => "pr_iterations",
             Counter::TcIntersections => "tc_intersections",
+            Counter::PoolWorkerSpawns => "pool_worker_spawns",
+            Counter::PoolRegions => "pool_regions",
+            Counter::PoolSteals => "pool_steals",
+            Counter::PoolParks => "pool_parks",
         }
     }
 

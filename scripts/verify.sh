@@ -39,6 +39,12 @@ if grep -q '"edges_examined":0,' "$smoke_dir/ledger.jsonl"; then
     exit 1
 fi
 
+echo "== smoke: region-launch microbenchmark =="
+# The persistent pool exists to make tiny per-level regions cheap; gate on
+# the pool being at least 5x cheaper per region than scoped spawning.
+cargo run -q --release -p gapbs-bench --bin region_bench -- \
+    --threads 4 --regions 300 --n 256 --min-speedup 5
+
 echo "== smoke: perf_compare gate =="
 # Identical ledgers must pass...
 cargo run -q --release -p gapbs-bench --bin perf_compare -- \
@@ -50,6 +56,17 @@ if cargo run -q --release -p gapbs-bench --bin perf_compare -- \
     "$smoke_dir/ledger.jsonl" "$smoke_dir/slow.jsonl" > /dev/null; then
     echo "FAIL: perf_compare did not flag a synthetic regression"
     exit 1
+fi
+
+echo "== smoke: perf_compare against the recorded baseline =="
+# results/baseline-tiny.jsonl is a committed tiny-corpus ledger; the 5 ms
+# absolute floor keeps microsecond cells from tripping on host jitter, so
+# this catches only real (milliseconds-scale) kernel regressions.
+if [[ -f results/baseline-tiny.jsonl ]]; then
+    cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+        results/baseline-tiny.jsonl "$smoke_dir/ledger.jsonl"
+else
+    echo "WARN: results/baseline-tiny.jsonl missing; skipping baseline compare"
 fi
 
 echo "verify.sh: all checks passed"

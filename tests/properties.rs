@@ -292,3 +292,100 @@ fn relabeling_preserves_structure() {
         assert_eq!(dg, dh, "case {seed}");
     });
 }
+
+/// Every loop schedule delivers each index exactly once, under thread
+/// contention and skewed per-index work (which forces `Dynamic`/`Guided`
+/// range stealing). A sum check would miss double-visits that cancel;
+/// per-index hit counts do not.
+#[test]
+fn every_schedule_visits_each_index_exactly_once() {
+    use gapbs::parallel::Schedule;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for_cases(13, |seed, rng| {
+        let threads = rng.gen_range(2..6usize);
+        let n = rng.gen_range(1..2500usize);
+        let schedule = match rng.gen_range(0..4u32) {
+            0 => Schedule::Static,
+            1 => Schedule::Dynamic(rng.gen_range(1..32usize)),
+            2 => Schedule::Guided,
+            // Chunk larger than the loop: one claim drains a whole range.
+            _ => Schedule::Dynamic(n + 1),
+        };
+        let pool = ThreadPool::new(threads);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_index(n, schedule, |i| {
+            // Skew the head of the range so tail workers drain and steal.
+            if i < n / 10 {
+                std::hint::black_box((0..200).sum::<usize>());
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        let bad: Vec<usize> = (0..n)
+            .filter(|&i| hits[i].load(Ordering::Relaxed) != 1)
+            .collect();
+        assert!(
+            bad.is_empty(),
+            "case {seed}: {schedule:?} threads={threads} n={n} bad={:?}",
+            &bad[..bad.len().min(10)]
+        );
+    });
+}
+
+/// Back-to-back regions on one persistent pool observe each other's
+/// writes: the region barrier must order region k's stores before
+/// region k+1's loads on every worker, and reusing the pool must not
+/// lose or duplicate a region.
+#[test]
+fn pool_reuse_orders_regions_and_shares_one_team() {
+    use gapbs::parallel::Schedule;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for_cases(14, |seed, rng| {
+        let threads = rng.gen_range(2..5usize);
+        let n = rng.gen_range(1..600usize);
+        let rounds = rng.gen_range(2..40usize);
+        let pool = ThreadPool::new(threads);
+        let cells: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for round in 0..rounds {
+            let schedule = if round % 2 == 0 {
+                Schedule::Dynamic(7)
+            } else {
+                Schedule::Guided
+            };
+            pool.for_each_index(n, schedule, |i| {
+                // Relaxed is deliberate: cross-region visibility must
+                // come from the pool's barrier, not this load's order.
+                let seen = cells[i].load(Ordering::Relaxed);
+                assert_eq!(
+                    seen, round,
+                    "case {seed}: index {i} missed region {round}'s predecessor write"
+                );
+                cells[i].store(seen + 1, Ordering::Relaxed);
+            });
+        }
+        assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) == rounds));
+        let stats = pool.stats();
+        assert_eq!(stats.spawn_events, 1, "case {seed}: one team per pool");
+        assert_eq!(stats.regions, rounds as u64, "case {seed}");
+    });
+}
+
+/// `reduce_index` agrees with the sequential fold under every schedule.
+#[test]
+fn reduce_index_matches_sequential_fold_under_all_schedules() {
+    use gapbs::parallel::Schedule;
+    for_cases(15, |seed, rng| {
+        let threads = rng.gen_range(1..5usize);
+        let n = rng.gen_range(0..3000usize);
+        let pool = ThreadPool::new(threads);
+        for schedule in [Schedule::Static, Schedule::Dynamic(13), Schedule::Guided] {
+            let total =
+                pool.reduce_index(n, schedule, 0u64, |i| (i as u64).wrapping_mul(2654435761), |a, b| {
+                    a.wrapping_add(b)
+                });
+            let expect = (0..n as u64)
+                .map(|i| i.wrapping_mul(2654435761))
+                .fold(0u64, u64::wrapping_add);
+            assert_eq!(total, expect, "case {seed}: {schedule:?} threads={threads}");
+        }
+    });
+}
