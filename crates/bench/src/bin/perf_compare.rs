@@ -1,24 +1,33 @@
 //! Perf regression gate: diffs two run ledgers and exits non-zero when
 //! any (framework, kernel, graph, mode) cell got slower beyond the noise
-//! thresholds.
+//! thresholds. Peak-RSS changes are reported alongside but never gate.
 //!
 //! ```sh
 //! cargo run -p gapbs-bench --bin perf_compare -- baseline.jsonl candidate.jsonl
+//! cargo run -p gapbs-bench --bin perf_compare -- --lint ledger.jsonl
 //! ```
 //!
-//! Exit codes: 0 clean, 1 regressions found, 2 usage or read error.
+//! `--lint` sanity-checks one ledger instead of diffing two: times
+//! finite, outputs verified, graphs non-empty, and (in telemetry builds)
+//! every trial examined at least one edge.
+//!
+//! Exit codes: 0 clean, 1 regressions/lint problems found, 2 usage or
+//! read error.
 
-use gapbs_bench::perf::{compare, CompareConfig};
+use gapbs_bench::perf::{compare, lint, CompareConfig};
 use gapbs_telemetry::Ledger;
 use std::process::exit;
 
 const USAGE: &str = "\
 usage: perf_compare [options] <baseline.jsonl> <candidate.jsonl>
+       perf_compare --lint <ledger.jsonl>
   --ratio <r>    ratio threshold for a real change (default 1.25)
-  --floor <s>    absolute seconds floor for a real change (default 0.005)";
+  --floor <s>    absolute seconds floor for a real change (default 0.005)
+  --lint         sanity-check one ledger instead of diffing two";
 
 fn main() {
     let mut config = CompareConfig::default();
+    let mut lint_mode = false;
     let mut paths = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -33,12 +42,33 @@ fn main() {
         match arg.as_str() {
             "--ratio" => config.ratio_threshold = value("--ratio"),
             "--floor" => config.absolute_floor = value("--floor"),
+            "--lint" => lint_mode = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;
             }
             other => paths.push(other.to_string()),
         }
+    }
+    if lint_mode {
+        let [path] = paths.as_slice() else {
+            eprintln!("{USAGE}");
+            exit(2);
+        };
+        let records = Ledger::read(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+        let problems = lint(&records);
+        if problems.is_empty() {
+            println!("{path}: {} record(s), no problems", records.len());
+            return;
+        }
+        for p in &problems {
+            println!("LINT {p}");
+        }
+        eprintln!("{path}: {} problem(s) in {} record(s)", problems.len(), records.len());
+        exit(1);
     }
     let [baseline_path, candidate_path] = paths.as_slice() else {
         eprintln!("{USAGE}");

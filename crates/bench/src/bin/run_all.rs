@@ -23,6 +23,10 @@ fn main() {
     // `--ledger [path]` appends one JSONL record per trial (default
     // results/ledger.jsonl). Counters are non-zero only when built with
     // `--features telemetry`; times and phases are always real.
+    // `--trace [path]` writes a Chrome trace-event timeline of the whole
+    // matrix (default results/trace.json); iteration and pool events need
+    // `--features telemetry`, trial spans and RSS samples are always on.
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,8 +37,17 @@ fn main() {
                 };
                 config.ledger_path = Some(path.into());
             }
+            "--trace" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with('-') => args.next().expect("peeked"),
+                    _ => "results/trace.json".into(),
+                };
+                trace_path = Some(path);
+            }
             other => {
-                eprintln!("unknown argument {other:?} (supported: --ledger [path])");
+                eprintln!(
+                    "unknown argument {other:?} (supported: --ledger [path], --trace [path])"
+                );
                 std::process::exit(2);
             }
         }
@@ -45,6 +58,10 @@ fn main() {
     );
     if let Some(path) = &config.ledger_path {
         eprintln!("ledger: {}", path.display());
+    }
+    if let Some(path) = &trace_path {
+        eprintln!("trace: {path}");
+        gapbs_telemetry::trace::start(std::time::Duration::from_millis(10));
     }
     let inputs = corpus(scale);
     let frameworks = all_frameworks();
@@ -75,6 +92,13 @@ fn main() {
             );
         },
     );
+    if let Some(path) = &trace_path {
+        let trace = gapbs_telemetry::trace::stop();
+        match trace.write_chrome_file(path) {
+            Ok(()) => eprintln!("trace: wrote {} events to {path}", trace.events.len()),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+    }
     println!("{}", report.table4());
     println!("{}", report.table5());
 

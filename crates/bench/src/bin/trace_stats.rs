@@ -1,0 +1,39 @@
+//! Summarizes a Chrome trace-event timeline written by `--trace`.
+//!
+//! ```sh
+//! cargo run -p gapbs-bench --bin trace_stats -- results/trace.json
+//! ```
+//!
+//! Prints per-region worker-time imbalance (stable `imbalance:` line),
+//! the BFS direction-switch narrative, per-kernel iteration tables, and
+//! the sampled peak RSS. Exits 0 on a non-empty trace, 1 on an empty
+//! one, 2 on a missing or malformed file.
+
+use gapbs_bench::trace_stats;
+use std::process::exit;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_stats <trace.json>");
+        exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_stats: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    let events = match trace_stats::load(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("trace_stats: {path} is not a trace-event array: {e}");
+            exit(2);
+        }
+    };
+    if events.is_empty() {
+        eprintln!("trace_stats: {path} holds no events (was a session active?)");
+        exit(1);
+    }
+    print!("{}", trace_stats::render(&events));
+}

@@ -4,6 +4,7 @@ use gapbs_core::{BenchGraph, Kernel, Mode, Report};
 use gapbs_graph::gen::{GraphSpec, Scale};
 
 pub mod perf;
+pub mod trace_stats;
 
 /// Resolves the corpus scale from `GAPBS_SCALE`
 /// (`tiny|small|medium|large`), defaulting to `medium` — the scale

@@ -9,7 +9,7 @@
 //! absolute floor, so microsecond-scale cells cannot trip the gate on
 //! timer jitter.
 
-use gapbs_telemetry::TrialRecord;
+use gapbs_telemetry::{Counter, TrialRecord};
 use std::collections::BTreeMap;
 
 /// A cell identity: (framework, kernel, graph, mode).
@@ -55,6 +55,35 @@ impl CellDelta {
     }
 }
 
+/// A cell's peak-RSS pair. Memory deltas are *reported*, never gated:
+/// `peak_rss_bytes` is a process-lifetime high-water mark, so a cell's
+/// value also reflects whatever ran before it in the same process.
+#[derive(Debug, Clone)]
+pub struct MemDelta {
+    /// (framework, kernel, graph, mode).
+    pub key: CellKey,
+    /// Max `peak_rss_bytes` over the baseline cell's trials.
+    pub baseline_bytes: u64,
+    /// Max `peak_rss_bytes` over the candidate cell's trials.
+    pub candidate_bytes: u64,
+}
+
+impl MemDelta {
+    /// Candidate/baseline peak-RSS ratio (>1 means more memory).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_bytes > 0 {
+            self.candidate_bytes as f64 / self.baseline_bytes as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Peak-RSS changes below this ratio (either direction) are noise.
+const MEM_RATIO_THRESHOLD: f64 = 1.25;
+/// ...and so are changes under this many bytes (16 MiB).
+const MEM_ABSOLUTE_FLOOR: u64 = 16 * 1024 * 1024;
+
 /// Outcome of diffing two ledgers.
 #[derive(Debug, Default)]
 pub struct Comparison {
@@ -68,6 +97,9 @@ pub struct Comparison {
     pub baseline_only: Vec<CellKey>,
     /// Cells only the candidate ledger has.
     pub candidate_only: Vec<CellKey>,
+    /// Cells whose peak RSS moved beyond the memory noise thresholds
+    /// (report-only; [`Comparison::has_regressions`] ignores these).
+    pub memory: Vec<MemDelta>,
 }
 
 impl Comparison {
@@ -107,6 +139,19 @@ impl Comparison {
                 for (fw, kernel, graph, mode) in keys {
                     out.push_str(&format!("  {fw:<12} {kernel:<5} {graph:<8} {mode}\n"));
                 }
+            }
+        }
+        if !self.memory.is_empty() {
+            out.push_str("MEMORY (peak RSS; report-only, never gates)\n");
+            let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+            for m in &self.memory {
+                let (fw, kernel, graph, mode) = &m.key;
+                out.push_str(&format!(
+                    "  {fw:<12} {kernel:<5} {graph:<8} {mode:<10} {:>9.1} MiB -> {:>9.1} MiB  ({:>6.2}x)\n",
+                    mib(m.baseline_bytes),
+                    mib(m.candidate_bytes),
+                    m.ratio(),
+                ));
             }
         }
         out.push_str(&format!(
@@ -164,7 +209,38 @@ pub fn compare(
             result.candidate_only.push(key.clone());
         }
     }
-    // Worst regression first, best improvement first.
+    // Memory: max peak RSS per cell, reported when it moved beyond the
+    // noise thresholds in either direction. Cells with a zero on either
+    // side (procfs unavailable, pre-RSS ledger) are skipped.
+    let peak_by_cell = |records: &[TrialRecord]| {
+        let mut peaks: BTreeMap<CellKey, u64> = BTreeMap::new();
+        for r in records {
+            let entry = peaks.entry(r.cell_key()).or_insert(0);
+            *entry = (*entry).max(r.peak_rss_bytes);
+        }
+        peaks
+    };
+    let cand_peaks = peak_by_cell(candidate);
+    for (key, &b) in &peak_by_cell(baseline) {
+        let Some(&c) = cand_peaks.get(key) else {
+            continue;
+        };
+        if b == 0 || c == 0 {
+            continue;
+        }
+        let significant = c.abs_diff(b) > MEM_ABSOLUTE_FLOOR
+            && (c as f64 > b as f64 * MEM_RATIO_THRESHOLD
+                || b as f64 > c as f64 * MEM_RATIO_THRESHOLD);
+        if significant {
+            result.memory.push(MemDelta {
+                key: key.clone(),
+                baseline_bytes: b,
+                candidate_bytes: c,
+            });
+        }
+    }
+    // Worst regression first, best improvement first, biggest memory
+    // mover first.
     result
         .regressions
         .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
@@ -172,6 +248,53 @@ pub fn compare(
         .improvements
         .sort_by(|a, b| a.ratio().total_cmp(&b.ratio()));
     result
+        .memory
+        .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    result
+}
+
+/// Sanity-checks one ledger's records, returning one message per
+/// problem (empty = clean). This is the `perf_compare --lint` behind
+/// verify.sh's smoke: it subsumes the old "no trial recorded zero edges
+/// examined" grep with structured rules.
+pub fn lint(records: &[TrialRecord]) -> Vec<String> {
+    let mut problems = Vec::new();
+    if records.is_empty() {
+        problems.push("ledger holds no records".into());
+        return problems;
+    }
+    // Counters are all-zero in non-telemetry builds; only apply counter
+    // rules when the ledger shows telemetry was on for anything.
+    let telemetry_on = records
+        .iter()
+        .any(|r| r.counters.iter().any(|(_, v)| v > 0));
+    for r in records {
+        let cell = format!(
+            "{} {} {} {} trial {}",
+            r.framework, r.kernel, r.graph, r.mode, r.trial
+        );
+        if !r.seconds.is_finite() || r.seconds < 0.0 {
+            problems.push(format!("{cell}: seconds {} is not a valid time", r.seconds));
+        }
+        if !r.verified {
+            problems.push(format!("{cell}: verification failed"));
+        }
+        if r.threads == 0 {
+            problems.push(format!("{cell}: zero threads"));
+        }
+        if r.num_vertices == 0 || r.num_arcs == 0 {
+            problems.push(format!(
+                "{cell}: empty graph (n={}, m={})",
+                r.num_vertices, r.num_arcs
+            ));
+        }
+        if telemetry_on && r.counters.get(Counter::EdgesExamined) == 0 {
+            problems.push(format!(
+                "{cell}: telemetry build recorded zero edges examined"
+            ));
+        }
+    }
+    problems
 }
 
 #[cfg(test)]
@@ -258,6 +381,91 @@ mod tests {
         let rendered = cmp.render();
         assert!(rendered.contains("IMPROVEMENTS"));
         assert!(rendered.contains("BASELINE ONLY"));
+    }
+
+    #[test]
+    fn memory_deltas_report_but_never_gate() {
+        let mib = 1024 * 1024;
+        let mut base = record("GAP", "bfs", 0, 0.1);
+        base.peak_rss_bytes = 100 * mib;
+        let mut cand = record("GAP", "bfs", 0, 0.1);
+        cand.peak_rss_bytes = 200 * mib; // 2x and 100 MiB over: reported
+        let cmp = compare(&[base.clone()], &[cand], &CompareConfig::default());
+        assert!(!cmp.has_regressions(), "memory never fails the gate");
+        assert_eq!(cmp.memory.len(), 1);
+        assert!((cmp.memory[0].ratio() - 2.0).abs() < 1e-12);
+        assert!(cmp.render().contains("MEMORY (peak RSS"), "{}", cmp.render());
+
+        // 10 MiB swing is under the 16 MiB floor: noise.
+        let mut small = record("GAP", "bfs", 0, 0.1);
+        small.peak_rss_bytes = 110 * mib;
+        let cmp = compare(&[base.clone()], &[small], &CompareConfig::default());
+        assert!(cmp.memory.is_empty());
+
+        // Zero on either side (pre-RSS ledger) is skipped, not infinite.
+        let cmp = compare(
+            &[record("GAP", "bfs", 0, 0.1)],
+            &[base],
+            &CompareConfig::default(),
+        );
+        assert!(cmp.memory.is_empty());
+    }
+
+    #[test]
+    fn lint_accepts_a_clean_non_telemetry_ledger() {
+        let mut r = record("GAP", "bfs", 0, 0.1);
+        r.threads = 4;
+        r.num_vertices = 100;
+        r.num_arcs = 400;
+        r.verified = true;
+        assert_eq!(lint(&[r]), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_flags_structural_problems() {
+        let good = |seconds| {
+            let mut r = record("GAP", "bfs", 0, seconds);
+            r.threads = 4;
+            r.num_vertices = 100;
+            r.num_arcs = 400;
+            r.verified = true;
+            r
+        };
+        assert!(lint(&[]).iter().any(|p| p.contains("no records")));
+        let mut unverified = good(0.1);
+        unverified.verified = false;
+        assert!(lint(&[unverified])[0].contains("verification failed"));
+        let nan = good(f64::NAN);
+        assert!(lint(&[nan])[0].contains("not a valid time"));
+        let mut empty = good(0.1);
+        empty.num_arcs = 0;
+        assert!(lint(&[empty])[0].contains("empty graph"));
+        let mut no_threads = good(0.1);
+        no_threads.threads = 0;
+        assert!(lint(&[no_threads])[0].contains("zero threads"));
+    }
+
+    #[test]
+    fn lint_requires_edges_examined_only_in_telemetry_ledgers() {
+        use gapbs_telemetry::Counter;
+        let good = || {
+            let mut r = record("GAP", "bfs", 0, 0.1);
+            r.threads = 4;
+            r.num_vertices = 100;
+            r.num_arcs = 400;
+            r.verified = true;
+            r
+        };
+        // Counter-free ledger (non-telemetry build): no edges rule.
+        assert!(lint(&[good(), good()]).is_empty());
+        // One record proves telemetry was on; the zero-edges one is
+        // flagged.
+        let mut with_edges = good();
+        with_edges.counters.set(Counter::EdgesExamined, 500);
+        let silent = good();
+        let problems = lint(&[with_edges, silent]);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("zero edges examined"), "{problems:?}");
     }
 
     #[test]

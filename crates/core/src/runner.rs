@@ -160,6 +160,10 @@ pub fn run_cell_in_pool(
         // so each is verified; the fixed kernels (PR, CC, TC) compute the
         // same answer per cell and are verified once.
         let verify_this = config.verify && (kernel.takes_source() || trial == 0);
+        // Trace mark: one "Trial" duration event spans the kernel run plus
+        // its verification (cold path — records only while a session is
+        // active, in any build).
+        let trial_trace_start = gapbs_telemetry::trace::now_ns();
         match kernel {
             Kernel::Bfs => {
                 let source = config.source_override.unwrap_or_else(|| picker.next_source());
@@ -229,6 +233,16 @@ pub fn run_cell_in_pool(
         let trial_seconds = *times.last().expect("every arm records a time");
         gapbs_telemetry::span::clock()
             .accrue(Phase::Kernel, (trial_seconds * 1e9) as u64);
+        gapbs_telemetry::trace::trial(
+            format!(
+                "{} {} {} {} #{trial}",
+                framework.name(),
+                kernel.name().to_lowercase(),
+                input.spec.name(),
+                mode
+            ),
+            trial_trace_start,
+        );
         if let Some(ledger) = &ledger {
             let now_phases = gapbs_telemetry::span::phase_times();
             let now_counters = gapbs_telemetry::snapshot();
@@ -245,6 +259,8 @@ pub fn run_cell_in_pool(
                 num_arcs: input.graph.num_arcs() as u64,
                 counters: now_counters.delta(&counters_mark),
                 phases: now_phases.delta(&phases_mark),
+                peak_rss_bytes: gapbs_telemetry::trace::read_vm_status()
+                    .map_or(0, |vm| vm.vm_hwm_bytes),
                 git_rev: String::new(),
             };
             phases_mark = now_phases;

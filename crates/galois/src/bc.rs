@@ -79,6 +79,10 @@ fn single_source(
             let mut d = 0u32;
             while !frontier.is_empty() {
                 gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+                gapbs_telemetry::trace_iter!(BcLevel {
+                    depth: d,
+                    frontier: frontier.len() as u64
+                });
                 let next = gapbs_parallel::sync::Mutex::new(Vec::new());
                 let stride = pool.num_threads();
                 pool.run(|tid| {
@@ -120,8 +124,8 @@ fn single_source(
         .max()
         .unwrap_or(0);
     let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth as usize + 1];
-    for v in 0..n {
-        let d = depth[v].load(Ordering::Relaxed);
+    for (v, dv) in depth.iter().enumerate() {
+        let d = dv.load(Ordering::Relaxed);
         if d != UNVISITED {
             levels[d as usize].push(v as NodeId);
         }

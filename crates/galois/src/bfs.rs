@@ -69,7 +69,7 @@ fn asynchronous(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     // own depth later improved; one repair sweep restores the BFS-tree
     // invariant (parent depth = depth - 1).
     pool.for_each_index(n, Schedule::Static, |v| {
-        let p = parents[v as usize].load(Ordering::Relaxed);
+        let p = parents[v].load(Ordering::Relaxed);
         if p == NO_PARENT || v as NodeId == source {
             return;
         }
@@ -77,7 +77,7 @@ fn asynchronous(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
         if depth[p as usize].load(Ordering::Relaxed) + 1 != dv {
             for &u in g.in_neighbors(v as NodeId) {
                 if depth[u as usize].load(Ordering::Relaxed) + 1 == dv {
-                    parents[v as usize].store(u, Ordering::Relaxed);
+                    parents[v].store(u, Ordering::Relaxed);
                     break;
                 }
             }
@@ -104,6 +104,7 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let mut edges_to_check = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
     let mut was_pull = false;
+    let mut depth: u32 = 0;
     while !queue.is_window_empty() {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let pull = stats::switch_to_pull(scout, edges_to_check);
@@ -120,6 +121,12 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
             let mut awake = queue.window_len() as u64;
             loop {
                 let prev = awake;
+                gapbs_telemetry::trace_iter!(BfsLevel {
+                    depth,
+                    frontier: prev,
+                    dir: gapbs_telemetry::trace::Dir::Pull
+                });
+                depth += 1;
                 let next = AtomicBitmap::new(n);
                 let count = AtomicU64::new(0);
                 pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
@@ -153,6 +160,12 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
             queue.slide_window();
             scout = 1;
         } else {
+            gapbs_telemetry::trace_iter!(BfsLevel {
+                depth,
+                frontier: queue.window_len() as u64,
+                dir: gapbs_telemetry::trace::Dir::Push
+            });
+            depth += 1;
             edges_to_check = edges_to_check.saturating_sub(scout);
             let window = queue.window();
             let new_scout = AtomicU64::new(0);

@@ -39,6 +39,10 @@ pub fn cc(g: &Graph, variant: CcVariant, pool: &ThreadPool) -> Vec<NodeId> {
         let cells = as_atomic_u32(&mut comp);
         for round in 0..NEIGHBOR_ROUNDS {
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(CcRound {
+                round: round as u32,
+                changed: 0
+            });
             pool.for_each_index(n, Schedule::Dynamic(512), |u| {
                 if let Some(&v) = g.out_neighbors(u as NodeId).get(round) {
                     gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, 1);

@@ -86,6 +86,10 @@ fn bulk_sync(g: &WGraph, source: NodeId, delta: Weight, pool: &ThreadPool) -> Ve
                 break;
             }
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(SsspBucket {
+                bucket: current as u64,
+                size: frontier.len() as u64
+            });
             let level = current as Distance;
             let collected = Mutex::new(Vec::new());
             let stride = pool.num_threads();

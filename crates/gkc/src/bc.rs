@@ -34,6 +34,10 @@ pub fn bc(g: &Graph, sources: &[NodeId], pool: &ThreadPool) -> Vec<Score> {
             }
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let d = (levels.len() - 1) as u32;
+            gapbs_telemetry::trace_iter!(BcLevel {
+                depth: d,
+                frontier: frontier.len() as u64
+            });
             let next = Mutex::new(Vec::new());
             let stride = pool.num_threads();
             pool.run(|tid| {

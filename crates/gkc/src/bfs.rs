@@ -34,6 +34,7 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let mut edges_left = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
     let mut was_pull = false;
+    let mut depth: u32 = 0;
     while !queue.is_window_empty() {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let pull = stats::switch_to_pull(scout, edges_left);
@@ -50,6 +51,12 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
             let mut awake = queue.window_len() as u64;
             loop {
                 let prev = awake;
+                gapbs_telemetry::trace_iter!(BfsLevel {
+                    depth,
+                    frontier: prev,
+                    dir: gapbs_telemetry::trace::Dir::Pull
+                });
+                depth += 1;
                 next.clear();
                 let count = AtomicU64::new(0);
                 pool.for_each_index(n, Schedule::Dynamic(2048), |v| {
@@ -87,6 +94,12 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
             queue.slide_window();
             scout = 1;
         } else {
+            gapbs_telemetry::trace_iter!(BfsLevel {
+                depth,
+                frontier: queue.window_len() as u64,
+                dir: gapbs_telemetry::trace::Dir::Push
+            });
+            depth += 1;
             edges_left = edges_left.saturating_sub(scout);
             let window = queue.window();
             let scout_sum = AtomicU64::new(0);

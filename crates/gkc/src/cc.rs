@@ -25,6 +25,7 @@ pub fn cc(g: &Graph, pool: &ThreadPool) -> Vec<NodeId> {
     }
     {
         let cells = as_atomic_u32(&mut comp);
+        let mut round: u32 = 0;
         loop {
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let hooked = AtomicU64::new(0);
@@ -63,7 +64,10 @@ pub fn cc(g: &Graph, pool: &ThreadPool) -> Vec<NodeId> {
                 }
                 cells[u].store(c, Ordering::Relaxed);
             });
-            if hooked.into_inner() == 0 {
+            let changed = hooked.into_inner();
+            gapbs_telemetry::trace_iter!(CcRound { round, changed });
+            round += 1;
+            if changed == 0 {
                 break;
             }
         }

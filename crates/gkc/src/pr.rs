@@ -80,6 +80,10 @@ pub fn pr(
                 scores[v].store(scores[v].load() / mass);
             });
         }
+        gapbs_telemetry::trace_iter!(PrSweep {
+            sweep: iterations as u32,
+            residual: error
+        });
         if error < tolerance {
             break;
         }

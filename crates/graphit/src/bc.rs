@@ -65,6 +65,10 @@ fn single_source(
         }
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let d = (levels.len() - 1) as u32;
+        gapbs_telemetry::trace_iter!(BcLevel {
+            depth: d,
+            frontier: frontier.len() as u64
+        });
         let next: Vec<NodeId> = match frontier_layout {
             FrontierLayout::BitVector => {
                 let bits = AtomicBitmap::new(n);
@@ -127,15 +131,14 @@ fn expand<F: Fn(NodeId) + Sync>(
             examined += g.out_degree(u) as u64;
             for &v in g.out_neighbors(u) {
                 let dv = depth[v as usize].load(Ordering::Relaxed);
-                if dv == UNVISITED {
-                    if depth[v as usize]
+                if dv == UNVISITED
+                    && depth[v as usize]
                         .compare_exchange(UNVISITED, d + 1, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
-                    {
-                        record(v);
-                        sigma[v as usize].fetch_add(su);
-                        continue;
-                    }
+                {
+                    record(v);
+                    sigma[v as usize].fetch_add(su);
+                    continue;
                 }
                 if depth[v as usize].load(Ordering::Relaxed) == d + 1 {
                     sigma[v as usize].fetch_add(su);

@@ -29,6 +29,7 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
     let mut edges_to_check = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
     let mut was_pull = false;
+    let mut depth: u32 = 0;
     while !frontier.is_empty() {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let pull = match schedule.direction {
@@ -44,6 +45,12 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
             gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
             was_pull = pull;
         }
+        gapbs_telemetry::trace_iter!(BfsLevel {
+            depth,
+            frontier: frontier.len() as u64,
+            dir: gapbs_telemetry::trace::Dir::from_pull(pull)
+        });
+        depth += 1;
         if pull {
             let front = AtomicBitmap::new(n);
             for &u in &frontier {

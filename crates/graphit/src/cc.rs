@@ -30,6 +30,7 @@ pub fn cc(g: &Graph, short_circuit: bool, pool: &ThreadPool) -> Vec<NodeId> {
     for v in 0..n {
         active.set(v);
     }
+    let mut round: u32 = 0;
     loop {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let next = AtomicBitmap::new(n);
@@ -74,7 +75,10 @@ pub fn cc(g: &Graph, short_circuit: bool, pool: &ThreadPool) -> Vec<NodeId> {
                 cells[u].store(l, Ordering::Relaxed);
             });
         }
-        if next.count_ones() == 0 {
+        let changed = next.count_ones() as u64;
+        gapbs_telemetry::trace_iter!(CcRound { round, changed });
+        round += 1;
+        if changed == 0 {
             break;
         }
         active = next;

@@ -11,6 +11,10 @@ use gapbs_parallel::{Schedule as LoopSched, ThreadPool};
 /// Source-block size for the tiled schedule (vertices per tile).
 const TILE: usize = 4096;
 
+/// One entry per tile: the vertices whose in-neighbors fall in that
+/// source block, with those neighbors.
+type TileSegments = Vec<Vec<(NodeId, Vec<NodeId>)>>;
+
 /// Runs PageRank; returns `(scores, iterations)`.
 pub fn pr(
     g: &Graph,
@@ -26,9 +30,9 @@ pub fn pr(
     }
     // Tiled schedule: segment each vertex's in-neighbors by source block,
     // so each pass over a block keeps its source scores cache-resident.
-    let tiles: Option<Vec<Vec<(NodeId, Vec<NodeId>)>>> = cache_tiling.then(|| {
+    let tiles: Option<TileSegments> = cache_tiling.then(|| {
         let num_tiles = n.div_ceil(TILE);
-        let mut tiles: Vec<Vec<(NodeId, Vec<NodeId>)>> = vec![Vec::new(); num_tiles];
+        let mut tiles: TileSegments = vec![Vec::new(); num_tiles];
         for v in g.vertices() {
             let mut per_tile: Vec<Vec<NodeId>> = vec![Vec::new(); num_tiles];
             for &u in g.in_neighbors(v) {
@@ -94,6 +98,10 @@ pub fn pr(
             .map(|(a, b)| (a - b).abs())
             .sum();
         scores = next;
+        gapbs_telemetry::trace_iter!(PrSweep {
+            sweep: iterations as u32,
+            residual: error
+        });
         if error < tolerance {
             break;
         }

@@ -49,6 +49,10 @@ pub fn sssp(
                 break;
             }
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(SsspBucket {
+                bucket: current as u64,
+                size: frontier.len() as u64
+            });
             let level = current as Distance;
             let fused = bucket_fusion && frontier.len() <= FUSION_THRESHOLD;
             let produced: Vec<(usize, NodeId)> = if fused || pool.num_threads() == 1 {

@@ -64,6 +64,10 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
     // Forward: one sweep over A per level advances every column.
     while !frontier.is_empty() {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+        gapbs_telemetry::trace_iter!(BcLevel {
+            depth: d,
+            frontier: frontier.len() as u64
+        });
         let mut acc: Vec<(GrbIndex, [f64; BATCH])> = Vec::new();
         let mut slot_of: std::collections::HashMap<GrbIndex, usize> =
             std::collections::HashMap::new();
@@ -91,8 +95,8 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
                     acc.push((j, [0.0; BATCH]));
                     acc.len() - 1
                 });
-                for c in 0..k {
-                    acc[slot].1[c] += contrib[c];
+                for (acc_c, add) in acc[slot].1.iter_mut().zip(contrib) {
+                    *acc_c += add;
                 }
             }
         }

@@ -32,13 +32,20 @@ pub fn bfs(ctx: &LaGraphContext, source: NodeId, pool: &ThreadPool) -> Vec<NodeI
 
     let mut edges_unexplored = ctx.a.nvals();
     let mut was_pull = false;
+    let mut depth: u32 = 0;
     while q.nvals() > 0 {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let frontier_edges: u64 = q
             .iter()
             .map(|(k, _)| ctx.a.row(k).len() as u64)
             .sum();
-        let pull = stats::predict_pull(frontier_edges, edges_unexplored, q.nvals() as u64, n as u64);
+        let pull = stats::predict_pull(frontier_edges, edges_unexplored, q.nvals(), n);
+        gapbs_telemetry::trace_iter!(BfsLevel {
+            depth,
+            frontier: q.nvals(),
+            dir: gapbs_telemetry::trace::Dir::from_pull(pull)
+        });
+        depth += 1;
         if pull != was_pull {
             gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
             was_pull = pull;

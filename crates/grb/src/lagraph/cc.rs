@@ -23,6 +23,7 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
         return Vec::new();
     }
     let semiring = MinSecond::default();
+    let mut round: u32 = 0;
     loop {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         // gp = f[f] (grandparent).
@@ -70,6 +71,11 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
                 changed = true;
             }
         }
+        gapbs_telemetry::trace_iter!(CcRound {
+            round,
+            changed: u64::from(changed)
+        });
+        round += 1;
         if !changed {
             break;
         }

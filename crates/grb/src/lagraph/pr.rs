@@ -70,6 +70,10 @@ pub fn pr(
             .map(|(a, b)| (a - b).abs())
             .sum();
         scores = next;
+        gapbs_telemetry::trace_iter!(PrSweep {
+            sweep: iterations as u32,
+            residual: error
+        });
         if error < tolerance {
             break;
         }

@@ -46,6 +46,10 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance
         // Drain the bucket to a fixed point.
         while active.nvals() > 0 {
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(SsspBucket {
+                bucket: bucket as u64,
+                size: active.nvals()
+            });
             let reach: GrbVector<Distance> =
                 vxm(&semiring, &active, aw, None::<&Mask<'_, ()>>);
             let mut next_active = Vec::new();

@@ -250,7 +250,7 @@ mod tests {
             (Storage::Full, Some('?')),
         ] {
             let moved = v.convert(to, fill);
-            assert_eq!(moved, if to == Storage::Full { 2 } else { 2 });
+            assert_eq!(moved, 2, "both entries move on every conversion");
             assert_eq!(v.storage(), to);
             assert_eq!(v.get(1), Some(&'a'));
             assert_eq!(v.get(5), Some(&'b'));

@@ -36,6 +36,7 @@ where
     let visited = AtomicBitmap::new(n);
     visited.set(source as usize);
     let mut was_pull = false;
+    let mut depth: u32 = 0;
     while !frontier.is_empty() {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         // Untuned switch: pull whenever the frontier passes 5% of V.
@@ -44,6 +45,12 @@ where
             gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
             was_pull = pull;
         }
+        gapbs_telemetry::trace_iter!(BfsLevel {
+            depth,
+            frontier: frontier.len() as u64,
+            dir: gapbs_telemetry::trace::Dir::from_pull(pull)
+        });
+        depth += 1;
         if pull {
             let front = AtomicBitmap::new(n);
             for &u in &frontier {
@@ -122,6 +129,10 @@ where
                 break;
             }
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(SsspBucket {
+                bucket: current as u64,
+                size: frontier.len() as u64
+            });
             let level = current as Distance;
             let collected = Mutex::new(Vec::new());
             let stride = pool.num_threads();
@@ -231,6 +242,10 @@ where
                 scores[v].store(scores[v].load() / mass);
             });
         }
+        gapbs_telemetry::trace_iter!(PrSweep {
+            sweep: iterations as u32,
+            residual: error
+        });
         if error < tolerance {
             break;
         }
@@ -254,6 +269,10 @@ where
         let cells = as_atomic_u32(&mut comp);
         for round in 0..ROUNDS {
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(CcRound {
+                round: round as u32,
+                changed: 0
+            });
             pool.for_each_index(n, Schedule::Dynamic(512), |u| {
                 if let Some(v) = g.neighbors(u as NodeId).nth(round) {
                     gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, 1);
@@ -314,6 +333,10 @@ where
             }
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
             let d = (levels.len() - 1) as u32;
+            gapbs_telemetry::trace_iter!(BcLevel {
+                depth: d,
+                frontier: frontier.len() as u64
+            });
             let next = Mutex::new(Vec::new());
             let stride = pool.num_threads();
             pool.run(|tid| {

@@ -67,16 +67,12 @@ impl OrderedWorklist {
         if self.pool.num_threads() == 1 {
             // Sequential: exact priority order.
             let mut local: Vec<(usize, T)> = Vec::new();
-            loop {
-                if let Some(batch) = buckets.pop_chunk() {
-                    for item in batch {
-                        op(item, &mut |p, v| local.push((p, v)));
-                        for (p, v) in local.drain(..) {
-                            buckets.push(p, v);
-                        }
+            while let Some(batch) = buckets.pop_chunk() {
+                for item in batch {
+                    op(item, &mut |p, v| local.push((p, v)));
+                    for (p, v) in local.drain(..) {
+                        buckets.push(p, v);
                     }
-                } else {
-                    break;
                 }
             }
             return;

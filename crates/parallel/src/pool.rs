@@ -14,7 +14,7 @@
 
 use crate::barrier::RegionBarrier;
 use crate::deque::{ChunkPolicy, RangeDeques, MAX_INDEX};
-use gapbs_telemetry::{record, Counter};
+use gapbs_telemetry::{record, trace, Counter};
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -165,16 +165,37 @@ struct Core {
 }
 
 impl Core {
-    fn note_region(&self) {
-        self.regions.fetch_add(1, Ordering::Relaxed);
+    /// Counts a region launch and returns its pool-lifetime sequence
+    /// number (the `region` id trace events carry).
+    fn note_region(&self) -> u64 {
+        let id = self.regions.fetch_add(1, Ordering::Relaxed);
         record(Counter::PoolRegions, 1);
+        id
     }
 
-    fn note_steals(&self, steals: u64) {
+    fn note_steals(&self, tid: usize, steals: u64) {
         if steals > 0 {
             self.steals.fetch_add(steals, Ordering::Relaxed);
             record(Counter::PoolSteals, steals);
+            if trace::is_on() {
+                trace::steal(tid, steals);
+            }
         }
+    }
+}
+
+/// Runs `body` as worker `tid` of region `region`, emitting a trace
+/// duration event covering it when tracing is on. With the `telemetry`
+/// feature off, `trace::is_on()` is compile-time `false` and this is
+/// exactly `body()`.
+#[inline]
+fn traced_body(tid: usize, region: u64, body: impl FnOnce()) {
+    if trace::is_on() {
+        let start = trace::now_ns();
+        body();
+        trace::region(tid, region, start);
+    } else {
+        body();
     }
 }
 
@@ -319,24 +340,25 @@ impl ThreadPool {
     {
         self.ensure_team();
         let core = &self.inner.core;
-        core.note_region();
+        let region = core.note_region();
+        let traced = |tid: usize| traced_body(tid, region, || f(tid));
         if core.num_threads == 1 {
-            f(0);
+            traced(0);
             return;
         }
         if IN_REGION.with(Cell::get) {
             for tid in 0..core.num_threads {
-                f(tid);
+                traced(tid);
             }
             return;
         }
         let _leader = core.leader.lock();
-        core.barrier.release(Job::erase(&f));
+        core.barrier.release(Job::erase(&traced));
         IN_REGION.with(|c| c.set(true));
-        let lead = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let lead = catch_unwind(AssertUnwindSafe(|| traced(0)));
         IN_REGION.with(|c| c.set(false));
         // Always join the team before unwinding: workers hold a borrow
-        // of `f` until the completion latch opens.
+        // of `traced` until the completion latch opens.
         core.barrier.await_team();
         let worker_panicked = core.panicked.swap(false, Ordering::Relaxed);
         match lead {
@@ -359,10 +381,12 @@ impl ThreadPool {
         let threads = self.num_threads();
         if threads == 1 {
             self.ensure_team();
-            self.inner.core.note_region();
-            for i in 0..n {
-                f(i);
-            }
+            let region = self.inner.core.note_region();
+            traced_body(0, region, || {
+                for i in 0..n {
+                    f(i);
+                }
+            });
             return;
         }
         let state = LoopState::new(n, threads, schedule);
@@ -373,7 +397,8 @@ impl ThreadPool {
                     f(i);
                 }
             };
-            core.note_steals(state.drain(tid, &mut body));
+            let steals = state.drain(tid, &mut body);
+            core.note_steals(tid, steals);
         });
     }
 
@@ -402,12 +427,16 @@ impl ThreadPool {
         let threads = self.num_threads();
         if threads == 1 {
             self.ensure_team();
-            self.inner.core.note_region();
-            let mut acc = identity;
-            for i in 0..n {
-                acc = fold(acc, map(i));
-            }
-            return acc;
+            let region = self.inner.core.note_region();
+            let mut acc = Some(identity);
+            traced_body(0, region, || {
+                let mut a = acc.take().expect("accumulator present");
+                for i in 0..n {
+                    a = fold(a, map(i));
+                }
+                acc = Some(a);
+            });
+            return acc.expect("accumulator present after loop");
         }
         let state = LoopState::new(n, threads, schedule);
         let core = &self.inner.core;
@@ -424,7 +453,7 @@ impl ThreadPool {
                 acc = Some(a);
             };
             let steals = state.drain(tid, &mut body);
-            core.note_steals(steals);
+            core.note_steals(tid, steals);
             partials
                 .lock()
                 .push(acc.expect("accumulator present after drain"));
@@ -432,7 +461,7 @@ impl ThreadPool {
         partials
             .into_inner()
             .into_iter()
-            .fold(identity, |a, b| fold(a, b))
+            .fold(identity, &fold)
     }
 }
 
@@ -744,6 +773,41 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn regions_and_steals_land_in_the_trace() {
+        use gapbs_telemetry::trace::{self, EventKind};
+        let pool = ThreadPool::new(3);
+        // Warm the team up outside the session so spawn noise stays out.
+        pool.run(|_| {});
+        trace::start(std::time::Duration::ZERO);
+        pool.for_each_index(1000, Schedule::Dynamic(1), |i| {
+            // Skew so late workers steal.
+            if i < 64 {
+                std::hint::black_box((0..2000).sum::<usize>());
+            }
+        });
+        let t = trace::stop();
+        let regions: Vec<u32> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Region { worker, .. } => Some(worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regions.len(), 3, "one region event per worker: {regions:?}");
+        for worker in 0..3 {
+            assert!(regions.contains(&worker), "worker {worker} missing");
+        }
+        assert!(
+            t.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Steal { .. })),
+            "skewed Dynamic(1) loop should record at least one steal"
+        );
     }
 
     #[test]

@@ -62,6 +62,10 @@ fn single_source(
         }
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         let d = (levels.len() - 1) as u32;
+        gapbs_telemetry::trace_iter!(BcLevel {
+            depth: d,
+            frontier: frontier.len() as u64
+        });
         let next = Mutex::new(Vec::new());
         let nthreads = pool.num_threads();
         pool.run(|tid| {
@@ -75,16 +79,15 @@ fn single_source(
                 local_edges += g.out_degree(u) as u64;
                 for (k, &v) in g.out_neighbors(u).iter().enumerate() {
                     let dv = depth[v as usize].load(Ordering::Relaxed);
-                    if dv == UNVISITED {
-                        if depth[v as usize]
+                    if dv == UNVISITED
+                        && depth[v as usize]
                             .compare_exchange(UNVISITED, d + 1, Ordering::Relaxed, Ordering::Relaxed)
                             .is_ok()
-                        {
-                            local_next.push(v);
-                            sigma[v as usize].fetch_add(su);
-                            succ.set(base + k);
-                            continue;
-                        }
+                    {
+                        local_next.push(v);
+                        sigma[v as usize].fetch_add(su);
+                        succ.set(base + k);
+                        continue;
                     }
                     if depth[v as usize].load(Ordering::Relaxed) == d + 1 {
                         sigma[v as usize].fetch_add(su);

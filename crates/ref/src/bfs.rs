@@ -9,6 +9,8 @@
 
 use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
+use gapbs_telemetry::trace::Dir;
+use gapbs_telemetry::trace_iter;
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::as_atomic_u32;
 use gapbs_parallel::{AtomicBitmap, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
@@ -66,6 +68,7 @@ pub fn bfs_with_config(
     let mut scout_count = g.out_degree(source) as u64;
 
     let parents = as_atomic_u32(&mut parent);
+    let mut depth: u32 = 0;
     while !queue.is_window_empty() {
         if !config.force_push && scout_count > edges_to_check / config.alpha.max(1) {
             // Bottom-up phase: convert queue → bitmap, pull until the
@@ -76,6 +79,12 @@ pub fn bfs_with_config(
             let mut old_awake;
             loop {
                 gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+                trace_iter!(BfsLevel {
+                    depth,
+                    frontier: awake_count,
+                    dir: Dir::Pull
+                });
+                depth += 1;
                 old_awake = awake_count;
                 next.clear();
                 awake_count = bottom_up_step(g, parents, &front, &next, pool);
@@ -91,6 +100,12 @@ pub fn bfs_with_config(
             scout_count = 1; // stay top-down for at least one step
         } else {
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            trace_iter!(BfsLevel {
+                depth,
+                frontier: queue.window_len() as u64,
+                dir: Dir::Push
+            });
+            depth += 1;
             edges_to_check = edges_to_check.saturating_sub(scout_count);
             scout_count = top_down_step(g, parents, &queue, pool);
             queue.slide_window();

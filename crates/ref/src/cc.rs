@@ -35,6 +35,10 @@ pub fn cc(g: &Graph, pool: &ThreadPool) -> Vec<NodeId> {
         // vertex.
         for round in 0..NEIGHBOR_ROUNDS {
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(CcRound {
+                round: round as u32,
+                changed: 0
+            });
             pool.for_each_index(n, Schedule::Dynamic(512), |u| {
                 let neighbors = g.out_neighbors(u as NodeId);
                 if let Some(&v) = neighbors.get(round) {

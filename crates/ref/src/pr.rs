@@ -101,6 +101,10 @@ pub fn pr_with_config(g: &Graph, pool: &ThreadPool, config: &PrConfig) -> PrResu
             |a, b| a + b,
         );
         scores = next;
+        gapbs_telemetry::trace_iter!(PrSweep {
+            sweep: iterations as u32,
+            residual: error
+        });
         if error < config.tolerance {
             break;
         }

@@ -92,6 +92,10 @@ pub fn sssp_with_config(
                 break;
             }
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
+            gapbs_telemetry::trace_iter!(SsspBucket {
+                bucket: current as u64,
+                size: frontier.len() as u64
+            });
             let level = current as Distance;
             let fused = config.bucket_fusion && frontier.len() <= config.fusion_threshold;
             let new_items: Vec<(usize, NodeId)> = if fused || pool.num_threads() == 1 {

@@ -15,21 +15,12 @@ use gapbs_parallel::{Schedule, ThreadPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Relabeling decision knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TcConfig {
     /// Skip the heuristic and never relabel.
     pub force_no_relabel: bool,
     /// Skip the heuristic and always relabel.
     pub force_relabel: bool,
-}
-
-impl Default for TcConfig {
-    fn default() -> Self {
-        TcConfig {
-            force_no_relabel: false,
-            force_relabel: false,
-        }
-    }
 }
 
 /// Counts triangles in an undirected graph.

@@ -46,6 +46,12 @@ pub struct TrialRecord {
     pub counters: CounterSet,
     /// Per-phase seconds accrued during this trial (build on trial 0).
     pub phases: PhaseTimes,
+    /// Peak resident set size of the process when the trial finished
+    /// (VmHWM from `/proc/self/status`, in bytes). Always recorded — it
+    /// needs no feature flag — and 0 where procfs is unavailable. This is
+    /// a process-lifetime high-water mark, not a per-trial delta: compare
+    /// it across ledgers cell by cell, as `perf_compare` does.
+    pub peak_rss_bytes: u64,
     /// Git revision of the producing build ("unknown" outside a repo).
     pub git_rev: String,
 }
@@ -77,6 +83,10 @@ impl TrialRecord {
             ("m".to_string(), Json::Num(self.num_arcs as f64)),
             ("counters".to_string(), counters),
             ("phases".to_string(), phases),
+            (
+                "peak_rss_bytes".to_string(),
+                Json::Num(self.peak_rss_bytes as f64),
+            ),
             ("git_rev".to_string(), Json::Str(self.git_rev.clone())),
         ];
         if let Some(teps) = self.counters.teps(self.seconds) {
@@ -138,6 +148,8 @@ impl TrialRecord {
             num_arcs: u64_field("m").unwrap_or(0),
             counters,
             phases,
+            // Absent in schema-v1 ledgers written before the field existed.
+            peak_rss_bytes: u64_field("peak_rss_bytes").unwrap_or(0),
             git_rev: str_field("git_rev").unwrap_or_else(|_| "unknown".into()),
         })
     }
@@ -288,6 +300,7 @@ mod tests {
             num_arcs: 4000,
             counters,
             phases,
+            peak_rss_bytes: 64 * 1024 * 1024,
             git_rev: "abc123def456".into(),
         }
     }
@@ -342,6 +355,15 @@ mod tests {
         );
         let back = TrialRecord::from_json_line(&line).unwrap();
         assert_eq!(back.counters.get(Counter::EdgesExamined), 1234);
+    }
+
+    #[test]
+    fn pre_rss_ledgers_parse_with_zero_peak() {
+        let line = sample()
+            .to_json_line()
+            .replace("\"peak_rss_bytes\":67108864,", "");
+        let back = TrialRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.peak_rss_bytes, 0);
     }
 
     #[test]

@@ -26,10 +26,12 @@ pub mod counters;
 pub mod json;
 pub mod ledger;
 pub mod span;
+pub mod trace;
 
 pub use counters::{record, snapshot, Counter, CounterSet, Registry};
 pub use ledger::{Ledger, TrialRecord};
 pub use span::{Phase, PhaseTimes, Span};
+pub use trace::Trace;
 
 /// `true` when the crate was compiled with global recording active.
 pub const fn is_enabled() -> bool {

@@ -14,6 +14,9 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== lint: cargo clippy --all-targets -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
 echo "== telemetry feature parity: build + tests with counters on =="
 cargo build -q --features telemetry
 cargo test -q --features telemetry --test shape_claims
@@ -34,10 +37,24 @@ for fw in GAP SuiteSparse Galois GraphIt GKC NWGraph; do
     grep -q "\"framework\":\"$fw\"" "$smoke_dir/ledger.jsonl" \
         || { echo "FAIL: no ledger records for $fw"; exit 1; }
 done
-if grep -q '"edges_examined":0,' "$smoke_dir/ledger.jsonl"; then
-    echo "FAIL: some trial recorded zero edges examined"
-    exit 1
-fi
+# Structured ledger sanity: finite times, verified outputs, non-empty
+# graphs, and (telemetry build) every trial examined at least one edge.
+cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+    --lint "$smoke_dir/ledger.jsonl"
+
+echo "== smoke: execution trace + trace_stats =="
+# A traced BFS on the Kron generator must produce a loadable Chrome
+# trace with direction-optimizing level events, and trace_stats must
+# distill it to a parseable imbalance metric.
+cargo run -q --release --features telemetry --bin bfs -- \
+    -g 10 -k 16 -n 2 --trace "$smoke_dir/trace.json" > /dev/null
+[[ -s "$smoke_dir/trace.json" ]] || { echo "FAIL: trace is empty"; exit 1; }
+cargo run -q --release -p gapbs-bench --bin trace_stats -- \
+    "$smoke_dir/trace.json" > "$smoke_dir/trace_stats.out"
+grep -Eq '^imbalance: [0-9]+\.[0-9]+' "$smoke_dir/trace_stats.out" \
+    || { echo "FAIL: no parseable imbalance metric"; cat "$smoke_dir/trace_stats.out"; exit 1; }
+grep -q 'direction switch' "$smoke_dir/trace_stats.out" \
+    || { echo "FAIL: traced Kron BFS shows no push/pull switch"; exit 1; }
 
 echo "== smoke: region-launch microbenchmark =="
 # The persistent pool exists to make tiny per-level regions cheap; gate on

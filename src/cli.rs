@@ -50,6 +50,8 @@ pub struct CliOptions {
     pub verify: bool,
     /// Append per-trial JSONL records to this ledger file.
     pub ledger: Option<String>,
+    /// Write a Chrome trace-event JSON timeline of the run to this file.
+    pub trace: Option<String>,
     /// Unconsumed (kernel-specific) flags, as (flag, value) pairs.
     pub extra: Vec<(String, String)>,
 }
@@ -84,6 +86,7 @@ impl CliOptions {
             mode: Mode::Baseline,
             verify: true,
             ledger: None,
+            trace: None,
             extra: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -106,6 +109,7 @@ impl CliOptions {
                 "-v" => opts.verify = true,
                 "-V" => opts.verify = false,
                 "--ledger" => opts.ledger = Some(value("--ledger")?),
+                "--trace" => opts.trace = Some(value("--trace")?),
                 "-h" | "--help" => return Err(USAGE.into()),
                 other if other.starts_with('-') => {
                     let v = it.next().unwrap_or_default();
@@ -310,6 +314,13 @@ pub fn run_kernel_binary(kernel: crate::core::Kernel) {
         framework.name(),
         opts.mode,
     );
+    // A trace session wraps the whole trial protocol so warm-up and
+    // verification land on the timeline too. Iteration and pool events
+    // need the `telemetry` feature; trial spans and RSS samples record
+    // in any build.
+    if opts.trace.is_some() {
+        gapbs_telemetry::trace::start(std::time::Duration::from_millis(10));
+    }
     let record = crate::core::run_cell(
         framework.as_ref(),
         &input,
@@ -317,6 +328,16 @@ pub fn run_kernel_binary(kernel: crate::core::Kernel) {
         opts.mode,
         &opts.trial_config(),
     );
+    if let Some(path) = &opts.trace {
+        let trace = gapbs_telemetry::trace::stop();
+        match trace.write_chrome_file(path) {
+            Ok(()) => eprintln!("trace: wrote {} events to {path}", trace.events.len()),
+            Err(e) => {
+                eprintln!("trace: failed to write {path}: {e}");
+                exit(2);
+            }
+        }
+    }
     for (i, t) in record.times.iter().enumerate() {
         println!("Trial {i}: {t:.6} s");
     }
@@ -349,6 +370,7 @@ usage: <kernel> [options]
   -o           Optimized rules (default Baseline)
   -V           skip verification
   --ledger <path>  append per-trial JSONL records to a run ledger
+  --trace <path>   write a Chrome trace-event JSON timeline (load in Perfetto)
 kernel-specific: sssp: -d <delta>; pr: -i <iters> -t <tol>";
 
 #[cfg(test)]
@@ -396,6 +418,13 @@ mod tests {
             Some(std::path::Path::new("out/ledger.jsonl"))
         );
         assert!(parse(&[]).trial_config().ledger_path.is_none());
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        let o = parse(&["--trace", "out/trace.json"]);
+        assert_eq!(o.trace.as_deref(), Some("out/trace.json"));
+        assert!(parse(&[]).trace.is_none());
     }
 
     #[test]
