@@ -6,9 +6,10 @@
 //! GAPBS_SCALE=medium cargo run --release -p gapbs-bench --bin run_all > results.txt
 //! ```
 
-use gapbs_bench::{corpus, scale_from_env};
+use gapbs_bench::{corpus_in_pool, scale_from_env};
 use gapbs_core::report::{render_table1, render_table2, render_table3};
-use gapbs_core::{all_frameworks, run_matrix, Kernel, Mode, TrialConfig};
+use gapbs_core::{all_frameworks, run_matrix_in_pool, Kernel, Mode, TrialConfig};
+use gapbs_parallel::ThreadPool;
 
 fn main() {
     let scale = scale_from_env();
@@ -63,7 +64,10 @@ fn main() {
         eprintln!("trace: {path}");
         gapbs_telemetry::trace::start(std::time::Duration::from_millis(10));
     }
-    let inputs = corpus(scale);
+    // One worker team for the whole study: corpus generation, graph
+    // construction, and every benchmark cell share it.
+    let pool = ThreadPool::new(config.threads);
+    let inputs = corpus_in_pool(scale, &pool);
     let frameworks = all_frameworks();
 
     let rows: Vec<_> = inputs.iter().map(|b| (b.spec, &b.graph)).collect();
@@ -73,7 +77,7 @@ fn main() {
 
     let total = frameworks.len() * Kernel::ALL.len() * inputs.len() * Mode::ALL.len();
     let mut done = 0usize;
-    let report = run_matrix(
+    let report = run_matrix_in_pool(
         &frameworks,
         &inputs,
         &Kernel::ALL,
@@ -91,6 +95,7 @@ fn main() {
                 cell.verified
             );
         },
+        &pool,
     );
     if let Some(path) = &trace_path {
         let trace = gapbs_telemetry::trace::stop();

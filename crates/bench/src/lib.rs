@@ -26,6 +26,15 @@ pub fn corpus(scale: Scale) -> Vec<BenchGraph> {
         .collect()
 }
 
+/// [`corpus`] with generation and construction on `pool` — identical
+/// graphs for every pool size, built at pool speed.
+pub fn corpus_in_pool(scale: Scale, pool: &gapbs_parallel::ThreadPool) -> Vec<BenchGraph> {
+    GraphSpec::TABLE_ORDER
+        .iter()
+        .map(|&spec| BenchGraph::generate_in(spec, scale, pool))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,35 @@ const MEM_RATIO_THRESHOLD: f64 = 1.25;
 /// ...and so are changes under this many bytes (16 MiB).
 const MEM_ABSOLUTE_FLOOR: u64 = 16 * 1024 * 1024;
 
+/// A cell's graph-construction time pair. Build deltas are *reported*,
+/// never gated: construction runs once per cell (trial 0) and is noisy at
+/// small scales, so it informs rather than fails the gate.
+#[derive(Debug, Clone)]
+pub struct BuildDelta {
+    /// (framework, kernel, graph, mode).
+    pub key: CellKey,
+    /// Max `build_seconds + relabel_seconds` over the baseline trials.
+    pub baseline_seconds: f64,
+    /// Max `build_seconds + relabel_seconds` over the candidate trials.
+    pub candidate_seconds: f64,
+}
+
+impl BuildDelta {
+    /// Candidate/baseline construction-time ratio (>1 means slower).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_seconds > 0.0 {
+            self.candidate_seconds / self.baseline_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Construction-time changes below this ratio (either direction) are noise.
+const BUILD_RATIO_THRESHOLD: f64 = 1.25;
+/// ...and so are swings under this many seconds.
+const BUILD_ABSOLUTE_FLOOR: f64 = 0.010;
+
 /// Outcome of diffing two ledgers.
 #[derive(Debug, Default)]
 pub struct Comparison {
@@ -100,6 +129,10 @@ pub struct Comparison {
     /// Cells whose peak RSS moved beyond the memory noise thresholds
     /// (report-only; [`Comparison::has_regressions`] ignores these).
     pub memory: Vec<MemDelta>,
+    /// Cells whose build+relabel time moved beyond the build noise
+    /// thresholds (report-only; [`Comparison::has_regressions`] ignores
+    /// these).
+    pub build: Vec<BuildDelta>,
 }
 
 impl Comparison {
@@ -151,6 +184,18 @@ impl Comparison {
                     mib(m.baseline_bytes),
                     mib(m.candidate_bytes),
                     m.ratio(),
+                ));
+            }
+        }
+        if !self.build.is_empty() {
+            out.push_str("BUILD (construction + relabel seconds; report-only, never gates)\n");
+            for b in &self.build {
+                let (fw, kernel, graph, mode) = &b.key;
+                out.push_str(&format!(
+                    "  {fw:<12} {kernel:<5} {graph:<8} {mode:<10} {:>10.6}s -> {:>10.6}s  ({:>6.2}x)\n",
+                    b.baseline_seconds,
+                    b.candidate_seconds,
+                    b.ratio(),
                 ));
             }
         }
@@ -239,6 +284,36 @@ pub fn compare(
             });
         }
     }
+    // Build time: max build+relabel seconds per cell, reported when it
+    // moved beyond the noise thresholds in either direction. Cells with a
+    // zero on either side (no build in that cell, pre-field ledger with
+    // no Build phase) are skipped.
+    let build_by_cell = |records: &[TrialRecord]| {
+        let mut builds: BTreeMap<CellKey, f64> = BTreeMap::new();
+        for r in records {
+            let entry = builds.entry(r.cell_key()).or_insert(0.0);
+            *entry = entry.max(r.build_seconds + r.relabel_seconds);
+        }
+        builds
+    };
+    let cand_builds = build_by_cell(candidate);
+    for (key, &b) in &build_by_cell(baseline) {
+        let Some(&c) = cand_builds.get(key) else {
+            continue;
+        };
+        if b <= 0.0 || c <= 0.0 {
+            continue;
+        }
+        let significant = (c - b).abs() > BUILD_ABSOLUTE_FLOOR
+            && (c > b * BUILD_RATIO_THRESHOLD || b > c * BUILD_RATIO_THRESHOLD);
+        if significant {
+            result.build.push(BuildDelta {
+                key: key.clone(),
+                baseline_seconds: b,
+                candidate_seconds: c,
+            });
+        }
+    }
     // Worst regression first, best improvement first, biggest memory
     // mover first.
     result
@@ -249,6 +324,9 @@ pub fn compare(
         .sort_by(|a, b| a.ratio().total_cmp(&b.ratio()));
     result
         .memory
+        .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    result
+        .build
         .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
     result
 }
@@ -409,6 +487,35 @@ mod tests {
             &CompareConfig::default(),
         );
         assert!(cmp.memory.is_empty());
+    }
+
+    #[test]
+    fn build_deltas_report_but_never_gate() {
+        let mut base = record("GAP", "tc", 0, 0.1);
+        base.build_seconds = 0.10;
+        base.relabel_seconds = 0.10;
+        let mut cand = record("GAP", "tc", 0, 0.1);
+        cand.build_seconds = 0.05; // 0.20s -> 0.08s: 2.5x faster build
+        cand.relabel_seconds = 0.03;
+        let cmp = compare(&[base.clone()], &[cand], &CompareConfig::default());
+        assert!(!cmp.has_regressions(), "build time never fails the gate");
+        assert_eq!(cmp.build.len(), 1);
+        assert!((cmp.build[0].ratio() - 0.4).abs() < 1e-12);
+        assert!(cmp.render().contains("BUILD (construction"), "{}", cmp.render());
+
+        // Sub-floor swing is noise.
+        let mut close = record("GAP", "tc", 0, 0.1);
+        close.build_seconds = 0.195;
+        let cmp = compare(&[base.clone()], &[close], &CompareConfig::default());
+        assert!(cmp.build.is_empty());
+
+        // Zero on either side (pre-field ledger, no build) is skipped.
+        let cmp = compare(
+            &[record("GAP", "tc", 0, 0.1)],
+            &[base],
+            &CompareConfig::default(),
+        );
+        assert!(cmp.build.is_empty());
     }
 
     #[test]

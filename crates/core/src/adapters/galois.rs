@@ -86,7 +86,7 @@ impl Framework for GaloisFramework {
             Mode::Optimized => (
                 Some({
                     let _relabel = gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
-                    gapbs_galois::tc::relabel_for_optimized(&input.sym_graph)
+                    gapbs_galois::tc::relabel_for_optimized(&input.sym_graph, pool)
                 }),
                 Relabeling::AlreadyRelabeled,
             ),

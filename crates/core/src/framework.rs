@@ -2,10 +2,12 @@
 //! crates.
 
 use crate::kernel::{Kernel, Mode};
+use gapbs_graph::builder::symmetrize_graph;
 use gapbs_graph::gen::{GraphSpec, Scale};
 use gapbs_graph::types::{Distance, NodeId, Score};
-use gapbs_graph::{Builder, Edge, Graph, WGraph, Weight};
+use gapbs_graph::{Graph, WGraph, Weight};
 use gapbs_parallel::ThreadPool;
+use gapbs_telemetry::{Phase, Span};
 
 /// A fully prepared benchmark input: everything every framework may hold
 /// before the timer starts (GAP stores both graph directions; TC runs on
@@ -31,27 +33,31 @@ pub struct BenchGraph {
 
 impl BenchGraph {
     /// Generates a corpus member at the given scale and prepares every
-    /// untimed input.
+    /// untimed input (serial wrapper over [`BenchGraph::generate_in`]).
     pub fn generate(spec: GraphSpec, scale: Scale) -> Self {
-        let graph = spec.generate(scale);
-        let wgraph = spec.generate_weighted(scale);
-        Self::from_graphs(spec, graph, wgraph)
+        Self::generate_in(spec, scale, &ThreadPool::new(1))
     }
 
-    /// Prepares inputs from already-built graphs.
+    /// [`BenchGraph::generate`] with generation and construction on
+    /// `pool`. The prepared input is identical for every pool size.
+    pub fn generate_in(spec: GraphSpec, scale: Scale, pool: &ThreadPool) -> Self {
+        let _build = Span::enter(Phase::Build);
+        let graph = spec.generate_in(scale, pool);
+        let wgraph = spec.generate_weighted_in(scale, pool);
+        Self::from_graphs_in(spec, graph, wgraph, pool)
+    }
+
+    /// Prepares inputs from already-built graphs (serial wrapper over
+    /// [`BenchGraph::from_graphs_in`]).
     pub fn from_graphs(spec: GraphSpec, graph: Graph, wgraph: WGraph) -> Self {
+        Self::from_graphs_in(spec, graph, wgraph, &ThreadPool::new(1))
+    }
+
+    /// [`BenchGraph::from_graphs`] with the symmetrized TC view built on
+    /// `pool`, straight from the stored adjacency (no edge-list clone).
+    pub fn from_graphs_in(spec: GraphSpec, graph: Graph, wgraph: WGraph, pool: &ThreadPool) -> Self {
         let sym_graph = if graph.is_directed() {
-            Builder::new()
-                .symmetrize(true)
-                .num_vertices(graph.num_vertices())
-                .build(
-                    graph
-                        .out_csr()
-                        .iter_edges()
-                        .map(|(u, v)| Edge::new(u, v))
-                        .collect(),
-                )
-                .expect("symmetrization of a valid graph cannot fail")
+            symmetrize_graph(&graph, pool)
         } else {
             graph.clone()
         };

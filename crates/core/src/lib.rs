@@ -32,4 +32,6 @@ pub use framework::{BenchGraph, Framework, FrameworkInfo, PreparedKernels};
 pub use kernel::{Kernel, Mode};
 pub use registry::all_frameworks;
 pub use report::Report;
-pub use runner::{run_cell, run_matrix, CellRecord, TrialConfig};
+pub use runner::{
+    run_cell, run_cell_in_pool, run_matrix, run_matrix_in_pool, CellRecord, TrialConfig,
+};

@@ -246,6 +246,7 @@ pub fn run_cell_in_pool(
         if let Some(ledger) = &ledger {
             let now_phases = gapbs_telemetry::span::phase_times();
             let now_counters = gapbs_telemetry::snapshot();
+            let phase_delta = now_phases.delta(&phases_mark);
             let record = TrialRecord {
                 framework: framework.name().to_string(),
                 kernel: kernel.name().to_lowercase(),
@@ -253,12 +254,14 @@ pub fn run_cell_in_pool(
                 mode: mode.to_string(),
                 trial: trial as u64,
                 seconds: trial_seconds,
+                build_seconds: phase_delta.get(Phase::Build),
+                relabel_seconds: phase_delta.get(Phase::Relabel),
                 verified,
                 threads: pool.num_threads() as u64,
                 num_vertices: input.graph.num_vertices() as u64,
                 num_arcs: input.graph.num_arcs() as u64,
                 counters: now_counters.delta(&counters_mark),
-                phases: now_phases.delta(&phases_mark),
+                phases: phase_delta,
                 peak_rss_bytes: gapbs_telemetry::trace::read_vm_status()
                     .map_or(0, |vm| vm.vm_hwm_bytes),
                 git_rev: String::new(),
@@ -293,7 +296,7 @@ pub fn run_matrix<F>(
     kernels: &[Kernel],
     modes: &[Mode],
     config: &TrialConfig,
-    mut progress: F,
+    progress: F,
 ) -> Report
 where
     F: FnMut(&CellRecord),
@@ -301,13 +304,31 @@ where
     // One persistent worker team for the whole matrix: every cell's
     // regions reuse it, so a full run pays exactly one spawn event.
     let pool = ThreadPool::new(config.threads);
+    run_matrix_in_pool(frameworks, inputs, kernels, modes, config, progress, &pool)
+}
+
+/// [`run_matrix`] on an existing pool — callers that already own a team
+/// (e.g. because they generated the corpus on it) avoid a second spawn.
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_in_pool<F>(
+    frameworks: &[Box<dyn Framework>],
+    inputs: &[BenchGraph],
+    kernels: &[Kernel],
+    modes: &[Mode],
+    config: &TrialConfig,
+    mut progress: F,
+    pool: &ThreadPool,
+) -> Report
+where
+    F: FnMut(&CellRecord),
+{
     let mut cells = Vec::new();
     for mode in modes {
         for input in inputs {
             for framework in frameworks {
                 for &kernel in kernels {
                     let record =
-                        run_cell_in_pool(framework.as_ref(), input, kernel, *mode, config, &pool);
+                        run_cell_in_pool(framework.as_ref(), input, kernel, *mode, config, pool);
                     progress(&record);
                     cells.push(record);
                 }

@@ -38,7 +38,7 @@ pub fn tc(g: &Graph, relabeling: Relabeling, pool: &ThreadPool) -> u64 {
                 let relabeled = {
                     let _relabel =
                         gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
-                    perm::apply(g, &perm::degree_descending(g))
+                    perm::apply_in(g, &perm::degree_descending(g), pool)
                 };
                 count(&relabeled, pool)
             } else {
@@ -50,9 +50,9 @@ pub fn tc(g: &Graph, relabeling: Relabeling, pool: &ThreadPool) -> u64 {
 }
 
 /// Produces the relabeled graph for Optimized mode (run outside timing).
-pub fn relabel_for_optimized(g: &Graph) -> Graph {
+pub fn relabel_for_optimized(g: &Graph, pool: &ThreadPool) -> Graph {
     if skewed(g) {
-        perm::apply(g, &perm::degree_descending(g))
+        perm::apply_in(g, &perm::degree_descending(g), pool)
     } else {
         g.clone()
     }
@@ -150,7 +150,7 @@ mod tests {
         let g = gen::kron(9, 12, 7);
         let p = pool();
         let base = tc(&g, Relabeling::HeuristicTimed, &p);
-        let pre = relabel_for_optimized(&g);
+        let pre = relabel_for_optimized(&g, &p);
         let opt = tc(&pre, Relabeling::AlreadyRelabeled, &p);
         assert_eq!(base, opt);
     }

@@ -25,7 +25,7 @@ pub fn tc(g: &Graph, pool: &ThreadPool) -> u64 {
     if degree_skewness(g) > 2.0 {
         let relabeled = {
             let _relabel = gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
-            perm::apply(g, &perm::degree_descending(g))
+            perm::apply_in(g, &perm::degree_descending(g), pool)
         };
         count(&relabeled, pool)
     } else {

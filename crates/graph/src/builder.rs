@@ -6,12 +6,38 @@
 //! undirected Kron and Urand inputs) and both adjacency directions are built
 //! here, ahead of timing, matching GAP's rule that graph transposition is not
 //! timed because the reference implementation stores both forms.
+//!
+//! Construction runs as a staged pipeline on a [`ThreadPool`] (mirroring
+//! the GAP reference's parallel `BuilderBase`):
+//!
+//! 1. **count** — per-worker degree histograms over a static partition of
+//!    the input (local buffers: no shared writes in the hot loop),
+//! 2. **scan** — histogram merge plus a parallel exclusive prefix sum
+//!    ([`gapbs_parallel::scan`]) turning degrees into row offsets,
+//! 3. **scatter** — a counting-sort scatter over atomic row cursors
+//!    ([`gapbs_parallel::scatter`]); symmetrized mirrors and the reversed
+//!    (incoming) direction are *virtual* input items, so no second edge
+//!    `Vec` is ever materialized, and self-loop filtering happens here
+//!    rather than in an up-front `retain` pass,
+//! 4. **sort_dedup** — chunked per-row `sort_unstable` + first-wins dedup
+//!    (for weighted rows the `(dst, weight)` tuple sort makes first-wins
+//!    keep the minimum weight),
+//! 5. **compact** — a second scan over the kept counts and a parallel
+//!    copy into the final buffer.
+//!
+//! Every stage is deterministic for a given input regardless of thread
+//! count or schedule: scatter order within a row varies, but the sort
+//! canonicalizes it. A builder without a pool runs the same pipeline on a
+//! one-thread pool, which executes inline — serial construction is the
+//! one-thread special case, not a separate code path.
 
 use crate::csr::{CsrGraph, WCsrGraph};
 use crate::edgelist::{Edge, WEdge};
 use crate::error::BuildError;
 use crate::graph::{Graph, WGraph};
 use crate::types::{NodeId, Weight};
+use gapbs_parallel::{scan, scatter, Schedule, SharedSlice, ThreadPool};
+use gapbs_telemetry::{record, trace, Counter};
 
 /// Configurable edge-list-to-graph builder.
 ///
@@ -32,6 +58,7 @@ pub struct Builder {
     num_vertices: Option<usize>,
     symmetrize: bool,
     remove_self_loops: bool,
+    pool: Option<ThreadPool>,
 }
 
 impl Default for Builder {
@@ -48,6 +75,7 @@ impl Builder {
             num_vertices: None,
             symmetrize: false,
             remove_self_loops: false,
+            pool: None,
         }
     }
 
@@ -67,6 +95,18 @@ impl Builder {
     pub fn remove_self_loops(mut self, yes: bool) -> Self {
         self.remove_self_loops = yes;
         self
+    }
+
+    /// Runs construction on `pool`. Without a pool the same pipeline runs
+    /// on a private one-thread pool (inline — today's serial behavior),
+    /// and the output is identical either way.
+    pub fn pool(mut self, pool: &ThreadPool) -> Self {
+        self.pool = Some(pool.clone());
+        self
+    }
+
+    fn runtime(&self) -> ThreadPool {
+        self.pool.clone().unwrap_or_else(|| ThreadPool::new(1))
     }
 
     fn resolve_n(&self, max_endpoint: Option<NodeId>) -> Result<usize, BuildError> {
@@ -93,21 +133,42 @@ impl Builder {
     ///
     /// Returns [`BuildError::EndpointOutOfRange`] if an endpoint exceeds a
     /// fixed vertex count.
-    pub fn build(&self, mut edges: Vec<Edge>) -> Result<Graph, BuildError> {
-        if self.remove_self_loops {
-            edges.retain(|e| !e.is_self_loop());
-        }
-        let max = edges.iter().map(|e| e.src.max(e.dst)).max();
+    pub fn build(&self, edges: Vec<Edge>) -> Result<Graph, BuildError> {
+        let pool = self.runtime();
+        let drop_loops = self.remove_self_loops;
+        let live = |e: &Edge| !(drop_loops && e.is_self_loop());
+        let max = max_endpoint(&pool, edges.len(), |i| {
+            let e = edges[i];
+            live(&e).then(|| e.src.max(e.dst))
+        });
         let n = self.resolve_n(max)?;
+        let m = edges.len();
+        let edges = edges.as_slice();
         if self.symmetrize {
-            let mirrored: Vec<Edge> = edges.iter().map(|e| e.reversed()).collect();
-            edges.extend(mirrored);
-            let adj = csr_from_edges(n, &edges, |e| (e.src, e.dst));
-            Ok(Graph::undirected(adj))
+            // Item space: forward edges then their mirrors, both virtual.
+            let item = |i: usize| {
+                let e = if i < m { edges[i] } else { edges[i - m].reversed() };
+                live(&e).then_some((e.src as usize, e.dst))
+            };
+            let (offsets, targets) = build_rows(&pool, n, 2 * m, &item);
+            Ok(Graph::undirected(CsrGraph::from_parts_unchecked(
+                offsets, targets,
+            )))
         } else {
-            let out = csr_from_edges(n, &edges, |e| (e.src, e.dst));
-            let incoming = csr_from_edges(n, &edges, |e| (e.dst, e.src));
-            Ok(Graph::directed(out, incoming))
+            let out_item = |i: usize| {
+                let e = edges[i];
+                live(&e).then_some((e.src as usize, e.dst))
+            };
+            let in_item = |i: usize| {
+                let e = edges[i];
+                live(&e).then_some((e.dst as usize, e.src))
+            };
+            let (oo, ot) = build_rows(&pool, n, m, &out_item);
+            let (io, it) = build_rows(&pool, n, m, &in_item);
+            Ok(Graph::directed(
+                CsrGraph::from_parts_unchecked(oo, ot),
+                CsrGraph::from_parts_unchecked(io, it),
+            ))
         }
     }
 
@@ -121,136 +182,276 @@ impl Builder {
     /// Returns [`BuildError::NonPositiveWeight`] for weights `<= 0` and
     /// [`BuildError::EndpointOutOfRange`] if an endpoint exceeds a fixed
     /// vertex count.
-    pub fn build_weighted(&self, mut edges: Vec<WEdge>) -> Result<WGraph, BuildError> {
-        if let Some(bad) = edges.iter().find(|e| e.weight <= 0) {
+    pub fn build_weighted(&self, edges: Vec<WEdge>) -> Result<WGraph, BuildError> {
+        let pool = self.runtime();
+        let drop_loops = self.remove_self_loops;
+        let live = |e: &WEdge| !(drop_loops && e.src == e.dst);
+        // One extent pass validates weights (lowest offending index, so
+        // the reported edge matches a serial scan) and finds the max
+        // endpoint — no separate validation sweep.
+        let (max, bad) = pool.reduce_index(
+            edges.len(),
+            Schedule::Static,
+            (None, None),
+            |i| {
+                let e = edges[i];
+                (
+                    live(&e).then(|| e.src.max(e.dst)),
+                    (e.weight <= 0).then_some(i),
+                )
+            },
+            |(max_a, bad_a), (max_b, bad_b)| {
+                (
+                    merge_max(max_a, max_b),
+                    match (bad_a, bad_b) {
+                        (Some(x), Some(y)) => Some(x.min(y)),
+                        (x, None) => x,
+                        (None, y) => y,
+                    },
+                )
+            },
+        );
+        if let Some(i) = bad {
+            let e = edges[i];
             return Err(BuildError::NonPositiveWeight {
-                src: u64::from(bad.src),
-                dst: u64::from(bad.dst),
-                weight: i64::from(bad.weight),
+                src: u64::from(e.src),
+                dst: u64::from(e.dst),
+                weight: i64::from(e.weight),
             });
         }
-        if self.remove_self_loops {
-            edges.retain(|e| e.src != e.dst);
-        }
-        let max = edges.iter().map(|e| e.src.max(e.dst)).max();
         let n = self.resolve_n(max)?;
+        let m = edges.len();
+        let edges = edges.as_slice();
         if self.symmetrize {
-            let mirrored: Vec<WEdge> = edges.iter().map(|e| e.reversed()).collect();
-            edges.extend(mirrored);
-            let adj = wcsr_from_edges(n, &edges, |e| (e.src, e.dst, e.weight));
-            Ok(WGraph::undirected(adj))
+            let item = |i: usize| {
+                let e = if i < m { edges[i] } else { edges[i - m].reversed() };
+                live(&e).then_some((e.src as usize, (e.dst, e.weight)))
+            };
+            let (offsets, pairs) = build_rows(&pool, n, 2 * m, &item);
+            Ok(WGraph::undirected(wcsr(&pool, offsets, &pairs)))
         } else {
-            let out = wcsr_from_edges(n, &edges, |e| (e.src, e.dst, e.weight));
-            let incoming = wcsr_from_edges(n, &edges, |e| (e.dst, e.src, e.weight));
-            Ok(WGraph::directed(out, incoming))
+            let out_item = |i: usize| {
+                let e = edges[i];
+                live(&e).then_some((e.src as usize, (e.dst, e.weight)))
+            };
+            let in_item = |i: usize| {
+                let e = edges[i];
+                live(&e).then_some((e.dst as usize, (e.src, e.weight)))
+            };
+            let (oo, op) = build_rows(&pool, n, m, &out_item);
+            let (io, ip) = build_rows(&pool, n, m, &in_item);
+            Ok(WGraph::directed(
+                wcsr(&pool, oo, &op),
+                wcsr(&pool, io, &ip),
+            ))
         }
     }
 }
 
-/// Counting-sort scatter of an edge list into a sorted, deduplicated CSR.
-fn csr_from_edges<E, F>(n: usize, edges: &[E], key: F) -> CsrGraph
-where
-    F: Fn(&E) -> (NodeId, NodeId),
-{
-    let mut degree = vec![0usize; n];
-    for e in edges {
-        let (s, _) = key(e);
-        degree[s as usize] += 1;
-    }
-    let mut offsets = Vec::with_capacity(n + 1);
-    offsets.push(0usize);
-    let mut acc = 0usize;
-    for &d in &degree {
-        acc += d;
-        offsets.push(acc);
-    }
-    let mut targets = vec![0 as NodeId; edges.len()];
-    let mut cursor = offsets.clone();
-    for e in edges {
-        let (s, d) = key(e);
-        let slot = &mut cursor[s as usize];
-        targets[*slot] = d;
-        *slot += 1;
-    }
-    // Sort each row and deduplicate, compacting in place.
-    let mut write = 0usize;
-    let mut new_offsets = Vec::with_capacity(n + 1);
-    new_offsets.push(0usize);
-    for u in 0..n {
-        let (lo, hi) = (offsets[u], offsets[u + 1]);
-        let row = &mut targets[lo..hi];
-        row.sort_unstable();
-        let mut prev: Option<NodeId> = None;
-        let mut kept = 0usize;
-        for i in 0..row.len() {
-            let v = row[i];
-            if prev != Some(v) {
-                row[kept] = v;
-                kept += 1;
-                prev = Some(v);
-            }
-        }
-        // Move the kept prefix down to the write cursor.
-        targets.copy_within(lo..lo + kept, write);
-        write += kept;
-        new_offsets.push(write);
-    }
-    targets.truncate(write);
-    CsrGraph::from_parts_unchecked(new_offsets, targets)
+/// Symmetrizes a directed graph on `pool` without materializing an edge
+/// list: the scatter's item space is both directions of every stored arc,
+/// read straight out of the CSR.
+pub fn symmetrize_graph(g: &Graph, pool: &ThreadPool) -> Graph {
+    let n = g.num_vertices();
+    let csr = g.out_csr();
+    let targets = csr.targets_raw();
+    let m = targets.len();
+    let srcs = arc_sources(pool, csr.offsets_raw(), n, m);
+    let item = |i: usize| {
+        let (arc, fwd) = if i < m { (i, true) } else { (i - m, false) };
+        let (u, v) = (srcs[arc], targets[arc]);
+        Some(if fwd {
+            (u as usize, v)
+        } else {
+            (v as usize, u)
+        })
+    };
+    let (offsets, adj) = build_rows(pool, n, 2 * m, &item);
+    Graph::undirected(CsrGraph::from_parts_unchecked(offsets, adj))
 }
 
-/// Weighted variant of [`csr_from_edges`]; duplicates keep the minimum
-/// weight.
-fn wcsr_from_edges<E, F>(n: usize, edges: &[E], key: F) -> WCsrGraph
-where
-    F: Fn(&E) -> (NodeId, NodeId, Weight),
-{
-    let mut degree = vec![0usize; n];
-    for e in edges {
-        let (s, _, _) = key(e);
-        degree[s as usize] += 1;
-    }
-    let mut offsets = Vec::with_capacity(n + 1);
-    offsets.push(0usize);
-    let mut acc = 0usize;
-    for &d in &degree {
-        acc += d;
-        offsets.push(acc);
-    }
-    let mut pairs: Vec<(NodeId, Weight)> = vec![(0, 0); edges.len()];
-    let mut cursor = offsets.clone();
-    for e in edges {
-        let (s, d, w) = key(e);
-        let slot = &mut cursor[s as usize];
-        pairs[*slot] = (d, w);
-        *slot += 1;
-    }
-    let mut write = 0usize;
-    let mut new_offsets = Vec::with_capacity(n + 1);
-    new_offsets.push(0usize);
-    for u in 0..n {
-        let (lo, hi) = (offsets[u], offsets[u + 1]);
-        let row = &mut pairs[lo..hi];
-        row.sort_unstable();
-        let mut kept = 0usize;
-        let mut prev: Option<NodeId> = None;
-        for i in 0..row.len() {
-            let (v, w) = row[i];
-            if prev != Some(v) {
-                row[kept] = (v, w);
-                kept += 1;
-                prev = Some(v);
-            }
-            // duplicates after sort have >= weight for same dst because the
-            // tuple sort orders by (dst, weight); the first wins (minimum).
+/// Expands a CSR offset table into the per-arc source-vertex array the
+/// virtual item spaces index by (`srcs[arc]` = row owning `arc`).
+pub(crate) fn arc_sources(
+    pool: &ThreadPool,
+    offsets: &[usize],
+    n: usize,
+    m: usize,
+) -> Vec<NodeId> {
+    let mut srcs = vec![0 as NodeId; m];
+    let shared = SharedSlice::new(&mut srcs);
+    pool.for_each_index(n, Schedule::Guided, |u| {
+        for arc in offsets[u]..offsets[u + 1] {
+            // SAFETY: rows partition the arc array.
+            unsafe { shared.write(arc, u as NodeId) };
         }
-        pairs.copy_within(lo..lo + kept, write);
-        write += kept;
-        new_offsets.push(write);
+    });
+    srcs
+}
+
+/// One scattered adjacency entry: what a row is sorted by, plus the
+/// destination that duplicate detection compares.
+pub(crate) trait AdjEntry: Copy + Ord + Default + Send + Sync {
+    /// The destination vertex duplicates are detected on.
+    fn dedup_key(self) -> NodeId;
+}
+
+impl AdjEntry for NodeId {
+    fn dedup_key(self) -> NodeId {
+        self
     }
-    pairs.truncate(write);
-    let (targets, weights): (Vec<NodeId>, Vec<Weight>) = pairs.into_iter().unzip();
-    let csr = CsrGraph::from_parts_unchecked(new_offsets, targets);
+}
+
+impl AdjEntry for (NodeId, Weight) {
+    fn dedup_key(self) -> NodeId {
+        self.0
+    }
+}
+
+fn merge_max(a: Option<NodeId>, b: Option<NodeId>) -> Option<NodeId> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn max_endpoint<F>(pool: &ThreadPool, n_items: usize, f: F) -> Option<NodeId>
+where
+    F: Fn(usize) -> Option<NodeId> + Sync,
+{
+    pool.reduce_index(n_items, Schedule::Static, None, f, merge_max)
+}
+
+/// Wraps one build stage in a session-gated trace duration event.
+fn staged<R>(stage: &'static str, f: impl FnOnce() -> R) -> R {
+    let start = trace::now_ns();
+    let out = f();
+    trace::build_stage(stage, start);
+    out
+}
+
+/// The staged parallel pipeline: `item(i)` yields `(row, entry)` for every
+/// live input item (`None` filters it out), and the result is the sorted,
+/// deduplicated `(offsets, entries)` CSR pair. Deterministic for a given
+/// item space regardless of the pool's thread count.
+pub(crate) fn build_rows<T, F>(
+    pool: &ThreadPool,
+    n: usize,
+    n_items: usize,
+    item: &F,
+) -> (Vec<usize>, Vec<T>)
+where
+    T: AdjEntry,
+    F: Fn(usize) -> Option<(usize, T)> + Sync,
+{
+    let threads = pool.num_threads();
+
+    // Stage 1: degree count into per-worker histograms (local buffers —
+    // the hot loop touches no shared cache lines).
+    let mut hists: Vec<Vec<usize>> = std::iter::repeat_with(Vec::new).take(threads).collect();
+    staged("count", || {
+        let slots = SharedSlice::new(&mut hists);
+        pool.run(|tid| {
+            let chunk = n_items.div_ceil(threads.max(1)).max(1);
+            let lo = (tid * chunk).min(n_items);
+            let hi = ((tid + 1) * chunk).min(n_items);
+            let mut h = vec![0usize; n];
+            for i in lo..hi {
+                if let Some((row, _)) = item(i) {
+                    h[row] += 1;
+                }
+            }
+            // SAFETY: one writer per worker slot.
+            unsafe { slots.write(tid, h) };
+        });
+    });
+
+    // Stage 2: merge the histograms and scan them into row offsets.
+    let mut offsets = vec![0usize; n + 1];
+    let total = staged("scan", || {
+        {
+            let merged = SharedSlice::new(&mut offsets[..n]);
+            let hists = &hists;
+            pool.for_each_index(n, Schedule::Static, |v| {
+                let count: usize = hists.iter().map(|h| h[v]).sum();
+                // SAFETY: one writer per vertex.
+                unsafe { merged.write(v, count) };
+            });
+        }
+        scan::exclusive_scan_in_place(pool, &mut offsets)
+    });
+    drop(hists);
+
+    // Stage 3: counting-sort scatter over atomic row cursors.
+    let mut slots: Vec<T> = vec![T::default(); total];
+    staged("scatter", || {
+        let cursors = scatter::RowCursors::from_offsets(&offsets);
+        scatter::scatter(pool, n_items, &cursors, &mut slots, item);
+    });
+    record(Counter::BuildEdgesScattered, total as u64);
+
+    // Stage 4: canonicalize each row — sort, then first-wins dedup (for
+    // weighted entries the tuple sort puts the minimum weight first).
+    let mut kept = vec![0usize; n + 1];
+    staged("sort_dedup", || {
+        let rows = SharedSlice::new(&mut slots);
+        let counts = SharedSlice::new(&mut kept[..n]);
+        let offsets = &offsets;
+        pool.for_each_index(n, Schedule::Guided, |u| {
+            // SAFETY: rows partition the slot buffer.
+            let row = unsafe { rows.range_mut(offsets[u], offsets[u + 1]) };
+            row.sort_unstable();
+            let mut k = 0usize;
+            for i in 0..row.len() {
+                if k == 0 || row[k - 1].dedup_key() != row[i].dedup_key() {
+                    row[k] = row[i];
+                    k += 1;
+                }
+            }
+            // SAFETY: one writer per vertex.
+            unsafe { counts.write(u, k) };
+        });
+    });
+
+    // Stage 5: scan the kept counts and compact the row prefixes.
+    let (new_offsets, out) = staged("compact", || {
+        let final_total = scan::exclusive_scan_in_place(pool, &mut kept);
+        record(Counter::BuildDupsDropped, (total - final_total) as u64);
+        let mut out: Vec<T> = vec![T::default(); final_total];
+        {
+            let dst = SharedSlice::new(&mut out);
+            let (offsets, new_offsets, slots) = (&offsets, &kept, &slots);
+            pool.for_each_index(n, Schedule::Guided, |u| {
+                let lo = offsets[u];
+                let nlo = new_offsets[u];
+                let len = new_offsets[u + 1] - nlo;
+                // SAFETY: destination rows partition the output buffer.
+                unsafe { dst.copy_from(nlo, &slots[lo..lo + len]) };
+            });
+        }
+        (kept, out)
+    });
+    (new_offsets, out)
+}
+
+/// Splits built `(dst, weight)` rows into the parallel target/weight
+/// arrays a [`WCsrGraph`] stores.
+fn wcsr(pool: &ThreadPool, offsets: Vec<usize>, pairs: &[(NodeId, Weight)]) -> WCsrGraph {
+    let mut targets = vec![0 as NodeId; pairs.len()];
+    let mut weights = vec![0 as Weight; pairs.len()];
+    {
+        let t = SharedSlice::new(&mut targets);
+        let w = SharedSlice::new(&mut weights);
+        pool.for_each_index(pairs.len(), Schedule::Static, |i| {
+            // SAFETY: one writer per index in both arrays.
+            unsafe {
+                t.write(i, pairs[i].0);
+                w.write(i, pairs[i].1);
+            }
+        });
+    }
+    let csr = CsrGraph::from_parts_unchecked(offsets, targets);
     WCsrGraph::from_parts(csr, weights)
 }
 
@@ -347,5 +548,36 @@ mod tests {
         let g = Builder::new().build(Vec::new()).unwrap();
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn pooled_build_matches_serial_build() {
+        let list: Vec<(u32, u32)> = (0..500u32)
+            .map(|i| (i % 37, (i * 7 + 3) % 53))
+            .collect();
+        let serial = Builder::new().symmetrize(true).build(edges(list.clone())).unwrap();
+        let pool = ThreadPool::new(4);
+        let pooled = Builder::new()
+            .symmetrize(true)
+            .pool(&pool)
+            .build(edges(list))
+            .unwrap();
+        assert_eq!(serial.out_csr().offsets_raw(), pooled.out_csr().offsets_raw());
+        assert_eq!(serial.out_csr().targets_raw(), pooled.out_csr().targets_raw());
+    }
+
+    #[test]
+    fn symmetrize_graph_matches_builder_symmetrize() {
+        let list: Vec<(u32, u32)> = (0..300u32).map(|i| (i % 29, (i * 11) % 31)).collect();
+        let directed = Builder::new().build(edges(list.clone())).unwrap();
+        let pool = ThreadPool::new(3);
+        let sym = symmetrize_graph(&directed, &pool);
+        let expect = Builder::new()
+            .num_vertices(directed.num_vertices())
+            .symmetrize(true)
+            .build(edges(list))
+            .unwrap();
+        assert_eq!(sym.out_csr().offsets_raw(), expect.out_csr().offsets_raw());
+        assert_eq!(sym.out_csr().targets_raw(), expect.out_csr().targets_raw());
     }
 }

@@ -9,12 +9,13 @@
 //! | Kron    | Graph500 Kronecker  | no       | power law (≈16)| tiny           |
 //! | Urand   | Erdős–Rényi         | no       | normal (≈16)  | tiny            |
 
-use super::rmat::{rmat_edges, RmatConfig};
-use super::road::{road_edges, RoadConfig};
-use super::{build_graph, erdos, weighted_companion};
+use super::rmat::{rmat_edges_in, RmatConfig};
+use super::road::{road_edges_in, RoadConfig};
+use super::{build_graph_in, erdos, weighted_companion_in};
 use crate::edgelist::Edge;
 use crate::graph::{Graph, WGraph};
 use crate::types::NodeId;
+use gapbs_parallel::ThreadPool;
 
 /// Identifier of one of the five benchmark graphs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,12 +87,17 @@ impl GraphSpec {
     }
 
     /// Generates the edge list, vertex count and symmetrize flag for this
-    /// graph at the given scale.
-    fn edges(self, scale: Scale) -> (usize, Vec<Edge>, bool) {
+    /// graph at the given scale, drawing on `pool`. The output is a pure
+    /// function of the spec and scale — pool size never changes it.
+    fn edges_in(self, scale: Scale, pool: &ThreadPool) -> (usize, Vec<Edge>, bool) {
         match self {
             GraphSpec::Road => {
                 let cfg = RoadConfig::gap_like(scale.road_side());
-                (cfg.num_vertices(), road_edges(&cfg, self.seed()), false)
+                (
+                    cfg.num_vertices(),
+                    road_edges_in(&cfg, self.seed(), pool),
+                    false,
+                )
             }
             GraphSpec::Twitter => {
                 let cfg = RmatConfig {
@@ -102,7 +108,11 @@ impl GraphSpec {
                     c: 0.15,
                     shuffle_ids: true,
                 };
-                (cfg.num_vertices(), rmat_edges(&cfg, self.seed()), false)
+                (
+                    cfg.num_vertices(),
+                    rmat_edges_in(&cfg, self.seed(), pool),
+                    false,
+                )
             }
             GraphSpec::Web => {
                 let cfg = RmatConfig {
@@ -113,7 +123,7 @@ impl GraphSpec {
                     c: 0.19,
                     shuffle_ids: true,
                 };
-                let mut edges = rmat_edges(&cfg, self.seed());
+                let mut edges = rmat_edges_in(&cfg, self.seed(), pool);
                 let core_n = cfg.num_vertices();
                 // High-diameter tail: a bidirectional chain of extra pages
                 // hanging off page 0 stretches the diameter the way deep
@@ -131,26 +141,45 @@ impl GraphSpec {
             }
             GraphSpec::Kron => {
                 let cfg = RmatConfig::graph500(scale.rmat_scale() + 1, 8);
-                (cfg.num_vertices(), rmat_edges(&cfg, self.seed()), true)
+                (
+                    cfg.num_vertices(),
+                    rmat_edges_in(&cfg, self.seed(), pool),
+                    true,
+                )
             }
             GraphSpec::Urand => {
                 let s = scale.rmat_scale() + 1;
-                (1 << s, erdos::urand_edges(s, 16, self.seed()), true)
+                (
+                    1 << s,
+                    erdos::urand_edges_in(s, 16, self.seed(), pool),
+                    true,
+                )
             }
         }
     }
 
     /// Generates the unweighted graph at the given scale.
     pub fn generate(self, scale: Scale) -> Graph {
-        let (n, edges, sym) = self.edges(scale);
-        build_graph(n, edges, sym)
+        self.generate_in(scale, &ThreadPool::new(1))
+    }
+
+    /// [`GraphSpec::generate`] with generation and construction on `pool`.
+    pub fn generate_in(self, scale: Scale, pool: &ThreadPool) -> Graph {
+        let (n, edges, sym) = self.edges_in(scale, pool);
+        build_graph_in(n, edges, sym, pool)
     }
 
     /// Generates the weighted companion (same topology, GAP-style uniform
     /// weights) at the given scale.
     pub fn generate_weighted(self, scale: Scale) -> WGraph {
-        let (n, edges, sym) = self.edges(scale);
-        weighted_companion(n, &edges, sym, self.seed())
+        self.generate_weighted_in(scale, &ThreadPool::new(1))
+    }
+
+    /// [`GraphSpec::generate_weighted`] with generation and construction
+    /// on `pool`.
+    pub fn generate_weighted_in(self, scale: Scale, pool: &ThreadPool) -> WGraph {
+        let (n, edges, sym) = self.edges_in(scale, pool);
+        weighted_companion_in(n, &edges, sym, self.seed(), pool)
     }
 }
 
@@ -243,12 +272,18 @@ pub struct CorpusEntry {
 /// Generates the full five-graph corpus at the given scale, in Table IV
 /// column order.
 pub fn corpus(scale: Scale) -> Vec<CorpusEntry> {
+    corpus_in(scale, &ThreadPool::new(1))
+}
+
+/// [`corpus`] with generation and construction on `pool` (identical
+/// output for every pool size).
+pub fn corpus_in(scale: Scale, pool: &ThreadPool) -> Vec<CorpusEntry> {
     GraphSpec::TABLE_ORDER
         .iter()
         .map(|&spec| CorpusEntry {
             spec,
-            graph: spec.generate(scale),
-            wgraph: spec.generate_weighted(scale),
+            graph: spec.generate_in(scale, pool),
+            wgraph: spec.generate_weighted_in(scale, pool),
         })
         .collect()
 }

@@ -5,24 +5,42 @@
 //! diameter without power-law hubs — the topology the paper uses to isolate
 //! skew effects (e.g. Afforest being less effective on Urand, §V-C).
 
-use super::build_graph;
+use super::{build_graph, EDGE_BLOCK};
 use crate::edgelist::Edge;
 use crate::graph::Graph;
 use crate::types::NodeId;
-use crate::rng::SeededRng;
+use crate::rng::{mix64, SeededRng};
+use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
 
 /// Generates `n * edges_per_vertex / 2` uniform random edge tuples over
-/// `2^scale` vertices.
+/// `2^scale` vertices (serial wrapper over [`urand_edges_in`]).
 pub fn urand_edges(scale: u32, edges_per_vertex: usize, seed: u64) -> Vec<Edge> {
+    urand_edges_in(scale, edges_per_vertex, seed, &ThreadPool::new(1))
+}
+
+/// [`urand_edges`] on a pool: fixed-size blocks with per-block derived
+/// RNG streams, so the edge list is identical for every pool size.
+pub fn urand_edges_in(
+    scale: u32,
+    edges_per_vertex: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Vec<Edge> {
     let n = 1usize << scale;
     let m = n * (edges_per_vertex / 2);
-    let mut rng = SeededRng::seed_from_u64(seed);
-    let mut edges = Vec::with_capacity(m);
-    for _ in 0..m {
-        let src = rng.gen_range(0..n) as NodeId;
-        let dst = rng.gen_range(0..n) as NodeId;
-        edges.push(Edge::new(src, dst));
-    }
+    let mut edges = vec![Edge::new(0, 0); m];
+    let out = SharedSlice::new(&mut edges);
+    pool.for_each_index(m.div_ceil(EDGE_BLOCK), Schedule::Dynamic(1), |block| {
+        let mut rng = SeededRng::seed_from_u64(mix64(seed, block as u64));
+        let lo = block * EDGE_BLOCK;
+        let hi = (lo + EDGE_BLOCK).min(m);
+        for i in lo..hi {
+            let src = rng.gen_range(0..n) as NodeId;
+            let dst = rng.gen_range(0..n) as NodeId;
+            // SAFETY: blocks partition the output.
+            unsafe { out.write(i, Edge::new(src, dst)) };
+        }
+    });
     edges
 }
 

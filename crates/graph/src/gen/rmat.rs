@@ -7,11 +7,16 @@
 //! the same recursive process with different skew so that their degree
 //! distributions are power-law like the originals (see Table I).
 
-use super::build_graph;
+use super::{build_graph, EDGE_BLOCK};
 use crate::edgelist::Edge;
 use crate::graph::Graph;
 use crate::types::NodeId;
-use crate::rng::SeededRng;
+use crate::rng::{mix64, SeededRng};
+use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
+
+/// Stream constant deriving the id-shuffle generator from the master
+/// seed (far above any plausible block index, so streams never collide).
+const SHUFFLE_STREAM: u64 = 0x5348_5546_464c_4531;
 
 /// Parameters of an R-MAT recursive edge generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,13 +55,30 @@ impl RmatConfig {
     }
 }
 
-/// Generates a directed R-MAT edge list.
+/// Generates a directed R-MAT edge list (serial wrapper over
+/// [`rmat_edges_in`]; the output is identical for every pool size).
 ///
 /// # Panics
 ///
 /// Panics if the quadrant probabilities are malformed (`a + b + c >= 1`
 /// must leave a positive remainder for the fourth quadrant).
 pub fn rmat_edges(config: &RmatConfig, seed: u64) -> Vec<Edge> {
+    rmat_edges_in(config, seed, &ThreadPool::new(1))
+}
+
+/// Generates a directed R-MAT edge list on `pool`.
+///
+/// The output is carved into fixed-size blocks, each drawn from its own
+/// RNG stream derived as `mix64(seed, block)`, so the edge list depends
+/// only on the seed — never on thread count or schedule. The Graph500
+/// id shuffle uses a separately derived stream: the permutation is built
+/// serially (Fisher–Yates is inherently sequential) and applied in
+/// parallel.
+///
+/// # Panics
+///
+/// Panics if the quadrant probabilities are malformed.
+pub fn rmat_edges_in(config: &RmatConfig, seed: u64, pool: &ThreadPool) -> Vec<Edge> {
     let d = 1.0 - config.a - config.b - config.c;
     assert!(
         d > 0.0 && config.a > 0.0 && config.b >= 0.0 && config.c >= 0.0,
@@ -64,33 +86,48 @@ pub fn rmat_edges(config: &RmatConfig, seed: u64) -> Vec<Edge> {
     );
     let n = config.num_vertices();
     let m = n * config.edges_per_vertex;
-    let mut rng = SeededRng::seed_from_u64(seed);
-    let mut edges = Vec::with_capacity(m);
-    for _ in 0..m {
-        let (mut src, mut dst) = (0usize, 0usize);
-        for _ in 0..config.scale {
-            src <<= 1;
-            dst <<= 1;
-            let r = rng.gen_f64();
-            if r < config.a {
-                // top-left: no bits set
-            } else if r < config.a + config.b {
-                dst |= 1;
-            } else if r < config.a + config.b + config.c {
-                src |= 1;
-            } else {
-                src |= 1;
-                dst |= 1;
+    let mut edges = vec![Edge::new(0, 0); m];
+    {
+        let out = SharedSlice::new(&mut edges);
+        pool.for_each_index(m.div_ceil(EDGE_BLOCK), Schedule::Dynamic(1), |block| {
+            let mut rng = SeededRng::seed_from_u64(mix64(seed, block as u64));
+            let lo = block * EDGE_BLOCK;
+            let hi = (lo + EDGE_BLOCK).min(m);
+            for i in lo..hi {
+                let (mut src, mut dst) = (0usize, 0usize);
+                for _ in 0..config.scale {
+                    src <<= 1;
+                    dst <<= 1;
+                    let r = rng.gen_f64();
+                    if r < config.a {
+                        // top-left: no bits set
+                    } else if r < config.a + config.b {
+                        dst |= 1;
+                    } else if r < config.a + config.b + config.c {
+                        src |= 1;
+                    } else {
+                        src |= 1;
+                        dst |= 1;
+                    }
+                }
+                // SAFETY: blocks partition the output.
+                unsafe { out.write(i, Edge::new(src as NodeId, dst as NodeId)) };
             }
-        }
-        edges.push(Edge::new(src as NodeId, dst as NodeId));
+        });
     }
     if config.shuffle_ids {
+        let mut rng = SeededRng::seed_from_u64(mix64(seed, SHUFFLE_STREAM));
         let perm = random_permutation(n, &mut rng);
-        for e in &mut edges {
-            e.src = perm[e.src as usize];
-            e.dst = perm[e.dst as usize];
-        }
+        let perm = perm.as_slice();
+        let out = SharedSlice::new(&mut edges);
+        pool.for_each_index(m, Schedule::Static, |i| {
+            // SAFETY: each index is read and rewritten by exactly one
+            // iteration.
+            unsafe {
+                let e = out.read(i);
+                out.write(i, Edge::new(perm[e.src as usize], perm[e.dst as usize]));
+            }
+        });
     }
     edges
 }
@@ -109,6 +146,16 @@ fn random_permutation(n: usize, rng: &mut SeededRng) -> Vec<NodeId> {
 /// (callers symmetrize).
 pub fn kron_edges(scale: u32, edges_per_vertex: usize, seed: u64) -> Vec<Edge> {
     rmat_edges(&RmatConfig::graph500(scale, edges_per_vertex / 2), seed)
+}
+
+/// [`kron_edges`] on a pool (identical output for every pool size).
+pub fn kron_edges_in(
+    scale: u32,
+    edges_per_vertex: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Vec<Edge> {
+    rmat_edges_in(&RmatConfig::graph500(scale, edges_per_vertex / 2), seed, pool)
 }
 
 /// Generates the undirected `Kron` benchmark graph.

@@ -13,7 +13,17 @@ use super::build_graph;
 use crate::edgelist::Edge;
 use crate::graph::Graph;
 use crate::types::NodeId;
-use crate::rng::SeededRng;
+use crate::rng::{mix64, SeededRng};
+use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
+
+/// Diagonal shortcuts drawn per RNG block.
+const DIAG_BLOCK: usize = 1024;
+
+/// Stream constants deriving the independent sub-generators (lattice
+/// rows, diagonal shortcuts, backbone stitching) from the master seed.
+const ROWS_STREAM: u64 = 0x524f_5753_0000_0001;
+const DIAG_STREAM: u64 = 0x4449_4147_0000_0002;
+const BACK_STREAM: u64 = 0x4241_434b_0000_0003;
 
 /// Parameters of the road-like lattice generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,36 +56,74 @@ impl RoadConfig {
     }
 }
 
-/// Generates the directed (symmetric) road-like edge list.
+/// Generates the directed (symmetric) road-like edge list (serial
+/// wrapper over [`road_edges_in`]).
 pub fn road_edges(config: &RoadConfig, seed: u64) -> Vec<Edge> {
-    let mut rng = SeededRng::seed_from_u64(seed);
+    road_edges_in(config, seed, &ThreadPool::new(1))
+}
+
+/// [`road_edges`] on a pool. Each grid row, each diagonal block, and the
+/// backbone pass draw from independently derived RNG streams, so the
+/// edge list depends only on the seed and the grid — never on thread
+/// count or schedule.
+pub fn road_edges_in(config: &RoadConfig, seed: u64, pool: &ThreadPool) -> Vec<Edge> {
     let (w, h) = (config.width, config.height);
     let id = |x: usize, y: usize| (y * w + x) as NodeId;
-    let mut edges = Vec::new();
     let push_both = |edges: &mut Vec<Edge>, a: NodeId, b: NodeId| {
         edges.push(Edge::new(a, b));
         edges.push(Edge::new(b, a));
     };
-    for y in 0..h {
-        for x in 0..w {
-            if x + 1 < w && rng.gen_range(0..100) < config.keep_percent {
-                push_both(&mut edges, id(x, y), id(x + 1, y));
+    // Lattice: one derived stream per grid row, emitted into per-row
+    // buckets and flattened in row order.
+    let mut rows: Vec<Vec<Edge>> = vec![Vec::new(); h];
+    {
+        let out = SharedSlice::new(&mut rows);
+        pool.for_each_index(h, Schedule::Dynamic(8), |y| {
+            let mut rng = SeededRng::seed_from_u64(mix64(mix64(seed, ROWS_STREAM), y as u64));
+            let mut row = Vec::new();
+            for x in 0..w {
+                if x + 1 < w && rng.gen_range(0..100) < config.keep_percent {
+                    push_both(&mut row, id(x, y), id(x + 1, y));
+                }
+                if y + 1 < h && rng.gen_range(0..100) < config.keep_percent {
+                    push_both(&mut row, id(x, y), id(x, y + 1));
+                }
             }
-            if y + 1 < h && rng.gen_range(0..100) < config.keep_percent {
-                push_both(&mut edges, id(x, y), id(x, y + 1));
-            }
-        }
+            // SAFETY: one writer per row bucket.
+            unsafe { out.write(y, row) };
+        });
     }
+    let mut edges: Vec<Edge> = rows.into_iter().flatten().collect();
     // Diagonal shortcuts: local streets cutting corners, not long-range
-    // links (long-range links would collapse the diameter).
+    // links (long-range links would collapse the diameter). Each diagonal
+    // owns a fixed pair of output slots.
     let diagonals = config.num_vertices() * config.diagonals_per_100 as usize / 100;
-    for _ in 0..diagonals {
-        let x = rng.gen_range(0..w.saturating_sub(1));
-        let y = rng.gen_range(0..h.saturating_sub(1));
-        push_both(&mut edges, id(x, y), id(x + 1, y + 1));
+    if diagonals > 0 && w > 1 && h > 1 {
+        let mut diag = vec![Edge::new(0, 0); diagonals * 2];
+        {
+            let out = SharedSlice::new(&mut diag);
+            pool.for_each_index(diagonals.div_ceil(DIAG_BLOCK), Schedule::Dynamic(1), |block| {
+                let mut rng =
+                    SeededRng::seed_from_u64(mix64(mix64(seed, DIAG_STREAM), block as u64));
+                let lo = block * DIAG_BLOCK;
+                let hi = (lo + DIAG_BLOCK).min(diagonals);
+                for d in lo..hi {
+                    let x = rng.gen_range(0..w - 1);
+                    let y = rng.gen_range(0..h - 1);
+                    // SAFETY: diagonal `d` owns slots 2d and 2d+1.
+                    unsafe {
+                        out.write(2 * d, Edge::new(id(x, y), id(x + 1, y + 1)));
+                        out.write(2 * d + 1, Edge::new(id(x + 1, y + 1), id(x, y)));
+                    }
+                }
+            });
+        }
+        edges.extend_from_slice(&diag);
     }
     // Stitch each row's first column to the next row so the giant component
     // spans the grid even with deletions (mirrors highway backbones).
+    // Serial: O(height) draws from a dedicated stream.
+    let mut rng = SeededRng::seed_from_u64(mix64(seed, BACK_STREAM));
     for y in 0..h.saturating_sub(1) {
         if rng.gen_range(0..100) < 80 {
             push_both(&mut edges, id(0, y), id(0, y + 1));

@@ -6,10 +6,11 @@
 //! inside the kernel, so relabeling lives here as a reusable, measurable
 //! operation.
 
-use crate::builder::Builder;
-use crate::edgelist::Edge;
+use crate::builder::{arc_sources, build_rows};
+use crate::csr::CsrGraph;
 use crate::graph::Graph;
 use crate::types::NodeId;
+use gapbs_parallel::ThreadPool;
 
 /// A bijective relabeling of vertex ids.
 ///
@@ -84,31 +85,55 @@ pub fn degree_descending(g: &Graph) -> Permutation {
 }
 
 /// Applies a permutation, producing the relabeled graph (adjacency is
-/// re-sorted by the builder).
+/// re-sorted by the builder). Serial convenience wrapper over
+/// [`apply_in`].
 pub fn apply(g: &Graph, perm: &Permutation) -> Graph {
+    apply_in(g, perm, &ThreadPool::new(1))
+}
+
+/// Applies a permutation on `pool`, producing the relabeled graph.
+///
+/// The stored arcs are fed straight into the parallel build pipeline as
+/// virtual items — no intermediate edge `Vec` — and the result is
+/// identical to [`apply`] for every thread count. Relabeling is a *timed*
+/// operation under the paper's rules, which is why it shares the
+/// kernels' pool instead of staying serial.
+pub fn apply_in(g: &Graph, perm: &Permutation, pool: &ThreadPool) -> Graph {
     assert_eq!(perm.len(), g.num_vertices());
-    let mut edges = Vec::with_capacity(g.num_arcs());
-    for u in g.vertices() {
-        for &v in g.out_neighbors(u) {
-            edges.push(Edge::new(perm.new_id(u), perm.new_id(v)));
-        }
-    }
-    let built = Builder::new()
-        .num_vertices(g.num_vertices())
-        .build(edges)
-        .expect("permutation preserves endpoint range");
+    let n = g.num_vertices();
+    let csr = g.out_csr();
+    let targets = csr.targets_raw();
+    let m = targets.len();
+    let srcs = arc_sources(pool, csr.offsets_raw(), n, m);
+    let map = perm.new_of_old.as_slice();
+    let out_item = |arc: usize| {
+        Some((
+            map[srcs[arc] as usize] as usize,
+            map[targets[arc] as usize],
+        ))
+    };
+    let (offsets, adj) = build_rows(pool, n, m, &out_item);
+    let out = CsrGraph::from_parts_unchecked(offsets, adj);
     if g.is_directed() {
-        built
+        let in_item = |arc: usize| {
+            Some((
+                map[targets[arc] as usize] as usize,
+                map[srcs[arc] as usize],
+            ))
+        };
+        let (in_offsets, in_adj) = build_rows(pool, n, m, &in_item);
+        Graph::directed(out, CsrGraph::from_parts_unchecked(in_offsets, in_adj))
     } else {
-        // The arcs were already symmetric; rebuilding directed keeps both
-        // directions, so just reinterpret as undirected.
-        Graph::undirected(built.out_csr().clone())
+        // The arcs were already symmetric, so the one direction is the
+        // whole adjacency.
+        Graph::undirected(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::Builder;
     use crate::edgelist::edges;
 
     fn star() -> Graph {
@@ -159,5 +184,18 @@ mod tests {
     #[should_panic(expected = "duplicated")]
     fn non_bijective_mapping_rejected() {
         Permutation::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn apply_in_matches_apply_for_directed_graphs() {
+        let g = Builder::new()
+            .build(edges([(0, 1), (1, 2), (2, 0), (3, 1), (0, 3), (4, 4)]))
+            .unwrap();
+        let p = degree_descending(&g);
+        let serial = apply(&g, &p);
+        for threads in [2, 5] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(apply_in(&g, &p, &pool), serial, "@ {threads} threads");
+        }
     }
 }

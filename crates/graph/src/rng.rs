@@ -7,6 +7,23 @@
 //! the exact graphs only depend on this file, never on an external
 //! crate's algorithm choice.
 
+/// Mixes a master seed with a stream index into an independent derived
+/// seed (a SplitMix64 finalizer round over the combined words).
+///
+/// The parallel generators carve their output into fixed-size blocks and
+/// seed each block's private [`SeededRng`] with `mix64(seed, block)`, so
+/// the emitted stream depends only on the seed and the block layout —
+/// never on thread count or schedule. Distinct stream constants derive
+/// independent sub-generators (shuffle permutations, diagonals, ...).
+pub fn mix64(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .rotate_left(17)
+        .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A seeded xoshiro256++ generator.
 #[derive(Debug, Clone)]
 pub struct SeededRng {

@@ -27,7 +27,7 @@ pub fn tc(g: &Graph, intersection: Intersection, pool: &ThreadPool) -> u64 {
     if skewed(g) {
         let relabeled = {
             let _relabel = gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
-            perm::apply(g, &perm::degree_descending(g))
+            perm::apply_in(g, &perm::degree_descending(g), pool)
         };
         count(&relabeled, intersection, pool)
     } else {

@@ -20,6 +20,10 @@
 //!   including the bucket-fusion fast path from GraphIt,
 //! * [`AtomicBitmap`] — dense visited/frontier sets,
 //! * [`LocalBuffer`] — GKC-style cache-sized thread-local output buffers,
+//! * [`scan`] / [`scatter`] — exclusive prefix sum and counting-sort
+//!   scatter over atomic row cursors, the stages the parallel CSR graph
+//!   build is assembled from (with [`SharedSlice`] as the disjoint-write
+//!   escape hatch both share),
 //! * [`atomics`] — min/max/add CAS loops for the label arrays kernels share.
 //!
 //! Thread count defaults to the machine's available parallelism and can be
@@ -35,6 +39,9 @@ pub mod deque;
 pub mod local_buffer;
 pub mod ordered;
 pub mod pool;
+pub mod scan;
+pub mod scatter;
+pub mod shared;
 pub mod sliding_queue;
 pub mod sync;
 pub mod worklist;
@@ -44,5 +51,7 @@ pub use buckets::BucketQueue;
 pub use local_buffer::LocalBuffer;
 pub use ordered::OrderedWorklist;
 pub use pool::{Schedule, ThreadPool};
+pub use scatter::RowCursors;
+pub use shared::SharedSlice;
 pub use sliding_queue::{QueueBuffer, SlidingQueue};
 pub use worklist::ChunkedWorklist;

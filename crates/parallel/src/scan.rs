@@ -1,0 +1,116 @@
+//! Parallel exclusive prefix sum.
+//!
+//! The CSR build turns per-vertex degree counts into row offsets with an
+//! exclusive scan. The classic two-pass scheme parallelizes it exactly:
+//! pass 1 sums fixed-size blocks in parallel, a short serial scan turns
+//! the block sums into block bases, and pass 2 scans each block in
+//! parallel seeded with its base. Integer addition is associative, so
+//! the result is identical to the serial scan for every thread count and
+//! schedule.
+
+use crate::shared::SharedSlice;
+use crate::{Schedule, ThreadPool};
+
+/// Elements per scan block. Fixed (not derived from the thread count) so
+/// the work decomposition — and therefore any instrumentation of it — is
+/// stable across pool sizes; the values themselves are exact either way.
+const SCAN_BLOCK: usize = 8192;
+
+/// Replaces `values` with its exclusive prefix sum and returns the total
+/// (the sum of all inputs).
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned. With one worker
+/// (or a single block) this degenerates to the plain serial scan.
+pub fn exclusive_scan_in_place(pool: &ThreadPool, values: &mut [usize]) -> usize {
+    let n = values.len();
+    let blocks = n.div_ceil(SCAN_BLOCK);
+    if pool.num_threads() == 1 || blocks <= 1 {
+        return serial_exclusive_scan(values);
+    }
+
+    // Pass 1: per-block sums, written to disjoint slots.
+    let mut bases = vec![0usize; blocks];
+    {
+        let out = SharedSlice::new(&mut bases);
+        let values = &*values;
+        pool.for_each_index(blocks, Schedule::Static, |b| {
+            let lo = b * SCAN_BLOCK;
+            let hi = (lo + SCAN_BLOCK).min(n);
+            let sum: usize = values[lo..hi].iter().sum();
+            // SAFETY: one writer per block index.
+            unsafe { out.write(b, sum) };
+        });
+    }
+
+    // Serial scan over the (short) block sums yields each block's base.
+    let total = serial_exclusive_scan(&mut bases);
+
+    // Pass 2: scan each block in place, offset by its base. Blocks
+    // partition `values`, so the mutable reborrows are disjoint.
+    {
+        let shared = SharedSlice::new(values);
+        let bases = &bases;
+        pool.for_each_index(blocks, Schedule::Static, |b| {
+            let lo = b * SCAN_BLOCK;
+            let hi = (lo + SCAN_BLOCK).min(n);
+            // SAFETY: block ranges are disjoint.
+            let block = unsafe { shared.range_mut(lo, hi) };
+            let mut acc = bases[b];
+            for v in block {
+                let x = *v;
+                *v = acc;
+                acc += x;
+            }
+        });
+    }
+    total
+}
+
+fn serial_exclusive_scan(values: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for v in values {
+        let x = *v;
+        *v = acc;
+        acc += x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(values: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(values.len());
+        let mut acc = 0usize;
+        for &v in values {
+            out.push(acc);
+            acc += v;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn matches_serial_scan_across_thread_counts() {
+        // Longer than one block so the two-pass path actually runs.
+        let input: Vec<usize> = (0..3 * SCAN_BLOCK + 17).map(|i| (i * 7 + 3) % 11).collect();
+        let (expect, expect_total) = reference(&input);
+        for threads in [1, 2, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut values = input.clone();
+            let total = exclusive_scan_in_place(&pool, &mut values);
+            assert_eq!(total, expect_total, "total @ {threads} threads");
+            assert_eq!(values, expect, "prefix @ {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        let pool = ThreadPool::new(4);
+        let mut empty: Vec<usize> = vec![];
+        assert_eq!(exclusive_scan_in_place(&pool, &mut empty), 0);
+        let mut one = vec![42usize];
+        assert_eq!(exclusive_scan_in_place(&pool, &mut one), 42);
+        assert_eq!(one, vec![0]);
+    }
+}

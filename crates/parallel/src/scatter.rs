@@ -1,0 +1,169 @@
+//! Parallel counting-sort scatter: atomic row cursors over a
+//! pre-computed offset table.
+//!
+//! After the degree-count and prefix-scan stages of a CSR build, every
+//! row owns a contiguous slot range of the output buffer. The scatter
+//! stage walks the input once more and drops each item into its row,
+//! claiming slots with a per-row atomic cursor. Claimed slots are unique
+//! by construction, so workers write without further synchronization;
+//! within a row the slot *order* depends on scheduling, which is why the
+//! build canonicalizes rows with a sort afterwards.
+
+use crate::shared::SharedSlice;
+use crate::{Schedule, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Input items claimed per dynamic chunk. Contiguous chunks keep the
+/// *reads* cache-friendly even though the writes scatter.
+const SCATTER_CHUNK: usize = 2048;
+
+/// One atomic fill cursor per row, bounded by the row's end offset.
+pub struct RowCursors {
+    cursors: Vec<AtomicUsize>,
+    ends: Vec<usize>,
+}
+
+impl RowCursors {
+    /// Builds cursors from a CSR offset table (`offsets.len() == rows + 1`,
+    /// monotone non-decreasing). Row `r` may claim slots
+    /// `[offsets[r], offsets[r + 1])`.
+    #[must_use]
+    pub fn from_offsets(offsets: &[usize]) -> Self {
+        let rows = offsets.len().saturating_sub(1);
+        RowCursors {
+            cursors: offsets[..rows].iter().map(|&o| AtomicUsize::new(o)).collect(),
+            ends: offsets[1..].to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// `true` when there are no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cursors.is_empty()
+    }
+
+    /// Claims the next free slot of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row is already full — i.e. the caller's degree
+    /// count and scatter disagree. The bound is what makes claimed slots
+    /// provably unique and in range, so [`scatter`] can stay a safe API.
+    #[inline]
+    pub fn claim(&self, row: usize) -> usize {
+        let slot = self.cursors[row].fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < self.ends[row],
+            "row {row} overflowed its slot range (degree count disagrees with scatter)"
+        );
+        slot
+    }
+}
+
+/// Scatters `item(i)` for every `i in 0..n_items` into `out`, claiming
+/// each item's slot from its row cursor. `item` returning `None` filters
+/// the input item out (the degree count must have skipped it too).
+///
+/// # Panics
+///
+/// Panics when a row receives more items than its cursor range allows,
+/// or when a cursor range reaches past `out.len()`.
+pub fn scatter<T, F>(pool: &ThreadPool, n_items: usize, cursors: &RowCursors, out: &mut [T], item: F)
+where
+    T: Send,
+    F: Fn(usize) -> Option<(usize, T)> + Sync,
+{
+    assert!(
+        cursors.ends.iter().all(|&e| e <= out.len()),
+        "cursor ranges reach past the output buffer"
+    );
+    let shared = SharedSlice::new(out);
+    pool.for_each_index(n_items, Schedule::Dynamic(SCATTER_CHUNK), |i| {
+        if let Some((row, value)) = item(i) {
+            let slot = cursors.claim(row);
+            // SAFETY: `claim` returned a slot unique to this call and
+            // `< ends[row] <= out.len()`.
+            unsafe { shared.write(slot, value) };
+        }
+    });
+}
+
+/// Fills `out[i] = f(i)` in parallel — the safe one-writer-per-index
+/// special case (unzips, remaps, block-generated values).
+pub fn fill_with<T, F>(pool: &ThreadPool, out: &mut [T], schedule: Schedule, f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let shared = SharedSlice::new(out);
+    pool.for_each_index(shared.len(), schedule, |i| {
+        // SAFETY: one writer per index.
+        unsafe { shared.write(i, f(i)) };
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_fills_rows_exactly() {
+        // 4 rows with degrees 3, 0, 2, 5; items round-robin over rows.
+        let items: Vec<usize> = vec![0, 2, 3, 3, 0, 3, 2, 0, 3, 3];
+        let offsets = vec![0usize, 3, 3, 5, 10];
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let cursors = RowCursors::from_offsets(&offsets);
+            let mut out = vec![usize::MAX; 10];
+            scatter(&pool, items.len(), &cursors, &mut out, |i| Some((items[i], i)));
+            // Each row holds exactly the item indices targeting it, in
+            // some order.
+            for r in 0..4 {
+                let mut row = out[offsets[r]..offsets[r + 1]].to_vec();
+                row.sort_unstable();
+                let expect: Vec<usize> =
+                    (0..items.len()).filter(|&i| items[i] == r).collect();
+                assert_eq!(row, expect, "row {r} @ {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_items_are_skipped() {
+        let pool = ThreadPool::new(2);
+        let offsets = vec![0usize, 2];
+        let cursors = RowCursors::from_offsets(&offsets);
+        let mut out = vec![0u32; 2];
+        // 6 items, only even ones kept (degree count said 2... of 3 —
+        // keep exactly items 0 and 2).
+        scatter(&pool, 3, &cursors, &mut out, |i| {
+            (i % 2 == 0).then_some((0, i as u32))
+        });
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn row_overflow_panics() {
+        let pool = ThreadPool::new(1);
+        let offsets = vec![0usize, 1];
+        let cursors = RowCursors::from_offsets(&offsets);
+        let mut out = vec![0u8; 1];
+        scatter(&pool, 2, &cursors, &mut out, |_| Some((0, 1u8)));
+    }
+
+    #[test]
+    fn fill_with_covers_every_index() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0usize; 777];
+        fill_with(&pool, &mut out, Schedule::Guided, |i| i + 1);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+}

@@ -53,7 +53,7 @@ pub fn tc_with_config(g: &Graph, pool: &ThreadPool, config: &TcConfig) -> u64 {
     if relabel {
         let permuted = {
             let _relabel = gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
-            perm::apply(g, &perm::degree_descending(g))
+            perm::apply_in(g, &perm::degree_descending(g), pool)
         };
         count_oriented(&permuted, pool)
     } else {

@@ -54,11 +54,17 @@ pub enum Counter {
     /// Times a pool worker blocked on the region barrier waiting for
     /// work (a spurious condvar wakeup counts once per re-block).
     PoolParks,
+    /// Adjacency slots filled by the graph builder's parallel scatter
+    /// (both directions of a directed build; symmetrized mirrors count).
+    BuildEdgesScattered,
+    /// Duplicate adjacency entries dropped by the builder's per-row
+    /// dedup stage (for weighted graphs, the non-minimum parallel edges).
+    BuildDupsDropped,
 }
 
 impl Counter {
     /// Every counter, in ledger order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 16] = [
         Counter::EdgesExamined,
         Counter::FrontierPushes,
         Counter::Iterations,
@@ -73,6 +79,8 @@ impl Counter {
         Counter::PoolRegions,
         Counter::PoolSteals,
         Counter::PoolParks,
+        Counter::BuildEdgesScattered,
+        Counter::BuildDupsDropped,
     ];
 
     /// Number of counters in the vocabulary.
@@ -95,6 +103,8 @@ impl Counter {
             Counter::PoolRegions => "pool_regions",
             Counter::PoolSteals => "pool_steals",
             Counter::PoolParks => "pool_parks",
+            Counter::BuildEdgesScattered => "build_edges_scattered",
+            Counter::BuildDupsDropped => "build_dups_dropped",
         }
     }
 

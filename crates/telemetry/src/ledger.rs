@@ -34,6 +34,15 @@ pub struct TrialRecord {
     pub trial: u64,
     /// The timed kernel seconds (what Table IV aggregates).
     pub seconds: f64,
+    /// Graph-construction seconds accrued during this trial's window
+    /// (the `Phase::Build` delta, promoted to a top-level field so
+    /// build-time trajectories diff without digging into `phases`).
+    /// Build runs once per cell, so this lands on trial 0.
+    pub build_seconds: f64,
+    /// Relabeling seconds accrued during this trial (the `Phase::Relabel`
+    /// delta — the paper's rules time relabeling, so it is tracked
+    /// per-trial, always on).
+    pub relabel_seconds: f64,
     /// Whether this trial's output verified.
     pub verified: bool,
     /// Worker threads used.
@@ -77,6 +86,11 @@ impl TrialRecord {
             ("mode".to_string(), Json::Str(self.mode.clone())),
             ("trial".to_string(), Json::Num(self.trial as f64)),
             ("seconds".to_string(), Json::Num(self.seconds)),
+            ("build_seconds".to_string(), Json::Num(self.build_seconds)),
+            (
+                "relabel_seconds".to_string(),
+                Json::Num(self.relabel_seconds),
+            ),
             ("verified".to_string(), Json::Bool(self.verified)),
             ("threads".to_string(), Json::Num(self.threads as f64)),
             ("n".to_string(), Json::Num(self.num_vertices as f64)),
@@ -132,6 +146,13 @@ impl TrialRecord {
                 }
             }
         }
+        // Pre-existing ledgers carry the build/relabel phase times only
+        // inside `phases`; fall back there so old baselines still diff.
+        let phase_fallback = |key: &str, phase: Phase| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| phases.get(phase))
+        };
         Ok(TrialRecord {
             framework: str_field("framework")?,
             kernel: str_field("kernel")?,
@@ -142,6 +163,8 @@ impl TrialRecord {
                 .get("seconds")
                 .and_then(Json::as_f64)
                 .ok_or("missing number field \"seconds\"")?,
+            build_seconds: phase_fallback("build_seconds", Phase::Build),
+            relabel_seconds: phase_fallback("relabel_seconds", Phase::Relabel),
             verified: v.get("verified").and_then(Json::as_bool).unwrap_or(true),
             threads: u64_field("threads").unwrap_or(1),
             num_vertices: u64_field("n").unwrap_or(0),
@@ -285,6 +308,8 @@ mod tests {
         counters.set(Counter::EdgesExamined, 1234);
         counters.set(Counter::Iterations, 7);
         let mut phases = PhaseTimes::zero();
+        phases.set(Phase::Build, 2.0);
+        phases.set(Phase::Relabel, 0.75);
         phases.set(Phase::Kernel, 0.125);
         phases.set(Phase::Verify, 0.5);
         TrialRecord {
@@ -294,6 +319,8 @@ mod tests {
             mode: "Baseline".into(),
             trial: 2,
             seconds: 0.125,
+            build_seconds: 2.0,
+            relabel_seconds: 0.75,
             verified: true,
             threads: 4,
             num_vertices: 1000,
@@ -364,6 +391,20 @@ mod tests {
             .replace("\"peak_rss_bytes\":67108864,", "");
         let back = TrialRecord::from_json_line(&line).unwrap();
         assert_eq!(back.peak_rss_bytes, 0);
+    }
+
+    #[test]
+    fn pre_build_field_ledgers_fall_back_to_phases() {
+        // Ledgers written before the promoted fields existed still carry
+        // the same information inside `phases`.
+        let line = sample()
+            .to_json_line()
+            .replace("\"build_seconds\":2,", "")
+            .replace("\"relabel_seconds\":0.75,", "");
+        assert!(!line.contains("build_seconds"), "field really removed");
+        let back = TrialRecord::from_json_line(&line).unwrap();
+        assert!((back.build_seconds - 2.0).abs() < 1e-12);
+        assert!((back.relabel_seconds - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -189,6 +189,12 @@ pub enum EventKind {
         /// Human-readable trial label.
         label: String,
     },
+    /// One stage of the parallel graph-build pipeline (duration event
+    /// emitted once per stage by the builder — cold path).
+    BuildStage {
+        /// Stage name (`count`, `scan`, `scatter`, `sort_dedup`, ...).
+        stage: &'static str,
+    },
 }
 
 /// One buffered trace event.
@@ -296,6 +302,12 @@ impl Trace {
                 EventKind::Trial { label } => {
                     fields.push(("name".into(), Json::Str(label.clone())));
                     fields.push(("cat".into(), Json::Str("trial".into())));
+                    fields.push(("ph".into(), Json::Str("X".into())));
+                    fields.push(("dur".into(), Json::Num(e.dur_ns as f64 / 1_000.0)));
+                }
+                EventKind::BuildStage { stage } => {
+                    fields.push(("name".into(), Json::Str(format!("build:{stage}"))));
+                    fields.push(("cat".into(), Json::Str("build".into())));
                     fields.push(("ph".into(), Json::Str("X".into())));
                     fields.push(("dur".into(), Json::Num(e.dur_ns as f64 / 1_000.0)));
                 }
@@ -477,6 +489,21 @@ pub fn trial(label: String, start_ns: u64) {
     let end = now_ns();
     push(
         EventKind::Trial { label },
+        start_ns,
+        end.saturating_sub(start_ns),
+    );
+}
+
+/// Records one graph-build pipeline stage as a duration event (cold
+/// path: a handful per build; records in any build while a session is
+/// active).
+pub fn build_stage(stage: &'static str, start_ns: u64) {
+    if !session_active() {
+        return;
+    }
+    let end = now_ns();
+    push(
+        EventKind::BuildStage { stage },
         start_ns,
         end.saturating_sub(start_ns),
     );

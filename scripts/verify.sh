@@ -62,6 +62,33 @@ echo "== smoke: region-launch microbenchmark =="
 cargo run -q --release -p gapbs-bench --bin region_bench -- \
     --threads 4 --regions 300 --n 256 --min-speedup 5
 
+echo "== smoke: parallel graph construction (build_bench) =="
+# build_bench asserts the pooled pipeline's graphs are byte-identical to
+# the 1-thread run before reporting speedups, so this smoke is a
+# correctness check on every host. The 1.8x speedup gate only means
+# something with real cores behind the pool, so it applies when the
+# host has at least 4.
+build_gate=()
+if [[ "$(nproc)" -ge 4 ]]; then
+    build_gate=(--min-speedup 1.8)
+else
+    echo "  (host has $(nproc) core(s): identity checked, speedup gate skipped)"
+fi
+cargo run -q --release -p gapbs-bench --bin build_bench -- \
+    --threads 4 --scale 14 --reps 2 \
+    --ledger "$smoke_dir/build.jsonl" "${build_gate[@]}"
+# Diff construction times against the committed baseline. Wide
+# thresholds: construction cells are hundreds of ms at this scale and
+# cross-host variance is large, so this catches order-of-magnitude
+# blowups (e.g. an accidental quadratic stage), not host jitter.
+if [[ -f results/baseline-build.jsonl ]]; then
+    cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+        --ratio 3 --floor 0.25 \
+        results/baseline-build.jsonl "$smoke_dir/build.jsonl"
+else
+    echo "WARN: results/baseline-build.jsonl missing; skipping build baseline compare"
+fi
+
 echo "== smoke: perf_compare gate =="
 # Identical ledgers must pass...
 cargo run -q --release -p gapbs-bench --bin perf_compare -- \

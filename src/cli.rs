@@ -129,43 +129,60 @@ impl CliOptions {
             .and_then(|(_, v)| v.parse().ok())
     }
 
-    /// Builds the benchmark input graph per the options.
+    /// Builds the benchmark input graph per the options (serial wrapper
+    /// over [`CliOptions::load_in`]).
     ///
     /// # Errors
     ///
     /// Propagates file-parse and build failures as messages.
     pub fn load(&self) -> Result<BenchGraph, String> {
+        self.load_in(&gapbs_parallel::ThreadPool::new(1))
+    }
+
+    /// [`CliOptions::load`] with generation and construction on `pool`.
+    /// The prepared input is identical for every pool size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-parse and build failures as messages.
+    pub fn load_in(&self, pool: &gapbs_parallel::ThreadPool) -> Result<BenchGraph, String> {
         let (spec, graph, wgraph) = match &self.source {
             GraphSource::Kron(scale) => {
-                let edges = gen::kron_edges(*scale, self.degree, 42);
+                let edges = gen::kron_edges_in(*scale, self.degree, 42, pool);
                 let g = Builder::new()
                     .num_vertices(1 << scale)
                     .symmetrize(true)
+                    .pool(pool)
                     .build(edges.clone())
                     .map_err(|e| e.to_string())?;
-                let wg = gen::weighted_companion(1 << scale, &edges, true, 42);
+                let wg = gen::weighted_companion_in(1 << scale, &edges, true, 42, pool);
                 (GraphSpec::Kron, g, wg)
             }
             GraphSource::Urand(scale) => {
-                let edges = gen::urand_edges(*scale, self.degree, 42);
+                let edges = gen::urand_edges_in(*scale, self.degree, 42, pool);
                 let g = Builder::new()
                     .num_vertices(1 << scale)
                     .symmetrize(true)
+                    .pool(pool)
                     .build(edges.clone())
                     .map_err(|e| e.to_string())?;
-                let wg = gen::weighted_companion(1 << scale, &edges, true, 42);
+                let wg = gen::weighted_companion_in(1 << scale, &edges, true, 42, pool);
                 (GraphSpec::Urand, g, wg)
             }
             GraphSource::Corpus(spec) => {
                 let scale = scale_from_env();
-                (*spec, spec.generate(scale), spec.generate_weighted(scale))
+                (
+                    *spec,
+                    spec.generate_in(scale, pool),
+                    spec.generate_weighted_in(scale, pool),
+                )
             }
             GraphSource::File(path) => {
                 let (g, wg) = load_file(path, self.symmetrize)?;
                 (GraphSpec::Kron, g, wg) // spec is nominal for file inputs
             }
         };
-        Ok(BenchGraph::from_graphs(spec, graph, wgraph))
+        Ok(BenchGraph::from_graphs_in(spec, graph, wgraph, pool))
     }
 
     /// Resolves the requested framework.
@@ -298,7 +315,19 @@ fn synth_weights(g: &Graph) -> WGraph {
 /// output, exit non-zero on verification failure.
 pub fn run_kernel_binary(kernel: crate::core::Kernel) {
     let opts = parse_or_exit();
-    let input = opts.load().unwrap_or_else(|e| {
+    // One worker team for the whole process: graph construction and the
+    // trial protocol share it, so the build scales with GAPBS_THREADS too.
+    let config = opts.trial_config();
+    let pool = gapbs_parallel::ThreadPool::new(config.threads);
+    // A trace session wraps graph construction and the whole trial
+    // protocol, so build:{stage} boxes, warm-up, and verification all
+    // land on the timeline. Iteration and pool events need the
+    // `telemetry` feature; build stages, trial spans, and RSS samples
+    // record in any build.
+    if opts.trace.is_some() {
+        gapbs_telemetry::trace::start(std::time::Duration::from_millis(10));
+    }
+    let input = opts.load_in(&pool).unwrap_or_else(|e| {
         eprintln!("{e}");
         exit(2);
     });
@@ -314,19 +343,13 @@ pub fn run_kernel_binary(kernel: crate::core::Kernel) {
         framework.name(),
         opts.mode,
     );
-    // A trace session wraps the whole trial protocol so warm-up and
-    // verification land on the timeline too. Iteration and pool events
-    // need the `telemetry` feature; trial spans and RSS samples record
-    // in any build.
-    if opts.trace.is_some() {
-        gapbs_telemetry::trace::start(std::time::Duration::from_millis(10));
-    }
-    let record = crate::core::run_cell(
+    let record = crate::core::run_cell_in_pool(
         framework.as_ref(),
         &input,
         kernel,
         opts.mode,
-        &opts.trial_config(),
+        &config,
+        &pool,
     );
     if let Some(path) = &opts.trace {
         let trace = gapbs_telemetry::trace::stop();
