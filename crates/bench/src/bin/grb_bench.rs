@@ -1,0 +1,214 @@
+//! GraphBLAS kernel-engine microbenchmark: pooled ops vs single-thread.
+//!
+//! Runs the LAGraph kernels (BFS, SSSP, PR, CC, TC) on a symmetrized
+//! Kron graph at one thread and at `--threads`, each on a fresh
+//! `LaGraphContext`, and asserts the outputs are *bit-identical* before
+//! reporting speedups. The engine's parallel paths are designed to be
+//! result-invariant at every pool size (see `crates/grb/src/ops.rs`), so
+//! any divergence here is a determinism bug, not noise — which is why
+//! the speedup gate can never pass on a run that diverges.
+//!
+//! ```sh
+//! cargo run --release -p gapbs-bench --bin grb_bench -- \
+//!     --threads 4 --scale 13 --reps 3 --min-speedup 1.8
+//! ```
+//!
+//! With `--min-speedup X` the process exits non-zero unless the summed
+//! kernel time is at least `X` times faster on the pool — how
+//! `scripts/verify.sh` gates the engine on multi-core hosts. `--ledger
+//! <path>` appends one JSONL record per kernel and thread count for
+//! `perf_compare`.
+
+use gapbs_graph::types::{Distance, NodeId, Score};
+use gapbs_graph::{gen, Builder, Graph};
+use gapbs_grb::lagraph::{self, LaGraphContext};
+use gapbs_parallel::ThreadPool;
+use gapbs_telemetry::{Ledger, TrialRecord};
+use std::time::Instant;
+
+struct Args {
+    threads: usize,
+    scale: u32,
+    degree: usize,
+    reps: usize,
+    min_speedup: Option<f64>,
+    ledger: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 4,
+        scale: 13,
+        degree: 16,
+        reps: 3,
+        min_speedup: None,
+        ledger: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--threads" => args.threads = value().parse().expect("--threads"),
+            "--scale" => args.scale = value().parse().expect("--scale"),
+            "--degree" => args.degree = value().parse().expect("--degree"),
+            "--reps" => args.reps = value().parse().expect("--reps"),
+            "--min-speedup" => args.min_speedup = Some(value().parse().expect("--min-speedup")),
+            "--ledger" => args.ledger = Some(value()),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} (supported: --threads --scale \
+                     --degree --reps --min-speedup --ledger)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.threads >= 1 && args.reps >= 1);
+    args
+}
+
+/// Best-of-`reps` wall time of `f`, with the result of the last run.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+const KERNELS: [&str; 5] = ["bfs", "sssp", "pr", "cc", "tc"];
+const SOURCE: NodeId = 0;
+const DELTA: i32 = 2;
+
+/// One thread count's kernel times and outputs.
+struct Run {
+    seconds: [f64; 5],
+    bfs: Vec<NodeId>,
+    sssp: Vec<Distance>,
+    pr: Vec<Score>,
+    cc: Vec<NodeId>,
+    tc: u64,
+}
+
+fn run(threads: usize, g: &Graph, wg: &gapbs_graph::WGraph, reps: usize) -> Run {
+    let pool = ThreadPool::new(threads);
+    // A fresh context per thread count: same matrices, cold workspace —
+    // the reps then exercise the warm-workspace path the kernels see in
+    // the trial runner.
+    let ctx = LaGraphContext::from_wgraph(g, wg);
+    let (t_bfs, bfs) = best_of(reps, || lagraph::bfs(&ctx, SOURCE, &pool));
+    let (t_sssp, sssp) = best_of(reps, || lagraph::sssp(&ctx, SOURCE, DELTA, &pool));
+    let (t_pr, pr) = best_of(reps, || lagraph::pr(&ctx, 0.85, 1e-4, 100, &pool).0);
+    let (t_cc, cc) = best_of(reps, || lagraph::cc(&ctx, &pool));
+    let (t_tc, tc) = best_of(reps, || lagraph::tc(&ctx, &pool));
+    Run {
+        seconds: [t_bfs, t_sssp, t_pr, t_cc, t_tc],
+        bfs,
+        sssp,
+        pr,
+        cc,
+        tc,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let n = 1u64 << args.scale;
+    let edges = gen::kron_edges(args.scale, args.degree, gen::GraphSpec::Kron.seed());
+    // Symmetric graph: every kernel (including TC) runs on one context.
+    let g = Builder::new()
+        .num_vertices(n as usize)
+        .symmetrize(true)
+        .build(edges.clone())
+        .expect("generated endpoints are in range");
+    let wg = gen::weighted_companion(n as usize, &edges, true, gen::GraphSpec::Kron.seed());
+
+    let serial = run(1, &g, &wg, args.reps);
+    let pooled = run(args.threads, &g, &wg, args.reps);
+
+    // Bit-identity before any timing claims. PR compares f64 bit
+    // patterns, not approximate equality: the engine's parallel sums fix
+    // their association by block, so even floating point must match.
+    assert_eq!(serial.bfs, pooled.bfs, "parallel BFS diverged");
+    assert_eq!(serial.sssp, pooled.sssp, "parallel SSSP diverged");
+    let bits = |v: &[Score]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&serial.pr), bits(&pooled.pr), "parallel PR diverged");
+    assert_eq!(serial.cc, pooled.cc, "parallel CC diverged");
+    assert_eq!(serial.tc, pooled.tc, "parallel TC diverged");
+
+    let total_serial: f64 = serial.seconds.iter().sum();
+    let total_pooled: f64 = pooled.seconds.iter().sum();
+    let speedup = total_serial / total_pooled;
+    println!(
+        "grb_bench: scale={} degree={} ({} vertices, {} arcs) reps={}",
+        args.scale,
+        args.degree,
+        g.num_vertices(),
+        g.num_arcs(),
+        args.reps
+    );
+    for (k, name) in KERNELS.iter().enumerate() {
+        println!(
+            "  {name:<5}: 1T {:>9.4}s  {}T {:>9.4}s  ({:>5.2}x)",
+            serial.seconds[k],
+            args.threads,
+            pooled.seconds[k],
+            serial.seconds[k] / pooled.seconds[k]
+        );
+    }
+    println!(
+        "  total: 1T {total_serial:>9.4}s  {}T {total_pooled:>9.4}s  ({speedup:>5.2}x)",
+        args.threads
+    );
+    println!(
+        "  outputs: bit-identical at 1T and {}T (tc={})",
+        args.threads, pooled.tc
+    );
+
+    if let Some(path) = &args.ledger {
+        match Ledger::open(path) {
+            Ok(ledger) => {
+                for (threads, r) in [(1usize, &serial), (args.threads, &pooled)] {
+                    for (k, name) in KERNELS.iter().enumerate() {
+                        let record = TrialRecord {
+                            framework: "GrbEngine".into(),
+                            kernel: (*name).into(),
+                            graph: format!("Kron{}", args.scale),
+                            mode: format!("{threads}T"),
+                            trial: 0,
+                            seconds: r.seconds[k],
+                            verified: true,
+                            threads: threads as u64,
+                            num_vertices: g.num_vertices() as u64,
+                            num_arcs: g.num_arcs() as u64,
+                            ..TrialRecord::default()
+                        };
+                        if let Err(e) = ledger.append(&record) {
+                            eprintln!("ledger append: {e}");
+                        }
+                    }
+                }
+                eprintln!("ledger: appended 10 records to {path}");
+            }
+            Err(e) => eprintln!("ledger {path}: {e}"),
+        }
+    }
+
+    if let Some(min) = args.min_speedup {
+        if speedup < min {
+            eprintln!(
+                "FAIL: kernel-engine speedup {speedup:.2}x at {} threads is below the {min:.2}x gate",
+                args.threads
+            );
+            std::process::exit(1);
+        }
+        println!("  gate : >= {min:.2}x passed ({speedup:.2}x)");
+    }
+}

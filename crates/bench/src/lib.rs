@@ -14,7 +14,7 @@ pub fn scale_from_env() -> Scale {
         Ok("tiny") => Scale::Tiny,
         Ok("small") => Scale::Small,
         Ok("large") => Scale::Large,
-        Ok("medium") | _ => Scale::Medium,
+        _ => Scale::Medium,
     }
 }
 
@@ -33,24 +33,6 @@ pub fn corpus_in_pool(scale: Scale, pool: &gapbs_parallel::ThreadPool) -> Vec<Be
         .iter()
         .map(|&spec| BenchGraph::generate_in(spec, scale, pool))
         .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn corpus_has_table_order() {
-        let c = corpus(Scale::Tiny);
-        let names: Vec<_> = c.iter().map(|b| b.spec.name()).collect();
-        assert_eq!(names, ["Web", "Twitter", "Road", "Kron", "Urand"]);
-    }
-
-    #[test]
-    fn default_scale_is_medium() {
-        std::env::remove_var("GAPBS_SCALE");
-        assert_eq!(scale_from_env(), Scale::Medium);
-    }
 }
 
 /// Evaluates the paper's qualitative claims against this run (see
@@ -163,4 +145,22 @@ pub fn shape_claims(report: &Report) -> String {
     claim("No framework is fastest on every test", Some(!uniform_winner));
 
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_table_order() {
+        let c = corpus(Scale::Tiny);
+        let names: Vec<_> = c.iter().map(|b| b.spec.name()).collect();
+        assert_eq!(names, ["Web", "Twitter", "Road", "Kron", "Urand"]);
+    }
+
+    #[test]
+    fn default_scale_is_medium() {
+        std::env::remove_var("GAPBS_SCALE");
+        assert_eq!(scale_from_env(), Scale::Medium);
+    }
 }

@@ -371,6 +371,17 @@ pub fn lint(records: &[TrialRecord]) -> Vec<String> {
                 "{cell}: telemetry build recorded zero edges examined"
             ));
         }
+        // GraphBLAS SPA accounting: every scatter hit or insert comes
+        // from exactly one examined edge (masked and terminal-skipped
+        // edges produce neither), so the SPA counters can never exceed
+        // the edge scan count.
+        let spa = r.counters.get(Counter::SpaHits) + r.counters.get(Counter::SpaInserts);
+        if spa > r.counters.get(Counter::EdgesExamined) {
+            problems.push(format!(
+                "{cell}: SPA hits+inserts {spa} exceed edges examined {}",
+                r.counters.get(Counter::EdgesExamined)
+            ));
+        }
     }
     problems
 }
@@ -573,6 +584,32 @@ mod tests {
         let problems = lint(&[with_edges, silent]);
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("zero edges examined"), "{problems:?}");
+    }
+
+    #[test]
+    fn lint_bounds_spa_counters_by_edges_examined() {
+        use gapbs_telemetry::Counter;
+        let good = || {
+            let mut r = record("SuiteSparse", "bfs", 0, 0.1);
+            r.threads = 4;
+            r.num_vertices = 100;
+            r.num_arcs = 400;
+            r.verified = true;
+            r.counters.set(Counter::EdgesExamined, 500);
+            r
+        };
+        // hits + inserts within the scan budget: clean.
+        let mut ok = good();
+        ok.counters.set(Counter::SpaHits, 300);
+        ok.counters.set(Counter::SpaInserts, 200);
+        assert!(lint(&[ok]).is_empty());
+        // One more SPA event than scanned edges: impossible, flagged.
+        let mut bad = good();
+        bad.counters.set(Counter::SpaHits, 300);
+        bad.counters.set(Counter::SpaInserts, 201);
+        let problems = lint(&[bad]);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("exceed edges examined"), "{problems:?}");
     }
 
     #[test]

@@ -224,7 +224,7 @@ fn last_arg_f64(events: &[TraceEvent], name: &str, key: &str) -> Option<f64> {
         .iter()
         .filter(|e| e.name == name)
         .filter_map(|e| e.arg_f64(key))
-        .last()
+        .next_back()
 }
 
 /// Peak VmRSS seen by the resource sampler, in bytes.

@@ -79,7 +79,7 @@ impl PreparedKernels for Prepared<'_> {
     }
 
     fn sssp(&self, source: NodeId) -> Vec<Distance> {
-        lagraph::sssp(&self.ctx, source, self.input.delta)
+        lagraph::sssp(&self.ctx, source, self.input.delta, &self.pool)
     }
 
     fn pr(&self) -> (Vec<Score>, usize) {

@@ -6,13 +6,14 @@
 use super::LaGraphContext;
 use crate::ops::{vxm, Mask};
 use crate::semiring::PlusSecond;
-use crate::vector::GrbVector;
+use crate::vector::{GrbVector, Storage};
 use crate::GrbIndex;
 use gapbs_graph::types::{NodeId, Score};
+use gapbs_parallel::ThreadPool;
 
 /// Runs batch Brandes BC from `sources`, returning scores normalized by
 /// the maximum (the GAP output convention).
-pub fn bc(ctx: &LaGraphContext, sources: &[NodeId]) -> Vec<Score> {
+pub fn bc(ctx: &LaGraphContext, sources: &[NodeId], pool: &ThreadPool) -> Vec<Score> {
     let n = ctx.num_vertices();
     let mut scores = vec![0.0; n as usize];
     if n == 0 {
@@ -21,14 +22,18 @@ pub fn bc(ctx: &LaGraphContext, sources: &[NodeId]) -> Vec<Score> {
     let semiring = PlusSecond::default();
     for &s in sources {
         // Forward: per-level frontiers carrying shortest-path counts.
+        // Bitmap storage gives the `!numsp` mask O(1) word-probe tests
+        // and `set`/`get` O(1) slot access as the discovered set grows.
         let mut numsp: GrbVector<f64> = GrbVector::new(n);
+        numsp.convert(Storage::Bitmap, None);
         numsp.set(GrbIndex::from(s), 1.0);
         let mut frontier = GrbVector::from_entries(n, vec![(GrbIndex::from(s), 1.0f64)]);
         let mut levels: Vec<GrbVector<f64>> = vec![frontier.clone()];
         while frontier.nvals() > 0 {
             // q<!numsp> = frontier' * A : propagate path counts.
             let mask = Mask::complement(&numsp);
-            let next: GrbVector<f64> = vxm(&semiring, &frontier, &ctx.a, Some(&mask));
+            let next: GrbVector<f64> =
+                vxm(&semiring, &frontier, &ctx.a, Some(&mask), &ctx.workspace, pool);
             for (i, &v) in next.iter() {
                 numsp.set(i, v);
             }
@@ -52,7 +57,8 @@ pub fn bc(ctx: &LaGraphContext, sources: &[NodeId]) -> Vec<Score> {
             let t1 = GrbVector::from_entries(n, t1_entries);
             // t2<level d-1> = t1' * A' : pull contributions back one level.
             let mask = Mask::structural(&levels[d - 1]);
-            let t2: GrbVector<f64> = vxm(&semiring, &t1, &ctx.at, Some(&mask));
+            let t2: GrbVector<f64> =
+                vxm(&semiring, &t1, &ctx.at, Some(&mask), &ctx.workspace, pool);
             for (i, &v) in t2.iter() {
                 let sp = *numsp.get(i).expect("level vertex has path count");
                 delta[i as usize] += v * sp;
@@ -78,6 +84,10 @@ mod tests {
     use super::*;
     use gapbs_graph::edgelist::edges;
     use gapbs_graph::{gen, Builder};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
 
     /// Sequential Brandes oracle (same convention).
     fn oracle(g: &gapbs_graph::Graph, sources: &[NodeId]) -> Vec<Score> {
@@ -138,7 +148,7 @@ mod tests {
             .build(edges([(0, 1), (0, 2), (1, 3), (2, 3)]))
             .unwrap();
         let ctx = LaGraphContext::from_graph(&g);
-        let got = bc(&ctx, &[0]);
+        let got = bc(&ctx, &[0], &pool());
         assert_close(&got, &oracle(&g, &[0]));
     }
 
@@ -148,7 +158,7 @@ mod tests {
             let g = gen::kron(7, 8, seed);
             let ctx = LaGraphContext::from_graph(&g);
             let sources = [0, 5, 9, 33];
-            assert_close(&bc(&ctx, &sources), &oracle(&g, &sources));
+            assert_close(&bc(&ctx, &sources, &pool()), &oracle(&g, &sources));
         }
     }
 
@@ -159,7 +169,7 @@ mod tests {
             .build(edges([(0, 1), (1, 2)]))
             .unwrap();
         let ctx = LaGraphContext::from_graph(&g);
-        let got = bc(&ctx, &[0]);
+        let got = bc(&ctx, &[0], &pool());
         assert_eq!(got[0], 0.0);
         assert!(got[1] > 0.0);
     }

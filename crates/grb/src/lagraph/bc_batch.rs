@@ -8,6 +8,7 @@
 //! instead of running four independent vector sweeps.
 
 use super::LaGraphContext;
+use crate::workspace::SlotMap;
 use crate::GrbIndex;
 use gapbs_graph::types::{NodeId, Score};
 
@@ -61,6 +62,10 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
     }
     let mut levels: Vec<Vec<(GrbIndex, [f64; BATCH])>> = vec![frontier.clone()];
     let mut d = 0u32;
+    // Generation-stamped vertex → accumulator-slot map, checked out of
+    // the context workspace: begin() resets it in O(1) per level where
+    // the old per-level HashMap re-hashed and re-allocated every pass.
+    let mut slot_of = ctx.workspace.take::<SlotMap>();
     // Forward: one sweep over A per level advances every column.
     while !frontier.is_empty() {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
@@ -69,8 +74,7 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
             frontier: frontier.len() as u64
         });
         let mut acc: Vec<(GrbIndex, [f64; BATCH])> = Vec::new();
-        let mut slot_of: std::collections::HashMap<GrbIndex, usize> =
-            std::collections::HashMap::new();
+        slot_of.begin(n);
         for &(u, counts) in &frontier {
             gapbs_telemetry::record(
                 gapbs_telemetry::Counter::EdgesExamined,
@@ -91,10 +95,10 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
                 if !any {
                     continue;
                 }
-                let slot = *slot_of.entry(j).or_insert_with(|| {
+                let slot = slot_of.get_or_insert(j as usize, || {
                     acc.push((j, [0.0; BATCH]));
-                    acc.len() - 1
-                });
+                    (acc.len() - 1) as u32
+                }) as usize;
                 for (acc_c, add) in acc[slot].1.iter_mut().zip(contrib) {
                     *acc_c += add;
                 }
@@ -124,6 +128,7 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
         frontier = next;
         d += 1;
     }
+    ctx.workspace.put(slot_of);
     // Backward: one sweep over A' per level accumulates all columns.
     let mut delta = vec![[0.0f64; BATCH]; n];
     for level_idx in (1..levels.len()).rev() {
@@ -229,7 +234,8 @@ mod tests {
         let ctx = crate::lagraph::LaGraphContext::from_graph(&g);
         let sources = [3, 9, 27, 81];
         let batched = bc_batch(&ctx, &sources);
-        let per_source = crate::lagraph::bc(&ctx, &sources);
+        let pool = gapbs_parallel::ThreadPool::new(2);
+        let per_source = crate::lagraph::bc(&ctx, &sources, &pool);
         assert_close(&batched, &per_source);
     }
 

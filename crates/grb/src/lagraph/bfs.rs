@@ -12,7 +12,28 @@ use crate::vector::{GrbVector, Storage};
 use crate::GrbIndex;
 use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
-use gapbs_parallel::ThreadPool;
+use gapbs_parallel::{Schedule, ThreadPool};
+
+/// Below this frontier size the degree sum runs serially.
+const DEGREE_SUM_CUTOFF: usize = 1 << 12;
+
+/// Sum of out-degrees over the (sparse) frontier — the push/pull
+/// heuristic input. Reads the precomputed out-degree array (no row
+/// indirection) and reduces on the pool for large frontiers, so the
+/// heuristic itself no longer costs a serial O(frontier) row walk.
+fn frontier_degree_sum(ctx: &LaGraphContext, q: &GrbVector<()>, pool: &ThreadPool) -> u64 {
+    let entries = q.sparse_entries().expect("frontier is sparse at level start");
+    if entries.len() < DEGREE_SUM_CUTOFF {
+        return entries.iter().map(|&(k, _)| ctx.out_degree[k as usize]).sum();
+    }
+    pool.reduce_index(
+        entries.len(),
+        Schedule::Static,
+        0u64,
+        |e| ctx.out_degree[entries[e].0 as usize],
+        |a, b| a + b,
+    )
+}
 
 /// Runs LAGraph BFS from `source`, returning a GAP-style parent array.
 pub fn bfs(ctx: &LaGraphContext, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
@@ -35,10 +56,7 @@ pub fn bfs(ctx: &LaGraphContext, source: NodeId, pool: &ThreadPool) -> Vec<NodeI
     let mut depth: u32 = 0;
     while q.nvals() > 0 {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
-        let frontier_edges: u64 = q
-            .iter()
-            .map(|(k, _)| ctx.a.row(k).len() as u64)
-            .sum();
+        let frontier_edges = frontier_degree_sum(ctx, &q, pool);
         let pull = stats::predict_pull(frontier_edges, edges_unexplored, q.nvals(), n);
         gapbs_telemetry::trace_iter!(BfsLevel {
             depth,
@@ -55,25 +73,28 @@ pub fn bfs(ctx: &LaGraphContext, source: NodeId, pool: &ThreadPool) -> Vec<NodeI
         let discovered: GrbVector<Option<GrbIndex>> = if pull {
             // Pull step: q<!pi> = A' * q. Convert q to bitmap first (the
             // timed conversion the paper describes).
-            q.convert(Storage::Bitmap, None);
+            q.convert_in(Storage::Bitmap, None, pool);
             let mask = Mask::complement(&pi);
-            crate::ops::mxv(&semiring, &ctx.at, &q, Some(&mask), pool)
+            crate::ops::mxv(&semiring, &ctx.at, &q, Some(&mask), &ctx.workspace, pool)
         } else {
             // Push step: q'<!pi> = q' * A over a sparse list.
-            q.convert(Storage::Sparse, None);
+            q.convert_in(Storage::Sparse, None, pool);
             let mask = Mask::complement(&pi);
-            vxm(&semiring, &q, &ctx.a, Some(&mask))
+            vxm(&semiring, &q, &ctx.a, Some(&mask), &ctx.workspace, pool)
         };
 
         // pi<q> = q : record parents of the newly discovered vertices.
-        let mut next: Vec<(GrbIndex, ())> = Vec::new();
-        for (v, p) in discovered.iter() {
+        let found = discovered
+            .sparse_entries()
+            .expect("engine products are sparse");
+        let mut next: Vec<(GrbIndex, ())> = Vec::with_capacity(found.len());
+        for &(v, p) in found {
             if let Some(parent) = p {
-                pi.set(v, *parent);
+                pi.set(v, parent);
                 next.push((v, ()));
             }
         }
-        q = GrbVector::from_entries(n, next);
+        q = GrbVector::from_sorted_entries(n, next);
     }
 
     for (v, p) in pi.iter() {

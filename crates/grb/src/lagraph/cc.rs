@@ -13,7 +13,10 @@ use crate::semiring::MinSecond;
 use crate::vector::GrbVector;
 use crate::GrbIndex;
 use gapbs_graph::types::NodeId;
-use gapbs_parallel::ThreadPool;
+use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
+
+/// Below this vector length the per-round dense steps run serially.
+const CC_CUTOFF: usize = 1 << 12;
 
 /// Runs FastSV, returning per-vertex component labels.
 pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
@@ -26,8 +29,21 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
     let mut round: u32 = 0;
     loop {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
-        // gp = f[f] (grandparent).
-        let gp: Vec<GrbIndex> = f.iter().map(|&p| f[p as usize]).collect();
+        // gp = f[f] (grandparent). Pure gather: every slot is written by
+        // exactly one index from reads of the immutable `f`, so the
+        // pooled path is value-identical to the serial one.
+        let par = n as usize >= CC_CUTOFF && pool.num_threads() > 1;
+        let gp: Vec<GrbIndex> = if par {
+            let mut gp = vec![0 as GrbIndex; n as usize];
+            let out = SharedSlice::new(&mut gp);
+            pool.for_each_index(n as usize, Schedule::Static, |i| {
+                // SAFETY: one writer per index i.
+                unsafe { out.write(i, f[f[i] as usize]) };
+            });
+            gp
+        } else {
+            f.iter().map(|&p| f[p as usize]).collect()
+        };
         // mngp = min over neighbors of gp: one masked-free mxv per
         // direction (weak connectivity on directed graphs needs both).
         // Full storage: FastSV's vectors are dense, and the mxv gather
@@ -36,18 +52,12 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
         gp_vec.as_full_slice_mut().copy_from_slice(&gp);
         let mut mngp: Vec<GrbIndex> = gp.clone();
         let pulled: GrbVector<GrbIndex> =
-            mxv(&semiring, &ctx.a, &gp_vec, None::<&Mask<'_, ()>>, pool);
-        for (i, &v) in pulled.iter() {
-            let slot = &mut mngp[i as usize];
-            *slot = (*slot).min(v);
-        }
+            mxv(&semiring, &ctx.a, &gp_vec, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
+        merge_min(&mut mngp, &pulled, par, pool);
         if ctx.directed {
             let pulled_t: GrbVector<GrbIndex> =
-                mxv(&semiring, &ctx.at, &gp_vec, None::<&Mask<'_, ()>>, pool);
-            for (i, &v) in pulled_t.iter() {
-                let slot = &mut mngp[i as usize];
-                *slot = (*slot).min(v);
-            }
+                mxv(&semiring, &ctx.at, &gp_vec, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
+            merge_min(&mut mngp, &pulled_t, par, pool);
         }
         let mut changed = false;
         // Stochastic hooking: f[f[i]] = min(f[f[i]], mngp[i]).
@@ -55,12 +65,35 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
             .map(|i| (f[i], mngp[i]))
             .collect();
         changed |= scatter_min(&mut f, &hooks);
-        // Aggressive hooking: f[i] = min(f[i], mngp[i], gp[i]).
-        for i in 0..n as usize {
-            let target = mngp[i].min(gp[i]);
-            if target < f[i] {
-                f[i] = target;
-                changed = true;
+        // Aggressive hooking: f[i] = min(f[i], mngp[i], gp[i]). Each
+        // slot depends only on its own index, so the pooled version is
+        // value-identical; `changed` is OR-reduced (order-free).
+        if par {
+            let out = SharedSlice::new(&mut f);
+            changed |= pool.reduce_index(
+                n as usize,
+                Schedule::Static,
+                false,
+                |i| {
+                    let target = mngp[i].min(gp[i]);
+                    // SAFETY: one writer per index i.
+                    unsafe {
+                        if target < out.read(i) {
+                            out.write(i, target);
+                            return true;
+                        }
+                    }
+                    false
+                },
+                |a, b| a | b,
+            );
+        } else {
+            for i in 0..n as usize {
+                let target = mngp[i].min(gp[i]);
+                if target < f[i] {
+                    f[i] = target;
+                    changed = true;
+                }
             }
         }
         // Shortcutting: f[i] = f[f[i]].
@@ -81,6 +114,31 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
         }
     }
     f.into_iter().map(|x| x as NodeId).collect()
+}
+
+/// Folds a pulled min-second product into `mngp` slot-wise. The sparse
+/// product has unique indices, so the pooled path writes disjointly and
+/// matches the serial fold exactly.
+fn merge_min(mngp: &mut [GrbIndex], pulled: &GrbVector<GrbIndex>, par: bool, pool: &ThreadPool) {
+    let entries = pulled.sparse_entries().expect("engine products are sparse");
+    if par && entries.len() >= CC_CUTOFF {
+        let out = SharedSlice::new(mngp);
+        pool.for_each_index(entries.len(), Schedule::Static, |e| {
+            let (i, v) = entries[e];
+            // SAFETY: sparse indices are unique → one writer per slot.
+            unsafe {
+                let cur = out.read(i as usize);
+                if v < cur {
+                    out.write(i as usize, v);
+                }
+            }
+        });
+    } else {
+        for &(i, v) in entries {
+            let slot = &mut mngp[i as usize];
+            *slot = (*slot).min(v);
+        }
+    }
 }
 
 /// Scatter with MIN reduction on duplicate targets: `dst[idx] =

@@ -23,6 +23,7 @@ pub use sssp::sssp;
 pub use tc::tc;
 
 use crate::matrix::GrbMatrix;
+use crate::workspace::OpWorkspace;
 use gapbs_graph::{Graph, WGraph};
 
 /// Prepared GraphBLAS state for one benchmark graph: the adjacency matrix,
@@ -40,10 +41,15 @@ pub struct LaGraphContext {
     pub at: GrbMatrix,
     /// Weighted adjacency, when the graph has weights.
     pub aw: Option<GrbMatrix>,
-    /// Out-degrees as a dense vector (used by PR).
+    /// Out-degrees as a dense vector (used by PR and the BFS frontier
+    /// accounting).
     pub out_degree: Vec<u64>,
     /// Whether the source graph was directed.
     pub directed: bool,
+    /// Reusable operation scratch (SPAs, spill buffers); every engine
+    /// call on this context draws from it instead of allocating.
+    /// Cloning a context starts with a cold (empty) workspace.
+    pub workspace: OpWorkspace,
 }
 
 impl LaGraphContext {
@@ -58,6 +64,7 @@ impl LaGraphContext {
             aw: None,
             out_degree,
             directed: g.is_directed(),
+            workspace: OpWorkspace::new(),
         }
     }
 

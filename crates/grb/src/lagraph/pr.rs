@@ -9,7 +9,33 @@ use crate::ops::{mxv, Mask};
 use crate::semiring::PlusSecond;
 use crate::vector::GrbVector;
 use gapbs_graph::types::Score;
-use gapbs_parallel::ThreadPool;
+use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
+
+/// Fixed block width for pooled f64 sums. Blocks depend only on vector
+/// length, so the floating-point association — and thus the converged
+/// scores — is identical at every thread count.
+const PR_BLOCK: usize = 1 << 12;
+
+/// Deterministic pooled sum of `f(i)` for `i in 0..len`: per-block
+/// partials are computed serially inside fixed-width blocks and folded
+/// in block index order, so the result is bit-identical at any pool
+/// size (only *which worker* runs a block varies).
+fn blocked_sum(pool: &ThreadPool, len: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+    if len < 2 * PR_BLOCK || pool.num_threads() == 1 {
+        return (0..len).map(f).sum();
+    }
+    let blocks = len.div_ceil(PR_BLOCK);
+    let mut partials = vec![0.0f64; blocks];
+    let out = SharedSlice::new(&mut partials);
+    pool.for_each_index(blocks, Schedule::Static, |b| {
+        let lo = b * PR_BLOCK;
+        let hi = (lo + PR_BLOCK).min(len);
+        let sum: f64 = (lo..hi).map(&f).sum();
+        // SAFETY: each block index is visited exactly once.
+        unsafe { out.write(b, sum) };
+    });
+    partials.iter().sum()
+}
 
 /// Runs PageRank; returns `(scores, iterations)`.
 pub fn pr(
@@ -38,37 +64,59 @@ pub fn pr(
         // vertices contribute through the uniform redistribution term.
         let mut contrib = GrbVector::full(n, 0.0f64);
         {
+            let sv = scores.as_full_slice();
             let slice = contrib.as_full_slice_mut();
-            for (k, &s) in scores.as_full_slice().iter().enumerate() {
-                if ctx.out_degree[k] > 0 {
-                    slice[k] = s / ctx.out_degree[k] as f64;
+            if slice.len() < 2 * PR_BLOCK || pool.num_threads() == 1 {
+                for (k, &s) in sv.iter().enumerate() {
+                    if ctx.out_degree[k] > 0 {
+                        slice[k] = s / ctx.out_degree[k] as f64;
+                    }
                 }
+            } else {
+                let out = SharedSlice::new(slice);
+                pool.for_each_index(sv.len(), Schedule::Static, |k| {
+                    if ctx.out_degree[k] > 0 {
+                        // SAFETY: one writer per index k.
+                        unsafe { out.write(k, sv[k] / ctx.out_degree[k] as f64) };
+                    }
+                });
             }
         }
-        let dangling: f64 = scores
-            .as_full_slice()
-            .iter()
-            .enumerate()
-            .filter(|&(k, _)| ctx.out_degree[k] == 0)
-            .map(|(_, &s)| s)
-            .sum::<f64>()
-            / nf;
+        let sv = scores.as_full_slice();
+        let dangling: f64 = blocked_sum(pool, sv.len(), |k| {
+            if ctx.out_degree[k] == 0 {
+                sv[k]
+            } else {
+                0.0
+            }
+        }) / nf;
         // importance = A' * contrib  (pull over in-edges).
         let importance: GrbVector<f64> =
-            mxv(&semiring, &ctx.at, &contrib, None::<&Mask<'_, ()>>, pool);
+            mxv(&semiring, &ctx.at, &contrib, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
         let mut next = GrbVector::full(n, base + damping * dangling);
         {
             let slice = next.as_full_slice_mut();
-            for (i, &imp) in importance.iter() {
-                slice[i as usize] += damping * imp;
+            let found = importance
+                .sparse_entries()
+                .expect("engine products are sparse");
+            if found.len() < 2 * PR_BLOCK || pool.num_threads() == 1 {
+                for &(i, imp) in found {
+                    slice[i as usize] += damping * imp;
+                }
+            } else {
+                let out = SharedSlice::new(slice);
+                pool.for_each_index(found.len(), Schedule::Static, |e| {
+                    let (i, imp) = found[e];
+                    // SAFETY: sparse indices are unique → one writer per slot.
+                    unsafe {
+                        let cur = out.read(i as usize);
+                        out.write(i as usize, cur + damping * imp);
+                    }
+                });
             }
         }
-        let error: f64 = scores
-            .as_full_slice()
-            .iter()
-            .zip(next.as_full_slice())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let (sv, nv) = (scores.as_full_slice(), next.as_full_slice());
+        let error: f64 = blocked_sum(pool, sv.len(), |i| (sv[i] - nv[i]).abs());
         scores = next;
         gapbs_telemetry::trace_iter!(PrSweep {
             sweep: iterations as u32,

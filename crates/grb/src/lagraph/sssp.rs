@@ -13,13 +13,17 @@ use crate::vector::GrbVector;
 use crate::GrbIndex;
 use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::Weight;
+use gapbs_parallel::{Schedule, ThreadPool};
+
+/// Below this vector length the next-bucket scan runs serially.
+const SCAN_CUTOFF: usize = 1 << 13;
 
 /// Runs delta-stepping from `source`, returning distances.
 ///
 /// # Panics
 ///
 /// Panics if the context has no weighted matrix.
-pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance> {
+pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight, pool: &ThreadPool) -> Vec<Distance> {
     let aw = ctx
         .aw
         .as_ref()
@@ -42,7 +46,7 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance
         // O(n) whole-vector scan LAGraph pays per bucket.
         let lo = bucket * delta_d;
         let hi = lo + delta_d;
-        let mut active = select(&t, |_, &d| d >= lo && d < hi);
+        let mut active = select(&t, |_, &d| d >= lo && d < hi, pool);
         // Drain the bucket to a fixed point.
         while active.nvals() > 0 {
             gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
@@ -51,11 +55,12 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance
                 size: active.nvals()
             });
             let reach: GrbVector<Distance> =
-                vxm(&semiring, &active, aw, None::<&Mask<'_, ()>>);
+                vxm(&semiring, &active, aw, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
+            let reached = reach.sparse_entries().expect("engine products are sparse");
             let mut next_active = Vec::new();
             {
                 let tv = t.as_full_slice_mut();
-                for (j, &nd) in reach.iter() {
+                for &(j, nd) in reached {
                     if nd < tv[j as usize] {
                         tv[j as usize] = nd;
                         gapbs_telemetry::record(
@@ -68,16 +73,28 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight) -> Vec<Distance
                     }
                 }
             }
-            active = GrbVector::from_entries(n, next_active);
+            active = GrbVector::from_sorted_entries(n, next_active);
         }
         // Find the next non-empty bucket by scanning the minimum
-        // unfinished distance (full-vector reduce).
-        let next_min = t
-            .as_full_slice()
-            .iter()
-            .copied()
-            .filter(|&d| d >= hi && d < INF_DIST)
-            .min();
+        // unfinished distance (full-vector reduce; min is
+        // order-independent, so the pooled scan is deterministic).
+        let tv = t.as_full_slice();
+        let scan_min = |d: Distance| (d >= hi && d < INF_DIST).then_some(d);
+        let next_min = if tv.len() < SCAN_CUTOFF {
+            tv.iter().filter_map(|&d| scan_min(d)).min()
+        } else {
+            pool.reduce_index(
+                tv.len(),
+                Schedule::Static,
+                None,
+                |i| scan_min(tv[i]),
+                |a, b| match (a, b) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (x, None) => x,
+                    (None, y) => y,
+                },
+            )
+        };
         match next_min {
             Some(d) => bucket = d / delta_d,
             None => break,
@@ -94,6 +111,10 @@ mod tests {
     use gapbs_graph::edgelist::wedges;
     use gapbs_graph::{gen, Builder};
 
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
+
     #[test]
     fn tiny_graph_distances() {
         let g = Builder::new()
@@ -103,7 +124,7 @@ mod tests {
             .build(gapbs_graph::edgelist::edges([(0, 1), (1, 2), (0, 2)]))
             .unwrap();
         let ctx = LaGraphContext::from_wgraph(&gd, &g);
-        assert_eq!(sssp(&ctx, 0, 2), vec![0, 1, 2]);
+        assert_eq!(sssp(&ctx, 0, 2, &pool()), vec![0, 1, 2]);
     }
 
     #[test]
@@ -121,8 +142,9 @@ mod tests {
         };
         let ctx = LaGraphContext::from_wgraph(&g, &wg);
         let want = gapbs_verify_dijkstra(&wg, 0);
+        let pool = pool();
         for delta in [1, 16, 300] {
-            assert_eq!(sssp(&ctx, 0, delta), want, "delta={delta}");
+            assert_eq!(sssp(&ctx, 0, delta, &pool), want, "delta={delta}");
         }
     }
 
@@ -159,7 +181,7 @@ mod tests {
             .build_weighted(wedges([(0, 1, 2)]))
             .unwrap();
         let ctx = LaGraphContext::from_wgraph(&g, &wg);
-        let d = sssp(&ctx, 0, 4);
+        let d = sssp(&ctx, 0, 4, &pool());
         assert_eq!(d, vec![0, 2, INF_DIST]);
     }
 }

@@ -24,10 +24,12 @@ pub mod matrix;
 pub mod ops;
 pub mod semiring;
 pub mod vector;
+pub mod workspace;
 
 pub use matrix::GrbMatrix;
 pub use semiring::{AddMonoid, Semiring};
 pub use vector::{GrbVector, Storage};
+pub use workspace::OpWorkspace;
 
 /// Index type: 64-bit, per the GraphBLAS design point discussed in §V.
 pub type GrbIndex = u64;

@@ -112,12 +112,16 @@ impl GrbMatrix {
 
     /// `(column, weight)` pairs of row `i`.
     pub fn row_weighted(&self, i: GrbIndex) -> impl Iterator<Item = (GrbIndex, i32)> + '_ {
+        let (cols, weights) = self.row_parts(i);
+        cols.iter().copied().zip(weights.iter().copied())
+    }
+
+    /// Column and weight slices of row `i` — the zero-overhead accessor
+    /// the operation engine's hot loops index directly.
+    pub fn row_parts(&self, i: GrbIndex) -> (&[GrbIndex], &[i32]) {
         let lo = self.offsets[i as usize] as usize;
         let hi = self.offsets[i as usize + 1] as usize;
-        self.cols[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.weights[lo..hi].iter().copied())
+        (&self.cols[lo..hi], &self.weights[lo..hi])
     }
 
     /// Lower-triangular part, strictly below the diagonal (`tril(A, -1)`).

@@ -8,11 +8,15 @@ use gapbs_grb::ops::{self, Mask};
 use gapbs_grb::semiring::{
     AddMonoid, AnyMonoid, MinMonoid, MinPlus, PlusMonoid, PlusSecond,
 };
-use gapbs_grb::{GrbMatrix, GrbVector, Storage};
+use gapbs_grb::{GrbMatrix, GrbVector, OpWorkspace, Storage};
 use gapbs_parallel::ThreadPool;
 
 fn pool() -> ThreadPool {
     ThreadPool::new(2)
+}
+
+fn ws() -> OpWorkspace {
+    OpWorkspace::new()
 }
 
 #[test]
@@ -52,8 +56,8 @@ fn push_and_pull_products_agree() {
         (0..a.ncols()).step_by(7).map(|i| (i, 1.0f64)).collect(),
     );
     let s = PlusSecond::default();
-    let push: GrbVector<f64> = ops::vxm(&s, &x, &a, None::<&Mask<'_, ()>>);
-    let pull: GrbVector<f64> = ops::mxv(&s, &at, &x, None::<&Mask<'_, ()>>, &pool());
+    let push: GrbVector<f64> = ops::vxm(&s, &x, &a, None::<&Mask<'_, ()>>, &ws(), &pool());
+    let pull: GrbVector<f64> = ops::mxv(&s, &at, &x, None::<&Mask<'_, ()>>, &ws(), &pool());
     assert_eq!(push.nvals(), pull.nvals());
     for (i, v) in push.iter() {
         assert_eq!(pull.get(i), Some(v), "index {i}");
@@ -70,7 +74,7 @@ fn storage_representation_does_not_change_results() {
     for storage in [Storage::Sparse, Storage::Bitmap, Storage::Full] {
         let mut x = GrbVector::from_entries(a.ncols(), entries.clone());
         x.convert(storage, Some(i64::MAX - 1_000_000));
-        let y: GrbVector<i64> = ops::mxv(&s, &a, &x, None::<&Mask<'_, ()>>, &pool());
+        let y: GrbVector<i64> = ops::mxv(&s, &a, &x, None::<&Mask<'_, ()>>, &ws(), &pool());
         // Collect only the indices present in the sparse baseline run to
         // compare like with like (Full storage adds near-infinite fill
         // entries that relax nothing meaningful but exist structurally).
@@ -91,9 +95,10 @@ fn complement_mask_is_exact_set_difference() {
     let q = GrbVector::from_entries(a.ncols(), vec![(0, ()), (5, ())]);
     let visited = GrbVector::from_entries(a.ncols(), vec![(1u64, 1u8), (2, 1)]);
     let s = gapbs_grb::semiring::AnySecondI::default();
-    let unmasked: GrbVector<Option<u64>> = ops::vxm(&s, &q, &a, None::<&Mask<'_, ()>>);
+    let unmasked: GrbVector<Option<u64>> =
+        ops::vxm(&s, &q, &a, None::<&Mask<'_, ()>>, &ws(), &pool());
     let mask = Mask::complement(&visited);
-    let masked: GrbVector<Option<u64>> = ops::vxm(&s, &q, &a, Some(&mask));
+    let masked: GrbVector<Option<u64>> = ops::vxm(&s, &q, &a, Some(&mask), &ws(), &pool());
     for (i, _) in unmasked.iter() {
         let should_exist = !visited.contains(i);
         assert_eq!(masked.contains(i), should_exist, "index {i}");
@@ -122,7 +127,7 @@ fn tril_triu_transpose_identities() {
 #[test]
 fn reduce_matches_manual_sum() {
     let v = GrbVector::from_entries(10, vec![(1, 2.0f64), (4, 3.5), (9, -1.0)]);
-    assert_eq!(ops::reduce(&v, &PlusMonoid), 4.5);
+    assert_eq!(ops::reduce(&v, &PlusMonoid, &pool()), 4.5);
 }
 
 #[test]
@@ -154,8 +159,8 @@ fn empty_matrix_and_vector_edge_cases() {
     assert_eq!(a.nvals(), 0);
     let x: GrbVector<f64> = GrbVector::new(4);
     let s = PlusSecond::default();
-    let y: GrbVector<f64> = ops::mxv(&s, &a, &x, None::<&Mask<'_, ()>>, &pool());
+    let y: GrbVector<f64> = ops::mxv(&s, &a, &x, None::<&Mask<'_, ()>>, &ws(), &pool());
     assert_eq!(y.nvals(), 0);
-    let z: GrbVector<f64> = ops::vxm(&s, &x, &a, None::<&Mask<'_, ()>>);
+    let z: GrbVector<f64> = ops::vxm(&s, &x, &a, None::<&Mask<'_, ()>>, &ws(), &pool());
     assert_eq!(z.nvals(), 0);
 }

@@ -187,9 +187,9 @@ mod tests {
             let mut seen = vec![false; n];
             for w in 0..workers {
                 while let Some((lo, hi)) = deques.claim(w, ChunkPolicy::Fixed(1)) {
-                    for i in lo..hi {
-                        assert!(!seen[i], "index {i} delivered twice (n={n} w={workers})");
-                        seen[i] = true;
+                    for (i, s) in seen.iter_mut().enumerate().take(hi).skip(lo) {
+                        assert!(!*s, "index {i} delivered twice (n={n} w={workers})");
+                        *s = true;
                     }
                 }
             }
@@ -248,8 +248,8 @@ mod tests {
                         let mut steals = 0;
                         loop {
                             while let Some((lo, hi)) = deques.claim(w, policy) {
-                                for i in lo..hi {
-                                    hits[i].fetch_add(1, Ordering::Relaxed);
+                                for h in hits.iter().take(hi).skip(lo) {
+                                    h.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                             if !deques.steal(w, &mut steals) {

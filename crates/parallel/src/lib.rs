@@ -38,6 +38,7 @@ pub mod buckets;
 pub mod deque;
 pub mod local_buffer;
 pub mod ordered;
+pub mod per_worker;
 pub mod pool;
 pub mod scan;
 pub mod scatter;
@@ -50,6 +51,7 @@ pub use bitmap::AtomicBitmap;
 pub use buckets::BucketQueue;
 pub use local_buffer::LocalBuffer;
 pub use ordered::OrderedWorklist;
+pub use per_worker::PerWorker;
 pub use pool::{Schedule, ThreadPool};
 pub use scatter::RowCursors;
 pub use shared::SharedSlice;

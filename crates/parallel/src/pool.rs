@@ -375,6 +375,18 @@ impl ThreadPool {
     where
         F: Fn(usize) + Sync,
     {
+        self.for_each_index_tid(n, schedule, |_tid, i| f(i));
+    }
+
+    /// Parallel `for i in 0..n` where the body also receives the id of
+    /// the worker running each iteration. This is the loop primitive for
+    /// per-worker spill buffers ([`PerWorker`](crate::PerWorker)): the
+    /// schedule decides who runs which index, and the body uses `tid` to
+    /// reach that worker's private accumulator without write-sharing.
+    pub fn for_each_index_tid<F>(&self, n: usize, schedule: Schedule, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
         if n == 0 {
             return;
         }
@@ -384,7 +396,7 @@ impl ThreadPool {
             let region = self.inner.core.note_region();
             traced_body(0, region, || {
                 for i in 0..n {
-                    f(i);
+                    f(0, i);
                 }
             });
             return;
@@ -394,7 +406,7 @@ impl ThreadPool {
         self.run(|tid| {
             let mut body = |lo: usize, hi: usize| {
                 for i in lo..hi {
-                    f(i);
+                    f(tid, i);
                 }
             };
             let steals = state.drain(tid, &mut body);

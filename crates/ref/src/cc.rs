@@ -150,7 +150,7 @@ mod tests {
     pub(crate) fn cc_oracle(g: &Graph) -> Vec<NodeId> {
         let n = g.num_vertices();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        fn find(p: &mut [usize], x: usize) -> usize {
             let mut r = x;
             while p[r] != r {
                 r = p[r];

@@ -60,11 +60,20 @@ pub enum Counter {
     /// Duplicate adjacency entries dropped by the builder's per-row
     /// dedup stage (for weighted graphs, the non-minimum parallel edges).
     BuildDupsDropped,
+    /// GraphBLAS sparse-accumulator combines into an already-occupied
+    /// slot (a second contribution to the same output index).
+    SpaHits,
+    /// GraphBLAS sparse-accumulator first-writes (a new output index
+    /// became occupied this operation).
+    SpaInserts,
+    /// Mask membership probes answered by the word-packed bitmap fast
+    /// path (one `u64` test instead of a binary search).
+    MaskBitmapTests,
 }
 
 impl Counter {
     /// Every counter, in ledger order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::EdgesExamined,
         Counter::FrontierPushes,
         Counter::Iterations,
@@ -81,6 +90,9 @@ impl Counter {
         Counter::PoolParks,
         Counter::BuildEdgesScattered,
         Counter::BuildDupsDropped,
+        Counter::SpaHits,
+        Counter::SpaInserts,
+        Counter::MaskBitmapTests,
     ];
 
     /// Number of counters in the vocabulary.
@@ -105,6 +117,9 @@ impl Counter {
             Counter::PoolParks => "pool_parks",
             Counter::BuildEdgesScattered => "build_edges_scattered",
             Counter::BuildDupsDropped => "build_dups_dropped",
+            Counter::SpaHits => "spa_hits",
+            Counter::SpaInserts => "spa_inserts",
+            Counter::MaskBitmapTests => "mask_bitmap_tests",
         }
     }
 

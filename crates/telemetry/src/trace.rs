@@ -195,6 +195,13 @@ pub enum EventKind {
         /// Stage name (`count`, `scan`, `scatter`, `sort_dedup`, ...).
         stage: &'static str,
     },
+    /// One GraphBLAS operation on the grb engine (duration event emitted
+    /// per `vxm`/`mxv`/... call, so Perfetto timelines show where each
+    /// LAGraph kernel spends its time).
+    GrbOp {
+        /// Operation name (`vxm`, `mxv`, `mxm`, `reduce`, ...).
+        op: &'static str,
+    },
 }
 
 /// One buffered trace event.
@@ -308,6 +315,12 @@ impl Trace {
                 EventKind::BuildStage { stage } => {
                     fields.push(("name".into(), Json::Str(format!("build:{stage}"))));
                     fields.push(("cat".into(), Json::Str("build".into())));
+                    fields.push(("ph".into(), Json::Str("X".into())));
+                    fields.push(("dur".into(), Json::Num(e.dur_ns as f64 / 1_000.0)));
+                }
+                EventKind::GrbOp { op } => {
+                    fields.push(("name".into(), Json::Str(format!("grb:{op}"))));
+                    fields.push(("cat".into(), Json::Str("grb".into())));
                     fields.push(("ph".into(), Json::Str("X".into())));
                     fields.push(("dur".into(), Json::Num(e.dur_ns as f64 / 1_000.0)));
                 }
@@ -504,6 +517,21 @@ pub fn build_stage(stage: &'static str, start_ns: u64) {
     let end = now_ns();
     push(
         EventKind::BuildStage { stage },
+        start_ns,
+        end.saturating_sub(start_ns),
+    );
+}
+
+/// Records one GraphBLAS engine operation as a duration event. Callers
+/// should gate the paired [`now_ns`] with [`is_on`] so untraced runs pay
+/// nothing.
+pub fn grb_op(op: &'static str, start_ns: u64) {
+    if !session_active() {
+        return;
+    }
+    let end = now_ns();
+    push(
+        EventKind::GrbOp { op },
         start_ns,
         end.saturating_sub(start_ns),
     );

@@ -89,6 +89,31 @@ else
     echo "WARN: results/baseline-build.jsonl missing; skipping build baseline compare"
 fi
 
+echo "== smoke: GraphBLAS kernel engine (grb_bench) =="
+# grb_bench asserts the pooled engine's kernel outputs are bit-identical
+# to the 1-thread run (including f64 bit patterns) before reporting
+# speedups, so this smoke is a determinism check on every host. The
+# speedup gate applies only with real cores behind the pool.
+grb_gate=()
+if [[ "$(nproc)" -ge 4 ]]; then
+    grb_gate=(--min-speedup 1.8)
+else
+    echo "  (host has $(nproc) core(s): bit-identity checked, speedup gate skipped)"
+fi
+cargo run -q --release -p gapbs-bench --bin grb_bench -- \
+    --threads 4 --scale 12 --reps 2 \
+    --ledger "$smoke_dir/grb.jsonl" "${grb_gate[@]}"
+# Diff engine kernel times against the committed baseline. Same wide
+# thresholds as the build baseline: catches order-of-magnitude blowups
+# (an accidental O(n) alloc per op, a serialized path), not host jitter.
+if [[ -f results/baseline-grb.jsonl ]]; then
+    cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+        --ratio 3 --floor 0.25 \
+        results/baseline-grb.jsonl "$smoke_dir/grb.jsonl"
+else
+    echo "WARN: results/baseline-grb.jsonl missing; skipping grb baseline compare"
+fi
+
 echo "== smoke: perf_compare gate =="
 # Identical ledgers must pass...
 cargo run -q --release -p gapbs-bench --bin perf_compare -- \

@@ -1,0 +1,103 @@
+//! Thread-count invariance and cross-framework agreement for the
+//! GraphBLAS kernel engine.
+//!
+//! The engine's parallel paths (radix SpMSpV, spill-buffer mxv, blocked
+//! reductions) are designed to be *bit-identical* at every pool size, so
+//! these properties are exact equalities — including f64 bit patterns —
+//! not tolerances. Agreement with the GAP reference is the usual
+//! semantic check (reachability, distances, partitions, score L1).
+
+use gapbs::core::{all_frameworks, BenchGraph, Framework, Mode};
+use gapbs::graph::gen::{GraphSpec, Scale};
+use gapbs::graph::types::{NodeId, NO_PARENT};
+use gapbs::parallel::ThreadPool;
+use std::collections::HashMap;
+
+/// Pool sizes crossing the engine's parallel cutoffs from both sides,
+/// including a count well above this corpus's useful parallelism.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+
+fn corpus() -> Vec<BenchGraph> {
+    [GraphSpec::Kron, GraphSpec::Urand]
+        .iter()
+        .map(|&s| BenchGraph::generate(s, Scale::Tiny))
+        .collect()
+}
+
+fn framework(name: &str) -> Box<dyn Framework> {
+    all_frameworks()
+        .into_iter()
+        .find(|f| f.name() == name)
+        .unwrap_or_else(|| panic!("framework {name} not registered"))
+}
+
+fn same_partition(a: &[NodeId], b: &[NodeId]) -> bool {
+    let mut f = HashMap::new();
+    let mut r = HashMap::new();
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&x, &y)| *f.entry(x).or_insert(y) == y && *r.entry(y).or_insert(x) == x)
+}
+
+#[test]
+fn suitesparse_agrees_with_reference_at_every_thread_count() {
+    let gap = framework("GAP");
+    let grb = framework("SuiteSparse");
+    for input in corpus() {
+        let ref_pool = ThreadPool::new(2);
+        let reference = gap.prepare(&input, Mode::Baseline, &ref_pool);
+        let ref_reach: Vec<bool> = reference
+            .bfs(0)
+            .iter()
+            .map(|&p| p != NO_PARENT)
+            .collect();
+        let ref_sssp = reference.sssp(0);
+        let ref_pr = reference.pr().0;
+        let ref_cc = reference.cc();
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            let prep = grb.prepare(&input, Mode::Baseline, &pool);
+            let reach: Vec<bool> = prep.bfs(0).iter().map(|&p| p != NO_PARENT).collect();
+            assert_eq!(reach, ref_reach, "bfs {} @{threads}T", input.spec);
+            assert_eq!(prep.sssp(0), ref_sssp, "sssp {} @{threads}T", input.spec);
+            let l1: f64 = prep
+                .pr()
+                .0
+                .iter()
+                .zip(&ref_pr)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            assert!(l1 < 5e-3, "pr {} @{threads}T: L1 {l1}", input.spec);
+            assert!(
+                same_partition(&prep.cc(), &ref_cc),
+                "cc {} @{threads}T",
+                input.spec
+            );
+        }
+    }
+}
+
+#[test]
+fn suitesparse_results_are_bit_identical_across_thread_counts() {
+    let grb = framework("SuiteSparse");
+    for input in corpus() {
+        let serial_pool = ThreadPool::new(1);
+        let serial = grb.prepare(&input, Mode::Baseline, &serial_pool);
+        let bfs1 = serial.bfs(0);
+        let sssp1 = serial.sssp(0);
+        let pr1: Vec<u64> = serial.pr().0.iter().map(|s| s.to_bits()).collect();
+        let cc1 = serial.cc();
+        let tc1 = serial.tc();
+        for threads in &THREAD_COUNTS[1..] {
+            let pool = ThreadPool::new(*threads);
+            let prep = grb.prepare(&input, Mode::Baseline, &pool);
+            assert_eq!(prep.bfs(0), bfs1, "bfs {} @{threads}T", input.spec);
+            assert_eq!(prep.sssp(0), sssp1, "sssp {} @{threads}T", input.spec);
+            let pr: Vec<u64> = prep.pr().0.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(pr, pr1, "pr bits {} @{threads}T", input.spec);
+            assert_eq!(prep.cc(), cc1, "cc {} @{threads}T", input.spec);
+            assert_eq!(prep.tc(), tc1, "tc {} @{threads}T", input.spec);
+        }
+    }
+}
