@@ -341,11 +341,14 @@ pub fn lint(records: &[TrialRecord]) -> Vec<String> {
         problems.push("ledger holds no records".into());
         return problems;
     }
-    // Counters are all-zero in non-telemetry builds; only apply counter
-    // rules when the ledger shows telemetry was on for anything.
+    // Work counters are all-zero in non-telemetry builds; only apply
+    // work-counter rules when some record shows an actual edge scan.
+    // Keying on EdgesExamined (not "any counter") matters because the
+    // serve daemon's lifecycle counters (queries_admitted & co.) are
+    // always-on gate statistics present even without telemetry.
     let telemetry_on = records
         .iter()
-        .any(|r| r.counters.iter().any(|(_, v)| v > 0));
+        .any(|r| r.counters.get(Counter::EdgesExamined) > 0);
     for r in records {
         let cell = format!(
             "{} {} {} {} trial {}",
@@ -380,6 +383,16 @@ pub fn lint(records: &[TrialRecord]) -> Vec<String> {
             problems.push(format!(
                 "{cell}: SPA hits+inserts {spa} exceed edges examined {}",
                 r.counters.get(Counter::EdgesExamined)
+            ));
+        }
+        // Serve-ledger lifecycle accounting: the daemon stamps cumulative
+        // gate totals into every record, and a query only counts as
+        // completed after it was admitted, so completed can never lead.
+        let admitted = r.counters.get(Counter::QueriesAdmitted);
+        let completed = r.counters.get(Counter::QueriesCompleted);
+        if completed > admitted {
+            problems.push(format!(
+                "{cell}: {completed} queries completed but only {admitted} admitted"
             ));
         }
     }
@@ -610,6 +623,30 @@ mod tests {
         let problems = lint(&[bad]);
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("exceed edges examined"), "{problems:?}");
+    }
+
+    #[test]
+    fn lint_holds_serve_lifecycle_counters_to_admitted_over_completed() {
+        use gapbs_telemetry::Counter;
+        let serve_record = |admitted, completed| {
+            let mut r = record("GAP", "bfs", 0, 0.1);
+            r.threads = 4;
+            r.num_vertices = 100;
+            r.num_arcs = 400;
+            r.verified = true;
+            r.counters.set(Counter::QueriesAdmitted, admitted);
+            r.counters.set(Counter::QueriesCompleted, completed);
+            r
+        };
+        // Lifecycle counters alone are NOT a telemetry signal: a serve
+        // ledger from a non-telemetry build must not trip the
+        // zero-edges-examined rule.
+        assert!(lint(&[serve_record(5, 5)]).is_empty());
+        assert!(lint(&[serve_record(7, 5)]).is_empty());
+        // Completed running ahead of admitted is impossible.
+        let problems = lint(&[serve_record(5, 7)]);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("only 5 admitted"), "{problems:?}");
     }
 
     #[test]

@@ -178,7 +178,10 @@ pub trait PreparedKernels: Sync {
 }
 
 /// A graph analytics framework under evaluation.
-pub trait Framework: Sync {
+///
+/// `Send + Sync` so a loaded framework roster can be shared across the
+/// serving layer's handler threads.
+pub trait Framework: Send + Sync {
     /// Display name as the paper prints it.
     fn name(&self) -> &'static str;
     /// Table II attributes.

@@ -1,0 +1,280 @@
+//! Admission control for the serve daemon.
+//!
+//! The persistent pool serializes parallel regions on a leader lock, so
+//! unbounded concurrent queries would not crash — they would queue
+//! invisibly inside the pool and blow through every deadline at once.
+//! The [`AdmissionGate`] makes that queue explicit and bounded: at most
+//! `max_active` queries execute concurrently, at most `max_waiting` more
+//! may block waiting for a slot, and everything beyond that is rejected
+//! immediately with a `rejected` error the client can retry against.
+//!
+//! Waits are deadline-aware: a query whose deadline expires while still
+//! queued is failed with `deadline_exceeded` without ever touching the
+//! pool. Shutdown flips the gate into draining mode — new admissions
+//! fail fast while in-flight permits finish normally — and [`drain`]
+//! blocks until the last permit is returned.
+//!
+//! [`drain`]: AdmissionGate::drain
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a query was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Active and waiting capacity were both full.
+    Rejected,
+    /// The deadline expired while the query was queued for a slot.
+    DeadlineExceeded,
+    /// The gate is draining for shutdown.
+    Draining,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    active: usize,
+    waiting: usize,
+    draining: bool,
+}
+
+/// Cumulative gate statistics, monotone over the daemon lifetime.
+///
+/// These are always-on atomics, independent of the `telemetry` feature:
+/// the serve ledger and the `stats` command report them in every build.
+#[derive(Debug, Default)]
+pub struct GateStats {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+/// Point-in-time copy of [`GateStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateSnapshot {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub deadline_exceeded: u64,
+}
+
+/// Bounded concurrency gate; see the module docs.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    cond: Condvar,
+    max_active: usize,
+    max_waiting: usize,
+    stats: GateStats,
+}
+
+/// RAII token for an admitted query; releasing it frees the slot and
+/// counts the query as completed.
+#[derive(Debug)]
+pub struct Permit<'g> {
+    gate: &'g AdmissionGate,
+}
+
+impl AdmissionGate {
+    /// Gate allowing `max_active` concurrent holders and `max_waiting`
+    /// queued waiters. Both floors are clamped to at least 1 active.
+    pub fn new(max_active: usize, max_waiting: usize) -> AdmissionGate {
+        AdmissionGate {
+            state: Mutex::new(GateState::default()),
+            cond: Condvar::new(),
+            max_active: max_active.max(1),
+            max_waiting,
+            stats: GateStats::default(),
+        }
+    }
+
+    /// Acquires an execution slot, blocking until one frees up or
+    /// `deadline` passes. `None` waits without a deadline.
+    pub fn admit(&self, deadline: Option<Instant>) -> Result<Permit<'_>, AdmitError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.draining {
+            return Err(self.fail(AdmitError::Draining));
+        }
+        if state.active < self.max_active {
+            state.active += 1;
+            self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            record_global(gapbs_telemetry::Counter::QueriesAdmitted);
+            return Ok(Permit { gate: self });
+        }
+        if state.waiting >= self.max_waiting {
+            return Err(self.fail(AdmitError::Rejected));
+        }
+        state.waiting += 1;
+        let outcome = loop {
+            if state.draining {
+                break Err(AdmitError::Draining);
+            }
+            if state.active < self.max_active {
+                state.active += 1;
+                break Ok(());
+            }
+            match deadline {
+                None => {
+                    state = self.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(when) => {
+                    let now = Instant::now();
+                    if now >= when {
+                        break Err(AdmitError::DeadlineExceeded);
+                    }
+                    let (guard, _timeout) = self
+                        .cond
+                        .wait_timeout(state, when - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = guard;
+                }
+            }
+        };
+        state.waiting -= 1;
+        drop(state);
+        match outcome {
+            Ok(()) => {
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                record_global(gapbs_telemetry::Counter::QueriesAdmitted);
+                Ok(Permit { gate: self })
+            }
+            Err(err) => Err(self.fail(err)),
+        }
+    }
+
+    /// Flips the gate into draining mode and blocks until every
+    /// outstanding permit has been released. Waiters are woken and fail
+    /// with [`AdmitError::Draining`].
+    pub fn drain(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.draining = true;
+        self.cond.notify_all();
+        while state.active > 0 {
+            state = self.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Number of permits currently held.
+    pub fn active(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).active
+    }
+
+    /// Copies the cumulative lifecycle stats.
+    pub fn snapshot(&self) -> GateSnapshot {
+        GateSnapshot {
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            deadline_exceeded: self.stats.deadline_exceeded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts a query that finished execution past its deadline (admitted
+    /// and completed, but answered with a `deadline_exceeded` error).
+    pub fn note_deadline_exceeded(&self) {
+        self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        record_global(gapbs_telemetry::Counter::DeadlineExceeded);
+    }
+
+    fn fail(&self, err: AdmitError) -> AdmitError {
+        match err {
+            AdmitError::Rejected | AdmitError::Draining => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                record_global(gapbs_telemetry::Counter::QueriesRejected);
+            }
+            AdmitError::DeadlineExceeded => {
+                self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                record_global(gapbs_telemetry::Counter::DeadlineExceeded);
+            }
+        }
+        err
+    }
+}
+
+impl Permit<'_> {
+    fn release(&self) {
+        let gate = self.gate;
+        let mut state = gate.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.active -= 1;
+        gate.stats.completed.fetch_add(1, Ordering::Relaxed);
+        record_global(gapbs_telemetry::Counter::QueriesCompleted);
+        // Wake both slot waiters and a drainer waiting for active == 0.
+        gate.cond.notify_all();
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+fn record_global(counter: gapbs_telemetry::Counter) {
+    gapbs_telemetry::record(counter, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects() {
+        let gate = AdmissionGate::new(2, 0);
+        let a = gate.admit(None).unwrap();
+        let b = gate.admit(None).unwrap();
+        assert_eq!(gate.admit(None).unwrap_err(), AdmitError::Rejected);
+        drop(a);
+        let c = gate.admit(None).unwrap();
+        drop(b);
+        drop(c);
+        let snap = gate.snapshot();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.completed, 3);
+        assert!(snap.completed <= snap.admitted);
+    }
+
+    #[test]
+    fn queued_waiter_times_out_at_deadline() {
+        let gate = AdmissionGate::new(1, 4);
+        let held = gate.admit(None).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let err = gate.admit(Some(deadline)).unwrap_err();
+        assert_eq!(err, AdmitError::DeadlineExceeded);
+        assert_eq!(gate.snapshot().deadline_exceeded, 1);
+        drop(held);
+    }
+
+    #[test]
+    fn waiter_wakes_when_slot_frees() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let held = gate.admit(None).unwrap();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit(None).map(|permit| drop(permit)).is_ok())
+        };
+        // Give the waiter time to park, then free the slot.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(waiter.join().unwrap());
+        assert_eq!(gate.snapshot().admitted, 2);
+    }
+
+    #[test]
+    fn drain_rejects_new_and_waits_for_active() {
+        let gate = AdmissionGate::new(1, 4);
+        std::thread::scope(|scope| {
+            let held = gate.admit(None).unwrap();
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                drop(held);
+            });
+            gate.drain();
+            assert_eq!(gate.active(), 0);
+            assert_eq!(gate.admit(None).unwrap_err(), AdmitError::Draining);
+        });
+    }
+}

@@ -1,0 +1,582 @@
+//! `serve_bench`: the closed-loop load generator.
+//!
+//! N client threads each hold one connection and issue a deterministic
+//! (seeded) mixed workload — kernels × resident graphs × frameworks —
+//! measuring per-request latency at the client. The summary reports
+//! p50/p99 latency and aggregate QPS, and `--min-qps` turns the run into
+//! a CI gate.
+//!
+//! `--check` makes every response's `fingerprint` field load-bearing:
+//! the generator builds the same corpus locally (same `--scale` the
+//! daemon was started with) and compares each response fingerprint
+//! against [`run_query_local`] — the daemon's own execution path — so a
+//! mismatch means the server returned a result that is not bit-identical
+//! to a batch-mode run. The check workload sticks to deterministic
+//! cells: SuiteSparse for all six kernels (its engine is bit-identical
+//! at every thread count), the GAP reference for the integer-valued
+//! kernels (canonical forms are schedule-invariant).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gapbs_core::{Kernel, Mode};
+use gapbs_graph::gen::{GraphSpec, Scale};
+use gapbs_parallel::ThreadPool;
+use gapbs_telemetry::json::Json;
+
+use crate::engine::run_query_local;
+use crate::protocol::{parse_graph, Query, DEFAULT_TOP_K};
+use crate::registry::GraphRegistry;
+use crate::server::parse_scale;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests: usize,
+    /// Fail the run if aggregate QPS lands below this.
+    pub min_qps: Option<f64>,
+    /// Deadline attached to every query.
+    pub deadline_ms: Option<u64>,
+    /// Verify every response fingerprint against a local run.
+    pub check: bool,
+    /// Corpus scale for `--check`'s local registry (must match the daemon).
+    pub scale: Scale,
+    /// Local pool threads for `--check` recomputation.
+    pub threads: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Send `{"cmd":"shutdown"}` after the workload and require success.
+    pub shutdown: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: "127.0.0.1:7447".to_string(),
+            clients: 8,
+            requests: 25,
+            min_qps: None,
+            deadline_ms: None,
+            check: false,
+            scale: Scale::Small,
+            threads: gapbs_parallel::pool::default_threads(),
+            seed: 0x5eed,
+            shutdown: false,
+        }
+    }
+}
+
+/// Aggregate results of one load-generator run.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSummary {
+    /// Requests issued.
+    pub requests: usize,
+    /// `ok:true` responses.
+    pub ok: usize,
+    /// Admission rejections.
+    pub rejected: usize,
+    /// Deadline-exceeded responses.
+    pub deadline_exceeded: usize,
+    /// Any other error response (always a failure).
+    pub errors: usize,
+    /// Responses whose fingerprint contradicted the local run.
+    pub check_failures: usize,
+    /// Successful queries per wall-clock second.
+    pub qps: f64,
+    /// Median latency of successful queries, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency of successful queries, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl BenchSummary {
+    /// Whether the run is gate-clean (optionally against a QPS floor).
+    pub fn passed(&self, min_qps: Option<f64>) -> bool {
+        self.errors == 0
+            && self.check_failures == 0
+            && self.ok > 0
+            && min_qps.is_none_or(|floor| self.qps >= floor)
+    }
+
+    fn to_json(&self, min_qps: Option<f64>) -> Json {
+        Json::obj([
+            ("ok".to_string(), Json::Bool(self.passed(min_qps))),
+            ("requests".to_string(), Json::Num(self.requests as f64)),
+            ("ok_count".to_string(), Json::Num(self.ok as f64)),
+            ("rejected".to_string(), Json::Num(self.rejected as f64)),
+            (
+                "deadline_exceeded".to_string(),
+                Json::Num(self.deadline_exceeded as f64),
+            ),
+            ("errors".to_string(), Json::Num(self.errors as f64)),
+            (
+                "check_failures".to_string(),
+                Json::Num(self.check_failures as f64),
+            ),
+            ("qps".to_string(), Json::Num(self.qps)),
+            ("p50_ms".to_string(), Json::Num(self.p50_ms)),
+            ("p99_ms".to_string(), Json::Num(self.p99_ms)),
+        ])
+    }
+}
+
+/// One workload slot: a query template the RNG fills a source into.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    kernel: Kernel,
+    framework: &'static str,
+}
+
+/// Deterministic cells only — see the module docs.
+const CHECK_CELLS: [Cell; 10] = [
+    Cell { kernel: Kernel::Bfs, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Sssp, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Pr, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Cc, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Bc, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Tc, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Bfs, framework: "GAP" },
+    Cell { kernel: Kernel::Sssp, framework: "GAP" },
+    Cell { kernel: Kernel::Cc, framework: "GAP" },
+    Cell { kernel: Kernel::Tc, framework: "GAP" },
+];
+
+/// The unchecked mix adds the reference float kernels (their values are
+/// race-dependent, so only `--check` excludes them).
+const MIXED_CELLS: [Cell; 12] = [
+    Cell { kernel: Kernel::Bfs, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Sssp, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Pr, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Cc, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Bc, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Tc, framework: "SuiteSparse" },
+    Cell { kernel: Kernel::Bfs, framework: "GAP" },
+    Cell { kernel: Kernel::Sssp, framework: "GAP" },
+    Cell { kernel: Kernel::Pr, framework: "GAP" },
+    Cell { kernel: Kernel::Cc, framework: "GAP" },
+    Cell { kernel: Kernel::Bc, framework: "GAP" },
+    Cell { kernel: Kernel::Tc, framework: "GAP" },
+];
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The daemon's resident graphs (name + vertex count) via `{"cmd":"stats"}`.
+fn fetch_resident_graphs(addr: &str) -> Result<Vec<(GraphSpec, u64)>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"cmd\":\"stats\"}\n")
+        .map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let v = Json::parse(line.trim()).map_err(|e| format!("stats response: {e}"))?;
+    let Some(Json::Arr(graphs)) = v.get("graphs") else {
+        return Err(format!("stats response missing graphs: {}", line.trim()));
+    };
+    graphs
+        .iter()
+        .map(|g| {
+            let name = g
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "graph entry missing name".to_string())?;
+            let vertices = g
+                .get("vertices")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "graph entry missing vertices".to_string())?;
+            let spec = parse_graph(name).map_err(|e| e.message)?;
+            Ok((spec, vertices))
+        })
+        .collect()
+}
+
+fn request_line(cell: Cell, graph: GraphSpec, source: u64, deadline_ms: Option<u64>, id: u64) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Json::Num(id as f64)),
+        (
+            "kernel".to_string(),
+            Json::Str(cell.kernel.name().to_lowercase()),
+        ),
+        (
+            "graph".to_string(),
+            Json::Str(graph.name().to_lowercase()),
+        ),
+        ("framework".to_string(), Json::Str(cell.framework.to_string())),
+    ];
+    if cell.kernel.takes_source() {
+        fields.push(("source".to_string(), Json::Num(source as f64)));
+    }
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".to_string(), Json::Num(ms as f64)));
+    }
+    Json::obj(fields).encode()
+}
+
+/// Lazily-computed expected fingerprints for `--check`, shared across
+/// client threads. PR/CC/TC are source-independent so the cache
+/// collapses most of the workload onto a handful of local runs.
+struct Checker {
+    registry: GraphRegistry,
+    pool: ThreadPool,
+    cache: Mutex<HashMap<String, u64>>,
+}
+
+impl Checker {
+    fn expected(&self, cell: Cell, graph: GraphSpec, source: u64) -> u64 {
+        let source_key = if cell.kernel.takes_source() { source } else { 0 };
+        let key = format!(
+            "{}|{}|{}|{}",
+            cell.kernel.name(),
+            graph.name(),
+            cell.framework,
+            source_key
+        );
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&fp) = cache.get(&key) {
+            return fp;
+        }
+        let query = Query {
+            id: None,
+            kernel: cell.kernel,
+            graph,
+            framework: cell.framework.to_string(),
+            mode: Mode::Baseline,
+            source: cell.kernel.takes_source().then_some(source as u32),
+            target: None,
+            vertex: None,
+            k: DEFAULT_TOP_K,
+            deadline_ms: None,
+        };
+        let outcome = run_query_local(&self.registry, &query, &self.pool)
+            .unwrap_or_else(|e| panic!("local check run failed for {key}: {}", e.message));
+        cache.insert(key, outcome.fingerprint);
+        outcome.fingerprint
+    }
+}
+
+struct ClientResult {
+    latencies_ms: Vec<f64>,
+    rejected: usize,
+    deadline_exceeded: usize,
+    errors: usize,
+    check_failures: usize,
+}
+
+fn run_client(
+    client: usize,
+    config: &BenchConfig,
+    graphs: &[(GraphSpec, u64)],
+    cells: &[Cell],
+    checker: Option<&Checker>,
+) -> Result<ClientResult, String> {
+    let stream =
+        TcpStream::connect(&config.addr).map_err(|e| format!("connect {}: {e}", config.addr))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = config.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut out = ClientResult {
+        latencies_ms: Vec::with_capacity(config.requests),
+        rejected: 0,
+        deadline_exceeded: 0,
+        errors: 0,
+        check_failures: 0,
+    };
+    let mut line = String::new();
+    for i in 0..config.requests {
+        let cell = cells[(splitmix(&mut rng) % cells.len() as u64) as usize];
+        let (graph, vertices) = graphs[(splitmix(&mut rng) % graphs.len() as u64) as usize];
+        let source = splitmix(&mut rng) % vertices.max(1);
+        let id = (client * config.requests + i) as u64;
+        let request = request_line(cell, graph, source, config.deadline_ms, id);
+        let start = Instant::now();
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("write: {e}"))?;
+        line.clear();
+        reader.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        if line.is_empty() {
+            return Err("server closed the connection mid-workload".to_string());
+        }
+        let v = Json::parse(line.trim()).map_err(|e| format!("bad response JSON: {e}"))?;
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            out.latencies_ms.push(latency_ms);
+            if let Some(checker) = checker {
+                let got = v.get("fingerprint").and_then(Json::as_str).unwrap_or("");
+                let expected = format!("{:016x}", checker.expected(cell, graph, source));
+                if got != expected {
+                    out.check_failures += 1;
+                    eprintln!(
+                        "serve_bench: fingerprint mismatch for {} {} on {}: got {got}, expected {expected}",
+                        cell.framework,
+                        cell.kernel.name(),
+                        graph.name()
+                    );
+                }
+            }
+        } else {
+            match v.get("code").and_then(Json::as_str) {
+                Some("rejected") => out.rejected += 1,
+                Some("deadline_exceeded") => out.deadline_exceeded += 1,
+                other => {
+                    out.errors += 1;
+                    eprintln!(
+                        "serve_bench: error response (code {:?}): {}",
+                        other.unwrap_or("?"),
+                        line.trim()
+                    );
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Runs the full load-generation workload against a live daemon.
+///
+/// # Errors
+///
+/// Returns `Err` on connection/protocol failures (not on gate failures —
+/// those are reported in the summary so the caller can exit nonzero).
+pub fn run_bench(config: &BenchConfig) -> Result<BenchSummary, String> {
+    let graphs = fetch_resident_graphs(&config.addr)?;
+    if graphs.is_empty() {
+        return Err("daemon has no resident graphs".to_string());
+    }
+    let checker = if config.check {
+        let pool = ThreadPool::new(config.threads.max(1));
+        let specs: Vec<GraphSpec> = graphs.iter().map(|&(spec, _)| spec).collect();
+        eprintln!(
+            "serve_bench: building local {:?}-scale corpus for --check",
+            config.scale
+        );
+        Some(Checker {
+            registry: GraphRegistry::load(config.scale, &specs, &pool),
+            pool,
+            cache: Mutex::new(HashMap::new()),
+        })
+    } else {
+        None
+    };
+    let cells: &[Cell] = if config.check { &CHECK_CELLS } else { &MIXED_CELLS };
+    let start = Instant::now();
+    let results: Vec<Result<ClientResult, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|client| {
+                let graphs = &graphs;
+                let checker = checker.as_ref();
+                scope.spawn(move || run_client(client, config, graphs, cells, checker))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let mut summary = BenchSummary::default();
+    let mut latencies = Vec::new();
+    for result in results {
+        let r = result?;
+        summary.rejected += r.rejected;
+        summary.deadline_exceeded += r.deadline_exceeded;
+        summary.errors += r.errors;
+        summary.check_failures += r.check_failures;
+        latencies.extend(r.latencies_ms);
+    }
+    summary.requests = config.clients.max(1) * config.requests;
+    summary.ok = latencies.len();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    summary.p50_ms = percentile(&latencies, 0.50);
+    summary.p99_ms = percentile(&latencies, 0.99);
+    summary.qps = if wall > 0.0 { summary.ok as f64 / wall } else { 0.0 };
+    if config.shutdown {
+        shutdown_daemon(&config.addr)?;
+    }
+    Ok(summary)
+}
+
+/// Sends `{"cmd":"shutdown"}` and requires an affirmative response.
+pub fn shutdown_daemon(addr: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"cmd\":\"shutdown\"}\n")
+        .map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let v = Json::parse(line.trim()).map_err(|e| format!("shutdown response: {e}"))?;
+    if v.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        Err(format!("shutdown refused: {}", line.trim()))
+    }
+}
+
+/// CLI entry point for the `serve_bench` binary. Returns the exit code.
+pub fn bench_main(args: impl Iterator<Item = String>) -> i32 {
+    let mut config = BenchConfig::default();
+    let mut args = args;
+    let usage = "usage: serve_bench --addr HOST:PORT [--clients N] [--requests N] [--min-qps Q] \
+                 [--deadline-ms N] [--check] [--scale tiny|small|medium|large] [--threads N] \
+                 [--seed N] [--shutdown]";
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| config.addr = v),
+            "--clients" => value("--clients")
+                .and_then(|v| v.parse().map_err(|_| "bad --clients".to_string()))
+                .map(|n| config.clients = n),
+            "--requests" => value("--requests")
+                .and_then(|v| v.parse().map_err(|_| "bad --requests".to_string()))
+                .map(|n| config.requests = n),
+            "--min-qps" => value("--min-qps")
+                .and_then(|v| v.parse().map_err(|_| "bad --min-qps".to_string()))
+                .map(|q| config.min_qps = Some(q)),
+            "--deadline-ms" => value("--deadline-ms")
+                .and_then(|v| v.parse().map_err(|_| "bad --deadline-ms".to_string()))
+                .map(|n| config.deadline_ms = Some(n)),
+            "--check" => {
+                config.check = true;
+                Ok(())
+            }
+            "--scale" => value("--scale")
+                .and_then(|v| parse_scale(&v))
+                .map(|s| config.scale = s),
+            "--threads" => value("--threads")
+                .and_then(|v| gapbs_parallel::pool::parse_threads(&v))
+                .map(|n| config.threads = n),
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse().map_err(|_| "bad --seed".to_string()))
+                .map(|s| config.seed = s),
+            "--shutdown" => {
+                config.shutdown = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}\n{usage}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("serve_bench: {e}");
+            return 2;
+        }
+    }
+    match run_bench(&config) {
+        Ok(summary) => {
+            eprintln!(
+                "serve_bench: {}/{} ok ({} rejected, {} past deadline, {} errors, {} check failures), \
+                 {:.1} qps, p50 {:.2}ms, p99 {:.2}ms",
+                summary.ok,
+                summary.requests,
+                summary.rejected,
+                summary.deadline_exceeded,
+                summary.errors,
+                summary.check_failures,
+                summary.qps,
+                summary.p50_ms,
+                summary.p99_ms
+            );
+            println!("{}", summary.to_json(config.min_qps).encode());
+            if summary.passed(config.min_qps) {
+                0
+            } else {
+                if let Some(floor) = config.min_qps {
+                    if summary.qps < floor {
+                        eprintln!(
+                            "serve_bench: FAIL qps {:.1} below floor {floor:.1}",
+                            summary.qps
+                        );
+                    }
+                }
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let seq_a: Vec<u64> = (0..8).map(|_| splitmix(&mut a)).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| splitmix(&mut b)).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = 43u64;
+        let seq_c: Vec<u64> = (0..8).map(|_| splitmix(&mut c)).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn request_lines_parse_back() {
+        let line = request_line(
+            Cell { kernel: Kernel::Bfs, framework: "GAP" },
+            GraphSpec::Kron,
+            17,
+            Some(250),
+            3,
+        );
+        let cmd = crate::protocol::parse_request(&line).unwrap();
+        let crate::protocol::Command::Query(q) = cmd else {
+            panic!("expected query")
+        };
+        assert_eq!(q.kernel, Kernel::Bfs);
+        assert_eq!(q.graph, GraphSpec::Kron);
+        assert_eq!(q.source, Some(17));
+        assert_eq!(q.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn percentiles_pick_sorted_ranks() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&sorted, 0.50), 3.0);
+        assert_eq!(percentile(&sorted, 0.99), 100.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn summary_gate_logic() {
+        let mut s = BenchSummary { ok: 10, qps: 50.0, ..BenchSummary::default() };
+        assert!(s.passed(None));
+        assert!(s.passed(Some(20.0)));
+        assert!(!s.passed(Some(80.0)));
+        s.check_failures = 1;
+        assert!(!s.passed(None));
+    }
+}

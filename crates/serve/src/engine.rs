@@ -1,0 +1,522 @@
+//! The query engine: admission, execution, deadlines, accounting.
+//!
+//! [`Engine::handle`] is the whole per-query lifecycle in one place:
+//! acquire an admission permit (deadline-aware), resolve the resident
+//! graph and framework, run the kernel on the shared pool, check the
+//! deadline, append a ledger record, encode the response line. Handler
+//! threads call it concurrently; everything it touches is either
+//! immutable ([`GraphRegistry`]), internally synchronized
+//! ([`AdmissionGate`], [`LedgerSink`], the pool's leader lock), or local.
+//!
+//! [`run_query_local`] — resolve + execute + canonicalize, no admission
+//! or accounting — is deliberately `pub`: the load generator's
+//! `--check` mode and the bit-identity tests call it directly to compute
+//! the expected fingerprint for a query, so "server response equals
+//! batch-mode result" is asserted against the same code path the daemon
+//! itself uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gapbs_core::framework::{BenchGraph, Framework};
+use gapbs_graph::types::{NodeId, INF_DIST};
+use gapbs_parallel::ThreadPool;
+use gapbs_telemetry::json::Json;
+use gapbs_telemetry::{Counter, LedgerSink, TrialRecord};
+
+use crate::admission::{AdmissionGate, AdmitError};
+use crate::protocol::{canonical, error_line, success_line, ErrorCode, ProtoError, Query};
+use crate::registry::GraphRegistry;
+
+/// The canonical result of one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Kernel-specific summary fields for the response's `result` object.
+    pub result: Json,
+    /// FNV-1a hash of the canonical form of the full output.
+    pub fingerprint: u64,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Queries executing concurrently (admission gate active slots).
+    pub max_active: usize,
+    /// Queries allowed to queue for a slot before rejection.
+    pub max_waiting: usize,
+    /// Deadline applied when a query carries none (`None` = unbounded).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_active: 8,
+            max_waiting: 128,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Shared, thread-safe query engine; see the module docs.
+pub struct Engine {
+    registry: Arc<GraphRegistry>,
+    pool: ThreadPool,
+    gate: AdmissionGate,
+    ledger: Option<LedgerSink>,
+    default_deadline_ms: Option<u64>,
+    seq: AtomicU64,
+}
+
+impl Engine {
+    /// Builds an engine over a loaded registry.
+    pub fn new(
+        registry: Arc<GraphRegistry>,
+        pool: ThreadPool,
+        config: EngineConfig,
+        ledger: Option<LedgerSink>,
+    ) -> Engine {
+        Engine {
+            registry,
+            pool,
+            gate: AdmissionGate::new(config.max_active, config.max_waiting),
+            ledger,
+            default_deadline_ms: config.default_deadline_ms,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The admission gate (drain on shutdown; stats for `{"cmd":"stats"}`).
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    /// The resident registry.
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The shared execution pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Runs one query end to end and returns the response line.
+    pub fn handle(&self, query: &Query) -> String {
+        let received = Instant::now();
+        let deadline_ms = query.deadline_ms.or(self.default_deadline_ms);
+        let deadline = deadline_ms.map(|ms| received + Duration::from_millis(ms));
+        let permit = match self.gate.admit(deadline) {
+            Ok(permit) => permit,
+            Err(err) => return error_line(query.id.as_ref(), &admit_error(err)),
+        };
+        let counters_before = gapbs_telemetry::snapshot();
+        let outcome = run_query_local(&self.registry, query, &self.pool);
+        let latency = received.elapsed();
+        drop(permit); // counts the query completed and frees the slot
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(err) => return error_line(query.id.as_ref(), &err),
+        };
+        self.append_record(query, latency, &counters_before);
+        if let Some(when) = deadline {
+            if Instant::now() > when {
+                self.gate.note_deadline_exceeded();
+                let err = ProtoError::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "query completed in {:.1}ms, past its {}ms deadline",
+                        latency.as_secs_f64() * 1e3,
+                        deadline_ms.unwrap_or(0)
+                    ),
+                );
+                return error_line(query.id.as_ref(), &err);
+            }
+        }
+        success_line(
+            query.id.as_ref(),
+            query,
+            latency.as_secs_f64() * 1e3,
+            outcome.result,
+            outcome.fingerprint,
+        )
+    }
+
+    /// Daemon statistics for `{"cmd":"stats"}`.
+    pub fn stats_json(&self) -> Json {
+        let snap = self.gate.snapshot();
+        Json::obj([
+            ("ok".to_string(), Json::Bool(true)),
+            ("scale".to_string(), Json::Str(format!("{:?}", self.registry.scale()).to_lowercase())),
+            (
+                "graphs".to_string(),
+                Json::Arr(
+                    self.registry
+                        .graphs()
+                        .map(|(spec, bench)| {
+                            Json::obj([
+                                ("name".to_string(), Json::Str(spec.name().to_string())),
+                                (
+                                    "vertices".to_string(),
+                                    Json::Num(bench.graph.num_vertices() as f64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("threads".to_string(), Json::Num(self.pool.num_threads() as f64)),
+            ("active".to_string(), Json::Num(self.gate.active() as f64)),
+            ("queries_admitted".to_string(), Json::Num(snap.admitted as f64)),
+            ("queries_rejected".to_string(), Json::Num(snap.rejected as f64)),
+            ("queries_completed".to_string(), Json::Num(snap.completed as f64)),
+            ("deadline_exceeded".to_string(), Json::Num(snap.deadline_exceeded as f64)),
+            (
+                "ledger_records".to_string(),
+                Json::Num(self.ledger.as_ref().map_or(0.0, |l| l.appended() as f64)),
+            ),
+        ])
+    }
+
+    /// Flushes the per-query ledger (shutdown path).
+    pub fn flush_ledger(&self) -> std::io::Result<()> {
+        match &self.ledger {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// One ledger record per executed query. `seconds` is the end-to-end
+    /// latency; work counters are the global delta over the query's
+    /// window (a slight over-count under concurrency — the window sees
+    /// overlapping queries' work too — but always includes its own);
+    /// lifecycle counters are *cumulative* gate totals at completion, so
+    /// `queries_completed <= queries_admitted` holds in every record no
+    /// matter how windows interleave.
+    fn append_record(
+        &self,
+        query: &Query,
+        latency: Duration,
+        counters_before: &gapbs_telemetry::CounterSet,
+    ) {
+        let Some(sink) = &self.ledger else { return };
+        let Some(bench) = self.registry.get(query.graph) else { return };
+        let mut counters = gapbs_telemetry::snapshot().delta(counters_before);
+        let snap = self.gate.snapshot();
+        counters.set(Counter::QueriesAdmitted, snap.admitted);
+        counters.set(Counter::QueriesRejected, snap.rejected);
+        counters.set(Counter::QueriesCompleted, snap.completed);
+        counters.set(Counter::DeadlineExceeded, snap.deadline_exceeded);
+        let record = TrialRecord {
+            framework: query.framework.clone(),
+            kernel: query.kernel.name().to_lowercase(),
+            graph: query.graph.name().to_string(),
+            mode: query.mode.name().to_string(),
+            trial: self.seq.fetch_add(1, Ordering::Relaxed),
+            seconds: latency.as_secs_f64(),
+            build_seconds: 0.0,
+            relabel_seconds: 0.0,
+            verified: true,
+            threads: self.pool.num_threads() as u64,
+            num_vertices: bench.graph.num_vertices() as u64,
+            num_arcs: bench.graph.num_arcs() as u64,
+            counters,
+            phases: gapbs_telemetry::PhaseTimes::zero(),
+            peak_rss_bytes: gapbs_telemetry::trace::read_vm_status().map_or(0, |vm| vm.vm_hwm_bytes),
+            git_rev: String::new(),
+        };
+        if let Err(e) = sink.append(&record) {
+            eprintln!("serve: ledger append: {e}");
+        }
+    }
+}
+
+fn admit_error(err: AdmitError) -> ProtoError {
+    match err {
+        AdmitError::Rejected => ProtoError::new(
+            ErrorCode::Rejected,
+            "admission queue full; retry with backoff",
+        ),
+        AdmitError::DeadlineExceeded => ProtoError::new(
+            ErrorCode::DeadlineExceeded,
+            "deadline expired while queued for an execution slot",
+        ),
+        AdmitError::Draining => {
+            ProtoError::new(ErrorCode::ShuttingDown, "daemon is draining; no new queries")
+        }
+    }
+}
+
+/// Resolves a query against the registry and executes it — no admission,
+/// no accounting. The daemon, the load generator's `--check` mode, and
+/// the bit-identity tests all produce results through this one function.
+///
+/// # Errors
+///
+/// [`ErrorCode::UnknownGraph`] when the graph is not resident,
+/// [`ErrorCode::UnknownFramework`] when no adapter matches, and
+/// [`ErrorCode::BadSource`] when `source`/`target`/`vertex` fall outside
+/// the graph's vertex range.
+pub fn run_query_local(
+    registry: &GraphRegistry,
+    query: &Query,
+    pool: &ThreadPool,
+) -> Result<QueryOutcome, ProtoError> {
+    let bench = registry.get(query.graph).ok_or_else(|| {
+        ProtoError::new(
+            ErrorCode::UnknownGraph,
+            format!("graph {:?} is not resident in this daemon", query.graph.name()),
+        )
+    })?;
+    let framework = registry.framework(&query.framework).ok_or_else(|| {
+        ProtoError::new(
+            ErrorCode::UnknownFramework,
+            format!("framework {:?} has no adapter", query.framework),
+        )
+    })?;
+    execute_query(bench, framework, query, pool)
+}
+
+/// Executes one validated query on an explicit graph + framework pair.
+///
+/// # Errors
+///
+/// [`ErrorCode::BadSource`] when a vertex field is out of range.
+pub fn execute_query(
+    bench: &BenchGraph,
+    framework: &dyn Framework,
+    query: &Query,
+    pool: &ThreadPool,
+) -> Result<QueryOutcome, ProtoError> {
+    let n = bench.num_vertices();
+    let check = |field: &str, v: Option<NodeId>| -> Result<(), ProtoError> {
+        match v {
+            Some(v) if (v as usize) >= n => Err(ProtoError::new(
+                ErrorCode::BadSource,
+                format!("{field} {v} out of range for {} ({n} vertices)", bench.spec.name()),
+            )),
+            _ => Ok(()),
+        }
+    };
+    check("source", query.source)?;
+    check("target", query.target)?;
+    check("vertex", query.vertex)?;
+    let prepared = framework.prepare(bench, query.mode, pool);
+    let outcome = match query.kernel {
+        gapbs_core::Kernel::Bfs => {
+            let source = query.source.expect("parser guarantees a source");
+            let parents = prepared.bfs(source);
+            let depths = canonical::bfs_depths(&parents);
+            let reached = depths.iter().filter(|&&d| d != canonical::UNREACHED).count();
+            let max_depth = depths
+                .iter()
+                .filter(|&&d| d != canonical::UNREACHED)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            let mut fields = vec![
+                ("source".to_string(), Json::Num(f64::from(source))),
+                ("reached".to_string(), Json::Num(reached as f64)),
+                ("max_depth".to_string(), Json::Num(f64::from(max_depth))),
+            ];
+            if let Some(t) = query.target {
+                let d = depths[t as usize];
+                fields.push((
+                    "target_depth".to_string(),
+                    if d == canonical::UNREACHED {
+                        Json::Null
+                    } else {
+                        Json::Num(f64::from(d))
+                    },
+                ));
+            }
+            QueryOutcome {
+                result: Json::obj(fields),
+                fingerprint: canonical::fingerprint_depths(&depths),
+            }
+        }
+        gapbs_core::Kernel::Sssp => {
+            let source = query.source.expect("parser guarantees a source");
+            let dist = prepared.sssp(source);
+            let reached = dist.iter().filter(|&&d| d != INF_DIST).count();
+            let mut fields = vec![
+                ("source".to_string(), Json::Num(f64::from(source))),
+                ("reached".to_string(), Json::Num(reached as f64)),
+            ];
+            if let Some(t) = query.target {
+                let d = dist[t as usize];
+                fields.push((
+                    "target_distance".to_string(),
+                    if d == INF_DIST { Json::Null } else { Json::Num(d as f64) },
+                ));
+            }
+            QueryOutcome {
+                result: Json::obj(fields),
+                fingerprint: canonical::fingerprint_distances(&dist),
+            }
+        }
+        gapbs_core::Kernel::Pr => {
+            let (scores, iterations) = prepared.pr();
+            let fields = vec![
+                ("iterations".to_string(), Json::Num(iterations as f64)),
+                ("top".to_string(), top_k(&scores, query.k)),
+            ];
+            QueryOutcome {
+                result: Json::obj(fields),
+                fingerprint: canonical::fingerprint_scores(&scores),
+            }
+        }
+        gapbs_core::Kernel::Cc => {
+            let labels = canonical::cc_labels(&prepared.cc());
+            let components = labels
+                .iter()
+                .enumerate()
+                .filter(|&(v, &l)| v as NodeId == l)
+                .count();
+            let mut fields = vec![("components".to_string(), Json::Num(components as f64))];
+            if let Some(v) = query.vertex {
+                fields.push((
+                    "vertex_component".to_string(),
+                    Json::Num(f64::from(labels[v as usize])),
+                ));
+            }
+            QueryOutcome {
+                result: Json::obj(fields),
+                fingerprint: canonical::fingerprint_labels(&labels),
+            }
+        }
+        gapbs_core::Kernel::Bc => {
+            let source = query.source.expect("parser guarantees a source");
+            let scores = prepared.bc(&[source]);
+            let fields = vec![
+                ("source".to_string(), Json::Num(f64::from(source))),
+                ("top".to_string(), top_k(&scores, query.k)),
+            ];
+            QueryOutcome {
+                result: Json::obj(fields),
+                fingerprint: canonical::fingerprint_scores(&scores),
+            }
+        }
+        gapbs_core::Kernel::Tc => {
+            let triangles = prepared.tc();
+            QueryOutcome {
+                result: Json::obj([("triangles".to_string(), Json::Num(triangles as f64))]),
+                fingerprint: canonical::fingerprint_count(triangles),
+            }
+        }
+    };
+    Ok(outcome)
+}
+
+/// Top-k vertices by score (descending, vertex id breaking ties) as a
+/// JSON array of `{"vertex", "score"}` objects.
+fn top_k(scores: &[f64], k: usize) -> Json {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    Json::Arr(
+        order
+            .into_iter()
+            .map(|v| {
+                Json::obj([
+                    ("vertex".to_string(), Json::Num(v as f64)),
+                    ("score".to_string(), Json::Num(scores[v])),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Command};
+    use gapbs_graph::gen::{GraphSpec, Scale};
+    use std::sync::OnceLock;
+
+    fn tiny_registry() -> &'static Arc<GraphRegistry> {
+        static REG: OnceLock<Arc<GraphRegistry>> = OnceLock::new();
+        REG.get_or_init(|| {
+            let pool = ThreadPool::new(2);
+            Arc::new(GraphRegistry::load(Scale::Tiny, &[GraphSpec::Kron], &pool))
+        })
+    }
+
+    fn query(line: &str) -> Query {
+        match parse_request(line).unwrap() {
+            Command::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_answers_bfs_with_fingerprint_matching_local_run() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        let engine = Engine::new(Arc::clone(&registry), pool.clone(), EngineConfig::default(), None);
+        let q = query(r#"{"kernel":"bfs","graph":"kron","source":1,"id":9}"#);
+        let line = engine.handle(&q);
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+        let expected = run_query_local(&registry, &q, &pool).unwrap();
+        assert_eq!(
+            v.get("fingerprint").and_then(Json::as_str),
+            Some(format!("{:016x}", expected.fingerprint).as_str())
+        );
+    }
+
+    #[test]
+    fn out_of_range_vertices_are_bad_source() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(1);
+        let q = query(r#"{"kernel":"bfs","graph":"kron","source":4000000000}"#);
+        let err = run_query_local(&registry, &q, &pool).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadSource);
+        let q = query(r#"{"kernel":"cc","graph":"kron","vertex":4000000000}"#);
+        let err = run_query_local(&registry, &q, &pool).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadSource);
+    }
+
+    #[test]
+    fn non_resident_graph_is_unknown_graph() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(1);
+        let q = query(r#"{"kernel":"tc","graph":"urand"}"#);
+        let err = run_query_local(&registry, &q, &pool).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownGraph);
+    }
+
+    #[test]
+    fn instant_deadline_yields_deadline_exceeded_then_recovers() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        let engine = Engine::new(Arc::clone(&registry), pool, EngineConfig::default(), None);
+        let q = query(r#"{"kernel":"tc","graph":"kron","deadline_ms":0}"#);
+        let v = Json::parse(&engine.handle(&q)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("deadline_exceeded"));
+        // The pool is not poisoned: the next undeadlined query succeeds.
+        let q = query(r#"{"kernel":"tc","graph":"kron"}"#);
+        let v = Json::parse(&engine.handle(&q)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(engine.gate().snapshot().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn top_k_orders_by_score_then_vertex() {
+        let json = top_k(&[0.5, 0.9, 0.5, 0.1], 3);
+        let Json::Arr(items) = json else { panic!("expected array") };
+        let vertices: Vec<u64> = items
+            .iter()
+            .map(|o| o.get("vertex").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(vertices, vec![1, 0, 2]);
+    }
+}

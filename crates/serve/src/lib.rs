@@ -1,0 +1,47 @@
+//! `gapbs-serve`: graph analytics as a service on the persistent pool.
+//!
+//! The paper's harness is batch-shaped: build a graph, time 16 trials,
+//! print a table. This crate turns the same machinery into a resident
+//! daemon — the deployment shape where framework overheads the paper
+//! measures per-trial (graph construction, kernel preparation) are paid
+//! once and amortized over a query stream:
+//!
+//! * [`registry`] — the corpus, generated once at startup and shared
+//!   immutably (`Arc<BenchGraph>`) by every handler thread;
+//! * [`protocol`] — line-delimited JSON requests/responses with stable
+//!   error codes and canonical-form response fingerprints;
+//! * [`admission`] — a bounded concurrency gate with deadline-aware
+//!   queueing, so overload degrades into fast rejections instead of
+//!   unbounded queueing inside the pool;
+//! * [`engine`] — per-query lifecycle: admit, execute on the shared
+//!   [`ThreadPool`], deadline-check, account one ledger record;
+//! * [`server`] — the TCP accept loop, per-connection handler threads,
+//!   and the graceful drain sequence (SIGINT or `{"cmd":"shutdown"}`);
+//! * [`bench`] — the `serve_bench` closed-loop load generator with
+//!   latency percentiles, a `--min-qps` CI gate, and a `--check` mode
+//!   that asserts response fingerprints are bit-identical to local
+//!   batch-mode runs.
+//!
+//! Concurrency model: handler threads are plain OS threads; kernel
+//! parallelism comes from the one shared [`ThreadPool`], whose regions
+//! serialize on its leader lock. The admission gate bounds how many
+//! queries contend for that lock, which keeps tail latency legible:
+//! `max_active` × per-kernel runtime is the worst-case queueing delay a
+//! query sees once admitted.
+//!
+//! [`ThreadPool`]: gapbs_parallel::ThreadPool
+
+pub mod admission;
+pub mod bench;
+pub mod engine;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod signal;
+
+pub use admission::{AdmissionGate, AdmitError, GateSnapshot, Permit};
+pub use bench::{bench_main, run_bench, BenchConfig, BenchSummary};
+pub use engine::{execute_query, run_query_local, Engine, EngineConfig, QueryOutcome};
+pub use protocol::{parse_request, Command, ErrorCode, ProtoError, Query};
+pub use registry::GraphRegistry;
+pub use server::{serve_main, ServeConfig, ServeSummary, Server};

@@ -1,0 +1,109 @@
+//! The resident graph registry.
+//!
+//! The daemon's core premise — and the reason a serving layer makes
+//! sense on top of a benchmark harness — is that graph construction
+//! dominates single-query latency. The registry pays that cost once at
+//! startup: every corpus member is generated and prepared on the
+//! persistent pool, wrapped in an [`Arc`], and served immutably for the
+//! daemon's lifetime. Handlers clone `Arc`s, never graphs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gapbs_core::framework::{BenchGraph, Framework};
+use gapbs_core::registry::all_frameworks;
+use gapbs_graph::gen::{GraphSpec, Scale};
+use gapbs_parallel::ThreadPool;
+
+/// Immutable corpus + framework registry shared by every handler thread.
+pub struct GraphRegistry {
+    scale: Scale,
+    graphs: Vec<(GraphSpec, Arc<BenchGraph>)>,
+    frameworks: Vec<Box<dyn Framework>>,
+}
+
+impl GraphRegistry {
+    /// Generates and prepares `specs` at `scale` on `pool`, logging one
+    /// line per graph to stderr (the daemon's operator channel).
+    pub fn load(scale: Scale, specs: &[GraphSpec], pool: &ThreadPool) -> GraphRegistry {
+        let graphs = specs
+            .iter()
+            .map(|&spec| {
+                let start = Instant::now();
+                let bg = BenchGraph::generate_in(spec, scale, pool);
+                eprintln!(
+                    "serve: loaded {} ({} vertices, {} edges) in {:.2}s",
+                    spec.name(),
+                    bg.graph.num_vertices(),
+                    bg.graph.num_edges(),
+                    start.elapsed().as_secs_f64()
+                );
+                (spec, Arc::new(bg))
+            })
+            .collect();
+        GraphRegistry {
+            scale,
+            graphs,
+            frameworks: all_frameworks(),
+        }
+    }
+
+    /// Loads the full five-graph corpus.
+    pub fn load_corpus(scale: Scale, pool: &ThreadPool) -> GraphRegistry {
+        Self::load(scale, &GraphSpec::TABLE_ORDER, pool)
+    }
+
+    /// The scale every resident graph was generated at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Looks up a resident graph. `None` means the graph exists in the
+    /// corpus vocabulary but was not loaded into this daemon.
+    pub fn get(&self, spec: GraphSpec) -> Option<&Arc<BenchGraph>> {
+        self.graphs
+            .iter()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, bg)| bg)
+    }
+
+    /// Looks up a framework by display name.
+    pub fn framework(&self, name: &str) -> Option<&dyn Framework> {
+        self.frameworks
+            .iter()
+            .find(|f| f.name() == name)
+            .map(|f| f.as_ref())
+    }
+
+    /// The resident graphs, in load order.
+    pub fn graphs(&self) -> impl Iterator<Item = (GraphSpec, &Arc<BenchGraph>)> {
+        self.graphs.iter().map(|(s, bg)| (*s, bg))
+    }
+}
+
+impl std::fmt::Debug for GraphRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphRegistry")
+            .field("scale", &self.scale)
+            .field("graphs", &self.graphs.iter().map(|(s, _)| s).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_requested_graphs_and_resolves_frameworks() {
+        let pool = ThreadPool::new(2);
+        let reg = GraphRegistry::load(Scale::Tiny, &[GraphSpec::Kron, GraphSpec::Road], &pool);
+        assert!(reg.get(GraphSpec::Kron).is_some());
+        assert!(reg.get(GraphSpec::Road).is_some());
+        assert!(reg.get(GraphSpec::Web).is_none(), "web was not loaded");
+        assert!(reg.framework("GAP").is_some());
+        assert!(reg.framework("SuiteSparse").is_some());
+        assert!(reg.framework("Ligra").is_none());
+        assert_eq!(reg.graphs().count(), 2);
+    }
+}

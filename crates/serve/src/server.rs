@@ -1,0 +1,358 @@
+//! The TCP server: accept loop, per-connection handlers, drain sequence.
+//!
+//! One OS thread per connection, reading line-delimited requests and
+//! writing one response line each, in order. All cross-connection
+//! concurrency control lives in the engine's admission gate, so handler
+//! threads stay trivially simple.
+//!
+//! # Shutdown
+//!
+//! SIGINT/SIGTERM (when enabled) and `{"cmd":"shutdown"}` both set a stop
+//! flag. The accept loop then:
+//!
+//! 1. stops accepting connections;
+//! 2. drains the admission gate — queued waiters fail fast with
+//!    `shutting_down`, in-flight queries run to completion and their
+//!    responses are written;
+//! 3. half-closes every connection's *read* side, which unblocks idle
+//!    `read_line` calls with EOF while leaving the write side usable;
+//! 4. joins every handler thread, flushes the query ledger, exits.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gapbs_graph::gen::{GraphSpec, Scale};
+use gapbs_parallel::ThreadPool;
+use gapbs_telemetry::json::Json;
+use gapbs_telemetry::LedgerSink;
+
+use crate::admission::GateSnapshot;
+use crate::engine::{Engine, EngineConfig};
+use crate::protocol::{error_line, parse_request, Command};
+use crate::registry::GraphRegistry;
+use crate::signal;
+
+/// Everything the daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// If set, the bound port is written here (harness handshake).
+    pub port_file: Option<PathBuf>,
+    /// Corpus scale to load.
+    pub scale: Scale,
+    /// Which corpus members to load.
+    pub graphs: Vec<GraphSpec>,
+    /// Pool worker threads.
+    pub threads: usize,
+    /// Admission and deadline parameters.
+    pub engine: EngineConfig,
+    /// If set, one ledger record is appended per executed query.
+    pub ledger_path: Option<PathBuf>,
+    /// Route SIGINT/SIGTERM to graceful shutdown (off in tests).
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7447".to_string(),
+            port_file: None,
+            scale: Scale::Small,
+            graphs: GraphSpec::TABLE_ORDER.to_vec(),
+            threads: gapbs_parallel::pool::default_threads(),
+            engine: EngineConfig::default(),
+            ledger_path: None,
+            handle_signals: false,
+        }
+    }
+}
+
+/// What a completed daemon run did, for the operator log and tests.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Address the daemon actually listened on.
+    pub addr: SocketAddr,
+    /// Final cumulative gate statistics.
+    pub queries: GateSnapshot,
+    /// Ledger records appended (0 without a ledger).
+    pub ledger_records: u64,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    handle_signals: bool,
+}
+
+impl Server {
+    /// Loads the corpus, builds the engine, and binds the listener.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
+        let pool = ThreadPool::new(config.threads.max(1));
+        let registry = Arc::new(GraphRegistry::load(config.scale, &config.graphs, &pool));
+        Self::bind_with_registry(config, registry, pool)
+    }
+
+    /// [`Server::bind`] over an already-loaded registry (tests share one
+    /// corpus across servers). `pool` is the execution pool.
+    pub fn bind_with_registry(
+        config: &ServeConfig,
+        registry: Arc<GraphRegistry>,
+        pool: ThreadPool,
+    ) -> std::io::Result<Server> {
+        let ledger = match &config.ledger_path {
+            Some(path) => Some(LedgerSink::open(path)?),
+            None => None,
+        };
+        let engine = Arc::new(Engine::new(registry, pool, config.engine.clone(), ledger));
+        let listener = TcpListener::bind(&config.addr)?;
+        if let Some(port_file) = &config.port_file {
+            if let Some(parent) = port_file.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(port_file, format!("{}\n", listener.local_addr()?.port()))?;
+        }
+        if config.handle_signals {
+            signal::install();
+        }
+        Ok(Server {
+            listener,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+            handle_signals: config.handle_signals,
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The engine (tests inspect gate stats through it).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+            || (self.handle_signals && signal::shutdown_requested())
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let addr = self.listener.local_addr()?;
+        eprintln!("serve: listening on {addr}");
+        self.listener.set_nonblocking(true)?;
+        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handlers = Vec::new();
+        while !self.should_stop() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    if let Ok(reader_half) = stream.try_clone() {
+                        connections
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(reader_half);
+                    }
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &engine, &stop);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        eprintln!("serve: draining {} active queries", self.engine.gate().active());
+        // In-flight queries finish and answer; queued waiters fail fast.
+        self.engine.gate().drain();
+        // Unblock idle readers with EOF; write halves stay open so any
+        // response still being written goes out.
+        for conn in connections.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        self.engine.flush_ledger()?;
+        let queries = self.engine.gate().snapshot();
+        eprintln!(
+            "serve: shut down cleanly ({} admitted, {} rejected, {} completed, {} past deadline)",
+            queries.admitted, queries.rejected, queries.completed, queries.deadline_exceeded
+        );
+        let ledger_records = self
+            .engine
+            .stats_json()
+            .get("ledger_records")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        Ok(ServeSummary {
+            addr,
+            queries,
+            ledger_records,
+        })
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF (client closed, or drain half-closed us)
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match parse_request(trimmed) {
+            Err(err) => error_line(None, &err),
+            Ok(Command::Query(query)) => engine.handle(&query),
+            Ok(Command::Stats) => engine.stats_json().encode(),
+            Ok(Command::Ping) => Json::obj([
+                ("ok".to_string(), Json::Bool(true)),
+                ("pong".to_string(), Json::Bool(true)),
+            ])
+            .encode(),
+            Ok(Command::Shutdown) => {
+                stop.store(true, Ordering::SeqCst);
+                Json::obj([
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("shutting_down".to_string(), Json::Bool(true)),
+                ])
+                .encode()
+            }
+        };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Parses a corpus scale name.
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s.to_lowercase().as_str() {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        "large" => Ok(Scale::Large),
+        other => Err(format!("unknown scale {other:?}; expected tiny|small|medium|large")),
+    }
+}
+
+/// Parses `--graphs web,kron,...` lists.
+pub fn parse_graph_list(s: &str) -> Result<Vec<GraphSpec>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .map(|part| crate::protocol::parse_graph(part).map_err(|e| e.message))
+        .collect()
+}
+
+/// CLI entry point for the `serve` binary. Returns the exit code.
+pub fn serve_main(args: impl Iterator<Item = String>) -> i32 {
+    let mut config = ServeConfig {
+        handle_signals: true,
+        ..ServeConfig::default()
+    };
+    let mut args = args.peekable();
+    let usage = "usage: serve [--addr HOST:PORT] [--port-file PATH] [--scale tiny|small|medium|large] \
+                 [--graphs a,b,...] [--threads N] [--max-active N] [--max-waiting N] \
+                 [--deadline-ms N] [--ledger PATH]";
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| config.addr = v),
+            "--port-file" => value("--port-file").map(|v| config.port_file = Some(v.into())),
+            "--scale" => value("--scale")
+                .and_then(|v| parse_scale(&v))
+                .map(|s| config.scale = s),
+            "--graphs" => value("--graphs")
+                .and_then(|v| parse_graph_list(&v))
+                .map(|g| config.graphs = g),
+            "--threads" => value("--threads")
+                .and_then(|v| gapbs_parallel::pool::parse_threads(&v))
+                .map(|n| config.threads = n),
+            "--max-active" => value("--max-active")
+                .and_then(|v| v.parse().map_err(|_| "bad --max-active".to_string()))
+                .map(|n| config.engine.max_active = n),
+            "--max-waiting" => value("--max-waiting")
+                .and_then(|v| v.parse().map_err(|_| "bad --max-waiting".to_string()))
+                .map(|n| config.engine.max_waiting = n),
+            "--deadline-ms" => value("--deadline-ms")
+                .and_then(|v| v.parse().map_err(|_| "bad --deadline-ms".to_string()))
+                .map(|n| config.engine.default_deadline_ms = Some(n)),
+            "--ledger" => value("--ledger").map(|v| config.ledger_path = Some(v.into())),
+            "--help" | "-h" => {
+                println!("{usage}");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}\n{usage}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    }
+    let server = match Server::bind(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: bind {}: {e}", config.addr);
+            return 1;
+        }
+    };
+    match server.run() {
+        Ok(_summary) => 0,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_graph_lists_parse() {
+        assert_eq!(parse_scale("TINY").unwrap(), Scale::Tiny);
+        assert!(parse_scale("huge").is_err());
+        assert_eq!(
+            parse_graph_list("kron, road").unwrap(),
+            vec![GraphSpec::Kron, GraphSpec::Road]
+        );
+        assert!(parse_graph_list("kron,orkut").is_err());
+    }
+}

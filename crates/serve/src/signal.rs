@@ -1,0 +1,68 @@
+//! Dependency-free SIGINT/SIGTERM notification.
+//!
+//! The repo's no-external-crates rule leaves `libc`'s `signal(2)` binding
+//! to a two-line `extern "C"` declaration. The handler does the only
+//! thing that is async-signal-safe here: store into a static
+//! `AtomicBool`. The server's accept loop polls [`shutdown_requested`]
+//! between accepts and starts its drain sequence when it flips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `true` once a registered signal has been delivered (or
+/// [`request_shutdown`] was called in-process).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Flips the shutdown flag from inside the process (the
+/// `{"cmd":"shutdown"}` path, and tests).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT and SIGTERM to the shutdown flag.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal plumbing off-unix; `{"cmd":"shutdown"}` still works.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_request_flips_the_flag() {
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -69,11 +69,25 @@ pub enum Counter {
     /// Mask membership probes answered by the word-packed bitmap fast
     /// path (one `u64` test instead of a binary search).
     MaskBitmapTests,
+    /// Queries the serving daemon's admission gate let onto the pool.
+    /// In serve ledgers this is a *cumulative* daemon total at record
+    /// time, not a per-window delta (see `docs/SERVING.md`).
+    QueriesAdmitted,
+    /// Queries the admission gate turned away (wait queue full or the
+    /// daemon was draining). Cumulative in serve ledgers.
+    QueriesRejected,
+    /// Queries that completed execution and produced a success response.
+    /// Cumulative in serve ledgers; never exceeds `queries_admitted`.
+    QueriesCompleted,
+    /// Queries whose deadline expired — either in the admission queue
+    /// (never run) or after execution finished too late (result
+    /// discarded, error response sent). Cumulative in serve ledgers.
+    DeadlineExceeded,
 }
 
 impl Counter {
     /// Every counter, in ledger order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 23] = [
         Counter::EdgesExamined,
         Counter::FrontierPushes,
         Counter::Iterations,
@@ -93,6 +107,10 @@ impl Counter {
         Counter::SpaHits,
         Counter::SpaInserts,
         Counter::MaskBitmapTests,
+        Counter::QueriesAdmitted,
+        Counter::QueriesRejected,
+        Counter::QueriesCompleted,
+        Counter::DeadlineExceeded,
     ];
 
     /// Number of counters in the vocabulary.
@@ -120,6 +138,10 @@ impl Counter {
             Counter::SpaHits => "spa_hits",
             Counter::SpaInserts => "spa_inserts",
             Counter::MaskBitmapTests => "mask_bitmap_tests",
+            Counter::QueriesAdmitted => "queries_admitted",
+            Counter::QueriesRejected => "queries_rejected",
+            Counter::QueriesCompleted => "queries_completed",
+            Counter::DeadlineExceeded => "deadline_exceeded",
         }
     }
 

@@ -260,6 +260,89 @@ impl Ledger {
     }
 }
 
+/// A long-lived, buffered JSONL ledger writer for high-rate appenders.
+///
+/// [`Ledger`] reopens the file on every append — the right durability
+/// trade for a benchmark that writes tens of records. A serving daemon
+/// writes one record per query, so this sink keeps the file open behind
+/// a mutex-guarded `BufWriter` and exposes an explicit [`LedgerSink::flush`]
+/// for graceful shutdown. Records buffered but not flushed are lost on
+/// abrupt exit — which is exactly why the daemon drains and flushes
+/// before exiting.
+#[derive(Debug)]
+pub struct LedgerSink {
+    path: PathBuf,
+    git_rev: String,
+    writer: std::sync::Mutex<std::io::BufWriter<std::fs::File>>,
+    appended: std::sync::atomic::AtomicU64,
+}
+
+impl LedgerSink {
+    /// Opens (creating directories as needed) a buffered sink appending
+    /// to the ledger at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and open failures.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<LedgerSink> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(LedgerSink {
+            path,
+            git_rev: detect_git_rev(),
+            writer: std::sync::Mutex::new(std::io::BufWriter::new(file)),
+            appended: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The ledger file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this sink so far (flushed or not).
+    pub fn appended(&self) -> u64 {
+        self.appended.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Appends one record as a JSONL line, filling in the git revision.
+    /// The line lands in the buffer; call [`LedgerSink::flush`] to push
+    /// it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn append(&self, record: &TrialRecord) -> std::io::Result<()> {
+        let mut record = record.clone();
+        if record.git_rev.is_empty() || record.git_rev == "unknown" {
+            record.git_rev = self.git_rev.clone();
+        }
+        let line = record.to_json_line();
+        let mut writer = self.writer.lock().expect("ledger sink poisoned");
+        writeln!(writer, "{line}")?;
+        self.appended
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flushes buffered records to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("ledger sink poisoned").flush()
+    }
+}
+
 /// Resolves the current git revision by reading `.git/HEAD` (walking up
 /// from the working directory), avoiding a subprocess in the runner.
 pub fn detect_git_rev() -> String {
@@ -370,6 +453,29 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[1], b);
         assert_eq!(records[0].git_rev, ledger.git_rev(), "rev was stamped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_buffers_until_flush_and_stamps_revs() {
+        let dir = std::env::temp_dir().join(format!(
+            "gapbs-sink-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("sink.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sink = LedgerSink::open(&path).unwrap();
+        let mut a = sample();
+        a.git_rev = "unknown".into();
+        sink.append(&a).unwrap();
+        sink.append(&sample()).unwrap();
+        assert_eq!(sink.appended(), 2);
+        sink.flush().unwrap();
+        let records = Ledger::read(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].git_rev, sink.git_rev, "rev was stamped");
+        assert_eq!(records[1], sample());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

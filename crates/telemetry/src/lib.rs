@@ -29,7 +29,7 @@ pub mod span;
 pub mod trace;
 
 pub use counters::{record, snapshot, Counter, CounterSet, Registry};
-pub use ledger::{Ledger, TrialRecord};
+pub use ledger::{Ledger, LedgerSink, TrialRecord};
 pub use span::{Phase, PhaseTimes, Span};
 pub use trace::Trace;
 

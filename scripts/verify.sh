@@ -138,4 +138,42 @@ else
     echo "WARN: results/baseline-tiny.jsonl missing; skipping baseline compare"
 fi
 
+echo "== smoke: serve daemon + serve_bench =="
+# Start the daemon on an ephemeral port over a tiny two-graph corpus,
+# hammer it with 64 concurrent clients in --check mode (every response
+# fingerprint must be bit-identical to a local batch-mode run), then run
+# a throughput-gated pass that ends with an in-protocol shutdown. The
+# daemon must drain and exit 0, and its per-query ledger must lint clean.
+serve_log="$smoke_dir/serve.log"
+cargo run -q --release --bin serve -- \
+    --addr 127.0.0.1:0 --port-file "$smoke_dir/serve.port" \
+    --scale tiny --graphs kron,road --threads 2 \
+    --ledger "$smoke_dir/serve.jsonl" > /dev/null 2> "$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$smoke_dir/serve.port" ]] && break
+    kill -0 "$serve_pid" 2> /dev/null || { echo "FAIL: serve died on startup"; cat "$serve_log"; exit 1; }
+    sleep 0.1
+done
+[[ -s "$smoke_dir/serve.port" ]] || { echo "FAIL: serve never wrote its port file"; cat "$serve_log"; exit 1; }
+serve_addr="127.0.0.1:$(cat "$smoke_dir/serve.port")"
+# 64 concurrent clients, bit-identity checked on every response.
+cargo run -q --release --bin serve_bench -- \
+    --addr "$serve_addr" --clients 64 --requests 4 \
+    --check --scale tiny --threads 2 > "$smoke_dir/serve_check.json"
+# Throughput gate + graceful in-protocol shutdown.
+cargo run -q --release --bin serve_bench -- \
+    --addr "$serve_addr" --clients 8 --requests 25 --min-qps 20 \
+    --shutdown > "$smoke_dir/serve_bench.json"
+if ! wait "$serve_pid"; then
+    echo "FAIL: serve did not exit 0 after shutdown"; cat "$serve_log"; exit 1
+fi
+grep -q "shut down cleanly" "$serve_log" \
+    || { echo "FAIL: serve log shows no clean drain"; cat "$serve_log"; exit 1; }
+[[ -s "$smoke_dir/serve.jsonl" ]] || { echo "FAIL: serve ledger is empty"; exit 1; }
+# Per-query records must satisfy the same structured rules as trial
+# records, including the queries_completed <= queries_admitted invariant.
+cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+    --lint "$smoke_dir/serve.jsonl"
+
 echo "verify.sh: all checks passed"

@@ -1,0 +1,10 @@
+//! `serve` binary: the graph-analytics-as-a-service daemon.
+//!
+//! ```sh
+//! cargo run --release --bin serve -- --scale small --addr 127.0.0.1:7447
+//! echo '{"kernel":"bfs","graph":"kron","source":42}' | nc 127.0.0.1 7447
+//! ```
+
+fn main() {
+    std::process::exit(gapbs_serve::serve_main(std::env::args().skip(1)));
+}

@@ -1,0 +1,10 @@
+//! `serve_bench` binary: closed-loop load generator for the daemon.
+//!
+//! ```sh
+//! cargo run --release --bin serve_bench -- --addr 127.0.0.1:7447 \
+//!     --clients 64 --requests 4 --check --scale small
+//! ```
+
+fn main() {
+    std::process::exit(gapbs_serve::bench_main(std::env::args().skip(1)));
+}
