@@ -1,0 +1,202 @@
+//! Multi-source BFS microbenchmark: one word-packed sweep vs N
+//! sequential direction-optimizing runs.
+//!
+//! Runs `--sources` BFS searches over a symmetrized Kron graph two ways
+//! on the same pool: sequentially (`gapbs_ref::bfs`, one run per source)
+//! and batched (`gapbs_ref::ms_bfs`, up to 64 searches per word-packed
+//! sweep). Before any timing claim, every batched search's canonical
+//! depth array is asserted bit-identical to its sequential run's — and
+//! the batched depths are asserted thread-count invariant (1 thread vs
+//! `--threads`). Depths are a pure function of graph and source, so any
+//! divergence is a correctness bug, not noise.
+//!
+//! ```sh
+//! cargo run --release -p gapbs-bench --bin msbfs_bench -- \
+//!     --threads 4 --scale 13 --sources 64 --min-speedup 4
+//! ```
+//!
+//! With `--min-speedup X` the process exits non-zero unless the batched
+//! run answers all sources at least `X` times faster than the sequential
+//! loop — equivalently, an `X`-fold aggregate-TEPS gain, since both
+//! sides answer the same queries. This is how `scripts/verify.sh` gates
+//! the MS-BFS engine on multi-core hosts. `--ledger <path>` appends one
+//! JSONL record per mode for `perf_compare`.
+
+use gapbs_graph::types::NodeId;
+use gapbs_graph::{gen, Builder};
+use gapbs_parallel::ThreadPool;
+use gapbs_ref::{bfs, depths_from_parents, ms_bfs};
+use gapbs_telemetry::{Ledger, TrialRecord};
+use std::time::Instant;
+
+struct Args {
+    threads: usize,
+    scale: u32,
+    degree: usize,
+    sources: usize,
+    reps: usize,
+    min_speedup: Option<f64>,
+    ledger: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 4,
+        scale: 13,
+        degree: 16,
+        sources: 64,
+        reps: 2,
+        min_speedup: None,
+        ledger: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--threads" => args.threads = value().parse().expect("--threads"),
+            "--scale" => args.scale = value().parse().expect("--scale"),
+            "--degree" => args.degree = value().parse().expect("--degree"),
+            "--sources" => args.sources = value().parse().expect("--sources"),
+            "--reps" => args.reps = value().parse().expect("--reps"),
+            "--min-speedup" => args.min_speedup = Some(value().parse().expect("--min-speedup")),
+            "--ledger" => args.ledger = Some(value()),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} (supported: --threads --scale \
+                     --degree --sources --reps --min-speedup --ledger)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.threads >= 1 && args.reps >= 1 && args.sources >= 1);
+    args
+}
+
+/// Best-of-`reps` wall time of `f`, with the result of the last run.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let args = parse_args();
+    let n = 1usize << args.scale;
+    let edges = gen::kron_edges(args.scale, args.degree, gen::GraphSpec::Kron.seed());
+    let g = Builder::new()
+        .num_vertices(n)
+        .symmetrize(true)
+        .build(edges)
+        .expect("generated endpoints are in range");
+    // Deterministic, spread-out sources; a stride coprime-ish with n so
+    // batches mix hubs and fringe vertices.
+    let sources: Vec<NodeId> = (0..args.sources)
+        .map(|i| ((i * 2654435761) % g.num_vertices()) as NodeId)
+        .collect();
+
+    let pool = ThreadPool::new(args.threads);
+    let (t_seq, seq_depths) = best_of(args.reps, || {
+        sources
+            .iter()
+            .map(|&s| depths_from_parents(&bfs(&g, s, &pool)))
+            .collect::<Vec<_>>()
+    });
+    let (t_batch, batched) = best_of(args.reps, || ms_bfs(&g, &sources, &pool));
+
+    // Bit-identity before any timing claims: every batched column equals
+    // its sequential run's canonical depths...
+    for (c, (seq, batch)) in seq_depths.iter().zip(&batched.depths).enumerate() {
+        assert_eq!(
+            seq, batch,
+            "batched depths diverged from sequential BFS for source {} (column {c})",
+            sources[c]
+        );
+    }
+    // ...and the batch is thread-count invariant.
+    let serial_batch = ms_bfs(&g, &sources, &ThreadPool::new(1));
+    assert_eq!(
+        serial_batch.depths, batched.depths,
+        "MS-BFS depths diverged between 1 and {} threads",
+        args.threads
+    );
+
+    // Both sides answered the same queries, so the wall-time ratio is
+    // the aggregate-TEPS ratio.
+    let speedup = t_seq / t_batch;
+    let reached: usize = batched
+        .depths
+        .iter()
+        .flatten()
+        .filter(|&&d| d != gapbs_ref::ms_bfs::UNREACHED_DEPTH)
+        .count();
+    println!(
+        "msbfs_bench: scale={} degree={} ({} vertices, {} arcs) sources={} threads={} reps={}",
+        args.scale,
+        args.degree,
+        g.num_vertices(),
+        g.num_arcs(),
+        args.sources,
+        args.threads,
+        args.reps
+    );
+    println!("  sequential: {t_seq:>9.4}s  ({} bfs runs)", args.sources);
+    println!(
+        "  batched   : {t_batch:>9.4}s  ({} word-packed sweeps)",
+        args.sources.div_ceil(gapbs_ref::ms_bfs::MAX_BATCH)
+    );
+    println!("  aggregate TEPS gain: {speedup:.2}x  (reached {reached} vertex-source pairs)");
+    println!(
+        "  outputs: per-source depths bit-identical to sequential bfs; \
+         batch invariant at 1 and {} threads",
+        args.threads
+    );
+
+    if let Some(path) = &args.ledger {
+        match Ledger::open(path) {
+            Ok(ledger) => {
+                for (mode, seconds) in [("sequential", t_seq), ("batched", t_batch)] {
+                    let record = TrialRecord {
+                        framework: "MsBfs".into(),
+                        kernel: "bfs".into(),
+                        graph: format!("Kron{}", args.scale),
+                        mode: mode.into(),
+                        trial: 0,
+                        seconds,
+                        verified: true,
+                        threads: args.threads as u64,
+                        num_vertices: g.num_vertices() as u64,
+                        num_arcs: g.num_arcs() as u64,
+                        ..TrialRecord::default()
+                    };
+                    if let Err(e) = ledger.append(&record) {
+                        eprintln!("ledger append: {e}");
+                    }
+                }
+                eprintln!("ledger: appended 2 records to {path}");
+            }
+            Err(e) => eprintln!("ledger {path}: {e}"),
+        }
+    }
+
+    if let Some(min) = args.min_speedup {
+        if speedup < min {
+            eprintln!(
+                "FAIL: batched MS-BFS is only {speedup:.2}x faster than {} sequential runs \
+                 (gate: {min:.2}x)",
+                args.sources
+            );
+            std::process::exit(1);
+        }
+        println!("  gate : >= {min:.2}x passed ({speedup:.2}x)");
+    }
+}

@@ -395,6 +395,15 @@ pub fn lint(records: &[TrialRecord]) -> Vec<String> {
                 "{cell}: {completed} queries completed but only {admitted} admitted"
             ));
         }
+        // Batched queries are still queries: every source answered out of
+        // an MS-BFS batch holds (or is accounted against) an admission
+        // permit, so the batch total can never lead the admission total.
+        let batched = r.counters.get(Counter::BatchQueries);
+        if batched > admitted {
+            problems.push(format!(
+                "{cell}: {batched} batched queries but only {admitted} admitted"
+            ));
+        }
     }
     problems
 }
@@ -647,6 +656,35 @@ mod tests {
         let problems = lint(&[serve_record(5, 7)]);
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("only 5 admitted"), "{problems:?}");
+    }
+
+    #[test]
+    fn lint_holds_batch_queries_to_admitted() {
+        use gapbs_telemetry::Counter;
+        let serve_record = |admitted, batched| {
+            let mut r = record("GAP", "bfs", 0, 0.1);
+            r.threads = 4;
+            r.num_vertices = 100;
+            r.num_arcs = 400;
+            r.verified = true;
+            r.counters.set(Counter::QueriesAdmitted, admitted);
+            r.counters.set(Counter::QueriesCompleted, admitted);
+            r.counters.set(Counter::BatchQueries, batched);
+            r
+        };
+        // Every batched source is also an admitted query, so equality and
+        // under-count are both fine (as is a batch-free ledger).
+        assert!(lint(&[serve_record(8, 8)]).is_empty());
+        assert!(lint(&[serve_record(8, 3)]).is_empty());
+        assert!(lint(&[serve_record(8, 0)]).is_empty());
+        // More batched answers than admissions means a batch ran without
+        // accounting for its members.
+        let problems = lint(&[serve_record(3, 8)]);
+        assert_eq!(problems.len(), 1);
+        assert!(
+            problems[0].contains("8 batched queries but only 3 admitted"),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl PreparedKernels for Prepared<'_> {
         // The paper's LAGraph BC is a batch algorithm over dense 4-by-n
         // state; the per-source `lagraph::bc` remains available for
         // comparison.
-        lagraph::bc_batch(&self.ctx, sources)
+        lagraph::bc_batch(&self.ctx, sources, &self.pool)
     }
 
     fn tc(&self) -> u64 {

@@ -8,23 +8,25 @@
 //! instead of running four independent vector sweeps.
 
 use super::LaGraphContext;
-use crate::workspace::SlotMap;
+use crate::frontier::{vxm_multi, FrontierMatrix};
+use crate::semiring::PlusSecond;
 use crate::GrbIndex;
 use gapbs_graph::types::{NodeId, Score};
+use gapbs_parallel::ThreadPool;
 
 /// Number of batched roots (the GAP spec's BC approximation width).
 pub const BATCH: usize = 4;
 
 /// Runs batch Brandes over up to [`BATCH`] sources per sweep, returning
 /// scores normalized by the maximum (the GAP output convention).
-pub fn bc_batch(ctx: &LaGraphContext, sources: &[NodeId]) -> Vec<Score> {
+pub fn bc_batch(ctx: &LaGraphContext, sources: &[NodeId], pool: &ThreadPool) -> Vec<Score> {
     let n = ctx.num_vertices() as usize;
     let mut scores = vec![0.0; n];
     if n == 0 {
         return scores;
     }
     for chunk in sources.chunks(BATCH) {
-        batch_pass(ctx, chunk, &mut scores);
+        batch_pass(ctx, chunk, &mut scores, pool);
     }
     let max = scores.iter().cloned().fold(0.0, Score::max);
     if max > 0.0 {
@@ -36,7 +38,7 @@ pub fn bc_batch(ctx: &LaGraphContext, sources: &[NodeId]) -> Vec<Score> {
 }
 
 /// One 4-wide forward/backward pass.
-fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
+fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score], pool: &ThreadPool) {
     let n = ctx.num_vertices() as usize;
     let k = sources.len();
     // numsp: n×4 dense path counts; 0 = "column has not discovered this
@@ -44,95 +46,76 @@ fn batch_pass(ctx: &LaGraphContext, sources: &[NodeId], scores: &mut [Score]) {
     let mut numsp = vec![[0.0f64; BATCH]; n];
     // depth per column, for the backward level checks.
     let mut depth = vec![[u32::MAX; BATCH]; n];
-    // The union frontier: vertices active in at least one column, with
-    // their per-column path counts.
-    let mut frontier: Vec<(GrbIndex, [f64; BATCH])> = Vec::new();
     for (c, &s) in sources.iter().enumerate() {
         numsp[s as usize][c] = 1.0;
         depth[s as usize][c] = 0;
     }
-    // Merge duplicate sources into one frontier entry.
+    // The union frontier: vertices active in at least one column, with
+    // their per-column path counts. Duplicate sources merge into one row.
+    let semiring = PlusSecond::default();
+    let mut frontier: FrontierMatrix<f64> = FrontierMatrix::new(k);
     {
         let mut uniq: Vec<GrbIndex> = sources.iter().map(|&s| GrbIndex::from(s)).collect();
         uniq.sort_unstable();
         uniq.dedup();
         for s in uniq {
-            frontier.push((s, numsp[s as usize]));
+            let active = (0..k)
+                .filter(|&c| sources[c] == s as NodeId)
+                .fold(0u64, |m, c| m | 1 << c);
+            let vals: Vec<f64> = (0..k)
+                .map(|c| if sources[c] == s as NodeId { 1.0 } else { 0.0 })
+                .collect();
+            frontier.push_row(s, active, &vals);
         }
     }
-    let mut levels: Vec<Vec<(GrbIndex, [f64; BATCH])>> = vec![frontier.clone()];
+    let mut levels: Vec<FrontierMatrix<f64>> = vec![frontier.clone()];
     let mut d = 0u32;
-    // Generation-stamped vertex → accumulator-slot map, checked out of
-    // the context workspace: begin() resets it in O(1) per level where
-    // the old per-level HashMap re-hashed and re-allocated every pass.
-    let mut slot_of = ctx.workspace.take::<SlotMap>();
-    // Forward: one sweep over A per level advances every column.
+    // Forward: one multi-column vxm over A per level advances every
+    // column, masked to the columns that have not discovered each output.
     while !frontier.is_empty() {
         gapbs_telemetry::record(gapbs_telemetry::Counter::Iterations, 1);
         gapbs_telemetry::trace_iter!(BcLevel {
             depth: d,
             frontier: frontier.len() as u64
         });
-        let mut acc: Vec<(GrbIndex, [f64; BATCH])> = Vec::new();
-        slot_of.begin(n);
-        for &(u, counts) in &frontier {
-            gapbs_telemetry::record(
-                gapbs_telemetry::Counter::EdgesExamined,
-                ctx.a.row(u).len() as u64,
-            );
-            for j in ctx.a.row(u) {
-                let j = *j;
-                // Per-column mask: only columns that have not discovered
-                // `j` accept contributions.
-                let mut contrib = [0.0f64; BATCH];
-                let mut any = false;
-                for c in 0..k {
-                    if counts[c] > 0.0 && numsp[j as usize][c] == 0.0 {
-                        contrib[c] = counts[c];
-                        any = true;
-                    }
-                }
-                if !any {
-                    continue;
-                }
-                let slot = slot_of.get_or_insert(j as usize, || {
-                    acc.push((j, [0.0; BATCH]));
-                    (acc.len() - 1) as u32
-                }) as usize;
-                for (acc_c, add) in acc[slot].1.iter_mut().zip(contrib) {
-                    *acc_c += add;
-                }
-            }
-        }
-        // Commit the level: record depths and fold counts into numsp.
-        let mut next = Vec::with_capacity(acc.len());
-        for (j, counts) in acc {
-            let mut kept = [0.0f64; BATCH];
-            let mut any = false;
-            for c in 0..k {
-                if counts[c] > 0.0 && numsp[j as usize][c] == 0.0 {
-                    numsp[j as usize][c] = counts[c];
-                    depth[j as usize][c] = d + 1;
-                    kept[c] = counts[c];
-                    any = true;
-                }
-            }
-            if any {
-                next.push((j, kept));
-            }
-        }
-        if next.is_empty() {
+        let advanced = {
+            let undiscovered = |j: GrbIndex| {
+                let row = &numsp[j as usize];
+                (0..k)
+                    .filter(|&c| row[c] == 0.0)
+                    .fold(0u64, |m, c| m | 1 << c)
+            };
+            vxm_multi(
+                &semiring,
+                &frontier,
+                &ctx.a,
+                &undiscovered,
+                &ctx.workspace,
+                pool,
+            )
+        };
+        if advanced.is_empty() {
             break;
         }
-        levels.push(next.clone());
-        frontier = next;
+        // Commit the level: record depths and fold counts into numsp.
+        // Every active column passed the mask, so its count is fresh.
+        for (j, active, counts) in advanced.iter() {
+            let mut cols = active;
+            while cols != 0 {
+                let c = cols.trailing_zeros() as usize;
+                cols &= cols - 1;
+                numsp[j as usize][c] = counts[c];
+                depth[j as usize][c] = d + 1;
+            }
+        }
+        levels.push(advanced.clone());
+        frontier = advanced;
         d += 1;
     }
-    ctx.workspace.put(slot_of);
     // Backward: one sweep over A' per level accumulates all columns.
     let mut delta = vec![[0.0f64; BATCH]; n];
     for level_idx in (1..levels.len()).rev() {
-        for &(j, _) in &levels[level_idx] {
+        for (j, _, _) in levels[level_idx].iter() {
             // t1[j][c] = (1 + delta_j) / numsp_j for columns where j sits
             // at this level.
             let mut t1 = [0.0f64; BATCH];
@@ -220,11 +203,12 @@ mod tests {
 
     #[test]
     fn batch_matches_oracle_on_random_graphs() {
+        let pool = ThreadPool::new(2);
         for seed in [1, 2, 3] {
             let g = gen::kron(8, 8, seed);
             let ctx = crate::lagraph::LaGraphContext::from_graph(&g);
             let sources = [0, 7, 13, 42];
-            assert_close(&bc_batch(&ctx, &sources), &oracle(&g, &sources));
+            assert_close(&bc_batch(&ctx, &sources, &pool), &oracle(&g, &sources));
         }
     }
 
@@ -233,10 +217,27 @@ mod tests {
         let g = gen::urand(8, 8, 4);
         let ctx = crate::lagraph::LaGraphContext::from_graph(&g);
         let sources = [3, 9, 27, 81];
-        let batched = bc_batch(&ctx, &sources);
         let pool = gapbs_parallel::ThreadPool::new(2);
+        let batched = bc_batch(&ctx, &sources, &pool);
         let per_source = crate::lagraph::bc(&ctx, &sources, &pool);
         assert_close(&batched, &per_source);
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let g = gen::kron(9, 10, 6);
+        let ctx = crate::lagraph::LaGraphContext::from_graph(&g);
+        let sources = [0, 7, 13, 42];
+        let serial = bc_batch(&ctx, &sources, &ThreadPool::new(1));
+        for threads in [2, 7] {
+            let got = bc_batch(&ctx, &sources, &ThreadPool::new(threads));
+            for (v, (a, b)) in serial.iter().zip(&got).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "vertex {v}: {a} vs {b} at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]
@@ -245,11 +246,12 @@ mod tests {
             .build(edges([(0, 1), (0, 2), (1, 3), (2, 3)]))
             .unwrap();
         let ctx = crate::lagraph::LaGraphContext::from_graph(&g);
-        assert_close(&bc_batch(&ctx, &[0]), &oracle(&g, &[0]));
-        assert_close(&bc_batch(&ctx, &[0, 0]), &oracle(&g, &[0, 0]));
+        let pool = ThreadPool::new(2);
+        assert_close(&bc_batch(&ctx, &[0], &pool), &oracle(&g, &[0]));
+        assert_close(&bc_batch(&ctx, &[0, 0], &pool), &oracle(&g, &[0, 0]));
         // More than BATCH sources chunk into multiple passes.
         let many = [0, 1, 2, 3, 0];
-        assert_close(&bc_batch(&ctx, &many), &oracle(&g, &many));
+        assert_close(&bc_batch(&ctx, &many, &pool), &oracle(&g, &many));
     }
 
     #[test]
@@ -257,6 +259,7 @@ mod tests {
         let g = gen::road(&gen::RoadConfig::gap_like(14), 5);
         let ctx = crate::lagraph::LaGraphContext::from_graph(&g);
         let sources = [0, 7, 50, 120];
-        assert_close(&bc_batch(&ctx, &sources), &oracle(&g, &sources));
+        let pool = ThreadPool::new(2);
+        assert_close(&bc_batch(&ctx, &sources, &pool), &oracle(&g, &sources));
     }
 }

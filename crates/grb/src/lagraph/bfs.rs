@@ -6,7 +6,8 @@
 //! run time, as the paper states for SuiteSparse.
 
 use super::LaGraphContext;
-use crate::ops::{vxm, Mask};
+use crate::frontier::{vxm_multi, FrontierMatrix};
+use crate::ops::Mask;
 use crate::semiring::AnySecondI;
 use crate::vector::{GrbVector, Storage};
 use crate::GrbIndex;
@@ -50,6 +51,8 @@ pub fn bfs(ctx: &LaGraphContext, source: NodeId, pool: &ThreadPool) -> Vec<NodeI
     pi.set(GrbIndex::from(source), GrbIndex::from(source));
     // q: current frontier (structure only).
     let mut q: GrbVector<()> = GrbVector::from_entries(n, vec![(GrbIndex::from(source), ())]);
+    // Reusable n×1 frontier matrix for push steps.
+    let mut frontier: FrontierMatrix<()> = FrontierMatrix::new(1);
 
     let mut edges_unexplored = ctx.a.nvals();
     let mut was_pull = false;
@@ -70,30 +73,49 @@ pub fn bfs(ctx: &LaGraphContext, source: NodeId, pool: &ThreadPool) -> Vec<NodeI
         }
         edges_unexplored = edges_unexplored.saturating_sub(frontier_edges);
 
-        let discovered: GrbVector<Option<GrbIndex>> = if pull {
+        // pi<q> = q : each branch records parents of the newly
+        // discovered vertices as it drains the product.
+        let next: Vec<(GrbIndex, ())> = if pull {
             // Pull step: q<!pi> = A' * q. Convert q to bitmap first (the
             // timed conversion the paper describes).
             q.convert_in(Storage::Bitmap, None, pool);
             let mask = Mask::complement(&pi);
-            crate::ops::mxv(&semiring, &ctx.at, &q, Some(&mask), &ctx.workspace, pool)
-        } else {
-            // Push step: q'<!pi> = q' * A over a sparse list.
-            q.convert_in(Storage::Sparse, None, pool);
-            let mask = Mask::complement(&pi);
-            vxm(&semiring, &q, &ctx.a, Some(&mask), &ctx.workspace, pool)
-        };
-
-        // pi<q> = q : record parents of the newly discovered vertices.
-        let found = discovered
-            .sparse_entries()
-            .expect("engine products are sparse");
-        let mut next: Vec<(GrbIndex, ())> = Vec::with_capacity(found.len());
-        for &(v, p) in found {
-            if let Some(parent) = p {
-                pi.set(v, parent);
-                next.push((v, ()));
+            let discovered: GrbVector<Option<GrbIndex>> =
+                crate::ops::mxv(&semiring, &ctx.at, &q, Some(&mask), &ctx.workspace, pool);
+            let found = discovered
+                .sparse_entries()
+                .expect("engine products are sparse");
+            let mut next = Vec::with_capacity(found.len());
+            for &(v, p) in found {
+                if let Some(parent) = p {
+                    pi.set(v, parent);
+                    next.push((v, ()));
+                }
             }
-        }
+            next
+        } else {
+            // Push step: q'<!pi> = q' * A over a sparse list — the k = 1
+            // case of the multi-column frontier engine; `!pi` becomes the
+            // col_mask probe of pi's presence words.
+            q.convert_in(Storage::Sparse, None, pool);
+            frontier.reset(1);
+            for &(u, ()) in q.sparse_entries().expect("frontier is sparse") {
+                frontier.push_row(u, 1, &[()]);
+            }
+            let discovered = {
+                let (words, _) = pi.bitmap_slots().expect("pi stays in bitmap storage");
+                let unseen = |j: GrbIndex| u64::from(words[j as usize / 64] >> (j % 64) & 1 == 0);
+                vxm_multi(&semiring, &frontier, &ctx.a, &unseen, &ctx.workspace, pool)
+            };
+            let mut next = Vec::with_capacity(discovered.len());
+            for (v, _, vals) in discovered.iter() {
+                if let Some(parent) = vals[0] {
+                    pi.set(v, parent);
+                    next.push((v, ()));
+                }
+            }
+            next
+        };
         q = GrbVector::from_sorted_entries(n, next);
     }
 

@@ -19,6 +19,7 @@
 //! The [`lagraph`] module implements the six GAP kernels strictly on top
 //! of this engine, the way LAGraph sits on GraphBLAS.
 
+pub mod frontier;
 pub mod lagraph;
 pub mod matrix;
 pub mod ops;
@@ -26,6 +27,7 @@ pub mod semiring;
 pub mod vector;
 pub mod workspace;
 
+pub use frontier::{vxm_multi, FrontierMatrix};
 pub use matrix::GrbMatrix;
 pub use semiring::{AddMonoid, Semiring};
 pub use vector::{GrbVector, Storage};

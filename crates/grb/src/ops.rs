@@ -42,12 +42,14 @@ use gapbs_telemetry::{record, trace, Counter};
 
 /// Frontier entries per phase-A block of the parallel `vxm`. Fixed (not
 /// thread-derived) so block boundaries — and therefore combine order —
-/// never depend on the pool.
-const VXM_BLOCK: usize = 128;
+/// never depend on the pool. Shared with the multi-column
+/// [`vxm_multi`](crate::frontier::vxm_multi) so both engines partition
+/// frontiers identically.
+pub(crate) const VXM_BLOCK: usize = 128;
 
 /// Below this frontier size `vxm` runs its serial SPA path: two region
 /// launches would cost more than the scatter.
-const VXM_PAR_CUTOFF: usize = 256;
+pub(crate) const VXM_PAR_CUTOFF: usize = 256;
 
 /// Entry block width for the deterministic blocked `reduce` and the
 /// blocked `apply`/`select` gathers.
@@ -168,7 +170,7 @@ impl<'a, X: Clone> VecProbe<'a, X> {
 }
 
 /// Wraps one engine operation in a session-gated `grb:{op}` trace event.
-fn traced<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
+pub(crate) fn traced<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
     let start = trace::now_ns();
     let out = f();
     trace::grb_op(op, start);

@@ -174,18 +174,38 @@ impl<Y> Default for VxmScratch<Y> {
     }
 }
 
-/// A generation-stamped `vertex → small index` map — the slot allocator
-/// `bc_batch` uses instead of a per-pass `HashMap`.
-#[derive(Debug, Default)]
-pub(crate) struct SlotMap {
+/// A k-wide generation-stamped sparse accumulator: the [`Spa`] idea
+/// widened to one row of `k` column slots per vertex. Slot `j` is live
+/// iff stamped this generation; a live slot carries an `active` word
+/// saying which of its `k` columns hold a value. Values are k-strided
+/// (`values[j * k + c]`), and dead or inactive slots hold stale garbage
+/// that is never read — this is the generalization of the `SlotMap`
+/// machinery `bc_batch` used before the multi-column `vxm` existed.
+#[derive(Debug)]
+pub(crate) struct MultiSpa<Y> {
     stamps: Vec<u32>,
-    slots: Vec<u32>,
+    active: Vec<u64>,
+    values: Vec<Y>,
     generation: u32,
+    k: usize,
 }
 
-impl SlotMap {
-    /// Starts a new mapping over `0..n`: all slots unassigned.
-    pub fn begin(&mut self, n: usize) {
+impl<Y> Default for MultiSpa<Y> {
+    fn default() -> Self {
+        MultiSpa {
+            stamps: Vec::new(),
+            active: Vec::new(),
+            values: Vec::new(),
+            generation: 0,
+            k: 0,
+        }
+    }
+}
+
+impl<Y: Clone + Default> MultiSpa<Y> {
+    /// Starts a new k-wide accumulation over `0..n`: all slots dead.
+    pub fn begin(&mut self, n: usize, k: usize) {
+        self.k = k;
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
             self.stamps.fill(0);
@@ -193,20 +213,95 @@ impl SlotMap {
         }
         if self.stamps.len() < n {
             self.stamps.resize(n, 0);
-            self.slots.resize(n, 0);
+            self.active.resize(n, 0);
+        }
+        if self.values.len() < n * k {
+            self.values.resize_with(n * k, Y::default);
         }
     }
 
-    /// The slot of `j`, assigning `next()` on first sight.
+    /// `true` if slot `j` is live this generation.
     #[inline]
-    pub fn get_or_insert(&mut self, j: usize, next: impl FnOnce() -> u32) -> u32 {
-        if self.stamps[j] == self.generation {
-            self.slots[j]
-        } else {
-            let slot = next();
-            self.stamps[j] = self.generation;
-            self.slots[j] = slot;
-            slot
+    pub fn is_live(&self, j: usize) -> bool {
+        self.stamps[j] == self.generation
+    }
+
+    /// Stamps slot `j` live with no active columns yet.
+    #[inline]
+    pub fn make_live(&mut self, j: usize) {
+        self.stamps[j] = self.generation;
+        self.active[j] = 0;
+    }
+
+    /// Active-column word of live slot `j`.
+    #[inline]
+    pub fn active_word(&self, j: usize) -> u64 {
+        debug_assert!(self.is_live(j));
+        self.active[j]
+    }
+
+    /// `true` if column `c` of live slot `j` holds a value.
+    #[inline]
+    pub fn col_active(&self, j: usize, c: usize) -> bool {
+        debug_assert!(self.is_live(j));
+        self.active[j] >> c & 1 != 0
+    }
+
+    /// The value in active column `c` of slot `j`.
+    #[inline]
+    pub fn peek(&self, j: usize, c: usize) -> &Y {
+        debug_assert!(self.col_active(j, c));
+        &self.values[j * self.k + c]
+    }
+
+    /// Writes column `c` of live slot `j`, marking it active.
+    #[inline]
+    pub fn set(&mut self, j: usize, c: usize, value: Y) {
+        debug_assert!(self.is_live(j));
+        self.values[j * self.k + c] = value;
+        self.active[j] |= 1 << c;
+    }
+
+    /// Raw stamp/active/value arrays plus the live generation, for pool
+    /// regions that partition the index space into disjoint worker-owned
+    /// ranges (the value window of range `[lo, hi)` is `[lo*k, hi*k)`).
+    pub fn parts_mut(&mut self) -> (&mut [u32], &mut [u64], &mut [Y], u32) {
+        (
+            &mut self.stamps,
+            &mut self.active,
+            &mut self.values,
+            self.generation,
+        )
+    }
+}
+
+/// Scratch for the multi-column `vxm` over a frontier matrix: the k-wide
+/// SPA plus the radix-pass buffers of its parallel path. All vectors keep
+/// their capacity across calls.
+pub(crate) struct MultiVxmScratch<Y> {
+    /// The shared k-wide accumulator (serial path and parallel phase B).
+    pub spa: MultiSpa<Y>,
+    /// Serial path: indices touched this call, emitted in sorted order.
+    pub touched: Vec<GrbIndex>,
+    /// Parallel phase A output: `blocks × ranges` buckets of
+    /// `(output column, frontier row, weight)` triples, flat-indexed
+    /// `block * ranges + range`, drained by phase B.
+    pub buckets: Vec<Vec<(GrbIndex, u32, i32)>>,
+    /// Parallel phase B: per-range touched-index lists.
+    pub range_touched: Vec<Vec<GrbIndex>>,
+    /// Parallel phase B: per-range output rows, concatenated in range
+    /// order into the result.
+    pub range_rows: Vec<crate::frontier::FrontierMatrix<Y>>,
+}
+
+impl<Y> Default for MultiVxmScratch<Y> {
+    fn default() -> Self {
+        MultiVxmScratch {
+            spa: MultiSpa::default(),
+            touched: Vec::new(),
+            buckets: Vec::new(),
+            range_touched: Vec::new(),
+            range_rows: Vec::new(),
         }
     }
 }
@@ -246,16 +341,20 @@ mod tests {
     }
 
     #[test]
-    fn slot_map_assigns_each_vertex_once_per_generation() {
-        let mut map = SlotMap::default();
-        map.begin(8);
-        let mut next = 0..;
-        assert_eq!(map.get_or_insert(5, || next.next().unwrap()), 0);
-        assert_eq!(map.get_or_insert(2, || next.next().unwrap()), 1);
-        assert_eq!(map.get_or_insert(5, || next.next().unwrap()), 0);
-        map.begin(8);
-        let mut next = 10..;
-        assert_eq!(map.get_or_insert(5, || next.next().unwrap()), 10);
+    fn multi_spa_generations_isolate_calls_per_column() {
+        let mut spa: MultiSpa<f64> = MultiSpa::default();
+        spa.begin(8, 4);
+        assert!(!spa.is_live(5));
+        spa.make_live(5);
+        assert!(spa.is_live(5));
+        assert_eq!(spa.active_word(5), 0);
+        spa.set(5, 2, 1.5);
+        assert!(spa.col_active(5, 2));
+        assert!(!spa.col_active(5, 0));
+        assert_eq!(*spa.peek(5, 2), 1.5);
+        assert_eq!(spa.active_word(5), 0b100);
+        spa.begin(8, 4);
+        assert!(!spa.is_live(5), "new generation must kill old slots");
     }
 
     #[test]

@@ -64,6 +64,30 @@ impl AtomicBitmap {
         }
     }
 
+    /// Number of backing 64-bit words.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Relaxed load of backing word `wi` (bits `wi*64 .. wi*64+64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi >= num_words()`.
+    pub fn load_word(&self, wi: usize) -> u64 {
+        self.words[wi].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store of backing word `wi` — the bulk counterpart of
+    /// [`AtomicBitmap::set`] for word-parallel clears and copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi >= num_words()`.
+    pub fn store_word(&self, wi: usize, value: u64) {
+        self.words[wi].store(value, Ordering::Relaxed);
+    }
+
     /// Copies the contents of `other` into `self`.
     ///
     /// # Panics

@@ -13,7 +13,7 @@ use gapbs_telemetry::trace::Dir;
 use gapbs_telemetry::trace_iter;
 use gapbs_graph::Graph;
 use gapbs_parallel::atomics::as_atomic_u32;
-use gapbs_parallel::{AtomicBitmap, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
+use gapbs_parallel::{AtomicBitmap, PerWorker, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Tuning knobs of the direction-optimizing heuristic.
@@ -74,7 +74,7 @@ pub fn bfs_with_config(
             // Bottom-up phase: convert queue → bitmap, pull until the
             // frontier is small again, convert back.
             gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
-            queue_to_bitmap(&queue, &front);
+            queue_to_bitmap(&queue, &front, pool);
             let mut awake_count = queue.window_len() as u64;
             let mut old_awake;
             loop {
@@ -125,34 +125,45 @@ fn top_down_step(
     queue: &SlidingQueue<NodeId>,
     pool: &ThreadPool,
 ) -> u64 {
+    struct TdWorker {
+        buffer: QueueBuffer<NodeId>,
+        scout: u64,
+        edges: u64,
+    }
     let window = queue.window();
-    let scout = AtomicU64::new(0);
-    pool.run(|tid| {
-        let mut buffer = QueueBuffer::new();
-        let mut local_scout = 0u64;
-        let mut local_edges = 0u64;
-        let nthreads = pool.num_threads();
-        let mut i = tid;
-        while i < window.len() {
-            let u = window[i];
-            local_edges += g.out_degree(u) as u64;
-            for &v in g.out_neighbors(u) {
-                if parents[v as usize].load(Ordering::Relaxed) == NO_PARENT
-                    && parents[v as usize]
-                        .compare_exchange(NO_PARENT, u, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                {
-                    buffer.push(v, queue);
-                    local_scout += g.out_degree(v) as u64;
-                }
-            }
-            i += nthreads;
-        }
-        buffer.flush(queue);
-        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, local_edges);
-        scout.fetch_add(local_scout, Ordering::Relaxed);
+    // Range-stealing chunks instead of a hand-rolled stride: a run of hub
+    // vertices no longer pins one stride owner while the rest idle.
+    let mut workers = PerWorker::new(pool.num_threads(), || TdWorker {
+        buffer: QueueBuffer::new(),
+        scout: 0,
+        edges: 0,
     });
-    scout.into_inner()
+    pool.for_each_index_tid(window.len(), Schedule::Dynamic(64), |tid, i| {
+        // SAFETY: slot `tid` is exclusive to the worker currently running
+        // as `tid`; the borrow does not outlive this body.
+        let w = unsafe { workers.get_mut(tid) };
+        let u = window[i];
+        w.edges += g.out_degree(u) as u64;
+        for &v in g.out_neighbors(u) {
+            if parents[v as usize].load(Ordering::Relaxed) == NO_PARENT
+                && parents[v as usize]
+                    .compare_exchange(NO_PARENT, u, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                w.buffer.push(v, queue);
+                w.scout += g.out_degree(v) as u64;
+            }
+        }
+    });
+    let mut scout = 0u64;
+    let mut edges = 0u64;
+    for w in workers.iter_mut() {
+        w.buffer.flush(queue);
+        scout += w.scout;
+        edges += w.edges;
+    }
+    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, edges);
+    scout
 }
 
 /// One pull step: every unvisited vertex scans its in-neighbors for a
@@ -184,17 +195,37 @@ fn bottom_up_step(
     awake.into_inner()
 }
 
-fn queue_to_bitmap(queue: &SlidingQueue<NodeId>, bitmap: &AtomicBitmap) {
-    bitmap.clear();
-    for &u in queue.window() {
-        bitmap.set(u as usize);
-    }
+fn queue_to_bitmap(queue: &SlidingQueue<NodeId>, bitmap: &AtomicBitmap, pool: &ThreadPool) {
+    pool.for_each_index(bitmap.num_words(), Schedule::Static, |wi| {
+        bitmap.store_word(wi, 0);
+    });
+    let window = queue.window();
+    pool.for_each_index(window.len(), Schedule::Dynamic(1024), |i| {
+        bitmap.set(window[i] as usize);
+    });
 }
 
-fn bitmap_to_queue(bitmap: &AtomicBitmap, queue: &mut SlidingQueue<NodeId>, _pool: &ThreadPool) {
+fn bitmap_to_queue(bitmap: &AtomicBitmap, queue: &mut SlidingQueue<NodeId>, pool: &ThreadPool) {
     queue.reset();
-    for v in bitmap.iter_ones() {
-        queue.push(v as NodeId);
+    // Per-worker buffered appends over word-sized chunks; the queue window
+    // is consumed as a set, so the interleaving of flushes is immaterial.
+    let mut buffers: PerWorker<QueueBuffer<NodeId>> =
+        PerWorker::new(pool.num_threads(), QueueBuffer::new);
+    {
+        let queue = &*queue;
+        pool.for_each_index_tid(bitmap.num_words(), Schedule::Dynamic(64), |tid, wi| {
+            // SAFETY: slot `tid` is exclusive to the worker running as `tid`.
+            let buffer = unsafe { buffers.get_mut(tid) };
+            let mut bits = bitmap.load_word(wi);
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                buffer.push((wi * 64 + tz) as NodeId, queue);
+            }
+        });
+        for buffer in buffers.iter_mut() {
+            buffer.flush(queue);
+        }
     }
     queue.slide_window();
 }

@@ -19,6 +19,7 @@
 pub mod bc;
 pub mod bfs;
 pub mod cc;
+pub mod ms_bfs;
 pub mod pr;
 pub mod sssp;
 pub mod tc;
@@ -26,6 +27,7 @@ pub mod tc;
 pub use bc::bc;
 pub use bfs::bfs;
 pub use cc::cc;
+pub use ms_bfs::{depths_from_parents, ms_bfs, MsBfsResult};
 pub use pr::pr;
 pub use sssp::sssp;
 pub use tc::tc;

@@ -48,6 +48,8 @@ pub struct GateStats {
     rejected: AtomicU64,
     completed: AtomicU64,
     deadline_exceeded: AtomicU64,
+    batch_queries: AtomicU64,
+    batch_width: AtomicU64,
 }
 
 /// Point-in-time copy of [`GateStats`].
@@ -57,6 +59,10 @@ pub struct GateSnapshot {
     pub rejected: u64,
     pub completed: u64,
     pub deadline_exceeded: u64,
+    /// Logical queries answered out of a multi-source batch (cumulative).
+    pub batch_queries: u64,
+    /// Widest batch executed so far (monotone max).
+    pub batch_width: u64,
 }
 
 /// Bounded concurrency gate; see the module docs.
@@ -167,7 +173,31 @@ impl AdmissionGate {
             rejected: self.stats.rejected.load(Ordering::Relaxed),
             completed: self.stats.completed.load(Ordering::Relaxed),
             deadline_exceeded: self.stats.deadline_exceeded.load(Ordering::Relaxed),
+            batch_queries: self.stats.batch_queries.load(Ordering::Relaxed),
+            batch_width: self.stats.batch_width.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts one executed multi-source batch: `members` logical queries
+    /// answered by a single MS-BFS sweep. Every member is separately
+    /// accounted as admitted (its own permit, or
+    /// [`note_batch_members`](Self::note_batch_members) for sources that
+    /// share one), so `batch_queries <= admitted` is an invariant.
+    pub fn note_batch(&self, members: u64) {
+        self.stats.batch_queries.fetch_add(members, Ordering::Relaxed);
+        self.stats.batch_width.fetch_max(members, Ordering::Relaxed);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::BatchQueries, members);
+    }
+
+    /// Accounts `extra` logical queries that rode one already-admitted
+    /// permit (an explicit batch request: one permit, many sources). They
+    /// are admitted and completed at the same instant — the batch answers
+    /// as a unit.
+    pub fn note_batch_members(&self, extra: u64) {
+        self.stats.admitted.fetch_add(extra, Ordering::Relaxed);
+        self.stats.completed.fetch_add(extra, Ordering::Relaxed);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::QueriesAdmitted, extra);
+        gapbs_telemetry::record(gapbs_telemetry::Counter::QueriesCompleted, extra);
     }
 
     /// Counts a query that finished execution past its deadline (admitted
@@ -235,6 +265,28 @@ mod tests {
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.completed, 3);
         assert!(snap.completed <= snap.admitted);
+    }
+
+    #[test]
+    fn batch_accounting_keeps_members_under_admitted() {
+        let gate = AdmissionGate::new(2, 0);
+        // Explicit batch: one permit carries 5 sources.
+        let permit = gate.admit(None).unwrap();
+        gate.note_batch_members(4);
+        gate.note_batch(5);
+        drop(permit);
+        // Coalesced batch: three members, each with its own permit.
+        let a = gate.admit(None).unwrap();
+        let b = gate.admit(None).unwrap();
+        gate.note_batch(2);
+        drop(a);
+        drop(b);
+        let snap = gate.snapshot();
+        assert_eq!(snap.admitted, 7);
+        assert_eq!(snap.completed, 7);
+        assert_eq!(snap.batch_queries, 7);
+        assert_eq!(snap.batch_width, 5, "width is a monotone max");
+        assert!(snap.batch_queries <= snap.admitted);
     }
 
     #[test]

@@ -26,7 +26,11 @@ use gapbs_telemetry::json::Json;
 use gapbs_telemetry::{Counter, LedgerSink, TrialRecord};
 
 use crate::admission::{AdmissionGate, AdmitError};
-use crate::protocol::{canonical, error_line, success_line, ErrorCode, ProtoError, Query};
+use crate::coalesce::{Coalescer, Joined, MemberDepths};
+use crate::protocol::{
+    batch_success_line, canonical, error_line, success_line, BatchQuery, ErrorCode, ProtoError,
+    Query,
+};
 use crate::registry::GraphRegistry;
 
 /// The canonical result of one executed query.
@@ -47,6 +51,9 @@ pub struct EngineConfig {
     pub max_waiting: usize,
     /// Deadline applied when a query carries none (`None` = unbounded).
     pub default_deadline_ms: Option<u64>,
+    /// Admission window for transparently coalescing concurrent
+    /// single-source BFS queries into one MS-BFS execution (0 = off).
+    pub coalesce_window_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +62,7 @@ impl Default for EngineConfig {
             max_active: 8,
             max_waiting: 128,
             default_deadline_ms: None,
+            coalesce_window_ms: 2,
         }
     }
 }
@@ -66,6 +74,7 @@ pub struct Engine {
     gate: AdmissionGate,
     ledger: Option<LedgerSink>,
     default_deadline_ms: Option<u64>,
+    coalescer: Option<Coalescer>,
     seq: AtomicU64,
 }
 
@@ -83,6 +92,8 @@ impl Engine {
             gate: AdmissionGate::new(config.max_active, config.max_waiting),
             ledger,
             default_deadline_ms: config.default_deadline_ms,
+            coalescer: (config.coalesce_window_ms > 0)
+                .then(|| Coalescer::new(Duration::from_millis(config.coalesce_window_ms))),
             seq: AtomicU64::new(0),
         }
     }
@@ -111,8 +122,28 @@ impl Engine {
             Ok(permit) => permit,
             Err(err) => return error_line(query.id.as_ref(), &admit_error(err)),
         };
+        // Fail fast if the deadline expired while queued for the permit
+        // (or arrived already expired): the query must never reach the
+        // pool. The post-run check below still covers overlong kernels.
+        if let Some(when) = deadline {
+            if Instant::now() > when {
+                drop(permit);
+                self.gate.note_deadline_exceeded();
+                let err = ProtoError::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "{}ms deadline expired before execution began",
+                        deadline_ms.unwrap_or(0)
+                    ),
+                );
+                return error_line(query.id.as_ref(), &err);
+            }
+        }
         let counters_before = gapbs_telemetry::snapshot();
-        let outcome = run_query_local(&self.registry, query, &self.pool);
+        let outcome = match self.coalescible(query) {
+            Some(bench) => self.run_coalesced(query, &bench),
+            None => run_query_local(&self.registry, query, &self.pool),
+        };
         let latency = received.elapsed();
         drop(permit); // counts the query completed and frees the slot
         let outcome = match outcome {
@@ -141,6 +172,162 @@ impl Engine {
             outcome.result,
             outcome.fingerprint,
         )
+    }
+
+    /// Runs an explicit multi-source batch end to end: one permit, one
+    /// MS-BFS execution, one response line with a per-source result and
+    /// fingerprint. Each source is accounted as one logical query.
+    pub fn handle_batch(&self, batch: &BatchQuery) -> String {
+        let query = &batch.query;
+        let received = Instant::now();
+        let deadline_ms = query.deadline_ms.or(self.default_deadline_ms);
+        let deadline = deadline_ms.map(|ms| received + Duration::from_millis(ms));
+        let permit = match self.gate.admit(deadline) {
+            Ok(permit) => permit,
+            Err(err) => return error_line(query.id.as_ref(), &admit_error(err)),
+        };
+        if let Some(when) = deadline {
+            if Instant::now() > when {
+                drop(permit);
+                self.gate.note_deadline_exceeded();
+                let err = ProtoError::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "{}ms deadline expired before execution began",
+                        deadline_ms.unwrap_or(0)
+                    ),
+                );
+                return error_line(query.id.as_ref(), &err);
+            }
+        }
+        let counters_before = gapbs_telemetry::snapshot();
+        let results = self.run_batch_local(batch);
+        let latency = received.elapsed();
+        drop(permit);
+        let results = match results {
+            Ok(results) => results,
+            Err(err) => return error_line(query.id.as_ref(), &err),
+        };
+        let members = batch.sources.len() as u64;
+        self.gate.note_batch_members(members - 1);
+        self.gate.note_batch(members);
+        self.append_record(query, latency, &counters_before);
+        if let Some(when) = deadline {
+            if Instant::now() > when {
+                self.gate.note_deadline_exceeded();
+                let err = ProtoError::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "batch completed in {:.1}ms, past its {}ms deadline",
+                        latency.as_secs_f64() * 1e3,
+                        deadline_ms.unwrap_or(0)
+                    ),
+                );
+                return error_line(query.id.as_ref(), &err);
+            }
+        }
+        batch_success_line(query.id.as_ref(), query, latency.as_secs_f64() * 1e3, results)
+    }
+
+    /// Validates and executes a batch, returning one result object per
+    /// source (request order).
+    fn run_batch_local(&self, batch: &BatchQuery) -> Result<Vec<Json>, ProtoError> {
+        let query = &batch.query;
+        let bench = self.registry.get(query.graph).ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::UnknownGraph,
+                format!("graph {:?} is not resident in this daemon", query.graph.name()),
+            )
+        })?;
+        let n = bench.num_vertices();
+        let check = |field: &str, v: NodeId| -> Result<(), ProtoError> {
+            if (v as usize) >= n {
+                return Err(ProtoError::new(
+                    ErrorCode::BadSource,
+                    format!("{field} {v} out of range for {} ({n} vertices)", bench.spec.name()),
+                ));
+            }
+            Ok(())
+        };
+        for &s in &batch.sources {
+            check("source", s)?;
+        }
+        if let Some(t) = query.target {
+            check("target", t)?;
+        }
+        let result = gapbs_ref::ms_bfs(&bench.graph, &batch.sources, &self.pool);
+        Ok(batch
+            .sources
+            .iter()
+            .zip(&result.depths)
+            .map(|(&source, depths)| {
+                let mut fields = bfs_result_fields(source, query.target, depths);
+                fields.push((
+                    "fingerprint".to_string(),
+                    Json::Str(format!("{:016x}", canonical::fingerprint_depths(depths))),
+                ));
+                Json::obj(fields)
+            })
+            .collect())
+    }
+
+    /// Whether `query` may join a coalesced MS-BFS batch: a single-source
+    /// BFS on the reference engine against a resident graph, with its
+    /// source in range. Everything else takes the solo path (which also
+    /// produces the precise error for bad inputs).
+    fn coalescible(&self, query: &Query) -> Option<Arc<BenchGraph>> {
+        self.coalescer.as_ref()?;
+        if query.kernel != gapbs_core::Kernel::Bfs
+            || query.framework != "GAP"
+            || query.mode != gapbs_core::Mode::Baseline
+        {
+            return None;
+        }
+        let source = query.source?;
+        let bench = self.registry.get(query.graph)?;
+        if (source as usize) >= bench.num_vertices() {
+            return None;
+        }
+        Some(Arc::clone(bench))
+    }
+
+    /// Executes one eligible query through the coalescer: the first
+    /// member leads (holds the window, runs MS-BFS over everyone's
+    /// sources, publishes per-member depth columns); followers park and
+    /// wake with their column. Response fields and fingerprint are
+    /// exactly what the solo path produces for the same query.
+    fn run_coalesced(&self, query: &Query, bench: &BenchGraph) -> Result<QueryOutcome, ProtoError> {
+        let coalescer = self.coalescer.as_ref().expect("checked by coalescible");
+        let source = query.source.expect("checked by coalescible");
+        let depths: MemberDepths = match coalescer.join(query.graph, source) {
+            Joined::Leader(batch) => {
+                std::thread::sleep(coalescer.window());
+                let sources = coalescer.close(query.graph, &batch);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    gapbs_ref::ms_bfs(&bench.graph, &sources, &self.pool)
+                }));
+                match run {
+                    Ok(result) => {
+                        let columns: Vec<MemberDepths> =
+                            result.depths.into_iter().map(Arc::new).collect();
+                        self.gate.note_batch(sources.len() as u64);
+                        let mine = Arc::clone(&columns[0]);
+                        batch.publish(Ok(columns));
+                        mine
+                    }
+                    Err(panic) => {
+                        // Wake the followers before unwinding this thread.
+                        batch.publish(Err(ProtoError::new(
+                            ErrorCode::Internal,
+                            "batch leader panicked during MS-BFS",
+                        )));
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+            Joined::Follower(batch, member) => batch.wait(member)?,
+        };
+        Ok(bfs_outcome(query, source, &depths))
     }
 
     /// Daemon statistics for `{"cmd":"stats"}`.
@@ -172,6 +359,8 @@ impl Engine {
             ("queries_rejected".to_string(), Json::Num(snap.rejected as f64)),
             ("queries_completed".to_string(), Json::Num(snap.completed as f64)),
             ("deadline_exceeded".to_string(), Json::Num(snap.deadline_exceeded as f64)),
+            ("batch_queries".to_string(), Json::Num(snap.batch_queries as f64)),
+            ("batch_width".to_string(), Json::Num(snap.batch_width as f64)),
             (
                 "ledger_records".to_string(),
                 Json::Num(self.ledger.as_ref().map_or(0.0, |l| l.appended() as f64)),
@@ -208,6 +397,8 @@ impl Engine {
         counters.set(Counter::QueriesRejected, snap.rejected);
         counters.set(Counter::QueriesCompleted, snap.completed);
         counters.set(Counter::DeadlineExceeded, snap.deadline_exceeded);
+        counters.set(Counter::BatchQueries, snap.batch_queries);
+        counters.set(Counter::BatchWidth, snap.batch_width);
         let record = TrialRecord {
             framework: query.framework.clone(),
             kernel: query.kernel.name().to_lowercase(),
@@ -308,33 +499,7 @@ pub fn execute_query(
             let source = query.source.expect("parser guarantees a source");
             let parents = prepared.bfs(source);
             let depths = canonical::bfs_depths(&parents);
-            let reached = depths.iter().filter(|&&d| d != canonical::UNREACHED).count();
-            let max_depth = depths
-                .iter()
-                .filter(|&&d| d != canonical::UNREACHED)
-                .max()
-                .copied()
-                .unwrap_or(0);
-            let mut fields = vec![
-                ("source".to_string(), Json::Num(f64::from(source))),
-                ("reached".to_string(), Json::Num(reached as f64)),
-                ("max_depth".to_string(), Json::Num(f64::from(max_depth))),
-            ];
-            if let Some(t) = query.target {
-                let d = depths[t as usize];
-                fields.push((
-                    "target_depth".to_string(),
-                    if d == canonical::UNREACHED {
-                        Json::Null
-                    } else {
-                        Json::Num(f64::from(d))
-                    },
-                ));
-            }
-            QueryOutcome {
-                result: Json::obj(fields),
-                fingerprint: canonical::fingerprint_depths(&depths),
-            }
+            bfs_outcome(query, source, &depths)
         }
         gapbs_core::Kernel::Sssp => {
             let source = query.source.expect("parser guarantees a source");
@@ -407,6 +572,45 @@ pub fn execute_query(
         }
     };
     Ok(outcome)
+}
+
+/// BFS response fields from a canonical depth array. One code path
+/// builds these whether the depths came from a solo parent-array run, a
+/// coalesced MS-BFS column, or an explicit batch — which is what makes
+/// batching invisible in responses.
+fn bfs_result_fields(source: NodeId, target: Option<NodeId>, depths: &[u32]) -> Vec<(String, Json)> {
+    let reached = depths.iter().filter(|&&d| d != canonical::UNREACHED).count();
+    let max_depth = depths
+        .iter()
+        .filter(|&&d| d != canonical::UNREACHED)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let mut fields = vec![
+        ("source".to_string(), Json::Num(f64::from(source))),
+        ("reached".to_string(), Json::Num(reached as f64)),
+        ("max_depth".to_string(), Json::Num(f64::from(max_depth))),
+    ];
+    if let Some(t) = target {
+        let d = depths[t as usize];
+        fields.push((
+            "target_depth".to_string(),
+            if d == canonical::UNREACHED {
+                Json::Null
+            } else {
+                Json::Num(f64::from(d))
+            },
+        ));
+    }
+    fields
+}
+
+/// A BFS [`QueryOutcome`] from canonical depths (see [`bfs_result_fields`]).
+fn bfs_outcome(query: &Query, source: NodeId, depths: &[u32]) -> QueryOutcome {
+    QueryOutcome {
+        result: Json::obj(bfs_result_fields(source, query.target, depths)),
+        fingerprint: canonical::fingerprint_depths(depths),
+    }
 }
 
 /// Top-k vertices by score (descending, vertex id breaking ties) as a
@@ -507,6 +711,114 @@ mod tests {
         let v = Json::parse(&engine.handle(&q)).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(engine.gate().snapshot().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn expired_deadline_never_executes_a_kernel() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        let engine = Engine::new(Arc::clone(&registry), pool, EngineConfig::default(), None);
+        let before = gapbs_telemetry::snapshot();
+        let q = query(r#"{"kernel":"bfs","graph":"kron","source":1,"deadline_ms":0}"#);
+        let v = Json::parse(&engine.handle(&q)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("deadline_exceeded"));
+        // The fail-fast path returns before touching the pool: the query
+        // examined zero edges (meaningful in telemetry builds; trivially
+        // zero otherwise).
+        let delta = gapbs_telemetry::snapshot().delta(&before);
+        assert_eq!(delta.get(Counter::EdgesExamined), 0);
+        assert_eq!(engine.gate().snapshot().deadline_exceeded, 1);
+        assert_eq!(engine.gate().snapshot().completed, 1, "permit was released");
+    }
+
+    #[test]
+    fn batch_request_fingerprints_match_individual_queries() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        let engine = Engine::new(Arc::clone(&registry), pool.clone(), EngineConfig::default(), None);
+        let b = match parse_request(r#"{"kernel":"bfs","graph":"kron","sources":[1,5,9],"target":3}"#)
+            .unwrap()
+        {
+            Command::Batch(b) => b,
+            other => panic!("expected batch, got {other:?}"),
+        };
+        let line = engine.handle_batch(&b);
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
+        assert_eq!(v.get("batch").and_then(Json::as_u64), Some(3));
+        let Some(Json::Arr(results)) = v.get("results") else {
+            panic!("missing results array: {line}");
+        };
+        assert_eq!(results.len(), 3);
+        for (entry, &source) in results.iter().zip(&b.sources) {
+            let solo = query(&format!(
+                r#"{{"kernel":"bfs","graph":"kron","source":{source},"target":3}}"#
+            ));
+            let expected = run_query_local(&registry, &solo, &pool).unwrap();
+            assert_eq!(
+                entry.get("fingerprint").and_then(Json::as_str),
+                Some(format!("{:016x}", expected.fingerprint).as_str()),
+                "source {source}"
+            );
+            assert_eq!(
+                entry.get("reached").and_then(Json::as_u64),
+                expected.result.get("reached").and_then(Json::as_u64),
+            );
+            assert_eq!(
+                entry.get("target_depth").and_then(Json::as_u64),
+                expected.result.get("target_depth").and_then(Json::as_u64),
+            );
+        }
+        // Each batched source is one logical query; the invariant
+        // batch_queries <= admitted holds.
+        let snap = engine.gate().snapshot();
+        assert_eq!(snap.batch_queries, 3);
+        assert_eq!(snap.batch_width, 3);
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.completed, 3);
+    }
+
+    #[test]
+    fn coalesced_queries_fingerprint_identically_to_solo_runs() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        // A generous window so concurrently-spawned queries reliably land
+        // in one batch; correctness does not depend on them merging.
+        let config = EngineConfig {
+            coalesce_window_ms: 200,
+            ..EngineConfig::default()
+        };
+        let engine = Arc::new(Engine::new(Arc::clone(&registry), pool.clone(), config, None));
+        let sources = [1u32, 6, 11];
+        let lines: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sources
+                .iter()
+                .map(|&s| {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || {
+                        let q = query(&format!(r#"{{"kernel":"bfs","graph":"kron","source":{s}}}"#));
+                        engine.handle(&q)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (line, &s) in lines.iter().zip(&sources) {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
+            let solo = query(&format!(r#"{{"kernel":"bfs","graph":"kron","source":{s}}}"#));
+            let expected = run_query_local(&registry, &solo, &pool).unwrap();
+            assert_eq!(
+                v.get("fingerprint").and_then(Json::as_str),
+                Some(format!("{:016x}", expected.fingerprint).as_str()),
+                "source {s}"
+            );
+        }
+        let snap = engine.gate().snapshot();
+        assert_eq!(snap.batch_queries, 3, "all three queries rode batches");
+        assert!(snap.batch_width >= 2, "concurrent queries coalesced");
+        assert!(snap.batch_queries <= snap.admitted);
     }
 
     #[test]

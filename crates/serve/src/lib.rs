@@ -13,6 +13,10 @@
 //! * [`admission`] — a bounded concurrency gate with deadline-aware
 //!   queueing, so overload degrades into fast rejections instead of
 //!   unbounded queueing inside the pool;
+//! * [`coalesce`] — an admission-window collector that transparently
+//!   merges concurrent same-graph single-source BFS queries into one
+//!   multi-source (MS-BFS) execution, with per-source fan-out and
+//!   unchanged canonical fingerprints;
 //! * [`engine`] — per-query lifecycle: admit, execute on the shared
 //!   [`ThreadPool`], deadline-check, account one ledger record;
 //! * [`server`] — the TCP accept loop, per-connection handler threads,
@@ -33,6 +37,7 @@
 
 pub mod admission;
 pub mod bench;
+pub mod coalesce;
 pub mod engine;
 pub mod protocol;
 pub mod registry;
@@ -41,7 +46,8 @@ pub mod signal;
 
 pub use admission::{AdmissionGate, AdmitError, GateSnapshot, Permit};
 pub use bench::{bench_main, run_bench, BenchConfig, BenchSummary};
+pub use coalesce::Coalescer;
 pub use engine::{execute_query, run_query_local, Engine, EngineConfig, QueryOutcome};
-pub use protocol::{parse_request, Command, ErrorCode, ProtoError, Query};
+pub use protocol::{parse_request, BatchQuery, Command, ErrorCode, ProtoError, Query};
 pub use registry::GraphRegistry;
 pub use server::{serve_main, ServeConfig, ServeSummary, Server};

@@ -92,12 +92,25 @@ impl ProtoError {
 pub enum Command {
     /// A kernel query.
     Query(Query),
+    /// A multi-source BFS batch (`"sources":[...]`).
+    Batch(BatchQuery),
     /// `{"cmd":"shutdown"}` — drain and exit.
     Shutdown,
     /// `{"cmd":"stats"}` — daemon statistics.
     Stats,
     /// `{"cmd":"ping"}` — liveness probe.
     Ping,
+}
+
+/// An explicit multi-source BFS request: one line carrying a source
+/// list, answered by one MS-BFS execution with a per-source result (and
+/// per-source canonical fingerprint) in a single response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQuery {
+    /// Everything but the sources (`query.source` is `None`).
+    pub query: Query,
+    /// The packed sources, in request order. Never empty.
+    pub sources: Vec<NodeId>,
 }
 
 /// A validated kernel query (ranges are checked against the graph by the
@@ -216,20 +229,99 @@ pub fn parse_request(line: &str) -> Result<Command, ProtoError> {
             ProtoError::new(ErrorCode::BadRequest, "field \"cmd\" must be a string")
         })?;
         return match cmd {
-            "query" => parse_query(&v).map(Command::Query),
+            "query" => parse_query_or_batch(&v),
+            "batch" => parse_batch(&v).map(Command::Batch),
             "shutdown" => Ok(Command::Shutdown),
             "stats" => Ok(Command::Stats),
             "ping" => Ok(Command::Ping),
             other => Err(ProtoError::new(
                 ErrorCode::BadRequest,
-                format!("unknown cmd {other:?}; expected query|stats|ping|shutdown"),
+                format!("unknown cmd {other:?}; expected query|batch|stats|ping|shutdown"),
             )),
         };
     }
-    parse_query(&v).map(Command::Query)
+    parse_query_or_batch(&v)
+}
+
+/// A line with a `sources` array is a batch; anything else is a query.
+fn parse_query_or_batch(v: &Json) -> Result<Command, ProtoError> {
+    match v.get("sources") {
+        None | Some(Json::Null) => parse_query(v).map(Command::Query),
+        Some(_) => parse_batch(v).map(Command::Batch),
+    }
+}
+
+/// Most sources one batch line may carry (bounds the response line and
+/// the per-batch state; MS-BFS itself chunks in 64-wide words).
+pub const MAX_BATCH_SOURCES: usize = 1024;
+
+fn parse_batch(v: &Json) -> Result<BatchQuery, ProtoError> {
+    let query = parse_query_fields(v)?;
+    if query.kernel != Kernel::Bfs {
+        return Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            "\"sources\" batches support kernel \"bfs\" only",
+        ));
+    }
+    if query.framework != "GAP" {
+        return Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            "batched bfs executes on the reference MS-BFS engine; framework must be \"gap\"",
+        ));
+    }
+    if query.source.is_some() {
+        return Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            "give either \"source\" or \"sources\", not both",
+        ));
+    }
+    let Some(Json::Arr(items)) = v.get("sources") else {
+        return Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            "field \"sources\" must be an array of vertex ids",
+        ));
+    };
+    if items.is_empty() || items.len() > MAX_BATCH_SOURCES {
+        return Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            format!("\"sources\" must list 1..={MAX_BATCH_SOURCES} vertices"),
+        ));
+    }
+    let sources = items
+        .iter()
+        .map(|item| {
+            let n = item.as_u64().ok_or_else(|| {
+                ProtoError::new(
+                    ErrorCode::BadRequest,
+                    "field \"sources\" must hold non-negative integers",
+                )
+            })?;
+            NodeId::try_from(n).map_err(|_| {
+                ProtoError::new(
+                    ErrorCode::BadSource,
+                    format!("source {n} exceeds the 32-bit vertex space"),
+                )
+            })
+        })
+        .collect::<Result<Vec<NodeId>, ProtoError>>()?;
+    Ok(BatchQuery { query, sources })
 }
 
 fn parse_query(v: &Json) -> Result<Query, ProtoError> {
+    let query = parse_query_fields(v)?;
+    if query.kernel.takes_source() && query.source.is_none() {
+        return Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            format!(
+                "kernel {:?} requires a \"source\" vertex",
+                query.kernel.name().to_lowercase()
+            ),
+        ));
+    }
+    Ok(query)
+}
+
+fn parse_query_fields(v: &Json) -> Result<Query, ProtoError> {
     let kernel = parse_kernel(
         v.get("kernel")
             .and_then(Json::as_str)
@@ -257,12 +349,6 @@ fn parse_query(v: &Json) -> Result<Query, ProtoError> {
         }
     };
     let source = node_field(v, "source")?;
-    if kernel.takes_source() && source.is_none() {
-        return Err(ProtoError::new(
-            ErrorCode::BadRequest,
-            format!("kernel {:?} requires a \"source\" vertex", kernel.name().to_lowercase()),
-        ));
-    }
     let k = match v.get("k") {
         None | Some(Json::Null) => DEFAULT_TOP_K,
         Some(value) => value.as_u64().map(|n| n as usize).ok_or_else(|| {
@@ -311,6 +397,29 @@ pub fn success_line(
             "fingerprint".to_string(),
             Json::Str(format!("{fingerprint:016x}")),
         ),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), id.clone()));
+    }
+    Json::obj(fields).encode()
+}
+
+/// Encodes the single response line of a batch request: one entry per
+/// source (in request order), each with its own canonical fingerprint.
+pub fn batch_success_line(
+    id: Option<&Json>,
+    query: &Query,
+    latency_ms: f64,
+    results: Vec<Json>,
+) -> String {
+    let mut fields = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("kernel".to_string(), Json::Str(query.kernel.name().to_lowercase())),
+        ("graph".to_string(), Json::Str(query.graph.name().to_string())),
+        ("framework".to_string(), Json::Str(query.framework.clone())),
+        ("latency_ms".to_string(), Json::Num(latency_ms)),
+        ("batch".to_string(), Json::Num(results.len() as f64)),
+        ("results".to_string(), Json::Arr(results)),
     ];
     if let Some(id) = id {
         fields.push(("id".to_string(), id.clone()));
@@ -513,6 +622,38 @@ mod tests {
         assert_eq!(q.target, Some(9));
         assert_eq!(q.k, 3);
         assert_eq!(q.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn batch_requests_parse_and_validate() {
+        let cmd = parse_request(r#"{"kernel":"bfs","graph":"kron","sources":[1,2,2,7]}"#).unwrap();
+        let Command::Batch(b) = cmd else {
+            panic!("expected batch, got {cmd:?}")
+        };
+        assert_eq!(b.sources, vec![1, 2, 2, 7]);
+        assert_eq!(b.query.kernel, Kernel::Bfs);
+        assert_eq!(b.query.source, None);
+        // The explicit cmd form works too.
+        assert!(matches!(
+            parse_request(r#"{"cmd":"batch","kernel":"bfs","graph":"road","sources":[0]}"#),
+            Ok(Command::Batch(_))
+        ));
+        let code = |line: &str| parse_request(line).unwrap_err().code;
+        assert_eq!(code(r#"{"kernel":"sssp","graph":"kron","sources":[1]}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"kernel":"bfs","graph":"kron","sources":[]}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"kernel":"bfs","graph":"kron","sources":7}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(r#"{"kernel":"bfs","graph":"kron","source":1,"sources":[2]}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"kernel":"bfs","graph":"kron","sources":[1],"framework":"galois"}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"kernel":"bfs","graph":"kron","sources":[5000000000]}"#),
+            ErrorCode::BadSource
+        );
     }
 
     #[test]

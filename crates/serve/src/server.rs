@@ -231,6 +231,7 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
         let response = match parse_request(trimmed) {
             Err(err) => error_line(None, &err),
             Ok(Command::Query(query)) => engine.handle(&query),
+            Ok(Command::Batch(batch)) => engine.handle_batch(&batch),
             Ok(Command::Stats) => engine.stats_json().encode(),
             Ok(Command::Ping) => Json::obj([
                 ("ok".to_string(), Json::Bool(true)),
@@ -286,7 +287,7 @@ pub fn serve_main(args: impl Iterator<Item = String>) -> i32 {
     let mut args = args.peekable();
     let usage = "usage: serve [--addr HOST:PORT] [--port-file PATH] [--scale tiny|small|medium|large] \
                  [--graphs a,b,...] [--threads N] [--max-active N] [--max-waiting N] \
-                 [--deadline-ms N] [--ledger PATH]";
+                 [--deadline-ms N] [--coalesce-ms N] [--ledger PATH]";
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -313,6 +314,9 @@ pub fn serve_main(args: impl Iterator<Item = String>) -> i32 {
             "--deadline-ms" => value("--deadline-ms")
                 .and_then(|v| v.parse().map_err(|_| "bad --deadline-ms".to_string()))
                 .map(|n| config.engine.default_deadline_ms = Some(n)),
+            "--coalesce-ms" => value("--coalesce-ms")
+                .and_then(|v| v.parse().map_err(|_| "bad --coalesce-ms".to_string()))
+                .map(|n| config.engine.coalesce_window_ms = n),
             "--ledger" => value("--ledger").map(|v| config.ledger_path = Some(v.into())),
             "--help" | "-h" => {
                 println!("{usage}");

@@ -168,6 +168,38 @@ fn served_results_are_bit_identical_to_batch_mode() {
     shutdown_and_join(server);
 }
 
+/// A batch line answers with one result per source, each fingerprint
+/// bit-identical to the same query issued solo, and the daemon's stats
+/// expose the batch lifecycle counters.
+#[test]
+fn batch_lines_fan_out_with_solo_identical_fingerprints() {
+    let server = start_server(EngineConfig::default(), None);
+    let mut client = Client::connect(server.addr);
+    let sources = [2u32, 8, 2, 31];
+    let v = client.roundtrip(r#"{"kernel":"bfs","graph":"kron","sources":[2,8,2,31]}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", v.encode());
+    assert_eq!(v.get("batch").and_then(Json::as_u64), Some(4));
+    let Some(Json::Arr(results)) = v.get("results") else {
+        panic!("missing results: {}", v.encode());
+    };
+    for (entry, source) in results.iter().zip(sources) {
+        let solo = client.roundtrip(&format!(
+            r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#
+        ));
+        assert_eq!(
+            entry.get("fingerprint").and_then(Json::as_str),
+            solo.get("fingerprint").and_then(Json::as_str),
+            "source {source}"
+        );
+    }
+    let stats = client.roundtrip(r#"{"cmd":"stats"}"#);
+    let field = |k: &str| stats.get(k).and_then(Json::as_u64).expect(k);
+    assert!(field("batch_queries") >= 4, "stats: {}", stats.encode());
+    assert!(field("batch_width") >= 4);
+    assert!(field("batch_queries") <= field("queries_admitted"));
+    shutdown_and_join(server);
+}
+
 #[test]
 fn expired_deadlines_error_without_poisoning_the_daemon() {
     let server = start_server(EngineConfig::default(), None);
@@ -189,7 +221,7 @@ fn concurrent_clients_all_get_correct_answers() {
         EngineConfig {
             max_active: 4,
             max_waiting: 64,
-            default_deadline_ms: None,
+            ..EngineConfig::default()
         },
         None,
     );
@@ -232,7 +264,7 @@ fn zero_capacity_queue_rejects_overload_with_rejected_code() {
         EngineConfig {
             max_active: 1,
             max_waiting: 0,
-            default_deadline_ms: None,
+            ..EngineConfig::default()
         },
         None,
     );

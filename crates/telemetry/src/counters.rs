@@ -80,14 +80,23 @@ pub enum Counter {
     /// Cumulative in serve ledgers; never exceeds `queries_admitted`.
     QueriesCompleted,
     /// Queries whose deadline expired — either in the admission queue
-    /// (never run) or after execution finished too late (result
-    /// discarded, error response sent). Cumulative in serve ledgers.
+    /// (never run), fail-fast after admission with an already-expired
+    /// deadline (never run), or after execution finished too late
+    /// (result discarded, error response sent). Cumulative in serve
+    /// ledgers.
     DeadlineExceeded,
+    /// Queries answered by a *batched* multi-source execution — explicit
+    /// `batch` request members plus coalesced single-source queries.
+    /// Cumulative in serve ledgers; never exceeds `queries_admitted`.
+    BatchQueries,
+    /// Widest multi-source batch executed so far (a monotone high-water
+    /// mark, not a sum). Cumulative-max in serve ledgers.
+    BatchWidth,
 }
 
 impl Counter {
     /// Every counter, in ledger order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::EdgesExamined,
         Counter::FrontierPushes,
         Counter::Iterations,
@@ -111,6 +120,8 @@ impl Counter {
         Counter::QueriesRejected,
         Counter::QueriesCompleted,
         Counter::DeadlineExceeded,
+        Counter::BatchQueries,
+        Counter::BatchWidth,
     ];
 
     /// Number of counters in the vocabulary.
@@ -142,6 +153,8 @@ impl Counter {
             Counter::QueriesRejected => "queries_rejected",
             Counter::QueriesCompleted => "queries_completed",
             Counter::DeadlineExceeded => "deadline_exceeded",
+            Counter::BatchQueries => "batch_queries",
+            Counter::BatchWidth => "batch_width",
         }
     }
 

@@ -114,6 +114,33 @@ else
     echo "WARN: results/baseline-grb.jsonl missing; skipping grb baseline compare"
 fi
 
+echo "== smoke: multi-source BFS engine (msbfs_bench) =="
+# msbfs_bench asserts every batched search's canonical depths are
+# bit-identical to an independent direction-optimizing bfs run (and
+# thread-count invariant) before any timing claim, so this smoke is a
+# correctness check on every host. Batching 64 sources into word-packed
+# sweeps shares edge scans across searches; the aggregate-TEPS gate
+# applies only with real cores behind the pool.
+msbfs_gate=()
+if [[ "$(nproc)" -ge 4 ]]; then
+    msbfs_gate=(--min-speedup 4)
+else
+    echo "  (host has $(nproc) core(s): bit-identity checked, speedup gate skipped)"
+fi
+cargo run -q --release -p gapbs-bench --bin msbfs_bench -- \
+    --threads 4 --scale 13 --sources 64 --reps 2 \
+    --ledger "$smoke_dir/msbfs.jsonl" "${msbfs_gate[@]}"
+# Diff against the committed baseline with the same wide thresholds as
+# the other microbench baselines: catches order-of-magnitude blowups,
+# not host jitter.
+if [[ -f results/baseline-msbfs.jsonl ]]; then
+    cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+        --ratio 3 --floor 0.25 \
+        results/baseline-msbfs.jsonl "$smoke_dir/msbfs.jsonl"
+else
+    echo "WARN: results/baseline-msbfs.jsonl missing; skipping msbfs baseline compare"
+fi
+
 echo "== smoke: perf_compare gate =="
 # Identical ledgers must pass...
 cargo run -q --release -p gapbs-bench --bin perf_compare -- \
