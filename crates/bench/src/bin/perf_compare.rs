@@ -11,23 +11,33 @@
 //! finite, outputs verified, graphs non-empty, and (in telemetry builds)
 //! every trial examined at least one edge.
 //!
+//! `--lint-stats` sanity-checks one `{"cmd":"stats"}` snapshot from the
+//! serve daemon (a JSON file, or `-` for stdin): lifecycle counters
+//! balance exactly (`admitted == completed + active`), the latency
+//! histogram count equals completions, and the bucket table is monotone.
+//!
 //! Exit codes: 0 clean, 1 regressions/lint problems found, 2 usage or
 //! read error.
 
-use gapbs_bench::perf::{compare, lint, CompareConfig};
+use gapbs_bench::perf::{compare, lint, lint_stats, CompareConfig};
+use gapbs_telemetry::json::Json;
 use gapbs_telemetry::Ledger;
+use std::io::Read;
 use std::process::exit;
 
 const USAGE: &str = "\
 usage: perf_compare [options] <baseline.jsonl> <candidate.jsonl>
        perf_compare --lint <ledger.jsonl>
+       perf_compare --lint-stats <stats.json|->
   --ratio <r>    ratio threshold for a real change (default 1.25)
   --floor <s>    absolute seconds floor for a real change (default 0.005)
-  --lint         sanity-check one ledger instead of diffing two";
+  --lint         sanity-check one ledger instead of diffing two
+  --lint-stats   sanity-check one serve-daemon stats snapshot";
 
 fn main() {
     let mut config = CompareConfig::default();
     let mut lint_mode = false;
+    let mut lint_stats_mode = false;
     let mut paths = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -43,12 +53,46 @@ fn main() {
             "--ratio" => config.ratio_threshold = value("--ratio"),
             "--floor" => config.absolute_floor = value("--floor"),
             "--lint" => lint_mode = true,
+            "--lint-stats" => lint_stats_mode = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;
             }
             other => paths.push(other.to_string()),
         }
+    }
+    if lint_stats_mode {
+        let [path] = paths.as_slice() else {
+            eprintln!("{USAGE}");
+            exit(2);
+        };
+        let text = if path == "-" {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
+                eprintln!("stdin: {e}");
+                exit(2);
+            });
+            buf
+        } else {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                exit(2);
+            })
+        };
+        let stats = Json::parse(text.trim()).unwrap_or_else(|e| {
+            eprintln!("{path}: not valid JSON: {e}");
+            exit(2);
+        });
+        let problems = lint_stats(&stats);
+        if problems.is_empty() {
+            println!("{path}: stats snapshot is internally consistent");
+            return;
+        }
+        for p in &problems {
+            println!("LINT {p}");
+        }
+        eprintln!("{path}: {} problem(s)", problems.len());
+        exit(1);
     }
     if lint_mode {
         let [path] = paths.as_slice() else {

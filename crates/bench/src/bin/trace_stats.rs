@@ -1,33 +1,48 @@
-//! Summarizes a Chrome trace-event timeline written by `--trace`.
+//! Summarizes a Chrome trace-event timeline.
 //!
 //! ```sh
 //! cargo run -p gapbs-bench --bin trace_stats -- results/trace.json
+//! echo '{"kernel":"bfs","graph":"kron","source":0,"trace":true}' \
+//!   | nc localhost 7447 | cargo run -p gapbs-bench --bin trace_stats -- -
 //! ```
 //!
-//! Prints per-region worker-time imbalance (stable `imbalance:` line),
-//! the BFS direction-switch narrative, per-kernel iteration tables, and
-//! the sampled peak RSS. Exits 0 on a non-empty trace, 1 on an empty
-//! one, 2 on a missing or malformed file.
+//! The input can be a `--trace` file (a bare trace-event array), a
+//! serve-daemon response line whose `"trace"` field holds a traced
+//! query's inline events, or Chrome's `{"traceEvents": [...]}` object
+//! form; `-` reads stdin. Prints per-region worker-time imbalance
+//! (stable `imbalance:` line), the BFS direction-switch narrative,
+//! per-kernel iteration tables, and the sampled peak RSS. Exits 0 on a
+//! non-empty trace, 1 on an empty one, 2 on a missing or malformed file.
 
 use gapbs_bench::trace_stats;
+use std::io::Read;
 use std::process::exit;
 
 fn main() {
     let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace_stats <trace.json>");
+        eprintln!("usage: trace_stats <trace.json|->");
         exit(2);
     };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("trace_stats: cannot read {path}: {e}");
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("trace_stats: cannot read stdin: {e}");
             exit(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_stats: cannot read {path}: {e}");
+                exit(2);
+            }
         }
     };
     let events = match trace_stats::load(&text) {
         Ok(events) => events,
         Err(e) => {
-            eprintln!("trace_stats: {path} is not a trace-event array: {e}");
+            eprintln!("trace_stats: {path}: {e}");
             exit(2);
         }
     };

@@ -9,6 +9,7 @@
 //! absolute floor, so microsecond-scale cells cannot trip the gate on
 //! timer jitter.
 
+use gapbs_telemetry::json::Json;
 use gapbs_telemetry::{Counter, TrialRecord};
 use std::collections::BTreeMap;
 
@@ -408,6 +409,80 @@ pub fn lint(records: &[TrialRecord]) -> Vec<String> {
     problems
 }
 
+/// Sanity-checks one `{"cmd":"stats"}` snapshot from the serve daemon,
+/// returning one message per violated invariant (empty = clean). This is
+/// `perf_compare --lint-stats`, the scrape-side counterpart of [`lint`]:
+/// the engine reads every lifecycle stat under one gate lock, so these
+/// invariants hold *exactly* within any single response — even one
+/// scraped mid-load — and a violation means the accounting itself broke,
+/// not that the scrape raced.
+pub fn lint_stats(stats: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut field = |name: &str| match stats.get(name).and_then(Json::as_u64) {
+        Some(v) => Some(v),
+        None => {
+            problems.push(format!("stats missing numeric field {name:?}"));
+            None
+        }
+    };
+    let admitted = field("queries_admitted");
+    let completed = field("queries_completed");
+    let active = field("active");
+    let batch_queries = field("batch_queries");
+    if let (Some(admitted), Some(completed), Some(active)) = (admitted, completed, active) {
+        // Exact, not >=: the gate takes admission, completion, and the
+        // active count under one lock, so any single snapshot balances.
+        if completed + active != admitted {
+            problems.push(format!(
+                "incoherent lifecycle: {admitted} admitted != {completed} completed + {active} active"
+            ));
+        }
+    }
+    if let (Some(admitted), Some(batched)) = (admitted, batch_queries) {
+        if batched > admitted {
+            problems.push(format!(
+                "{batched} batched queries but only {admitted} admitted"
+            ));
+        }
+    }
+    match stats.get("metrics").and_then(|m| m.get("latency_us")) {
+        None => problems.push("stats missing metrics.latency_us histogram".into()),
+        Some(hist) => {
+            let count = hist.get("count").and_then(Json::as_u64).unwrap_or(0);
+            if let Some(completed) = completed {
+                if count != completed {
+                    problems.push(format!(
+                        "latency histogram holds {count} records but {completed} queries completed"
+                    ));
+                }
+            }
+            if let Some(Json::Arr(buckets)) = hist.get("buckets") {
+                let mut prev = 0u64;
+                for (i, bucket) in buckets.iter().enumerate() {
+                    let Some(c) = bucket.get("count").and_then(Json::as_u64) else {
+                        problems.push(format!("bucket entry {i} missing cumulative count"));
+                        continue;
+                    };
+                    if c < prev {
+                        problems.push(format!(
+                            "bucket table not monotone: cumulative {c} after {prev} at entry {i}"
+                        ));
+                    }
+                    prev = c;
+                }
+                if prev != count {
+                    problems.push(format!(
+                        "bucket table tops out at {prev} but histogram count is {count}"
+                    ));
+                }
+            } else {
+                problems.push("metrics.latency_us missing buckets table".into());
+            }
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +758,110 @@ mod tests {
         assert_eq!(problems.len(), 1);
         assert!(
             problems[0].contains("8 batched queries but only 3 admitted"),
+            "{problems:?}"
+        );
+    }
+
+    /// A minimal coherent stats snapshot, as `{"cmd":"stats"}` renders it.
+    fn stats_snapshot(admitted: u64, completed: u64, active: u64, hist_count: u64) -> Json {
+        let buckets = if hist_count > 0 {
+            vec![Json::obj([
+                ("le".to_string(), Json::Num(1024.0)),
+                ("count".to_string(), Json::Num(hist_count as f64)),
+            ])]
+        } else {
+            Vec::new()
+        };
+        Json::obj([
+            ("queries_admitted".to_string(), Json::Num(admitted as f64)),
+            ("queries_completed".to_string(), Json::Num(completed as f64)),
+            ("active".to_string(), Json::Num(active as f64)),
+            ("batch_queries".to_string(), Json::Num(0.0)),
+            (
+                "metrics".to_string(),
+                Json::obj([(
+                    "latency_us".to_string(),
+                    Json::obj([
+                        ("count".to_string(), Json::Num(hist_count as f64)),
+                        ("buckets".to_string(), Json::Arr(buckets)),
+                    ]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn lint_stats_accepts_a_coherent_snapshot() {
+        // Mid-load: 2 in flight, 5 done, histogram tracks completions.
+        assert_eq!(lint_stats(&stats_snapshot(7, 5, 2, 5)), Vec::<String>::new());
+        // Quiescent zero state.
+        assert_eq!(lint_stats(&stats_snapshot(0, 0, 0, 0)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_stats_flags_unbalanced_lifecycle() {
+        let problems = lint_stats(&stats_snapshot(7, 6, 2, 6));
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("incoherent lifecycle"), "{problems:?}");
+        // Completed ahead of admitted is the classic torn-scrape symptom.
+        assert!(!lint_stats(&stats_snapshot(5, 7, 0, 7)).is_empty());
+    }
+
+    #[test]
+    fn lint_stats_ties_histogram_count_to_completions() {
+        let problems = lint_stats(&stats_snapshot(5, 5, 0, 4));
+        assert!(
+            problems.iter().any(|p| p.contains("holds 4 records")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn lint_stats_requires_monotone_buckets() {
+        let mut stats = stats_snapshot(3, 3, 0, 3);
+        // Overwrite with a non-monotone cumulative table.
+        let broken = Json::obj([(
+            "latency_us".to_string(),
+            Json::obj([
+                ("count".to_string(), Json::Num(3.0)),
+                (
+                    "buckets".to_string(),
+                    Json::Arr(vec![
+                        Json::obj([
+                            ("le".to_string(), Json::Num(64.0)),
+                            ("count".to_string(), Json::Num(2.0)),
+                        ]),
+                        Json::obj([
+                            ("le".to_string(), Json::Num(128.0)),
+                            ("count".to_string(), Json::Num(1.0)),
+                        ]),
+                    ]),
+                ),
+            ]),
+        )]);
+        if let Json::Obj(fields) = &mut stats {
+            fields.insert("metrics".to_string(), broken);
+        }
+        let problems = lint_stats(&stats);
+        assert!(
+            problems.iter().any(|p| p.contains("not monotone")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("tops out at")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn lint_stats_flags_missing_fields() {
+        let problems = lint_stats(&Json::obj([("ok".to_string(), Json::Bool(true))]));
+        assert!(
+            problems.iter().any(|p| p.contains("queries_admitted")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("latency_us")),
             "{problems:?}"
         );
     }

@@ -54,16 +54,33 @@ impl TraceEvent {
     }
 }
 
-/// Parses a Chrome trace-event JSON array into events, dropping
-/// metadata records ("M") — they carry thread names, not measurements.
+/// Parses a Chrome trace-event timeline into events, dropping metadata
+/// records ("M") — they carry thread names, not measurements.
+///
+/// Three input shapes are accepted: a bare trace-event array (what
+/// `--trace` files hold), a serve-daemon response line whose `"trace"`
+/// field carries the inline events of a `"trace": true` query, and the
+/// Chrome trace-viewer object form with a `"traceEvents"` array.
 ///
 /// # Errors
 ///
-/// Returns a message when the text is not a JSON array of objects.
+/// Returns a message when the text is none of those shapes.
 pub fn load(text: &str) -> Result<Vec<TraceEvent>, String> {
     let doc = Json::parse(text)?;
-    let Json::Arr(items) = doc else {
-        return Err("trace file is not a JSON array".into());
+    let items = match &doc {
+        Json::Arr(items) => items,
+        Json::Obj(_) => match doc.get("trace").or_else(|| doc.get("traceEvents")) {
+            Some(Json::Arr(items)) => items,
+            Some(_) => return Err("trace field is not an event array".into()),
+            None => {
+                return Err(
+                    "trace input is neither an event array nor an object with a \
+                     trace/traceEvents field (did the query set \"trace\": true?)"
+                        .into(),
+                )
+            }
+        },
+        _ => return Err("trace file is not a JSON array".into()),
     };
     let mut events: Vec<TraceEvent> = items
         .iter()
@@ -400,5 +417,27 @@ mod tests {
     fn malformed_trace_is_an_error() {
         assert!(load("{\"not\":\"an array\"}").is_err());
         assert!(load("[{broken").is_err());
+        assert!(load("{\"trace\":\"not an array\"}").is_err());
+    }
+
+    #[test]
+    fn served_response_lines_carry_inline_traces() {
+        // A serve-daemon success line for a "trace": true query: the
+        // events ride in the "trace" field next to the result.
+        let response = format!(
+            "{{\"ok\":true,\"id\":7,\"kernel\":\"bfs\",\"fingerprint\":\"abc\",\"trace\":[{}]}}",
+            [
+                ev("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"main\"}}"),
+                bfs_level(0, 1, "push", 10.0),
+                bfs_level(1, 5, "push", 20.0),
+            ]
+            .join(",")
+        );
+        let events = load(&response).expect("inline trace parses");
+        assert_eq!(events.len(), 2, "metadata dropped, levels kept");
+        assert!(bfs_narrative(&events).contains("2 levels"));
+        // Chrome's object export form works too.
+        let wrapped = format!("{{\"traceEvents\":[{}]}}", bfs_level(0, 1, "push", 0.0));
+        assert_eq!(load(&wrapped).expect("traceEvents parses").len(), 1);
     }
 }

@@ -52,7 +52,7 @@ pub use buckets::BucketQueue;
 pub use local_buffer::LocalBuffer;
 pub use ordered::OrderedWorklist;
 pub use per_worker::PerWorker;
-pub use pool::{Schedule, ThreadPool};
+pub use pool::{PoolStats, Schedule, ThreadPool};
 pub use scatter::RowCursors;
 pub use shared::SharedSlice;
 pub use sliding_queue::{QueueBuffer, SlidingQueue};

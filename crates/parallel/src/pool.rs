@@ -105,6 +105,21 @@ pub struct PoolStats {
     pub parks: u64,
 }
 
+impl PoolStats {
+    /// Per-field difference versus an earlier snapshot of the *same*
+    /// pool (saturating, so a stale baseline never underflows). This is
+    /// what rate-style consumers — the serve daemon's metrics scrape —
+    /// use to turn lifetime totals into "regions since last scrape".
+    pub fn delta(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            spawn_events: self.spawn_events.saturating_sub(earlier.spawn_events),
+            regions: self.regions.saturating_sub(earlier.regions),
+            steals: self.steals.saturating_sub(earlier.steals),
+            parks: self.parks.saturating_sub(earlier.parks),
+        }
+    }
+}
+
 /// A type-erased pointer to a region's `Fn(usize)` body.
 ///
 /// Validity: the leader publishes a `Job` only via `RegionBarrier::release`

@@ -14,11 +14,31 @@
 //! fail fast while in-flight permits finish normally — and [`drain`]
 //! blocks until the last permit is returned.
 //!
+//! # Coherent observation
+//!
+//! The gate is also the daemon's source of lifecycle truth for the live
+//! metrics plane, and a scrape must never observe impossible states
+//! (`completed > admitted`, or a latency histogram whose count disagrees
+//! with `completed`). Every transition that participates in those
+//! invariants — admit, release, batch member accounting — mutates the
+//! stats *inside the state-mutex critical section*, and [`observe`]
+//! reads everything under that same lock. Within one
+//! [`GateObservation`] the equalities are exact:
+//!
+//! * `admitted == completed + active`
+//! * `latency.count == completed`
+//!
+//! (`rejected` / `deadline_exceeded` stay plain monotone atomics — they
+//! participate in no cross-field equality.)
+//!
 //! [`drain`]: AdmissionGate::drain
+//! [`observe`]: AdmissionGate::observe
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+
+use gapbs_telemetry::metrics::{Histogram, HistogramSnapshot};
 
 /// Why a query was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,14 +56,21 @@ struct GateState {
     active: usize,
     waiting: usize,
     draining: bool,
+    /// `(token, enqueued-at)` per parked waiter, for the queue-age gauge.
+    /// Bounded by `max_waiting`; removal is a linear scan by token.
+    waiting_since: Vec<(u64, Instant)>,
+    next_wait_token: u64,
 }
 
 /// Cumulative gate statistics, monotone over the daemon lifetime.
 ///
-/// These are always-on atomics, independent of the `telemetry` feature:
-/// the serve ledger and the `stats` command report them in every build.
+/// These are always-on, independent of the `telemetry` feature: the
+/// serve ledger and the `stats` command report them in every build. The
+/// cells are atomics only so [`GateSnapshot`]-free readers stay legal;
+/// the invariant-bearing ones are written exclusively under the gate's
+/// state mutex (see the module docs).
 #[derive(Debug, Default)]
-pub struct GateStats {
+struct GateStats {
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
@@ -52,7 +79,7 @@ pub struct GateStats {
     batch_width: AtomicU64,
 }
 
-/// Point-in-time copy of [`GateStats`].
+/// Point-in-time copy of the gate's cumulative statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GateSnapshot {
     pub admitted: u64,
@@ -65,6 +92,24 @@ pub struct GateSnapshot {
     pub batch_width: u64,
 }
 
+/// One coherent reading of the whole gate, taken under the state lock:
+/// cumulative stats, instantaneous queue gauges, and the end-to-end
+/// latency histogram, all from the same instant.
+#[derive(Debug, Clone)]
+pub struct GateObservation {
+    /// Cumulative lifecycle stats.
+    pub stats: GateSnapshot,
+    /// Permits currently held.
+    pub active: usize,
+    /// Queries parked waiting for a slot.
+    pub waiting: usize,
+    /// Age of the oldest parked waiter, in microseconds (0 when none).
+    pub queue_age_us: u64,
+    /// End-to-end latency distribution (µs) of every completed query;
+    /// `latency.count == stats.completed` exactly.
+    pub latency: HistogramSnapshot,
+}
+
 /// Bounded concurrency gate; see the module docs.
 #[derive(Debug)]
 pub struct AdmissionGate {
@@ -73,13 +118,20 @@ pub struct AdmissionGate {
     max_active: usize,
     max_waiting: usize,
     stats: GateStats,
+    /// End-to-end latency histogram (µs), recorded at permit release in
+    /// the same critical section that counts the query completed.
+    latency_us: Histogram,
 }
 
-/// RAII token for an admitted query; releasing it frees the slot and
-/// counts the query as completed.
+/// RAII token for an admitted query; releasing it frees the slot, counts
+/// the query as completed, and records its latency histogram entry.
 #[derive(Debug)]
 pub struct Permit<'g> {
     gate: &'g AdmissionGate,
+    admitted_at: Instant,
+    /// End-to-end latency set by the engine before release; `u64::MAX`
+    /// means unset and release falls back to the permit's own hold time.
+    latency_us: AtomicU64,
 }
 
 impl AdmissionGate {
@@ -92,6 +144,15 @@ impl AdmissionGate {
             max_active: max_active.max(1),
             max_waiting,
             stats: GateStats::default(),
+            latency_us: Histogram::new(),
+        }
+    }
+
+    fn permit(&self) -> Permit<'_> {
+        Permit {
+            gate: self,
+            admitted_at: Instant::now(),
+            latency_us: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -106,18 +167,25 @@ impl AdmissionGate {
             state.active += 1;
             self.stats.admitted.fetch_add(1, Ordering::Relaxed);
             record_global(gapbs_telemetry::Counter::QueriesAdmitted);
-            return Ok(Permit { gate: self });
+            return Ok(self.permit());
         }
         if state.waiting >= self.max_waiting {
             return Err(self.fail(AdmitError::Rejected));
         }
         state.waiting += 1;
+        let token = state.next_wait_token;
+        state.next_wait_token += 1;
+        state.waiting_since.push((token, Instant::now()));
         let outcome = loop {
             if state.draining {
                 break Err(AdmitError::Draining);
             }
             if state.active < self.max_active {
+                // Claim the slot and count the admission while still
+                // inside the critical section, so no observation can see
+                // `active` grow before `admitted` does.
                 state.active += 1;
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
                 break Ok(());
             }
             match deadline {
@@ -138,12 +206,14 @@ impl AdmissionGate {
             }
         };
         state.waiting -= 1;
+        if let Some(pos) = state.waiting_since.iter().position(|&(t, _)| t == token) {
+            state.waiting_since.swap_remove(pos);
+        }
         drop(state);
         match outcome {
             Ok(()) => {
-                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
                 record_global(gapbs_telemetry::Counter::QueriesAdmitted);
-                Ok(Permit { gate: self })
+                Ok(self.permit())
             }
             Err(err) => Err(self.fail(err)),
         }
@@ -161,12 +231,19 @@ impl AdmissionGate {
         }
     }
 
+    /// `true` once [`drain`](Self::drain) has begun (readiness probes).
+    pub fn draining(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).draining
+    }
+
     /// Number of permits currently held.
     pub fn active(&self) -> usize {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).active
     }
 
-    /// Copies the cumulative lifecycle stats.
+    /// Copies the cumulative lifecycle stats. Unsynchronized with
+    /// in-flight transitions — use [`observe`](Self::observe) when the
+    /// cross-field invariants matter (scrapes, lint).
     pub fn snapshot(&self) -> GateSnapshot {
         GateSnapshot {
             admitted: self.stats.admitted.load(Ordering::Relaxed),
@@ -178,12 +255,42 @@ impl AdmissionGate {
         }
     }
 
+    /// One coherent reading of stats, queue gauges, and the latency
+    /// histogram, taken under the state lock. The invariant-bearing
+    /// writers hold the same lock, so within the returned observation
+    /// `admitted == completed + active` and `latency.count == completed`
+    /// hold exactly — even mid-load.
+    pub fn observe(&self) -> GateObservation {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let queue_age_us = state
+            .waiting_since
+            .iter()
+            .map(|&(_, since)| since.elapsed().as_micros() as u64)
+            .max()
+            .unwrap_or(0);
+        GateObservation {
+            stats: GateSnapshot {
+                admitted: self.stats.admitted.load(Ordering::Relaxed),
+                rejected: self.stats.rejected.load(Ordering::Relaxed),
+                completed: self.stats.completed.load(Ordering::Relaxed),
+                deadline_exceeded: self.stats.deadline_exceeded.load(Ordering::Relaxed),
+                batch_queries: self.stats.batch_queries.load(Ordering::Relaxed),
+                batch_width: self.stats.batch_width.load(Ordering::Relaxed),
+            },
+            active: state.active,
+            waiting: state.waiting,
+            queue_age_us,
+            latency: self.latency_us.snapshot(),
+        }
+    }
+
     /// Counts one executed multi-source batch: `members` logical queries
     /// answered by a single MS-BFS sweep. Every member is separately
     /// accounted as admitted (its own permit, or
     /// [`note_batch_members`](Self::note_batch_members) for sources that
     /// share one), so `batch_queries <= admitted` is an invariant.
     pub fn note_batch(&self, members: u64) {
+        let _state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         self.stats.batch_queries.fetch_add(members, Ordering::Relaxed);
         self.stats.batch_width.fetch_max(members, Ordering::Relaxed);
         gapbs_telemetry::record(gapbs_telemetry::Counter::BatchQueries, members);
@@ -192,10 +299,16 @@ impl AdmissionGate {
     /// Accounts `extra` logical queries that rode one already-admitted
     /// permit (an explicit batch request: one permit, many sources). They
     /// are admitted and completed at the same instant — the batch answers
-    /// as a unit.
-    pub fn note_batch_members(&self, extra: u64) {
+    /// as a unit — and each contributes one `latency_us` histogram entry
+    /// at the batch's end-to-end latency, keeping `latency.count ==
+    /// completed` exact.
+    pub fn note_batch_members(&self, extra: u64, latency_us: u64) {
+        let _state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         self.stats.admitted.fetch_add(extra, Ordering::Relaxed);
         self.stats.completed.fetch_add(extra, Ordering::Relaxed);
+        for _ in 0..extra {
+            self.latency_us.record(latency_us);
+        }
         gapbs_telemetry::record(gapbs_telemetry::Counter::QueriesAdmitted, extra);
         gapbs_telemetry::record(gapbs_telemetry::Counter::QueriesCompleted, extra);
     }
@@ -223,11 +336,30 @@ impl AdmissionGate {
 }
 
 impl Permit<'_> {
+    /// When the slot was granted (queue wait = this minus receive time).
+    pub fn admitted_at(&self) -> Instant {
+        self.admitted_at
+    }
+
+    /// Sets the end-to-end latency (µs) this permit's release will record
+    /// into the gate's histogram. Unset permits record their own hold
+    /// time, so every release contributes exactly one entry either way.
+    pub fn set_latency_us(&self, us: u64) {
+        self.latency_us.store(us.min(u64::MAX - 1), Ordering::Relaxed);
+    }
+
     fn release(&self) {
+        let latency_us = match self.latency_us.load(Ordering::Relaxed) {
+            u64::MAX => self.admitted_at.elapsed().as_micros() as u64,
+            set => set,
+        };
         let gate = self.gate;
         let mut state = gate.state.lock().unwrap_or_else(|e| e.into_inner());
         state.active -= 1;
         gate.stats.completed.fetch_add(1, Ordering::Relaxed);
+        // Same critical section as the completed count: an observation
+        // can never see the two disagree.
+        gate.latency_us.record(latency_us);
         record_global(gapbs_telemetry::Counter::QueriesCompleted);
         // Wake both slot waiters and a drainer waiting for active == 0.
         gate.cond.notify_all();
@@ -272,7 +404,7 @@ mod tests {
         let gate = AdmissionGate::new(2, 0);
         // Explicit batch: one permit carries 5 sources.
         let permit = gate.admit(None).unwrap();
-        gate.note_batch_members(4);
+        gate.note_batch_members(4, 100);
         gate.note_batch(5);
         drop(permit);
         // Coalesced batch: three members, each with its own permit.
@@ -318,6 +450,7 @@ mod tests {
     #[test]
     fn drain_rejects_new_and_waits_for_active() {
         let gate = AdmissionGate::new(1, 4);
+        assert!(!gate.draining());
         std::thread::scope(|scope| {
             let held = gate.admit(None).unwrap();
             scope.spawn(move || {
@@ -325,8 +458,103 @@ mod tests {
                 drop(held);
             });
             gate.drain();
+            assert!(gate.draining());
             assert_eq!(gate.active(), 0);
             assert_eq!(gate.admit(None).unwrap_err(), AdmitError::Draining);
         });
+    }
+
+    #[test]
+    fn observation_sees_waiting_queue_and_its_age() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let held = gate.admit(None).unwrap();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || drop(gate.admit(None).unwrap()))
+        };
+        // Let the waiter park, then observe it.
+        let mut obs = gate.observe();
+        for _ in 0..200 {
+            if obs.waiting == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            obs = gate.observe();
+        }
+        assert_eq!(obs.waiting, 1);
+        assert_eq!(obs.active, 1);
+        assert!(obs.queue_age_us > 0, "parked waiter has nonzero age");
+        drop(held);
+        waiter.join().unwrap();
+        let obs = gate.observe();
+        assert_eq!(obs.waiting, 0);
+        assert_eq!(obs.queue_age_us, 0);
+    }
+
+    #[test]
+    fn observation_invariants_hold_exactly_under_churn() {
+        // Hammer the gate from N threads while an observer thread
+        // continuously asserts the coherent-snapshot equalities the
+        // metrics plane advertises. With the pre-fix code (stats bumped
+        // outside the state lock) this fails within a few iterations.
+        let gate = Arc::new(AdmissionGate::new(3, 64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let gate = Arc::clone(&gate);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Ok(permit) = gate.admit(None) {
+                            permit.set_latency_us(100 + t * 10 + i % 7);
+                            drop(permit);
+                        }
+                        i += 1;
+                    }
+                });
+            }
+            let observer = {
+                let gate = Arc::clone(&gate);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut observations = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let obs = gate.observe();
+                        assert_eq!(
+                            obs.stats.admitted,
+                            obs.stats.completed + obs.active as u64,
+                            "admitted == completed + active must hold in every observation"
+                        );
+                        assert_eq!(
+                            obs.latency.count, obs.stats.completed,
+                            "latency histogram count must equal completed"
+                        );
+                        observations += 1;
+                    }
+                    observations
+                })
+            };
+            std::thread::sleep(Duration::from_millis(150));
+            stop.store(true, Ordering::Relaxed);
+            let observations = observer.join().unwrap();
+            assert!(observations > 10, "observer barely ran");
+        });
+        let final_obs = gate.observe();
+        assert_eq!(final_obs.active, 0);
+        assert_eq!(final_obs.stats.admitted, final_obs.stats.completed);
+        assert!(final_obs.latency.quantile(0.5).unwrap() >= 64);
+    }
+
+    #[test]
+    fn release_records_explicit_latency() {
+        let gate = AdmissionGate::new(1, 0);
+        let permit = gate.admit(None).unwrap();
+        permit.set_latency_us(5000);
+        drop(permit);
+        let obs = gate.observe();
+        assert_eq!(obs.latency.count, 1);
+        // 5000 µs lands in bucket [4096, 8192).
+        assert_eq!(obs.latency.quantile(1.0), Some(4096));
     }
 }

@@ -26,6 +26,7 @@ use gapbs_core::{Kernel, Mode};
 use gapbs_graph::gen::{GraphSpec, Scale};
 use gapbs_parallel::ThreadPool;
 use gapbs_telemetry::json::Json;
+use gapbs_telemetry::metrics::{bucket_of, HistogramSnapshot, BUCKETS};
 
 use crate::engine::run_query_local;
 use crate::protocol::{parse_graph, Query, DEFAULT_TOP_K};
@@ -55,6 +56,9 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Send `{"cmd":"shutdown"}` after the workload and require success.
     pub shutdown: bool,
+    /// Cross-check client-side sorted-vector p50/p99 against the
+    /// daemon's own log₂ histogram quantiles (within one bucket).
+    pub check_quantiles: bool,
 }
 
 impl Default for BenchConfig {
@@ -70,6 +74,7 @@ impl Default for BenchConfig {
             threads: gapbs_parallel::pool::default_threads(),
             seed: 0x5eed,
             shutdown: false,
+            check_quantiles: false,
         }
     }
 }
@@ -89,6 +94,9 @@ pub struct BenchSummary {
     pub errors: usize,
     /// Responses whose fingerprint contradicted the local run.
     pub check_failures: usize,
+    /// Quantiles where daemon histogram and client sorted-vector
+    /// diverged by more than one log₂ bucket (`--check-quantiles`).
+    pub quantile_failures: usize,
     /// Successful queries per wall-clock second.
     pub qps: f64,
     /// Median latency of successful queries, milliseconds.
@@ -102,6 +110,7 @@ impl BenchSummary {
     pub fn passed(&self, min_qps: Option<f64>) -> bool {
         self.errors == 0
             && self.check_failures == 0
+            && self.quantile_failures == 0
             && self.ok > 0
             && min_qps.is_none_or(|floor| self.qps >= floor)
     }
@@ -120,6 +129,10 @@ impl BenchSummary {
             (
                 "check_failures".to_string(),
                 Json::Num(self.check_failures as f64),
+            ),
+            (
+                "quantile_failures".to_string(),
+                Json::Num(self.quantile_failures as f64),
             ),
             ("qps".to_string(), Json::Num(self.qps)),
             ("p50_ms".to_string(), Json::Num(self.p50_ms)),
@@ -174,8 +187,8 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The daemon's resident graphs (name + vertex count) via `{"cmd":"stats"}`.
-fn fetch_resident_graphs(addr: &str) -> Result<Vec<(GraphSpec, u64)>, String> {
+/// One `{"cmd":"stats"}` round trip, parsed.
+fn fetch_stats(addr: &str) -> Result<Json, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
@@ -184,9 +197,13 @@ fn fetch_resident_graphs(addr: &str) -> Result<Vec<(GraphSpec, u64)>, String> {
         .map_err(|e| e.to_string())?;
     let mut line = String::new();
     reader.read_line(&mut line).map_err(|e| e.to_string())?;
-    let v = Json::parse(line.trim()).map_err(|e| format!("stats response: {e}"))?;
-    let Some(Json::Arr(graphs)) = v.get("graphs") else {
-        return Err(format!("stats response missing graphs: {}", line.trim()));
+    Json::parse(line.trim()).map_err(|e| format!("stats response: {e}"))
+}
+
+/// The daemon's resident graphs (name + vertex count) from a stats snapshot.
+fn resident_graphs(stats: &Json) -> Result<Vec<(GraphSpec, u64)>, String> {
+    let Some(Json::Arr(graphs)) = stats.get("graphs") else {
+        return Err("stats response missing graphs".to_string());
     };
     graphs
         .iter()
@@ -203,6 +220,71 @@ fn fetch_resident_graphs(addr: &str) -> Result<Vec<(GraphSpec, u64)>, String> {
             Ok((spec, vertices))
         })
         .collect()
+}
+
+/// Maps a stats-JSON `le` (a bucket's exclusive upper bound) back to its
+/// bucket index. `le` values at or above 2⁶³ — including the last
+/// bucket's `u64::MAX`, which round-trips lossily through f64 — collapse
+/// into the open-ended final bucket.
+fn le_bucket_index(le: &Json) -> usize {
+    match le.as_u64() {
+        Some(1) => 0,
+        Some(v) if v.is_power_of_two() => (v.trailing_zeros() as usize).min(BUCKETS - 1),
+        _ => BUCKETS - 1,
+    }
+}
+
+/// Reconstructs the daemon's gate-latency histogram from the sparse
+/// cumulative bucket table under `metrics.latency_us` in a stats
+/// snapshot. The rebuilt snapshot carries a zero `sum` (the table does
+/// not encode it); only bucket counts and quantiles are meaningful.
+fn parse_latency_histogram(stats: &Json) -> Result<HistogramSnapshot, String> {
+    let hist = stats
+        .get("metrics")
+        .and_then(|m| m.get("latency_us"))
+        .ok_or_else(|| "stats response missing metrics.latency_us".to_string())?;
+    let Some(Json::Arr(entries)) = hist.get("buckets") else {
+        return Err("metrics.latency_us missing buckets table".to_string());
+    };
+    let mut snap = HistogramSnapshot::default();
+    let mut prev = 0u64;
+    for entry in entries {
+        let cumulative = entry
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "bucket entry missing count".to_string())?;
+        let le = entry
+            .get("le")
+            .ok_or_else(|| "bucket entry missing le".to_string())?;
+        let idx = le_bucket_index(le);
+        snap.buckets[idx] = snap.buckets[idx].wrapping_add(cumulative.saturating_sub(prev));
+        prev = cumulative;
+    }
+    snap.count = snap.buckets.iter().sum();
+    Ok(snap)
+}
+
+/// Per-bucket `after - before`, for isolating one run's worth of
+/// recordings out of the daemon's cumulative histogram.
+fn bucket_delta(after: &HistogramSnapshot, before: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::default();
+    for i in 0..BUCKETS {
+        out.buckets[i] = after.buckets[i].saturating_sub(before.buckets[i]);
+    }
+    out.count = out.buckets.iter().sum();
+    out
+}
+
+/// Whether a client-side latency and the daemon histogram's quantile
+/// lower bound land within one log₂ bucket of each other. One bucket of
+/// slack absorbs the genuine skew between the two measurements: the
+/// client adds loopback RTT on top of the daemon's `received → responded`
+/// window, and a true value sitting near a power-of-two boundary can
+/// land the two readings in adjacent buckets.
+fn quantiles_agree(client_ms: f64, daemon_lower_us: u64) -> bool {
+    let client_bucket = bucket_of((client_ms * 1e3).round().max(0.0) as u64) as i64;
+    let daemon_bucket = bucket_of(daemon_lower_us) as i64;
+    (client_bucket - daemon_bucket).abs() <= 1
 }
 
 fn request_line(cell: Cell, graph: GraphSpec, source: u64, deadline_ms: Option<u64>, id: u64) -> String {
@@ -261,6 +343,7 @@ impl Checker {
             vertex: None,
             k: DEFAULT_TOP_K,
             deadline_ms: None,
+            trace: false,
         };
         let outcome = run_query_local(&self.registry, &query, &self.pool)
             .unwrap_or_else(|e| panic!("local check run failed for {key}: {}", e.message));
@@ -286,6 +369,10 @@ fn run_client(
 ) -> Result<ClientResult, String> {
     let stream =
         TcpStream::connect(&config.addr).map_err(|e| format!("connect {}: {e}", config.addr))?;
+    // Latency is the product under test: without nodelay, Nagle plus
+    // delayed ACK adds tens of milliseconds per small request line and
+    // the client-side percentiles measure the TCP stack instead.
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
     let mut rng = config.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -364,10 +451,28 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
 /// Returns `Err` on connection/protocol failures (not on gate failures —
 /// those are reported in the summary so the caller can exit nonzero).
 pub fn run_bench(config: &BenchConfig) -> Result<BenchSummary, String> {
-    let graphs = fetch_resident_graphs(&config.addr)?;
+    let stats_before = fetch_stats(&config.addr)?;
+    let graphs = resident_graphs(&stats_before)?;
     if graphs.is_empty() {
         return Err("daemon has no resident graphs".to_string());
     }
+    // Baseline for `--check-quantiles`: the daemon histogram is
+    // cumulative since startup, so the run's own distribution is the
+    // per-bucket delta across the workload.
+    let hist_before = if config.check_quantiles {
+        if config.deadline_ms.is_some() {
+            return Err(
+                "--check-quantiles requires a run without --deadline-ms: queries that \
+                 blow their deadline complete in the daemon histogram but are excluded \
+                 from the client's sorted vector, so the two distributions diverge by \
+                 construction"
+                    .to_string(),
+            );
+        }
+        Some(parse_latency_histogram(&stats_before)?)
+    } else {
+        None
+    };
     let checker = if config.check {
         let pool = ThreadPool::new(config.threads.max(1));
         let specs: Vec<GraphSpec> = graphs.iter().map(|&(spec, _)| spec).collect();
@@ -412,6 +517,35 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchSummary, String> {
     summary.p50_ms = percentile(&latencies, 0.50);
     summary.p99_ms = percentile(&latencies, 0.99);
     summary.qps = if wall > 0.0 { summary.ok as f64 / wall } else { 0.0 };
+    if let Some(before) = hist_before {
+        let after = parse_latency_histogram(&fetch_stats(&config.addr)?)?;
+        let delta = bucket_delta(&after, &before);
+        for (q, client_ms, label) in [(0.50, summary.p50_ms, "p50"), (0.99, summary.p99_ms, "p99")] {
+            match delta.quantile(q) {
+                Some(lower_us) if quantiles_agree(client_ms, lower_us) => {}
+                Some(lower_us) => {
+                    summary.quantile_failures += 1;
+                    eprintln!(
+                        "serve_bench: {label} divergence: client sorted-vector {client_ms:.2}ms \
+                         vs daemon histogram bucket [{lower_us}us, {}us)",
+                        lower_us.saturating_mul(2).max(1)
+                    );
+                }
+                None => {
+                    summary.quantile_failures += 1;
+                    eprintln!(
+                        "serve_bench: {label}: daemon histogram recorded no queries over the run"
+                    );
+                }
+            }
+        }
+        if summary.quantile_failures == 0 {
+            eprintln!(
+                "serve_bench: quantile cross-check ok ({} daemon-side recordings)",
+                delta.count
+            );
+        }
+    }
     if config.shutdown {
         shutdown_daemon(&config.addr)?;
     }
@@ -441,8 +575,8 @@ pub fn bench_main(args: impl Iterator<Item = String>) -> i32 {
     let mut config = BenchConfig::default();
     let mut args = args;
     let usage = "usage: serve_bench --addr HOST:PORT [--clients N] [--requests N] [--min-qps Q] \
-                 [--deadline-ms N] [--check] [--scale tiny|small|medium|large] [--threads N] \
-                 [--seed N] [--shutdown]";
+                 [--deadline-ms N] [--check] [--check-quantiles] \
+                 [--scale tiny|small|medium|large] [--threads N] [--seed N] [--shutdown]";
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -464,6 +598,10 @@ pub fn bench_main(args: impl Iterator<Item = String>) -> i32 {
                 .map(|n| config.deadline_ms = Some(n)),
             "--check" => {
                 config.check = true;
+                Ok(())
+            }
+            "--check-quantiles" => {
+                config.check_quantiles = true;
                 Ok(())
             }
             "--scale" => value("--scale")
@@ -493,14 +631,15 @@ pub fn bench_main(args: impl Iterator<Item = String>) -> i32 {
     match run_bench(&config) {
         Ok(summary) => {
             eprintln!(
-                "serve_bench: {}/{} ok ({} rejected, {} past deadline, {} errors, {} check failures), \
-                 {:.1} qps, p50 {:.2}ms, p99 {:.2}ms",
+                "serve_bench: {}/{} ok ({} rejected, {} past deadline, {} errors, {} check \
+                 failures, {} quantile failures), {:.1} qps, p50 {:.2}ms, p99 {:.2}ms",
                 summary.ok,
                 summary.requests,
                 summary.rejected,
                 summary.deadline_exceeded,
                 summary.errors,
                 summary.check_failures,
+                summary.quantile_failures,
                 summary.qps,
                 summary.p50_ms,
                 summary.p99_ms
@@ -578,5 +717,70 @@ mod tests {
         assert!(!s.passed(Some(80.0)));
         s.check_failures = 1;
         assert!(!s.passed(None));
+        s.check_failures = 0;
+        s.quantile_failures = 1;
+        assert!(!s.passed(None));
+    }
+
+    #[test]
+    fn le_values_round_trip_to_bucket_indices() {
+        use gapbs_telemetry::metrics::bucket_hi;
+        assert_eq!(le_bucket_index(&Json::Num(1.0)), 0);
+        assert_eq!(le_bucket_index(&Json::Num(2.0)), 1);
+        assert_eq!(le_bucket_index(&Json::Num(1024.0)), 10);
+        // The last bucket's u64::MAX survives the f64 round trip only as
+        // the open-ended bucket; so does any unparseable le.
+        assert_eq!(le_bucket_index(&Json::Num(u64::MAX as f64)), BUCKETS - 1);
+        assert_eq!(le_bucket_index(&Json::Str("+Inf".to_string())), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            assert_eq!(
+                le_bucket_index(&Json::Num(bucket_hi(i) as f64)),
+                i.min(BUCKETS - 1),
+                "bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_reconstruction_inverts_to_json() {
+        use gapbs_telemetry::metrics::Histogram;
+        let h = Histogram::new();
+        for v in [0, 1, 3, 100, 5000, 5000, 1 << 40] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let stats = Json::obj([(
+            "metrics".to_string(),
+            Json::obj([("latency_us".to_string(), snap.to_json())]),
+        )]);
+        let rebuilt = parse_latency_histogram(&stats).expect("reconstruct");
+        assert_eq!(rebuilt.buckets, snap.buckets);
+        assert_eq!(rebuilt.count, snap.count);
+    }
+
+    #[test]
+    fn bucket_delta_isolates_one_run() {
+        use gapbs_telemetry::metrics::Histogram;
+        let h = Histogram::new();
+        h.record(100);
+        h.record(3000);
+        let before = h.snapshot();
+        h.record(3000);
+        h.record(70_000);
+        let delta = bucket_delta(&h.snapshot(), &before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.buckets[bucket_of(3000)], 1);
+        assert_eq!(delta.buckets[bucket_of(70_000)], 1);
+        assert_eq!(delta.buckets[bucket_of(100)], 0);
+    }
+
+    #[test]
+    fn quantile_agreement_is_one_bucket_wide() {
+        // 5 ms client → 5000 us → bucket [4096, 8192).
+        assert!(quantiles_agree(5.0, 4096), "same bucket");
+        assert!(quantiles_agree(5.0, 2048), "one bucket below");
+        assert!(quantiles_agree(5.0, 8192), "one bucket above");
+        assert!(!quantiles_agree(5.0, 1024), "two buckets below");
+        assert!(!quantiles_agree(5.0, 1 << 20), "far above");
     }
 }

@@ -16,7 +16,7 @@
 //! itself uses.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gapbs_core::framework::{BenchGraph, Framework};
@@ -25,8 +25,9 @@ use gapbs_parallel::ThreadPool;
 use gapbs_telemetry::json::Json;
 use gapbs_telemetry::{Counter, LedgerSink, TrialRecord};
 
-use crate::admission::{AdmissionGate, AdmitError};
+use crate::admission::{AdmissionGate, AdmitError, GateObservation};
 use crate::coalesce::{Coalescer, Joined, MemberDepths};
+use crate::metrics::{ServeMetrics, PROM_PREFIX};
 use crate::protocol::{
     batch_success_line, canonical, error_line, success_line, BatchQuery, ErrorCode, ProtoError,
     Query,
@@ -54,6 +55,9 @@ pub struct EngineConfig {
     /// Admission window for transparently coalescing concurrent
     /// single-source BFS queries into one MS-BFS execution (0 = off).
     pub coalesce_window_ms: u64,
+    /// Slow-query threshold: a successful query at or past this latency
+    /// emits one structured JSON line to stderr (`None` = off).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +67,7 @@ impl Default for EngineConfig {
             max_waiting: 128,
             default_deadline_ms: None,
             coalesce_window_ms: 2,
+            slow_ms: None,
         }
     }
 }
@@ -72,11 +77,18 @@ pub struct Engine {
     registry: Arc<GraphRegistry>,
     pool: ThreadPool,
     gate: AdmissionGate,
+    metrics: ServeMetrics,
     ledger: Option<LedgerSink>,
     default_deadline_ms: Option<u64>,
     coalescer: Option<Coalescer>,
+    slow_ms: Option<u64>,
     seq: AtomicU64,
 }
+
+/// Trace sessions are process-global (one set of lanes, one ACTIVE
+/// flag), so inline-traced queries serialize on this lock: one traced
+/// query at a time owns the session. Untraced queries are unaffected.
+static QUERY_TRACE_LOCK: Mutex<()> = Mutex::new(());
 
 impl Engine {
     /// Builds an engine over a loaded registry.
@@ -90,10 +102,12 @@ impl Engine {
             registry,
             pool,
             gate: AdmissionGate::new(config.max_active, config.max_waiting),
+            metrics: ServeMetrics::new(),
             ledger,
             default_deadline_ms: config.default_deadline_ms,
             coalescer: (config.coalesce_window_ms > 0)
                 .then(|| Coalescer::new(Duration::from_millis(config.coalesce_window_ms))),
+            slow_ms: config.slow_ms,
             seq: AtomicU64::new(0),
         }
     }
@@ -101,6 +115,11 @@ impl Engine {
     /// The admission gate (drain on shutdown; stats for `{"cmd":"stats"}`).
     pub fn gate(&self) -> &AdmissionGate {
         &self.gate
+    }
+
+    /// The serve-side metric instruments.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
     }
 
     /// The resident registry.
@@ -139,17 +158,32 @@ impl Engine {
                 return error_line(query.id.as_ref(), &err);
             }
         }
+        let queue_wait = permit.admitted_at().duration_since(received);
         let counters_before = gapbs_telemetry::snapshot();
-        let outcome = match self.coalescible(query) {
-            Some(bench) => self.run_coalesced(query, &bench),
-            None => run_query_local(&self.registry, query, &self.pool),
+        let mut trace_payload = None;
+        let outcome = if query.trace {
+            self.run_traced(query, &mut trace_payload)
+        } else {
+            match self.coalescible(query) {
+                Some(bench) => self.run_coalesced(query, &bench),
+                None => run_query_local(&self.registry, query, &self.pool),
+            }
         };
         let latency = received.elapsed();
-        drop(permit); // counts the query completed and frees the slot
+        permit.set_latency_us(latency.as_micros() as u64);
+        drop(permit); // counts the query completed, records latency, frees the slot
+        self.metrics.observe_query(
+            &query.kernel.name().to_lowercase(),
+            &query.graph.name().to_lowercase(),
+            &query.framework,
+            latency.as_micros() as u64,
+            queue_wait.as_micros() as u64,
+        );
         let outcome = match outcome {
             Ok(outcome) => outcome,
             Err(err) => return error_line(query.id.as_ref(), &err),
         };
+        self.log_slow(query, latency, queue_wait, outcome.fingerprint);
         self.append_record(query, latency, &counters_before);
         if let Some(when) = deadline {
             if Instant::now() > when {
@@ -171,7 +205,71 @@ impl Engine {
             latency.as_secs_f64() * 1e3,
             outcome.result,
             outcome.fingerprint,
+            trace_payload,
         )
+    }
+
+    /// Runs one query under an exclusive process-global trace session
+    /// and captures its Chrome-trace events into `payload`. Coalescing
+    /// is skipped — the session would attribute the whole batch's work
+    /// to this query. In default builds the capture holds the per-query
+    /// trial span, thread names, and RSS bookends; `--features
+    /// telemetry` adds the per-iteration kernel and pool events.
+    fn run_traced(
+        &self,
+        query: &Query,
+        payload: &mut Option<Json>,
+    ) -> Result<QueryOutcome, ProtoError> {
+        let _exclusive = QUERY_TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        gapbs_telemetry::trace::start(Duration::ZERO);
+        let started_ns = gapbs_telemetry::trace::now_ns();
+        let outcome = run_query_local(&self.registry, query, &self.pool);
+        gapbs_telemetry::trace::trial(
+            format!(
+                "serve:{}:{}",
+                query.kernel.name().to_lowercase(),
+                query.graph.name().to_lowercase()
+            ),
+            started_ns,
+        );
+        *payload = Some(gapbs_telemetry::trace::stop().to_chrome_json());
+        self.metrics.note_traced();
+        outcome
+    }
+
+    /// One structured JSON line on stderr per successful query at or
+    /// past the `--slow-ms` threshold (`docs/OPERATIONS.md` documents
+    /// the schema).
+    fn log_slow(&self, query: &Query, latency: Duration, queue_wait: Duration, fingerprint: u64) {
+        let Some(threshold) = self.slow_ms else { return };
+        let latency_ms = latency.as_secs_f64() * 1e3;
+        if latency_ms < threshold as f64 {
+            return;
+        }
+        self.metrics.note_slow();
+        let mut fields = vec![
+            ("slow_query".to_string(), Json::Bool(true)),
+            ("kernel".to_string(), Json::Str(query.kernel.name().to_lowercase())),
+            ("graph".to_string(), Json::Str(query.graph.name().to_lowercase())),
+            ("framework".to_string(), Json::Str(query.framework.clone())),
+            ("latency_ms".to_string(), Json::Num(latency_ms)),
+            (
+                "queue_wait_ms".to_string(),
+                Json::Num(queue_wait.as_secs_f64() * 1e3),
+            ),
+            ("threshold_ms".to_string(), Json::Num(threshold as f64)),
+            (
+                "fingerprint".to_string(),
+                Json::Str(format!("{fingerprint:016x}")),
+            ),
+        ];
+        if let Some(s) = query.source {
+            fields.push(("source".to_string(), Json::Num(f64::from(s))));
+        }
+        if let Some(id) = &query.id {
+            fields.push(("id".to_string(), id.clone()));
+        }
+        eprintln!("{}", Json::obj(fields).encode());
     }
 
     /// Runs an explicit multi-source batch end to end: one permit, one
@@ -200,17 +298,28 @@ impl Engine {
                 return error_line(query.id.as_ref(), &err);
             }
         }
+        let queue_wait = permit.admitted_at().duration_since(received);
         let counters_before = gapbs_telemetry::snapshot();
         let results = self.run_batch_local(batch);
         let latency = received.elapsed();
+        permit.set_latency_us(latency.as_micros() as u64);
         drop(permit);
         let results = match results {
             Ok(results) => results,
             Err(err) => return error_line(query.id.as_ref(), &err),
         };
         let members = batch.sources.len() as u64;
-        self.gate.note_batch_members(members - 1);
+        self.gate
+            .note_batch_members(members - 1, latency.as_micros() as u64);
         self.gate.note_batch(members);
+        self.metrics.observe_batch_width(members);
+        self.metrics.observe_query(
+            "bfs",
+            &query.graph.name().to_lowercase(),
+            &query.framework,
+            latency.as_micros() as u64,
+            queue_wait.as_micros() as u64,
+        );
         self.append_record(query, latency, &counters_before);
         if let Some(when) = deadline {
             if Instant::now() > when {
@@ -311,6 +420,7 @@ impl Engine {
                         let columns: Vec<MemberDepths> =
                             result.depths.into_iter().map(Arc::new).collect();
                         self.gate.note_batch(sources.len() as u64);
+                        self.metrics.observe_batch_width(sources.len() as u64);
                         let mine = Arc::clone(&columns[0]);
                         batch.publish(Ok(columns));
                         mine
@@ -330,9 +440,24 @@ impl Engine {
         Ok(bfs_outcome(query, source, &depths))
     }
 
-    /// Daemon statistics for `{"cmd":"stats"}`.
+    /// One coherent gate observation plus this instant's pool stats —
+    /// the basis of every scrape.
+    pub fn observe(&self) -> GateObservation {
+        self.gate.observe()
+    }
+
+    /// Daemon statistics for `{"cmd":"stats"}`. The lifecycle fields and
+    /// `active`/`waiting` come from one coherent [`GateObservation`], so
+    /// within a single response `queries_admitted == queries_completed +
+    /// active` holds exactly (and `metrics.latency_us.count ==
+    /// queries_completed`); a scrape can never observe an impossible
+    /// state.
     pub fn stats_json(&self) -> Json {
-        let snap = self.gate.snapshot();
+        let obs = self.gate.observe();
+        let pool_stats = self.pool.stats();
+        let metrics = self.metrics.snapshot(&obs, pool_stats);
+        let snap = obs.stats;
+        let rss = gapbs_telemetry::trace::read_vm_status().map_or(0, |vm| vm.vm_rss_bytes);
         Json::obj([
             ("ok".to_string(), Json::Bool(true)),
             ("scale".to_string(), Json::Str(format!("{:?}", self.registry.scale()).to_lowercase())),
@@ -354,18 +479,35 @@ impl Engine {
                 ),
             ),
             ("threads".to_string(), Json::Num(self.pool.num_threads() as f64)),
-            ("active".to_string(), Json::Num(self.gate.active() as f64)),
+            ("active".to_string(), Json::Num(obs.active as f64)),
+            ("waiting".to_string(), Json::Num(obs.waiting as f64)),
+            ("queue_age_us".to_string(), Json::Num(obs.queue_age_us as f64)),
             ("queries_admitted".to_string(), Json::Num(snap.admitted as f64)),
             ("queries_rejected".to_string(), Json::Num(snap.rejected as f64)),
             ("queries_completed".to_string(), Json::Num(snap.completed as f64)),
             ("deadline_exceeded".to_string(), Json::Num(snap.deadline_exceeded as f64)),
             ("batch_queries".to_string(), Json::Num(snap.batch_queries as f64)),
             ("batch_width".to_string(), Json::Num(snap.batch_width as f64)),
+            ("rss_bytes".to_string(), Json::Num(rss as f64)),
+            ("pool_regions".to_string(), Json::Num(pool_stats.regions as f64)),
+            ("pool_steals".to_string(), Json::Num(pool_stats.steals as f64)),
+            ("pool_parks".to_string(), Json::Num(pool_stats.parks as f64)),
+            ("draining".to_string(), Json::Bool(self.gate.draining())),
             (
                 "ledger_records".to_string(),
                 Json::Num(self.ledger.as_ref().map_or(0.0, |l| l.appended() as f64)),
             ),
+            ("metrics".to_string(), metrics.to_json()),
         ])
+    }
+
+    /// The full metrics plane as Prometheus text exposition (format
+    /// 0.0.4), served on the `--metrics-addr` listener's `/metrics`.
+    pub fn prometheus_text(&self) -> String {
+        let obs = self.gate.observe();
+        self.metrics
+            .snapshot(&obs, self.pool.stats())
+            .to_prometheus(PROM_PREFIX)
     }
 
     /// Flushes the per-query ledger (shutdown path).
@@ -819,6 +961,90 @@ mod tests {
         assert_eq!(snap.batch_queries, 3, "all three queries rode batches");
         assert!(snap.batch_width >= 2, "concurrent queries coalesced");
         assert!(snap.batch_queries <= snap.admitted);
+    }
+
+    #[test]
+    fn traced_query_returns_inline_chrome_events() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        let engine = Engine::new(Arc::clone(&registry), pool.clone(), EngineConfig::default(), None);
+        let q = query(r#"{"kernel":"bfs","graph":"kron","source":1,"trace":true}"#);
+        let line = engine.handle(&q);
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
+        let Some(Json::Arr(events)) = v.get("trace") else {
+            panic!("traced response carries no trace array: {line}");
+        };
+        assert!(!events.is_empty(), "capture holds at least the trial span");
+        // The trial span names this query.
+        assert!(
+            events.iter().any(|e| {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.contains("serve:bfs:kron"))
+            }),
+            "no serve:bfs:kron trial event in {events:?}"
+        );
+        // Tracing never changes the answer.
+        let solo = query(r#"{"kernel":"bfs","graph":"kron","source":1}"#);
+        let expected = run_query_local(&registry, &solo, &pool).unwrap();
+        assert_eq!(
+            v.get("fingerprint").and_then(Json::as_str),
+            Some(format!("{:016x}", expected.fingerprint).as_str())
+        );
+        // An untraced follow-up response carries no trace field.
+        let v = Json::parse(&engine.handle(&solo)).unwrap();
+        assert!(v.get("trace").is_none());
+    }
+
+    #[test]
+    fn stats_json_is_internally_consistent() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        let engine = Engine::new(Arc::clone(&registry), pool, EngineConfig::default(), None);
+        for source in [1u32, 2, 3] {
+            let q = query(&format!(r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#));
+            engine.handle(&q);
+        }
+        let stats = engine.stats_json();
+        let num = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing {k}"));
+        assert_eq!(num("queries_admitted"), num("queries_completed") + num("active"));
+        let metrics = stats.get("metrics").expect("metrics object");
+        assert_eq!(
+            metrics.get("latency_us").and_then(|h| h.get("count")).and_then(Json::as_u64),
+            Some(num("queries_completed")),
+            "gate latency histogram count == completed"
+        );
+        assert!(stats.get("waiting").is_some());
+        assert!(stats.get("rss_bytes").is_some());
+        assert!(num("pool_regions") > 0, "BFS ran parallel regions");
+        assert_eq!(stats.get("draining").and_then(Json::as_bool), Some(false));
+        // The Prometheus rendering of the same plane is non-empty and
+        // carries the gate series.
+        let text = engine.prometheus_text();
+        assert!(text.contains("gapbs_serve_queries_admitted_total 3"));
+        assert!(text.contains("# TYPE gapbs_serve_latency_us histogram"));
+    }
+
+    #[test]
+    fn slow_query_log_fires_at_zero_threshold() {
+        let registry = Arc::clone(tiny_registry());
+        let pool = ThreadPool::new(2);
+        let config = EngineConfig {
+            slow_ms: Some(0),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(Arc::clone(&registry), pool, config, None);
+        let q = query(r#"{"kernel":"bfs","graph":"kron","source":1}"#);
+        engine.handle(&q);
+        // The counter is the observable half of the log line (stderr is
+        // asserted by verify.sh's smoke stage).
+        let json = engine.stats_json();
+        let slow = json
+            .get("metrics")
+            .and_then(|m| m.get("slow_queries_total"))
+            .and_then(Json::as_u64);
+        assert_eq!(slow, Some(1));
     }
 
     #[test]

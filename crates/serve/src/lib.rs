@@ -19,6 +19,11 @@
 //!   unchanged canonical fingerprints;
 //! * [`engine`] — per-query lifecycle: admit, execute on the shared
 //!   [`ThreadPool`], deadline-check, account one ledger record;
+//! * [`metrics`] — the live metrics plane: per-{kernel, graph,
+//!   framework} latency histograms, queue/RSS gauges, and pool rates,
+//!   scraped via `{"cmd":"stats"}` and the `--metrics-addr` listener's
+//!   Prometheus `/metrics` + `/health`/`/ready` probes
+//!   (`docs/OPERATIONS.md`);
 //! * [`server`] — the TCP accept loop, per-connection handler threads,
 //!   and the graceful drain sequence (SIGINT or `{"cmd":"shutdown"}`);
 //! * [`bench`] — the `serve_bench` closed-loop load generator with
@@ -39,15 +44,17 @@ pub mod admission;
 pub mod bench;
 pub mod coalesce;
 pub mod engine;
+pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod signal;
 
-pub use admission::{AdmissionGate, AdmitError, GateSnapshot, Permit};
+pub use admission::{AdmissionGate, AdmitError, GateObservation, GateSnapshot, Permit};
 pub use bench::{bench_main, run_bench, BenchConfig, BenchSummary};
 pub use coalesce::Coalescer;
 pub use engine::{execute_query, run_query_local, Engine, EngineConfig, QueryOutcome};
+pub use metrics::ServeMetrics;
 pub use protocol::{parse_request, BatchQuery, Command, ErrorCode, ProtoError, Query};
 pub use registry::GraphRegistry;
 pub use server::{serve_main, ServeConfig, ServeSummary, Server};

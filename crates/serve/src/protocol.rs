@@ -137,6 +137,9 @@ pub struct Query {
     pub k: usize,
     /// Per-request deadline in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// `"trace": true` — capture this query's Chrome-trace events and
+    /// return them inline in the response (`docs/OPERATIONS.md`).
+    pub trace: bool,
 }
 
 /// Default top-k size for PR/BC responses.
@@ -364,6 +367,12 @@ fn parse_query_fields(v: &Json) -> Result<Query, ProtoError> {
             )
         })?),
     };
+    let trace = match v.get("trace") {
+        None | Some(Json::Null) => false,
+        Some(value) => value.as_bool().ok_or_else(|| {
+            ProtoError::new(ErrorCode::BadRequest, "field \"trace\" must be a boolean")
+        })?,
+    };
     Ok(Query {
         id: v.get("id").cloned(),
         kernel,
@@ -375,16 +384,21 @@ fn parse_query_fields(v: &Json) -> Result<Query, ProtoError> {
         vertex: node_field(v, "vertex")?,
         k,
         deadline_ms,
+        trace,
     })
 }
 
-/// Encodes a success response line (no trailing newline).
+/// Encodes a success response line (no trailing newline). `trace`, when
+/// present, is the query's inline Chrome-trace event array (the
+/// `"trace": true` request flag); it rides the response as a `"trace"`
+/// field that `trace_stats` and Perfetto can consume directly.
 pub fn success_line(
     id: Option<&Json>,
     query: &Query,
     latency_ms: f64,
     result: Json,
     fingerprint: u64,
+    trace: Option<Json>,
 ) -> String {
     let mut fields = vec![
         ("ok".to_string(), Json::Bool(true)),
@@ -398,6 +412,9 @@ pub fn success_line(
             Json::Str(format!("{fingerprint:016x}")),
         ),
     ];
+    if let Some(events) = trace {
+        fields.push(("trace".to_string(), events));
+    }
     if let Some(id) = id {
         fields.push(("id".to_string(), id.clone()));
     }
@@ -603,6 +620,30 @@ mod tests {
         assert_eq!(q.source, Some(42));
         assert_eq!(q.k, DEFAULT_TOP_K);
         assert_eq!(q.deadline_ms, None);
+        assert!(!q.trace);
+    }
+
+    #[test]
+    fn trace_flag_parses_and_rides_the_response() {
+        let Command::Query(q) =
+            parse_request(r#"{"kernel":"bfs","graph":"kron","source":1,"trace":true}"#).unwrap()
+        else {
+            panic!("expected query")
+        };
+        assert!(q.trace);
+        assert_eq!(
+            parse_request(r#"{"kernel":"bfs","graph":"kron","source":1,"trace":"yes"}"#)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        let events = Json::Arr(vec![Json::obj([("ph".to_string(), Json::Str("X".to_string()))])]);
+        let line = success_line(None, &q, 2.0, Json::obj([]), 1, Some(events));
+        let v = Json::parse(&line).unwrap();
+        let Some(Json::Arr(trace)) = v.get("trace") else {
+            panic!("trace array missing: {line}")
+        };
+        assert_eq!(trace.len(), 1);
     }
 
     #[test]
@@ -694,7 +735,7 @@ mod tests {
         else {
             panic!("expected query")
         };
-        let line = success_line(q.id.as_ref(), &q, 1.25, Json::obj([("triangles".to_string(), Json::Num(3.0))]), 0xabcd);
+        let line = success_line(q.id.as_ref(), &q, 1.25, Json::obj([("triangles".to_string(), Json::Num(3.0))]), 0xabcd, None);
         let v = Json::parse(&line).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("id").and_then(Json::as_str), Some("a1"));

@@ -43,6 +43,12 @@ pub struct ServeConfig {
     pub addr: String,
     /// If set, the bound port is written here (harness handshake).
     pub port_file: Option<PathBuf>,
+    /// If set, a second HTTP listener binds here serving `/metrics`
+    /// (Prometheus text exposition), `/stats` (the JSON snapshot),
+    /// `/health`, and `/ready` (`docs/OPERATIONS.md`).
+    pub metrics_addr: Option<String>,
+    /// If set, the metrics listener's bound port is written here.
+    pub metrics_port_file: Option<PathBuf>,
     /// Corpus scale to load.
     pub scale: Scale,
     /// Which corpus members to load.
@@ -62,6 +68,8 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7447".to_string(),
             port_file: None,
+            metrics_addr: None,
+            metrics_port_file: None,
             scale: Scale::Small,
             graphs: GraphSpec::TABLE_ORDER.to_vec(),
             threads: gapbs_parallel::pool::default_threads(),
@@ -86,6 +94,7 @@ pub struct ServeSummary {
 /// A bound, not-yet-running daemon.
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
     handle_signals: bool,
@@ -112,17 +121,31 @@ impl Server {
         };
         let engine = Arc::new(Engine::new(registry, pool, config.engine.clone(), ledger));
         let listener = TcpListener::bind(&config.addr)?;
-        if let Some(port_file) = &config.port_file {
-            if let Some(parent) = port_file.parent() {
+        let write_port = |file: &PathBuf, port: u16| -> std::io::Result<()> {
+            if let Some(parent) = file.parent() {
                 std::fs::create_dir_all(parent)?;
             }
-            std::fs::write(port_file, format!("{}\n", listener.local_addr()?.port()))?;
+            std::fs::write(file, format!("{port}\n"))
+        };
+        if let Some(port_file) = &config.port_file {
+            write_port(port_file, listener.local_addr()?.port())?;
         }
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                if let Some(port_file) = &config.metrics_port_file {
+                    write_port(port_file, l.local_addr()?.port())?;
+                }
+                Some(l)
+            }
+            None => None,
+        };
         if config.handle_signals {
             signal::install();
         }
         Ok(Server {
             listener,
+            metrics_listener,
             engine,
             stop: Arc::new(AtomicBool::new(false)),
             handle_signals: config.handle_signals,
@@ -132,6 +155,11 @@ impl Server {
     /// The bound address (read the ephemeral port here).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The metrics listener's bound address, when one is configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// The engine (tests inspect gate stats through it).
@@ -150,16 +178,33 @@ impl Server {
     }
 
     /// Serves until shutdown is requested, then drains and returns.
-    pub fn run(self) -> std::io::Result<ServeSummary> {
+    pub fn run(mut self) -> std::io::Result<ServeSummary> {
         let addr = self.listener.local_addr()?;
         eprintln!("serve: listening on {addr}");
         self.listener.set_nonblocking(true)?;
+        // The metrics listener outlives the accept loop on purpose: it
+        // keeps answering scrapes and probes (with `/ready` = 503)
+        // through the drain window, and stops only on its own flag once
+        // every handler has been joined.
+        let metrics_stop = Arc::new(AtomicBool::new(false));
+        let metrics_thread = self.metrics_listener.take().map(|listener| {
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&metrics_stop);
+            if let Ok(maddr) = listener.local_addr() {
+                eprintln!("serve: metrics on http://{maddr}/metrics");
+            }
+            std::thread::spawn(move || metrics_http_loop(&listener, &engine, &stop))
+        });
         let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let mut handlers = Vec::new();
         while !self.should_stop() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false)?;
+                    // Line-delimited request/response: without nodelay,
+                    // Nagle + delayed ACK adds ~40ms per small write and
+                    // client-observed latency stops measuring the daemon.
+                    let _ = stream.set_nodelay(true);
                     if let Ok(reader_half) = stream.try_clone() {
                         connections
                             .lock()
@@ -190,6 +235,10 @@ impl Server {
         for handle in handlers {
             let _ = handle.join();
         }
+        metrics_stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = metrics_thread {
+            let _ = thread.join();
+        }
         self.engine.flush_ledger()?;
         let queries = self.engine.gate().snapshot();
         eprintln!(
@@ -208,6 +257,98 @@ impl Server {
             ledger_records,
         })
     }
+}
+
+/// Accept loop of the metrics/observability listener: a dependency-free
+/// HTTP/1.0 responder. Requests are served inline (scrapes are cheap and
+/// infrequent) and every response closes the connection.
+fn metrics_http_loop(listener: &TcpListener, engine: &Engine, stop: &AtomicBool) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = serve_http_request(stream, engine);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one HTTP GET on the metrics listener.
+///
+/// Routes: `/metrics` (Prometheus text exposition 0.0.4), `/stats` (the
+/// same JSON snapshot as `{"cmd":"stats"}`), `/health` (liveness: 200
+/// while the process runs), `/ready` (readiness: 503 once draining).
+fn serve_http_request(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers to the blank line so the client sees a clean close.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                engine.prometheus_text(),
+            ),
+            "/stats" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!("{}\n", engine.stats_json().encode()),
+            ),
+            "/health" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/ready" => {
+                if engine.gate().draining() {
+                    (
+                        "503 Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        "draining\n".to_string(),
+                    )
+                } else {
+                    ("200 OK", "text/plain; charset=utf-8", "ready\n".to_string())
+                }
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+    writer.write_all(
+        format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
 }
 
 fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
@@ -287,7 +428,8 @@ pub fn serve_main(args: impl Iterator<Item = String>) -> i32 {
     let mut args = args.peekable();
     let usage = "usage: serve [--addr HOST:PORT] [--port-file PATH] [--scale tiny|small|medium|large] \
                  [--graphs a,b,...] [--threads N] [--max-active N] [--max-waiting N] \
-                 [--deadline-ms N] [--coalesce-ms N] [--ledger PATH]";
+                 [--deadline-ms N] [--coalesce-ms N] [--slow-ms N] [--ledger PATH] \
+                 [--metrics-addr HOST:PORT] [--metrics-port-file PATH]";
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -317,6 +459,14 @@ pub fn serve_main(args: impl Iterator<Item = String>) -> i32 {
             "--coalesce-ms" => value("--coalesce-ms")
                 .and_then(|v| v.parse().map_err(|_| "bad --coalesce-ms".to_string()))
                 .map(|n| config.engine.coalesce_window_ms = n),
+            "--slow-ms" => value("--slow-ms")
+                .and_then(|v| v.parse().map_err(|_| "bad --slow-ms".to_string()))
+                .map(|n| config.engine.slow_ms = Some(n)),
+            "--metrics-addr" => {
+                value("--metrics-addr").map(|v| config.metrics_addr = Some(v))
+            }
+            "--metrics-port-file" => value("--metrics-port-file")
+                .map(|v| config.metrics_port_file = Some(v.into())),
             "--ledger" => value("--ledger").map(|v| config.ledger_path = Some(v.into())),
             "--help" | "-h" => {
                 println!("{usage}");

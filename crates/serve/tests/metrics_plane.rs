@@ -1,0 +1,261 @@
+//! Live metrics plane, end to end: a daemon under real 64-client TCP
+//! load must answer `{"cmd":"stats"}` scrapes that are *internally
+//! consistent at every instant* — the acceptance bar for the coherent
+//! gate snapshot — and the `--metrics-addr` listener must serve valid
+//! Prometheus exposition plus health/readiness probes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use gapbs_graph::gen::{GraphSpec, Scale};
+use gapbs_parallel::ThreadPool;
+use gapbs_serve::server::{ServeConfig, ServeSummary, Server};
+use gapbs_serve::{EngineConfig, GraphRegistry};
+use gapbs_telemetry::json::Json;
+
+/// One tiny corpus shared by every test in this binary.
+fn registry() -> &'static Arc<GraphRegistry> {
+    static REG: OnceLock<Arc<GraphRegistry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        let pool = ThreadPool::new(2);
+        Arc::new(GraphRegistry::load(Scale::Tiny, &[GraphSpec::Kron], &pool))
+    })
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    handle: JoinHandle<std::io::Result<ServeSummary>>,
+}
+
+fn start_server(engine: EngineConfig, metrics: bool) -> TestServer {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine,
+        metrics_addr: metrics.then(|| "127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    };
+    let pool = ThreadPool::new(2);
+    let server = Server::bind_with_registry(&config, Arc::clone(registry()), pool)
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let metrics_addr = server.metrics_addr();
+    let handle = std::thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        metrics_addr,
+        handle,
+    }
+}
+
+fn roundtrip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .expect("write request");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    Json::parse(response.trim()).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let writer = stream.try_clone().expect("clone");
+    (writer, BufReader::new(stream))
+}
+
+fn shutdown_and_join(server: TestServer) -> ServeSummary {
+    let (mut w, mut r) = connect(server.addr);
+    let v = roundtrip(&mut w, &mut r, r#"{"cmd":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    drop((w, r));
+    server.handle.join().expect("server thread").expect("clean shutdown")
+}
+
+/// The scrape-consistency invariants (same rules as `perf_compare
+/// --lint-stats`): within one stats response the lifecycle balances
+/// exactly and the latency histogram tracks completions — even when the
+/// snapshot was taken mid-load with queries in flight.
+fn assert_coherent(stats: &Json, ctx: &str) -> (u64, u64) {
+    let u = |key: &str| {
+        stats
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("{ctx}: stats missing {key}"))
+    };
+    let admitted = u("queries_admitted");
+    let completed = u("queries_completed");
+    let active = u("active");
+    let batched = u("batch_queries");
+    assert_eq!(
+        completed + active,
+        admitted,
+        "{ctx}: lifecycle out of balance (admitted {admitted}, completed {completed}, active {active})"
+    );
+    assert!(
+        batched <= admitted,
+        "{ctx}: {batched} batched queries but only {admitted} admitted"
+    );
+    let hist = stats
+        .get("metrics")
+        .and_then(|m| m.get("latency_us"))
+        .unwrap_or_else(|| panic!("{ctx}: stats missing metrics.latency_us"));
+    let count = hist.get("count").and_then(Json::as_u64).expect("histogram count");
+    assert_eq!(
+        count, completed,
+        "{ctx}: histogram holds {count} records but {completed} queries completed"
+    );
+    let Some(Json::Arr(buckets)) = hist.get("buckets") else {
+        panic!("{ctx}: histogram missing buckets table")
+    };
+    let mut prev = 0u64;
+    for bucket in buckets {
+        let c = bucket.get("count").and_then(Json::as_u64).expect("cumulative count");
+        assert!(c >= prev, "{ctx}: bucket table not monotone ({c} after {prev})");
+        prev = c;
+    }
+    assert_eq!(prev, count, "{ctx}: bucket table tops out at {prev}, count {count}");
+    (admitted, completed)
+}
+
+#[test]
+fn stats_scrapes_stay_coherent_under_64_client_load() {
+    let server = start_server(EngineConfig::default(), false);
+    let addr = server.addr;
+    const CLIENTS: usize = 64;
+    const REQUESTS: usize = 4;
+    let done = AtomicBool::new(false);
+    let scrapes = std::thread::scope(|scope| {
+        let load: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let (mut w, mut r) = connect(addr);
+                    let mut ok = 0usize;
+                    for i in 0..REQUESTS {
+                        let source = (client * REQUESTS + i) % 32;
+                        let line = format!(
+                            r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#
+                        );
+                        let v = roundtrip(&mut w, &mut r, &line);
+                        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        // Scrape continuously while the fleet hammers the daemon: every
+        // single response must balance on its own.
+        let done = &done;
+        let scraper = scope.spawn(move || {
+            let (mut w, mut r) = connect(addr);
+            let mut scrapes = 0usize;
+            while !done.load(Ordering::SeqCst) {
+                let stats = roundtrip(&mut w, &mut r, r#"{"cmd":"stats"}"#);
+                assert_coherent(&stats, "mid-load scrape");
+                scrapes += 1;
+            }
+            scrapes
+        });
+        let served: usize = load.into_iter().map(|h| h.join().expect("client")).sum();
+        done.store(true, Ordering::SeqCst);
+        let scrapes = scraper.join().expect("scraper");
+        assert_eq!(served, CLIENTS * REQUESTS, "every query should succeed");
+        scrapes
+    });
+    assert!(scrapes > 0, "scraper never observed the daemon");
+    // Quiescent: everything admitted has completed; the histogram agrees.
+    let (mut w, mut r) = connect(addr);
+    let stats = roundtrip(&mut w, &mut r, r#"{"cmd":"stats"}"#);
+    let (admitted, completed) = assert_coherent(&stats, "quiescent scrape");
+    assert_eq!(admitted, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(completed, admitted);
+    assert_eq!(stats.get("active").and_then(Json::as_u64), Some(0));
+    drop((w, r));
+    shutdown_and_join(server);
+}
+
+fn http_get(addr: SocketAddr, request: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics listener");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, head.to_string(), body.to_string())
+}
+
+#[test]
+fn metrics_listener_serves_prometheus_stats_and_probes() {
+    let server = start_server(EngineConfig::default(), true);
+    let maddr = server.metrics_addr.expect("metrics listener bound");
+
+    // Probes answer before any query has run.
+    let (status, _, body) = http_get(maddr, "GET /health HTTP/1.0\r\n\r\n");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _, body) = http_get(maddr, "GET /ready HTTP/1.0\r\n\r\n");
+    assert_eq!((status, body.as_str()), (200, "ready\n"));
+
+    // Run a few queries so the exposition has non-trivial series.
+    let (mut w, mut r) = connect(server.addr);
+    for source in 0..3 {
+        let line = format!(r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#);
+        let v = roundtrip(&mut w, &mut r, &line);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    let (status, head, text) = http_get(maddr, "GET /metrics HTTP/1.0\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    for needle in [
+        "# TYPE gapbs_serve_queries_admitted_total counter",
+        "gapbs_serve_queries_admitted_total 3",
+        "gapbs_serve_queries_completed_total 3",
+        "# TYPE gapbs_serve_latency_us histogram",
+        "gapbs_serve_latency_us_count 3",
+        "gapbs_serve_active_queries 0",
+        "gapbs_serve_rss_bytes",
+        "gapbs_serve_pool_regions_total",
+        "kernel=\"bfs\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Exposition syntax: every non-comment line is `name{...} value`.
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        assert!(!name.is_empty());
+        assert!(value.parse::<f64>().is_ok(), "bad sample value in {line:?}");
+    }
+
+    // /stats serves the same JSON snapshot as the TCP command, and it
+    // satisfies the same consistency invariants.
+    let (status, head, body) = http_get(maddr, "GET /stats HTTP/1.0\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json"), "{head}");
+    let stats = Json::parse(body.trim()).expect("stats JSON");
+    let (admitted, _) = assert_coherent(&stats, "http stats");
+    assert_eq!(admitted, 3);
+
+    // Unknown route and non-GET get clean errors, listener survives.
+    let (status, _, _) = http_get(maddr, "GET /nope HTTP/1.0\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, _, _) = http_get(maddr, "POST /metrics HTTP/1.0\r\n\r\n");
+    assert_eq!(status, 405);
+    let (status, _, _) = http_get(maddr, "GET /health HTTP/1.0\r\n\r\n");
+    assert_eq!(status, 200, "listener survives bad requests");
+
+    drop((w, r));
+    shutdown_and_join(server);
+}

@@ -12,7 +12,11 @@
 //! * [`ledger`] — the JSON-lines run ledger (`results/ledger.jsonl`):
 //!   one record per trial with times, counters, and the git revision, the
 //!   machine-checkable perf trajectory `perf_compare` diffs;
-//! * [`json`] — the dependency-free JSON encoder/parser the ledger uses.
+//! * [`json`] — the dependency-free JSON encoder/parser the ledger uses;
+//! * [`metrics`] — always-on live metrics: lock-free log₂ latency
+//!   histograms (p50/p90/p99/p999) and a named counter/gauge/histogram
+//!   registry with Prometheus text exposition, for the serving daemon's
+//!   scrapeable stats plane (`docs/OPERATIONS.md`).
 //!
 //! # Feature gating
 //!
@@ -25,10 +29,12 @@
 pub mod counters;
 pub mod json;
 pub mod ledger;
+pub mod metrics;
 pub mod span;
 pub mod trace;
 
 pub use counters::{record, snapshot, Counter, CounterSet, Registry};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use ledger::{Ledger, LedgerSink, TrialRecord};
 pub use span::{Phase, PhaseTimes, Span};
 pub use trace::Trace;

@@ -165,38 +165,104 @@ else
     echo "WARN: results/baseline-tiny.jsonl missing; skipping baseline compare"
 fi
 
-echo "== smoke: serve daemon + serve_bench =="
-# Start the daemon on an ephemeral port over a tiny two-graph corpus,
-# hammer it with 64 concurrent clients in --check mode (every response
-# fingerprint must be bit-identical to a local batch-mode run), then run
-# a throughput-gated pass that ends with an in-protocol shutdown. The
-# daemon must drain and exit 0, and its per-query ledger must lint clean.
+echo "== smoke: serve daemon + serve_bench + metrics plane =="
+# Start the daemon on an ephemeral port over a tiny two-graph corpus with
+# the full observability plane on: a metrics listener, and --slow-ms 0 so
+# every successful query must emit a structured slow-query line. Hammer
+# it with 64 concurrent clients in --check mode (every response
+# fingerprint must be bit-identical to a local batch-mode run), scrape
+# both the TCP stats command and the HTTP exposition endpoints, then run
+# a throughput-gated pass whose client-side percentiles are cross-checked
+# against the daemon's own histogram (--check-quantiles) and which ends
+# with an in-protocol shutdown. The daemon must drain and exit 0, and its
+# per-query ledger must lint clean.
 serve_log="$smoke_dir/serve.log"
 cargo run -q --release --bin serve -- \
     --addr 127.0.0.1:0 --port-file "$smoke_dir/serve.port" \
+    --metrics-addr 127.0.0.1:0 --metrics-port-file "$smoke_dir/metrics.port" \
+    --slow-ms 0 \
     --scale tiny --graphs kron,road --threads 2 \
     --ledger "$smoke_dir/serve.jsonl" > /dev/null 2> "$serve_log" &
 serve_pid=$!
 for _ in $(seq 1 100); do
-    [[ -s "$smoke_dir/serve.port" ]] && break
+    [[ -s "$smoke_dir/serve.port" && -s "$smoke_dir/metrics.port" ]] && break
     kill -0 "$serve_pid" 2> /dev/null || { echo "FAIL: serve died on startup"; cat "$serve_log"; exit 1; }
     sleep 0.1
 done
 [[ -s "$smoke_dir/serve.port" ]] || { echo "FAIL: serve never wrote its port file"; cat "$serve_log"; exit 1; }
-serve_addr="127.0.0.1:$(cat "$smoke_dir/serve.port")"
+[[ -s "$smoke_dir/metrics.port" ]] || { echo "FAIL: serve never wrote its metrics port file"; cat "$serve_log"; exit 1; }
+serve_port="$(cat "$smoke_dir/serve.port")"
+serve_addr="127.0.0.1:$serve_port"
+metrics_port="$(cat "$smoke_dir/metrics.port")"
 # 64 concurrent clients, bit-identity checked on every response.
 cargo run -q --release --bin serve_bench -- \
     --addr "$serve_addr" --clients 64 --requests 4 \
     --check --scale tiny --threads 2 > "$smoke_dir/serve_check.json"
-# Throughput gate + graceful in-protocol shutdown.
+# Scrape the TCP stats command (bash /dev/tcp; no curl in the image) and
+# hold the snapshot to the structured consistency rules: lifecycle
+# counters balance exactly, histogram count equals completions, bucket
+# table monotone.
+exec 3<> "/dev/tcp/127.0.0.1/$serve_port"
+printf '{"cmd":"stats"}\n' >&3
+head -n 1 <&3 > "$smoke_dir/stats.json"
+exec 3>&- 3<&-
+cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+    --lint-stats "$smoke_dir/stats.json"
+# Scrape the HTTP endpoints the same way.
+http_get() {
+    exec 4<> "/dev/tcp/127.0.0.1/$metrics_port"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&4
+    cat <&4
+    exec 4>&- 4<&-
+}
+http_get /metrics | tr -d '\r' > "$smoke_dir/metrics.txt"
+head -n 1 "$smoke_dir/metrics.txt" | grep -q ' 200 ' \
+    || { echo "FAIL: /metrics did not return 200"; head -n 1 "$smoke_dir/metrics.txt"; exit 1; }
+# Body = everything after the header blank line.
+sed -e '1,/^$/d' "$smoke_dir/metrics.txt" > "$smoke_dir/metrics.body"
+for needle in \
+    '# TYPE gapbs_serve_queries_admitted_total counter' \
+    '# TYPE gapbs_serve_latency_us histogram' \
+    'gapbs_serve_latency_us_bucket{le=' \
+    'gapbs_serve_queries_completed_total ' \
+    'gapbs_serve_rss_bytes ' \
+    'gapbs_serve_pool_regions_total '; do
+    grep -qF "$needle" "$smoke_dir/metrics.body" \
+        || { echo "FAIL: /metrics missing $needle"; cat "$smoke_dir/metrics.body"; exit 1; }
+done
+# Exposition syntax: every sample line is `name[{labels}] value`.
+if grep -vE '^(#.*|[a-z_][a-z0-9_]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|)$' \
+    "$smoke_dir/metrics.body" > "$smoke_dir/metrics.bad"; then
+    echo "FAIL: malformed Prometheus exposition lines:"; cat "$smoke_dir/metrics.bad"; exit 1
+fi
+http_get /health | tail -n 1 | grep -q '^ok$' \
+    || { echo "FAIL: /health probe"; exit 1; }
+http_get /ready | tail -n 1 | grep -q '^ready$' \
+    || { echo "FAIL: /ready probe"; exit 1; }
+# An on-demand traced query returns inline Chrome events that trace_stats
+# can read straight off the response line.
+exec 3<> "/dev/tcp/127.0.0.1/$serve_port"
+printf '{"kernel":"bfs","graph":"kron","source":0,"trace":true}\n' >&3
+head -n 1 <&3 > "$smoke_dir/traced.json"
+exec 3>&- 3<&-
+cargo run -q --release -p gapbs-bench --bin trace_stats -- \
+    "$smoke_dir/traced.json" > /dev/null \
+    || { echo "FAIL: trace_stats cannot read a served inline trace"; cat "$smoke_dir/traced.json"; exit 1; }
+# Throughput gate + daemon-vs-client quantile cross-check + graceful
+# in-protocol shutdown. The QPS floor doubles as the metrics-overhead
+# gate: the always-on histograms ride inside this measured run.
 cargo run -q --release --bin serve_bench -- \
     --addr "$serve_addr" --clients 8 --requests 25 --min-qps 20 \
-    --shutdown > "$smoke_dir/serve_bench.json"
+    --check-quantiles --shutdown > "$smoke_dir/serve_bench.json"
 if ! wait "$serve_pid"; then
     echo "FAIL: serve did not exit 0 after shutdown"; cat "$serve_log"; exit 1
 fi
 grep -q "shut down cleanly" "$serve_log" \
     || { echo "FAIL: serve log shows no clean drain"; cat "$serve_log"; exit 1; }
+# --slow-ms 0 means every successful query crosses the threshold: the
+# structured slow-query log must have fired.
+grep -q '"slow_query":true' "$serve_log" \
+    || { echo "FAIL: slow-query log never fired at --slow-ms 0"; cat "$serve_log"; exit 1; }
 [[ -s "$smoke_dir/serve.jsonl" ]] || { echo "FAIL: serve ledger is empty"; exit 1; }
 # Per-query records must satisfy the same structured rules as trial
 # records, including the queries_completed <= queries_admitted invariant.
