@@ -114,6 +114,31 @@ const BUILD_RATIO_THRESHOLD: f64 = 1.25;
 /// ...and so are swings under this many seconds.
 const BUILD_ABSOLUTE_FLOOR: f64 = 0.010;
 
+/// A cell's resident-graph-bytes pair. Graph-bytes deltas are *reported*,
+/// never gated: the layout engine's whole point is moving this number, so
+/// the diff makes width savings (or regressions) visible without ever
+/// failing a build over memory shape.
+#[derive(Debug, Clone)]
+pub struct GraphBytesDelta {
+    /// (framework, kernel, graph, mode).
+    pub key: CellKey,
+    /// `graph_bytes` in the baseline cell (constant across trials).
+    pub baseline_bytes: u64,
+    /// `graph_bytes` in the candidate cell.
+    pub candidate_bytes: u64,
+}
+
+impl GraphBytesDelta {
+    /// Candidate/baseline graph-bytes ratio (>1 means a bigger layout).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_bytes > 0 {
+            self.candidate_bytes as f64 / self.baseline_bytes as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// Outcome of diffing two ledgers.
 #[derive(Debug, Default)]
 pub struct Comparison {
@@ -134,6 +159,10 @@ pub struct Comparison {
     /// thresholds (report-only; [`Comparison::has_regressions`] ignores
     /// these).
     pub build: Vec<BuildDelta>,
+    /// Cells whose resident graph bytes changed at all (the field is
+    /// deterministic, so any movement is a real layout change;
+    /// report-only, never gates).
+    pub graph_bytes: Vec<GraphBytesDelta>,
 }
 
 impl Comparison {
@@ -197,6 +226,19 @@ impl Comparison {
                     b.baseline_seconds,
                     b.candidate_seconds,
                     b.ratio(),
+                ));
+            }
+        }
+        if !self.graph_bytes.is_empty() {
+            out.push_str("GRAPH-BYTES (resident CSR; report-only, never gates)\n");
+            let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+            for g in &self.graph_bytes {
+                let (fw, kernel, graph, mode) = &g.key;
+                out.push_str(&format!(
+                    "  {fw:<12} {kernel:<5} {graph:<8} {mode:<10} {:>9.2} MiB -> {:>9.2} MiB  ({:>6.2}x)\n",
+                    mib(g.baseline_bytes),
+                    mib(g.candidate_bytes),
+                    g.ratio(),
                 ));
             }
         }
@@ -315,6 +357,32 @@ pub fn compare(
             });
         }
     }
+    // Graph bytes: the layout footprint per cell, reported whenever it
+    // moved at all — the field is deterministic (CSR arithmetic, not a
+    // measurement), so there is no noise threshold. Cells with a zero on
+    // either side (pre-field ledger) are skipped.
+    let bytes_by_cell = |records: &[TrialRecord]| {
+        let mut bytes: BTreeMap<CellKey, u64> = BTreeMap::new();
+        for r in records {
+            let entry = bytes.entry(r.cell_key()).or_insert(0);
+            *entry = (*entry).max(r.graph_bytes);
+        }
+        bytes
+    };
+    let cand_bytes = bytes_by_cell(candidate);
+    for (key, &b) in &bytes_by_cell(baseline) {
+        let Some(&c) = cand_bytes.get(key) else {
+            continue;
+        };
+        if b == 0 || c == 0 || b == c {
+            continue;
+        }
+        result.graph_bytes.push(GraphBytesDelta {
+            key: key.clone(),
+            baseline_bytes: b,
+            candidate_bytes: c,
+        });
+    }
     // Worst regression first, best improvement first, biggest memory
     // mover first.
     result
@@ -328,6 +396,9 @@ pub fn compare(
         .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
     result
         .build
+        .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    result
+        .graph_bytes
         .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
     result
 }
@@ -383,6 +454,17 @@ pub fn lint(records: &[TrialRecord]) -> Vec<String> {
         if spa > r.counters.get(Counter::EdgesExamined) {
             problems.push(format!(
                 "{cell}: SPA hits+inserts {spa} exceed edges examined {}",
+                r.counters.get(Counter::EdgesExamined)
+            ));
+        }
+        // Triangle-counting accounting: `tc_intersections` counts element
+        // comparisons inside neighbor-list intersections, and every such
+        // comparison examines at least one adjacency element, so the
+        // comparison total can never exceed the edge scan count.
+        let tc = r.counters.get(Counter::TcIntersections);
+        if tc > r.counters.get(Counter::EdgesExamined) {
+            problems.push(format!(
+                "{cell}: {tc} TC intersection comparisons exceed edges examined {}",
                 r.counters.get(Counter::EdgesExamined)
             ));
         }
@@ -707,6 +789,60 @@ mod tests {
         let problems = lint(&[bad]);
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("exceed edges examined"), "{problems:?}");
+    }
+
+    #[test]
+    fn graph_bytes_deltas_report_any_layout_change() {
+        let mib = 1024 * 1024;
+        let mut base = record("GAP", "tc", 0, 0.1);
+        base.graph_bytes = 12 * mib;
+        let mut cand = record("GAP", "tc", 0, 0.1);
+        cand.graph_bytes = 8 * mib; // u32 offsets: smaller layout, reported
+        let cmp = compare(&[base.clone()], &[cand], &CompareConfig::default());
+        assert!(!cmp.has_regressions(), "graph bytes never fail the gate");
+        assert_eq!(cmp.graph_bytes.len(), 1);
+        assert!((cmp.graph_bytes[0].ratio() - 8.0 / 12.0).abs() < 1e-12);
+        assert!(cmp.render().contains("GRAPH-BYTES"), "{}", cmp.render());
+
+        // Identical layout: nothing to report.
+        let cmp = compare(&[base.clone()], &[base.clone()], &CompareConfig::default());
+        assert!(cmp.graph_bytes.is_empty());
+
+        // Zero on either side (pre-field ledger) is skipped, not infinite.
+        let cmp = compare(
+            &[record("GAP", "tc", 0, 0.1)],
+            &[base],
+            &CompareConfig::default(),
+        );
+        assert!(cmp.graph_bytes.is_empty());
+    }
+
+    #[test]
+    fn lint_bounds_tc_comparisons_by_edges_examined() {
+        use gapbs_telemetry::Counter;
+        let good = || {
+            let mut r = record("GAP", "tc", 0, 0.1);
+            r.threads = 4;
+            r.num_vertices = 100;
+            r.num_arcs = 400;
+            r.verified = true;
+            r.counters.set(Counter::EdgesExamined, 500);
+            r
+        };
+        // Comparisons within the scan budget: clean.
+        let mut ok = good();
+        ok.counters.set(Counter::TcIntersections, 500);
+        assert!(lint(&[ok]).is_empty());
+        // More comparisons than examined elements: impossible under the
+        // counting convention (every comparison examines an element).
+        let mut bad = good();
+        bad.counters.set(Counter::TcIntersections, 501);
+        let problems = lint(&[bad]);
+        assert_eq!(problems.len(), 1);
+        assert!(
+            problems[0].contains("intersection comparisons exceed"),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -87,6 +87,25 @@ impl BenchGraph {
     pub fn num_vertices(&self) -> usize {
         self.graph.num_vertices()
     }
+
+    /// Resident CSR bytes of the structure `kernel` consumes — the
+    /// ledger's `graph_bytes` column: the weighted graph for SSSP, the
+    /// symmetrized view for TC, the stored adjacency otherwise.
+    pub fn kernel_graph_bytes(&self, kernel: Kernel) -> usize {
+        match kernel {
+            Kernel::Sssp => self.wgraph.graph_bytes(),
+            Kernel::Tc => self.sym_graph.graph_bytes(),
+            _ => self.graph.graph_bytes(),
+        }
+    }
+
+    /// Total resident CSR bytes of every prepared structure (unweighted,
+    /// weighted, and symmetrized view — the symmetrized clone is a real
+    /// second allocation even for undirected graphs). The serve daemon's
+    /// per-graph memory gauge.
+    pub fn resident_bytes(&self) -> usize {
+        self.graph.graph_bytes() + self.wgraph.graph_bytes() + self.sym_graph.graph_bytes()
+    }
 }
 
 /// One row of Table II: the descriptive attributes of a framework.

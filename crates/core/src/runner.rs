@@ -264,6 +264,7 @@ pub fn run_cell_in_pool(
                 phases: phase_delta,
                 peak_rss_bytes: gapbs_telemetry::trace::read_vm_status()
                     .map_or(0, |vm| vm.vm_hwm_bytes),
+                graph_bytes: input.kernel_graph_bytes(kernel) as u64,
                 git_rev: String::new(),
             };
             phases_mark = now_phases;

@@ -8,7 +8,7 @@
 
 use crate::heuristic::ExecutionStyle;
 use gapbs_graph::types::{NodeId, Score};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex};
 use gapbs_parallel::atomics::AtomicF64;
 use gapbs_parallel::{ChunkedWorklist, ThreadPool};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 const UNVISITED: u32 = u32::MAX;
 
 /// Runs Brandes BC from `sources`, normalized by the maximum score.
-pub fn bc(g: &Graph, sources: &[NodeId], style: ExecutionStyle, pool: &ThreadPool) -> Vec<Score> {
+pub fn bc<O: OffsetIndex>(g: &Graph<O>, sources: &[NodeId], style: ExecutionStyle, pool: &ThreadPool) -> Vec<Score> {
     let n = g.num_vertices();
     let mut scores = vec![0.0; n];
     if n == 0 {
@@ -34,8 +34,8 @@ pub fn bc(g: &Graph, sources: &[NodeId], style: ExecutionStyle, pool: &ThreadPoo
     scores
 }
 
-fn single_source(
-    g: &Graph,
+fn single_source<O: OffsetIndex>(
+    g: &Graph<O>,
     source: NodeId,
     style: ExecutionStyle,
     pool: &ThreadPool,

@@ -11,13 +11,13 @@
 use crate::heuristic::ExecutionStyle;
 use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::as_atomic_u32;
 use gapbs_parallel::{AtomicBitmap, ChunkedWorklist, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Runs BFS from `source` using the given execution style.
-pub fn bfs(g: &Graph, source: NodeId, style: ExecutionStyle, pool: &ThreadPool) -> Vec<NodeId> {
+pub fn bfs<O: OffsetIndex>(g: &Graph<O>, source: NodeId, style: ExecutionStyle, pool: &ThreadPool) -> Vec<NodeId> {
     match style {
         ExecutionStyle::BulkSynchronous => bulk_sync(g, source, pool),
         ExecutionStyle::Asynchronous => asynchronous(g, source, pool),
@@ -27,7 +27,7 @@ pub fn bfs(g: &Graph, source: NodeId, style: ExecutionStyle, pool: &ThreadPool) 
 /// Asynchronous label-correcting BFS. Depth labels converge to true BFS
 /// depths; parents are updated together with depths, so the final parent
 /// of `v` sits at depth `depth(v) - 1`.
-fn asynchronous(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
+fn asynchronous<O: OffsetIndex>(g: &Graph<O>, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let n = g.num_vertices();
     let mut parent = vec![NO_PARENT; n];
     if n == 0 {
@@ -89,7 +89,7 @@ fn asynchronous(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
 /// Bulk-synchronous direction-optimizing BFS (the same family of
 /// algorithm as GAP; the paper notes the two use the same approach on
 /// power-law graphs, with Galois paying generic-library overhead).
-fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
+fn bulk_sync<O: OffsetIndex>(g: &Graph<O>, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let n = g.num_vertices();
     let mut parent = vec![NO_PARENT; n];
     if n == 0 {
@@ -103,6 +103,7 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let parents = as_atomic_u32(&mut parent);
     let mut edges_to_check = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
+    let mut strips: Option<Strips> = None;
     let mut was_pull = false;
     let mut depth: u32 = 0;
     while !queue.is_window_empty() {
@@ -113,7 +114,8 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
             was_pull = pull;
         }
         if pull {
-            // Pull phase.
+            // Pull phase, walked in LLC-sized strips of in-edge mass.
+            let strips = strips.get_or_insert_with(|| Strips::pull(g.in_csr()));
             front.clear();
             for &u in queue.window() {
                 front.set(u as usize);
@@ -129,22 +131,25 @@ fn bulk_sync(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                 depth += 1;
                 let next = AtomicBitmap::new(n);
                 let count = AtomicU64::new(0);
-                pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
-                    if parents[v].load(Ordering::Relaxed) == NO_PARENT {
-                        let mut scanned = 0u64;
-                        for &u in g.in_neighbors(v as NodeId) {
-                            scanned += 1;
-                            if front.get(u as usize) {
-                                parents[v].store(u, Ordering::Relaxed);
-                                next.set(v);
-                                count.fetch_add(1, Ordering::Relaxed);
-                                break;
+                pool.for_each_index(strips.len(), Schedule::Dynamic(1), |s| {
+                    let mut woke = 0u64;
+                    let mut scanned = 0u64;
+                    for v in strips.range(s) {
+                        if parents[v].load(Ordering::Relaxed) == NO_PARENT {
+                            for &u in g.in_neighbors(v as NodeId) {
+                                scanned += 1;
+                                if front.get(u as usize) {
+                                    parents[v].store(u, Ordering::Relaxed);
+                                    next.set(v);
+                                    woke += 1;
+                                    break;
+                                }
                             }
                         }
-                        gapbs_telemetry::record(
-                            gapbs_telemetry::Counter::EdgesExamined,
-                            scanned,
-                        );
+                    }
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
+                    if woke > 0 {
+                        count.fetch_add(woke, Ordering::Relaxed);
                     }
                 });
                 awake = count.into_inner();

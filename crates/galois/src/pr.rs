@@ -8,13 +8,13 @@
 //! 3.6× Road win the paper reports.
 
 use gapbs_graph::types::{NodeId, Score};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::AtomicF64;
 use gapbs_parallel::ThreadPool;
 
 /// Runs Gauss–Seidel PageRank; returns `(scores, iterations)`.
-pub fn pr(
-    g: &Graph,
+pub fn pr<O: OffsetIndex>(
+    g: &Graph<O>,
     damping: f64,
     tolerance: f64,
     max_iters: usize,
@@ -32,6 +32,10 @@ pub fn pr(
     // "chaotic relaxation", the essence of asynchronous Gauss–Seidel).
     let scores: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(1.0 / nf)).collect();
     let out_degree: Vec<usize> = g.vertices().map(|u| g.out_degree(u)).collect();
+    // Chaotic relaxation tolerates any visit order, so walking LLC-sized
+    // strips of in-edge mass costs nothing semantically and keeps each
+    // strip's score window resident.
+    let strips = Strips::pull(g.in_csr());
     let mut iterations = 0;
     for iter in 0..max_iters {
         iterations = iter + 1;
@@ -44,19 +48,23 @@ pub fn pr(
             .sum::<Score>()
             / nf;
         let error = pool.reduce_index(
-            n,
-            gapbs_parallel::Schedule::Guided,
+            strips.len(),
+            gapbs_parallel::Schedule::Dynamic(1),
             0.0f64,
-            |v| {
-                let mut sum = 0.0;
-                for &u in g.in_neighbors(v as NodeId) {
-                    // In-place read: may already be this sweep's value.
-                    sum += scores[u as usize].load() / out_degree[u as usize] as Score;
+            |s| {
+                let mut strip_error = 0.0;
+                for v in strips.range(s) {
+                    let mut sum = 0.0;
+                    for &u in g.in_neighbors(v as NodeId) {
+                        // In-place read: may already be this sweep's value.
+                        sum += scores[u as usize].load() / out_degree[u as usize] as Score;
+                    }
+                    let new = base + damping * (sum + dangling);
+                    let old = scores[v].load();
+                    scores[v].store(new);
+                    strip_error += (new - old).abs();
                 }
-                let new = base + damping * (sum + dangling);
-                let old = scores[v].load();
-                scores[v].store(new);
-                (new - old).abs()
+                strip_error
             },
             |a, b| a + b,
         );

@@ -9,7 +9,7 @@
 
 use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::as_atomic_u32;
 use gapbs_parallel::{AtomicBitmap, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const LOCAL_BUFFER: usize = 1024;
 
 /// Runs BFS from `source`, returning the parent array.
-pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
+pub fn bfs<O: OffsetIndex>(g: &Graph<O>, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let n = g.num_vertices();
     let mut parent = vec![NO_PARENT; n];
     if n == 0 {
@@ -33,6 +33,7 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     let next = AtomicBitmap::new(n);
     let mut edges_left = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
+    let mut strips: Option<Strips> = None;
     let mut was_pull = false;
     let mut depth: u32 = 0;
     while !queue.is_window_empty() {
@@ -43,7 +44,9 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
             was_pull = pull;
         }
         if pull {
-            // Pull phase over dense bitmaps.
+            // Pull phase over dense bitmaps, walked in LLC-sized strips of
+            // in-edge mass (computed once, on the first switch).
+            let strips = strips.get_or_insert_with(|| Strips::pull(g.in_csr()));
             front.clear();
             for &u in queue.window() {
                 front.set(u as usize);
@@ -59,26 +62,31 @@ pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
                 depth += 1;
                 next.clear();
                 let count = AtomicU64::new(0);
-                pool.for_each_index(n, Schedule::Dynamic(2048), |v| {
-                    if parents[v].load(Ordering::Relaxed) == NO_PARENT {
-                        // Tight scalar loop over the raw slice (the SIMD
-                        // gather analogue).
-                        let row = g.in_neighbors(v as NodeId);
-                        let mut k = 0;
-                        while k < row.len() {
-                            let u = row[k];
-                            if front.get(u as usize) {
-                                parents[v].store(u, Ordering::Relaxed);
-                                next.set(v);
-                                count.fetch_add(1, Ordering::Relaxed);
-                                break;
+                pool.for_each_index(strips.len(), Schedule::Dynamic(1), |s| {
+                    let mut woke = 0u64;
+                    let mut examined = 0u64;
+                    for v in strips.range(s) {
+                        if parents[v].load(Ordering::Relaxed) == NO_PARENT {
+                            // Tight scalar loop over the raw slice (the
+                            // SIMD gather analogue).
+                            let row = g.in_neighbors(v as NodeId);
+                            let mut k = 0;
+                            while k < row.len() {
+                                let u = row[k];
+                                if front.get(u as usize) {
+                                    parents[v].store(u, Ordering::Relaxed);
+                                    next.set(v);
+                                    woke += 1;
+                                    break;
+                                }
+                                k += 1;
                             }
-                            k += 1;
+                            examined += ((k + 1).min(row.len())) as u64;
                         }
-                        gapbs_telemetry::record(
-                            gapbs_telemetry::Counter::EdgesExamined,
-                            (k + 1).min(row.len()) as u64,
-                        );
+                    }
+                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, examined);
+                    if woke > 0 {
+                        count.fetch_add(woke, Ordering::Relaxed);
                     }
                 });
                 awake = count.into_inner();

@@ -2,13 +2,13 @@
 //! loops over the raw CSR slices.
 
 use gapbs_graph::types::{NodeId, Score};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::AtomicF64;
 use gapbs_parallel::ThreadPool;
 
 /// Runs Gauss–Seidel PageRank; returns `(scores, iterations)`.
-pub fn pr(
-    g: &Graph,
+pub fn pr<O: OffsetIndex>(
+    g: &Graph<O>,
     damping: f64,
     tolerance: f64,
     max_iters: usize,
@@ -34,6 +34,10 @@ pub fn pr(
             }
         })
         .collect();
+    // Strip the sweep by in-edge mass so each strip's score window stays
+    // LLC-resident; Gauss–Seidel stays in-place, the strip order merely
+    // bounds how much of `scores` a worker touches at once.
+    let strips = Strips::pull(g.in_csr());
     let mut iterations = 0;
     for iter in 0..max_iters {
         iterations = iter + 1;
@@ -46,22 +50,26 @@ pub fn pr(
             .sum::<Score>()
             / nf;
         let error = pool.reduce_index(
-            n,
-            gapbs_parallel::Schedule::Guided,
+            strips.len(),
+            gapbs_parallel::Schedule::Dynamic(1),
             0.0f64,
-            |v| {
-                let row = g.in_neighbors(v as NodeId);
-                let mut sum = 0.0;
-                let mut k = 0;
-                while k < row.len() {
-                    let u = row[k] as usize;
-                    sum += scores[u].load() * inv_degree[u];
-                    k += 1;
+            |s| {
+                let mut strip_error = 0.0;
+                for v in strips.range(s) {
+                    let row = g.in_neighbors(v as NodeId);
+                    let mut sum = 0.0;
+                    let mut k = 0;
+                    while k < row.len() {
+                        let u = row[k] as usize;
+                        sum += scores[u].load() * inv_degree[u];
+                        k += 1;
+                    }
+                    let new = base + damping * (sum + dangling);
+                    let old = scores[v].load();
+                    scores[v].store(new);
+                    strip_error += (new - old).abs();
                 }
-                let new = base + damping * (sum + dangling);
-                let old = scores[v].load();
-                scores[v].store(new);
-                (new - old).abs()
+                strip_error
             },
             |a, b| a + b,
         );

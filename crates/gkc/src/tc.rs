@@ -11,7 +11,7 @@
 
 use gapbs_graph::perm;
 use gapbs_graph::types::NodeId;
-use gapbs_graph::Graph;
+use gapbs_graph::{intersect, Graph, OffsetIndex};
 use gapbs_parallel::{Schedule, ThreadPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// # Panics
 ///
 /// Panics if `g` is directed.
-pub fn tc(g: &Graph, pool: &ThreadPool) -> u64 {
+pub fn tc<O: OffsetIndex>(g: &Graph<O>, pool: &ThreadPool) -> u64 {
     assert!(!g.is_directed(), "TC expects the symmetrized graph");
     if degree_skewness(g) > 2.0 {
         let relabeled = {
@@ -34,7 +34,7 @@ pub fn tc(g: &Graph, pool: &ThreadPool) -> u64 {
 }
 
 /// Sampled skewness proxy: mean degree over median degree.
-pub fn degree_skewness(g: &Graph) -> f64 {
+pub fn degree_skewness<O: OffsetIndex>(g: &Graph<O>) -> f64 {
     let n = g.num_vertices();
     if n < 10 {
         return 0.0;
@@ -52,43 +52,36 @@ pub fn degree_skewness(g: &Graph) -> f64 {
     mean / median
 }
 
-/// Orientation count with the branch-reduced merge kernel. Iterating `v`
-/// in ascending id order keeps recently intersected adjacency lists warm
-/// (the "previously visited vectors" reuse).
-fn count(g: &Graph, pool: &ThreadPool) -> u64 {
+/// Orientation count with the adaptive SIMD-shaped intersection kernel
+/// ([`gapbs_graph::intersect`]): galloping when the list lengths are
+/// skewed, a branch-free lane scan otherwise. Iterating `v` in ascending
+/// id order keeps recently intersected adjacency lists warm (the
+/// "previously visited vectors" reuse).
+fn count<O: OffsetIndex>(g: &Graph<O>, pool: &ThreadPool) -> u64 {
     let total = AtomicU64::new(0);
     pool.for_each_index(g.num_vertices(), Schedule::Dynamic(64), |u| {
         let u = u as NodeId;
         let adj_u = g.out_neighbors(u);
         let prefix_u = &adj_u[..adj_u.partition_point(|&x| x < u)];
-        gapbs_telemetry::record(
-            gapbs_telemetry::Counter::TcIntersections,
-            prefix_u.len() as u64,
-        );
-        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, adj_u.len() as u64);
         let mut local = 0u64;
+        let mut comparisons = 0u64;
         for &v in prefix_u {
-            local += merge_count(prefix_u, g.out_neighbors(v), v);
+            let r = intersect::count_below(prefix_u, g.out_neighbors(v), v);
+            local += r.count;
+            comparisons += r.comparisons;
         }
+        // Comparisons feed both counters so `tc_intersections <=
+        // edges_examined` holds by construction (see `perf_compare --lint`).
+        gapbs_telemetry::record(gapbs_telemetry::Counter::TcIntersections, comparisons);
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::EdgesExamined,
+            adj_u.len() as u64 + comparisons,
+        );
         if local > 0 {
             total.fetch_add(local, Ordering::Relaxed);
         }
     });
     total.into_inner()
-}
-
-/// Branch-reduced merge counting common elements strictly below
-/// `ceiling`. Index advances are computed arithmetically from
-/// comparisons, the scalar shape of a SIMD set-intersection kernel.
-fn merge_count(a: &[NodeId], b: &[NodeId], ceiling: NodeId) -> u64 {
-    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
-    while i < a.len() && j < b.len() && a[i] < ceiling && b[j] < ceiling {
-        let (x, y) = (a[i], b[j]);
-        count += u64::from(x == y);
-        i += usize::from(x <= y);
-        j += usize::from(y <= x);
-    }
-    count
 }
 
 #[cfg(test)]

@@ -34,8 +34,8 @@
 use crate::csr::{CsrGraph, WCsrGraph};
 use crate::edgelist::{Edge, WEdge};
 use crate::error::BuildError;
-use crate::graph::{Graph, WGraph};
-use crate::types::{NodeId, Weight};
+use crate::graph::{AnyGraph, Graph, WGraph};
+use crate::types::{NodeId, OffsetIndex, Weight};
 use gapbs_parallel::{scan, scatter, Schedule, SharedSlice, ThreadPool};
 use gapbs_telemetry::{record, trace, Counter};
 
@@ -58,6 +58,7 @@ pub struct Builder {
     num_vertices: Option<usize>,
     symmetrize: bool,
     remove_self_loops: bool,
+    force_wide: bool,
     pool: Option<ThreadPool>,
 }
 
@@ -75,6 +76,7 @@ impl Builder {
             num_vertices: None,
             symmetrize: false,
             remove_self_loops: false,
+            force_wide: false,
             pool: None,
         }
     }
@@ -94,6 +96,14 @@ impl Builder {
     /// When `true`, self-loops are dropped during construction.
     pub fn remove_self_loops(mut self, yes: bool) -> Self {
         self.remove_self_loops = yes;
+        self
+    }
+
+    /// Forces [`Self::build_any`] onto the wide (`usize`-offset) path even
+    /// when the graph would fit compact offsets — the test hook for the
+    /// fallback that real inputs only trigger at `u32::MAX` arcs.
+    pub fn force_wide(mut self, yes: bool) -> Self {
+        self.force_wide = yes;
         self
     }
 
@@ -127,13 +137,47 @@ impl Builder {
         }
     }
 
-    /// Builds an unweighted [`Graph`].
+    /// Builds an unweighted [`Graph`] with the default compact (`u32`)
+    /// offsets.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError::EndpointOutOfRange`] if an endpoint exceeds a
-    /// fixed vertex count.
+    /// fixed vertex count, or [`BuildError::ArcCountOverflow`] if the arc
+    /// count does not fit 32-bit offsets (use [`Self::build_any`] for
+    /// inputs that may need the wide fallback).
     pub fn build(&self, edges: Vec<Edge>) -> Result<Graph, BuildError> {
+        self.build_as::<u32>(edges)
+    }
+
+    /// Builds an unweighted graph, selecting the offset width at runtime:
+    /// compact `u32` offsets whenever the scattered arc count fits (every
+    /// in-repo graph), the `usize` fallback otherwise (or when
+    /// [`Self::force_wide`] is set).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build`], minus the overflow case the
+    /// wide path absorbs.
+    pub fn build_any(&self, edges: Vec<Edge>) -> Result<AnyGraph, BuildError> {
+        // Conservative width choice from the scattered item count (final
+        // arcs only shrink from here via dedup), so the pipeline runs once.
+        let scattered = edges
+            .len()
+            .saturating_mul(if self.symmetrize { 2 } else { 1 });
+        if self.force_wide || !<u32 as OffsetIndex>::fits(scattered) {
+            Ok(AnyGraph::Wide(self.build_as::<usize>(edges)?))
+        } else {
+            Ok(AnyGraph::Narrow(self.build_as::<u32>(edges)?))
+        }
+    }
+
+    /// [`Self::build`] for an explicit offset width `O`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build`].
+    pub fn build_as<O: OffsetIndex>(&self, edges: Vec<Edge>) -> Result<Graph<O>, BuildError> {
         let pool = self.runtime();
         let drop_loops = self.remove_self_loops;
         let live = |e: &Edge| !(drop_loops && e.is_self_loop());
@@ -151,7 +195,8 @@ impl Builder {
                 live(&e).then_some((e.src as usize, e.dst))
             };
             let (offsets, targets) = build_rows(&pool, n, 2 * m, &item);
-            Ok(Graph::undirected(CsrGraph::from_parts_unchecked(
+            check_width::<O>(&offsets)?;
+            Ok(Graph::undirected(CsrGraph::from_scan_unchecked(
                 offsets, targets,
             )))
         } else {
@@ -164,10 +209,11 @@ impl Builder {
                 live(&e).then_some((e.dst as usize, e.src))
             };
             let (oo, ot) = build_rows(&pool, n, m, &out_item);
+            check_width::<O>(&oo)?;
             let (io, it) = build_rows(&pool, n, m, &in_item);
             Ok(Graph::directed(
-                CsrGraph::from_parts_unchecked(oo, ot),
-                CsrGraph::from_parts_unchecked(io, it),
+                CsrGraph::from_scan_unchecked(oo, ot),
+                CsrGraph::from_scan_unchecked(io, it),
             ))
         }
     }
@@ -183,6 +229,18 @@ impl Builder {
     /// [`BuildError::EndpointOutOfRange`] if an endpoint exceeds a fixed
     /// vertex count.
     pub fn build_weighted(&self, edges: Vec<WEdge>) -> Result<WGraph, BuildError> {
+        self.build_weighted_as::<u32>(edges)
+    }
+
+    /// [`Self::build_weighted`] for an explicit offset width `O`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::build_weighted`].
+    pub fn build_weighted_as<O: OffsetIndex>(
+        &self,
+        edges: Vec<WEdge>,
+    ) -> Result<WGraph<O>, BuildError> {
         let pool = self.runtime();
         let drop_loops = self.remove_self_loops;
         let live = |e: &WEdge| !(drop_loops && e.src == e.dst);
@@ -228,6 +286,7 @@ impl Builder {
                 live(&e).then_some((e.src as usize, (e.dst, e.weight)))
             };
             let (offsets, pairs) = build_rows(&pool, n, 2 * m, &item);
+            check_width::<O>(&offsets)?;
             Ok(WGraph::undirected(wcsr(&pool, offsets, &pairs)))
         } else {
             let out_item = |i: usize| {
@@ -239,6 +298,7 @@ impl Builder {
                 live(&e).then_some((e.dst as usize, (e.src, e.weight)))
             };
             let (oo, op) = build_rows(&pool, n, m, &out_item);
+            check_width::<O>(&oo)?;
             let (io, ip) = build_rows(&pool, n, m, &in_item);
             Ok(WGraph::directed(
                 wcsr(&pool, oo, &op),
@@ -248,10 +308,23 @@ impl Builder {
     }
 }
 
+/// Verifies the scanned arc total fits offset width `O` before narrowing.
+fn check_width<O: OffsetIndex>(offsets: &[usize]) -> Result<(), BuildError> {
+    let total = offsets.last().copied().unwrap_or(0);
+    if O::fits(total) {
+        Ok(())
+    } else {
+        Err(BuildError::ArcCountOverflow {
+            arcs: total as u64,
+            width: O::NAME,
+        })
+    }
+}
+
 /// Symmetrizes a directed graph on `pool` without materializing an edge
 /// list: the scatter's item space is both directions of every stored arc,
 /// read straight out of the CSR.
-pub fn symmetrize_graph(g: &Graph, pool: &ThreadPool) -> Graph {
+pub fn symmetrize_graph<O: OffsetIndex>(g: &Graph<O>, pool: &ThreadPool) -> Graph<O> {
     let n = g.num_vertices();
     let csr = g.out_csr();
     let targets = csr.targets_raw();
@@ -267,21 +340,26 @@ pub fn symmetrize_graph(g: &Graph, pool: &ThreadPool) -> Graph {
         })
     };
     let (offsets, adj) = build_rows(pool, n, 2 * m, &item);
-    Graph::undirected(CsrGraph::from_parts_unchecked(offsets, adj))
+    assert!(
+        O::fits(offsets.last().copied().unwrap_or(0)),
+        "symmetrized arc count overflows {} offsets",
+        O::NAME
+    );
+    Graph::undirected(CsrGraph::from_scan_unchecked(offsets, adj))
 }
 
 /// Expands a CSR offset table into the per-arc source-vertex array the
 /// virtual item spaces index by (`srcs[arc]` = row owning `arc`).
-pub(crate) fn arc_sources(
+pub(crate) fn arc_sources<O: OffsetIndex>(
     pool: &ThreadPool,
-    offsets: &[usize],
+    offsets: &[O],
     n: usize,
     m: usize,
 ) -> Vec<NodeId> {
     let mut srcs = vec![0 as NodeId; m];
     let shared = SharedSlice::new(&mut srcs);
     pool.for_each_index(n, Schedule::Guided, |u| {
-        for arc in offsets[u]..offsets[u + 1] {
+        for arc in offsets[u].to_usize()..offsets[u + 1].to_usize() {
             // SAFETY: rows partition the arc array.
             unsafe { shared.write(arc, u as NodeId) };
         }
@@ -437,7 +515,11 @@ where
 
 /// Splits built `(dst, weight)` rows into the parallel target/weight
 /// arrays a [`WCsrGraph`] stores.
-fn wcsr(pool: &ThreadPool, offsets: Vec<usize>, pairs: &[(NodeId, Weight)]) -> WCsrGraph {
+fn wcsr<O: OffsetIndex>(
+    pool: &ThreadPool,
+    offsets: Vec<usize>,
+    pairs: &[(NodeId, Weight)],
+) -> WCsrGraph<O> {
     let mut targets = vec![0 as NodeId; pairs.len()];
     let mut weights = vec![0 as Weight; pairs.len()];
     {
@@ -451,7 +533,7 @@ fn wcsr(pool: &ThreadPool, offsets: Vec<usize>, pairs: &[(NodeId, Weight)]) -> W
             }
         });
     }
-    let csr = CsrGraph::from_parts_unchecked(offsets, targets);
+    let csr = CsrGraph::from_scan_unchecked(offsets, targets);
     WCsrGraph::from_parts(csr, weights)
 }
 

@@ -4,8 +4,13 @@
 //! all in-neighbors) of a graph. Adjacency lists are sorted by destination
 //! and duplicate-free — the construction invariant the paper notes every
 //! evaluated framework maintains.
+//!
+//! The row-offset width is a type parameter (default `u32`): every in-repo
+//! graph fits 32-bit offsets, which halves the offset array and the cache
+//! lines touched per row lookup, while `CsrGraph<usize>` remains available
+//! as the wide fallback the paper's 64-bit frameworks correspond to.
 
-use crate::types::{NodeId, Weight};
+use crate::types::{NodeId, OffsetIndex, Weight};
 
 /// One direction of adjacency in compressed sparse row form.
 ///
@@ -13,14 +18,46 @@ use crate::types::{NodeId, Weight};
 /// occupy `targets[offsets[u]..offsets[u + 1]]`, sorted ascending with no
 /// duplicates.
 #[derive(Debug, Clone, PartialEq, Eq)]
-
-pub struct CsrGraph {
-    offsets: Vec<usize>,
+pub struct CsrGraph<O: OffsetIndex = u32> {
+    offsets: Vec<O>,
     targets: Vec<NodeId>,
 }
 
-impl CsrGraph {
-    /// Builds a CSR from raw parts.
+/// Panics unless `(offsets, targets)` satisfy every CSR invariant:
+/// monotone offsets starting at 0 and ending at `targets.len()`, sorted
+/// duplicate-free rows, in-range targets. O(V + E).
+fn validate_parts<O: OffsetIndex>(offsets: &[O], targets: &[NodeId]) {
+    assert!(!offsets.is_empty(), "offsets must have at least one entry");
+    assert_eq!(offsets[0].to_usize(), 0, "offsets must start at 0");
+    assert_eq!(
+        offsets.last().expect("non-empty").to_usize(),
+        targets.len(),
+        "offsets must end at targets.len()"
+    );
+    let n = offsets.len() - 1;
+    for w in offsets.windows(2) {
+        assert!(w[0] <= w[1], "offsets must be monotone");
+    }
+    for u in 0..n {
+        let row = &targets[offsets[u].to_usize()..offsets[u + 1].to_usize()];
+        for pair in row.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "adjacency list of {u} must be sorted and duplicate-free"
+            );
+        }
+        if let Some(&last) = row.last() {
+            assert!((last as usize) < n, "target {last} out of range");
+        }
+    }
+}
+
+impl<O: OffsetIndex> CsrGraph<O> {
+    /// Builds a CSR from raw parts, validating every invariant.
+    ///
+    /// This is the boundary constructor for untrusted input (I/O, tests).
+    /// Internal construction paths whose pipelines establish the invariants
+    /// themselves use [`Self::from_parts_unchecked`] instead.
     ///
     /// # Panics
     ///
@@ -29,70 +66,64 @@ impl CsrGraph {
     /// contains duplicates or out-of-range targets. These are programming
     /// errors in construction code, not user-input errors, hence panics
     /// rather than `Result`.
-    pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must have at least one entry");
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(
-            *offsets.last().expect("non-empty"),
-            targets.len(),
-            "offsets must end at targets.len()"
-        );
-        let n = offsets.len() - 1;
-        for w in offsets.windows(2) {
-            assert!(w[0] <= w[1], "offsets must be monotone");
-        }
-        for u in 0..n {
-            let row = &targets[offsets[u]..offsets[u + 1]];
-            for pair in row.windows(2) {
-                assert!(
-                    pair[0] < pair[1],
-                    "adjacency list of {u} must be sorted and duplicate-free"
-                );
-            }
-            if let Some(&last) = row.last() {
-                assert!((last as usize) < n, "target {last} out of range");
-            }
-        }
+    pub fn from_parts(offsets: Vec<O>, targets: Vec<NodeId>) -> Self {
+        validate_parts(&offsets, &targets);
         CsrGraph { offsets, targets }
     }
 
-    /// Builds a CSR without validating invariants.
-    ///
-    /// Used by the builder after it has established sortedness itself.
-    pub(crate) fn from_parts_unchecked(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+    /// Builds a CSR from trusted builder output without release-mode
+    /// validation. Debug builds still run the full invariant check, so
+    /// every test exercises it; release rebuilds skip the O(V+E) sweep the
+    /// deterministic pipeline has already paid for.
+    pub(crate) fn from_parts_unchecked(offsets: Vec<O>, targets: Vec<NodeId>) -> Self {
+        #[cfg(debug_assertions)]
+        validate_parts(&offsets, &targets);
         debug_assert!(!offsets.is_empty());
         CsrGraph { offsets, targets }
     }
 
+    /// Narrows the `usize` offsets produced by the builder's scan stage
+    /// into this CSR's offset width. The caller must have checked
+    /// [`OffsetIndex::fits`] on the arc total.
+    pub(crate) fn from_scan_unchecked(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        let offsets: Vec<O> = offsets.into_iter().map(O::from_usize).collect();
+        Self::from_parts_unchecked(offsets, targets)
+    }
+
     /// Number of vertices.
+    #[inline]
     pub fn num_vertices(&self) -> usize {
         self.offsets.len() - 1
     }
 
     /// Number of stored directed arcs.
+    #[inline]
     pub fn num_edges(&self) -> usize {
         self.targets.len()
     }
 
     /// Out-degree of `u` in this direction.
+    #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
         let u = u as usize;
-        self.offsets[u + 1] - self.offsets[u]
+        self.offsets[u + 1].to_usize() - self.offsets[u].to_usize()
     }
 
     /// The sorted neighbor slice of `u`.
+    #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
         let u = u as usize;
-        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+        &self.targets[self.offsets[u].to_usize()..self.offsets[u + 1].to_usize()]
     }
 
     /// Offset of the first neighbor of `u` inside [`Self::targets_raw`].
+    #[inline]
     pub fn offset(&self, u: NodeId) -> usize {
-        self.offsets[u as usize]
+        self.offsets[u as usize].to_usize()
     }
 
     /// The raw offsets array (length `num_vertices() + 1`).
-    pub fn offsets_raw(&self) -> &[usize] {
+    pub fn offsets_raw(&self) -> &[O] {
         &self.offsets
     }
 
@@ -101,15 +132,39 @@ impl CsrGraph {
         &self.targets
     }
 
-    /// Returns `true` if edge `(u, v)` is present, via binary search.
+    /// Resident bytes of this adjacency: offsets plus targets.
+    pub fn graph_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<O>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Returns `true` if edge `(u, v)` is present, via the shared
+    /// galloping probe (exponential then binary search).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.neighbors(u).binary_search(&v).is_ok()
+        crate::intersect::contains(self.neighbors(u), v)
     }
 
     /// Iterates over `(u, v)` arcs in CSR order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.num_vertices() as NodeId)
             .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Re-expresses this adjacency with offset width `P`, or `None` if the
+    /// arc count does not fit. Targets are shared-layout (`u32` either
+    /// way), so only the offset array is converted.
+    pub fn to_width<P: OffsetIndex>(&self) -> Option<CsrGraph<P>> {
+        if !P::fits(self.num_edges()) {
+            return None;
+        }
+        Some(CsrGraph {
+            offsets: self
+                .offsets
+                .iter()
+                .map(|&o| P::from_usize(o.to_usize()))
+                .collect(),
+            targets: self.targets.clone(),
+        })
     }
 }
 
@@ -119,20 +174,19 @@ impl CsrGraph {
 /// `targets` without touching weights (matching GAP's `WNode` layout intent
 /// while keeping cache behaviour predictable at this scale).
 #[derive(Debug, Clone, PartialEq, Eq)]
-
-pub struct WCsrGraph {
-    csr: CsrGraph,
+pub struct WCsrGraph<O: OffsetIndex = u32> {
+    csr: CsrGraph<O>,
     weights: Vec<Weight>,
 }
 
-impl WCsrGraph {
+impl<O: OffsetIndex> WCsrGraph<O> {
     /// Builds a weighted CSR from an unweighted CSR plus a parallel weight
     /// array.
     ///
     /// # Panics
     ///
     /// Panics if `weights.len() != csr.num_edges()`.
-    pub fn from_parts(csr: CsrGraph, weights: Vec<Weight>) -> Self {
+    pub fn from_parts(csr: CsrGraph<O>, weights: Vec<Weight>) -> Self {
         assert_eq!(
             weights.len(),
             csr.num_edges(),
@@ -142,21 +196,25 @@ impl WCsrGraph {
     }
 
     /// Number of vertices.
+    #[inline]
     pub fn num_vertices(&self) -> usize {
         self.csr.num_vertices()
     }
 
     /// Number of stored directed arcs.
+    #[inline]
     pub fn num_edges(&self) -> usize {
         self.csr.num_edges()
     }
 
     /// Out-degree of `u`.
+    #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
         self.csr.degree(u)
     }
 
     /// The sorted neighbor slice of `u`.
+    #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
         self.csr.neighbors(u)
     }
@@ -177,13 +235,27 @@ impl WCsrGraph {
     }
 
     /// The unweighted view of this adjacency.
-    pub fn unweighted(&self) -> &CsrGraph {
+    pub fn unweighted(&self) -> &CsrGraph<O> {
         &self.csr
     }
 
     /// The raw flattened weight array.
     pub fn weights_raw(&self) -> &[Weight] {
         &self.weights
+    }
+
+    /// Resident bytes of this adjacency: offsets, targets, and weights.
+    pub fn graph_bytes(&self) -> usize {
+        self.csr.graph_bytes() + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+
+    /// Re-expresses this adjacency with offset width `P` (see
+    /// [`CsrGraph::to_width`]).
+    pub fn to_width<P: OffsetIndex>(&self) -> Option<WCsrGraph<P>> {
+        Some(WCsrGraph {
+            csr: self.csr.to_width::<P>()?,
+            weights: self.weights.clone(),
+        })
     }
 }
 
@@ -224,13 +296,36 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted")]
     fn unsorted_rows_rejected() {
-        CsrGraph::from_parts(vec![0, 2], vec![1, 0]);
+        CsrGraph::<u32>::from_parts(vec![0, 2], vec![1, 0]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_targets_rejected() {
-        CsrGraph::from_parts(vec![0, 1], vec![7]);
+        CsrGraph::<u32>::from_parts(vec![0, 1], vec![7]);
+    }
+
+    #[test]
+    fn wide_instantiation_matches_narrow() {
+        let narrow = diamond();
+        let wide: CsrGraph<usize> = narrow.to_width().expect("usize always fits");
+        assert_eq!(wide.num_vertices(), narrow.num_vertices());
+        assert_eq!(wide.num_edges(), narrow.num_edges());
+        for u in 0..narrow.num_vertices() as NodeId {
+            assert_eq!(wide.neighbors(u), narrow.neighbors(u));
+        }
+        let back: CsrGraph<u32> = wide.to_width().expect("small graph narrows");
+        assert_eq!(back, narrow);
+    }
+
+    #[test]
+    fn graph_bytes_tracks_offset_width() {
+        let narrow = diamond();
+        let wide: CsrGraph<usize> = narrow.to_width().unwrap();
+        // 5 offsets * 4 bytes + 4 targets * 4 bytes vs 5 * 8 + 4 * 4.
+        assert_eq!(narrow.graph_bytes(), 5 * 4 + 4 * 4);
+        assert_eq!(wide.graph_bytes(), 5 * 8 + 4 * 4);
+        assert!(narrow.graph_bytes() < wide.graph_bytes());
     }
 
     #[test]
@@ -240,6 +335,10 @@ mod tests {
         assert_eq!(wg.weights(0), &[10, 20]);
         let pairs: Vec<_> = wg.neighbors_weighted(0).collect();
         assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+        assert_eq!(
+            wg.graph_bytes(),
+            wg.unweighted().graph_bytes() + 4 * std::mem::size_of::<Weight>()
+        );
     }
 
     #[test]

@@ -15,6 +15,15 @@ pub enum BuildError {
     },
     /// The builder was asked for a graph with zero vertices but edges exist.
     EdgesWithoutVertices,
+    /// The arc count does not fit the requested offset width; callers
+    /// wanting the automatic wide fallback should use
+    /// [`crate::Builder::build_any`].
+    ArcCountOverflow {
+        /// Arc count the scan produced.
+        arcs: u64,
+        /// Offset-width label (`"u32"` / `"usize"`).
+        width: &'static str,
+    },
     /// A weighted edge carried a non-positive weight, which delta-stepping
     /// (and the GAP spec) does not permit.
     NonPositiveWeight {
@@ -37,6 +46,10 @@ impl fmt::Display for BuildError {
             BuildError::EdgesWithoutVertices => {
                 write!(f, "edge list is non-empty but vertex count is zero")
             }
+            BuildError::ArcCountOverflow { arcs, width } => write!(
+                f,
+                "{arcs} arcs overflow {width} row offsets; build_any selects the wide form"
+            ),
             BuildError::NonPositiveWeight { src, dst, weight } => write!(
                 f,
                 "edge ({src}, {dst}) has non-positive weight {weight}; GAP SSSP requires positive weights"

@@ -5,26 +5,30 @@
 //! outgoing and incoming adjacency so that pull-direction traversal never
 //! needs an (untimed) transposition inside a kernel. For undirected graphs
 //! the two directions coincide and are stored once.
+//!
+//! Like [`CsrGraph`], the offset width is a type parameter defaulting to
+//! `u32`; [`AnyGraph`] is the runtime dispatch between the compact form and
+//! the `usize` fallback for arc counts at or above `u32::MAX`.
 
 use crate::csr::{CsrGraph, WCsrGraph};
-use crate::types::{NodeId, Weight};
+use crate::types::{NodeId, OffsetIndex, Weight};
 
 /// An unweighted graph with both adjacency directions available.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Graph {
-    out: CsrGraph,
+pub struct Graph<O: OffsetIndex = u32> {
+    out: CsrGraph<O>,
     /// `None` for undirected graphs (incoming == outgoing).
-    incoming: Option<CsrGraph>,
+    incoming: Option<CsrGraph<O>>,
     directed: bool,
 }
 
-impl Graph {
+impl<O: OffsetIndex> Graph<O> {
     /// Creates a directed graph from its out- and in-adjacency.
     ///
     /// # Panics
     ///
     /// Panics if the two directions disagree on vertex or edge counts.
-    pub fn directed(out: CsrGraph, incoming: CsrGraph) -> Self {
+    pub fn directed(out: CsrGraph<O>, incoming: CsrGraph<O>) -> Self {
         assert_eq!(out.num_vertices(), incoming.num_vertices());
         assert_eq!(out.num_edges(), incoming.num_edges());
         Graph {
@@ -35,7 +39,7 @@ impl Graph {
     }
 
     /// Creates an undirected graph from a symmetric adjacency.
-    pub fn undirected(adj: CsrGraph) -> Self {
+    pub fn undirected(adj: CsrGraph<O>) -> Self {
         Graph {
             out: adj,
             incoming: None,
@@ -44,11 +48,13 @@ impl Graph {
     }
 
     /// Number of vertices.
+    #[inline]
     pub fn num_vertices(&self) -> usize {
         self.out.num_vertices()
     }
 
     /// Number of stored directed arcs (an undirected edge counts twice).
+    #[inline]
     pub fn num_arcs(&self) -> usize {
         self.out.num_edges()
     }
@@ -64,37 +70,43 @@ impl Graph {
     }
 
     /// `true` if the graph is directed.
+    #[inline]
     pub fn is_directed(&self) -> bool {
         self.directed
     }
 
     /// Out-degree of `u`.
+    #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {
         self.out.degree(u)
     }
 
     /// In-degree of `u`.
+    #[inline]
     pub fn in_degree(&self, u: NodeId) -> usize {
         self.in_csr().degree(u)
     }
 
     /// Sorted out-neighbors of `u`.
+    #[inline]
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
         self.out.neighbors(u)
     }
 
     /// Sorted in-neighbors of `u`.
+    #[inline]
     pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
         self.in_csr().neighbors(u)
     }
 
     /// The outgoing CSR.
-    pub fn out_csr(&self) -> &CsrGraph {
+    pub fn out_csr(&self) -> &CsrGraph<O> {
         &self.out
     }
 
     /// The incoming CSR (same object as outgoing when undirected).
-    pub fn in_csr(&self) -> &CsrGraph {
+    #[inline]
+    pub fn in_csr(&self) -> &CsrGraph<O> {
         self.incoming.as_ref().unwrap_or(&self.out)
     }
 
@@ -111,23 +123,46 @@ impl Graph {
             self.num_arcs() as f64 / self.num_vertices() as f64
         }
     }
+
+    /// Resident adjacency bytes across every stored direction.
+    pub fn graph_bytes(&self) -> usize {
+        self.out.graph_bytes() + self.incoming.as_ref().map_or(0, CsrGraph::graph_bytes)
+    }
+
+    /// Re-expresses the graph with offset width `P`, or `None` if the arc
+    /// count does not fit `P`. Topology is unchanged bit for bit.
+    pub fn to_width<P: OffsetIndex>(&self) -> Option<Graph<P>> {
+        Some(Graph {
+            out: self.out.to_width::<P>()?,
+            incoming: match &self.incoming {
+                Some(inc) => Some(inc.to_width::<P>()?),
+                None => None,
+            },
+            directed: self.directed,
+        })
+    }
+
+    /// The `usize`-offset twin of this graph (always fits).
+    pub fn widen(&self) -> Graph<usize> {
+        self.to_width::<usize>().expect("usize offsets always fit")
+    }
 }
 
 /// A weighted graph with both adjacency directions available.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WGraph {
-    out: WCsrGraph,
-    incoming: Option<WCsrGraph>,
+pub struct WGraph<O: OffsetIndex = u32> {
+    out: WCsrGraph<O>,
+    incoming: Option<WCsrGraph<O>>,
     directed: bool,
 }
 
-impl WGraph {
+impl<O: OffsetIndex> WGraph<O> {
     /// Creates a directed weighted graph from its two adjacency directions.
     ///
     /// # Panics
     ///
     /// Panics if the directions disagree on vertex or edge counts.
-    pub fn directed(out: WCsrGraph, incoming: WCsrGraph) -> Self {
+    pub fn directed(out: WCsrGraph<O>, incoming: WCsrGraph<O>) -> Self {
         assert_eq!(out.num_vertices(), incoming.num_vertices());
         assert_eq!(out.num_edges(), incoming.num_edges());
         WGraph {
@@ -138,7 +173,7 @@ impl WGraph {
     }
 
     /// Creates an undirected weighted graph from a symmetric adjacency.
-    pub fn undirected(adj: WCsrGraph) -> Self {
+    pub fn undirected(adj: WCsrGraph<O>) -> Self {
         WGraph {
             out: adj,
             incoming: None,
@@ -147,26 +182,31 @@ impl WGraph {
     }
 
     /// Number of vertices.
+    #[inline]
     pub fn num_vertices(&self) -> usize {
         self.out.num_vertices()
     }
 
     /// Number of stored directed arcs.
+    #[inline]
     pub fn num_arcs(&self) -> usize {
         self.out.num_edges()
     }
 
     /// `true` if the graph is directed.
+    #[inline]
     pub fn is_directed(&self) -> bool {
         self.directed
     }
 
     /// Out-degree of `u`.
+    #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {
         self.out.degree(u)
     }
 
     /// Sorted out-neighbors of `u`.
+    #[inline]
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
         self.out.neighbors(u)
     }
@@ -185,18 +225,98 @@ impl WGraph {
     }
 
     /// The outgoing weighted CSR.
-    pub fn out_wcsr(&self) -> &WCsrGraph {
+    pub fn out_wcsr(&self) -> &WCsrGraph<O> {
         &self.out
     }
 
     /// The incoming weighted CSR (same as outgoing when undirected).
-    pub fn in_wcsr(&self) -> &WCsrGraph {
+    #[inline]
+    pub fn in_wcsr(&self) -> &WCsrGraph<O> {
         self.incoming.as_ref().unwrap_or(&self.out)
     }
 
     /// Iterates over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = NodeId> {
         0..self.num_vertices() as NodeId
+    }
+
+    /// Resident adjacency bytes (offsets, targets, weights) across every
+    /// stored direction.
+    pub fn graph_bytes(&self) -> usize {
+        self.out.graph_bytes() + self.incoming.as_ref().map_or(0, WCsrGraph::graph_bytes)
+    }
+
+    /// Re-expresses the graph with offset width `P` (see
+    /// [`Graph::to_width`]).
+    pub fn to_width<P: OffsetIndex>(&self) -> Option<WGraph<P>> {
+        Some(WGraph {
+            out: self.out.to_width::<P>()?,
+            incoming: match &self.incoming {
+                Some(inc) => Some(inc.to_width::<P>()?),
+                None => None,
+            },
+            directed: self.directed,
+        })
+    }
+
+    /// The `usize`-offset twin of this graph (always fits).
+    pub fn widen(&self) -> WGraph<usize> {
+        self.to_width::<usize>().expect("usize offsets always fit")
+    }
+}
+
+/// Runtime dispatch between the compact `u32`-offset graph every in-repo
+/// input fits and the `usize`-offset fallback for arc counts at or above
+/// `u32::MAX`. Produced by [`crate::Builder::build_any`] and
+/// [`crate::io::read_binary_any`]; kernels monomorphize per width, so the
+/// branch happens once at the boundary rather than per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnyGraph {
+    /// Compact form: 32-bit row offsets.
+    Narrow(Graph<u32>),
+    /// Wide fallback: `usize` row offsets.
+    Wide(Graph<usize>),
+}
+
+impl AnyGraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            AnyGraph::Narrow(g) => g.num_vertices(),
+            AnyGraph::Wide(g) => g.num_vertices(),
+        }
+    }
+
+    /// Number of edges (GAP counting).
+    pub fn num_edges(&self) -> usize {
+        match self {
+            AnyGraph::Narrow(g) => g.num_edges(),
+            AnyGraph::Wide(g) => g.num_edges(),
+        }
+    }
+
+    /// Resident adjacency bytes.
+    pub fn graph_bytes(&self) -> usize {
+        match self {
+            AnyGraph::Narrow(g) => g.graph_bytes(),
+            AnyGraph::Wide(g) => g.graph_bytes(),
+        }
+    }
+
+    /// Offset-width label (`"u32"` / `"usize"`).
+    pub fn offset_width(&self) -> &'static str {
+        match self {
+            AnyGraph::Narrow(_) => <u32 as OffsetIndex>::NAME,
+            AnyGraph::Wide(_) => <usize as OffsetIndex>::NAME,
+        }
+    }
+
+    /// The compact graph, if this is the narrow form.
+    pub fn into_narrow(self) -> Option<Graph<u32>> {
+        match self {
+            AnyGraph::Narrow(g) => Some(g),
+            AnyGraph::Wide(_) => None,
+        }
     }
 }
 
@@ -226,7 +346,7 @@ mod tests {
     #[test]
     fn undirected_graph_shares_adjacency() {
         // symmetric triangle
-        let adj = CsrGraph::from_parts(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1]);
+        let adj: CsrGraph = CsrGraph::from_parts(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1]);
         let g = Graph::undirected(adj);
         assert!(!g.is_directed());
         assert_eq!(g.num_arcs(), 6);
@@ -238,5 +358,32 @@ mod tests {
     fn average_degree() {
         let g = Graph::directed(line_csr(), line_in_csr());
         assert!((g.average_degree() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widen_preserves_topology_and_grows_bytes() {
+        let g = Graph::directed(line_csr(), line_in_csr());
+        let w = g.widen();
+        assert_eq!(w.num_vertices(), g.num_vertices());
+        assert_eq!(w.num_arcs(), g.num_arcs());
+        assert!(w.is_directed());
+        for u in g.vertices() {
+            assert_eq!(w.out_neighbors(u), g.out_neighbors(u));
+            assert_eq!(w.in_neighbors(u), g.in_neighbors(u));
+        }
+        assert!(w.graph_bytes() > g.graph_bytes());
+        assert_eq!(w.to_width::<u32>().unwrap(), g);
+    }
+
+    #[test]
+    fn any_graph_reports_width() {
+        let g = Graph::directed(line_csr(), line_in_csr());
+        let wide = AnyGraph::Wide(g.widen());
+        let narrow = AnyGraph::Narrow(g);
+        assert_eq!(narrow.offset_width(), "u32");
+        assert_eq!(wide.offset_width(), "usize");
+        assert_eq!(narrow.num_edges(), wide.num_edges());
+        assert!(narrow.graph_bytes() < wide.graph_bytes());
+        assert!(wide.into_narrow().is_none());
     }
 }

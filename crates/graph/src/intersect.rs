@@ -1,0 +1,320 @@
+//! Sorted-set intersection kernels shared by every triangle-counting path.
+//!
+//! The paper credits GKC's TC wins to hardware-tuned intersection kernels
+//! (Table III: "SIMD-based set intersection"). This module reproduces that
+//! shape in portable Rust with two strategies picked per pair:
+//!
+//! * **galloping** — when one list is at least [`GALLOP_RATIO`]× shorter
+//!   than the other, each element of the short list seeks into the long one
+//!   by exponential-then-binary search, bounding work at
+//!   `O(|small| · log |large|)` instead of `O(|small| + |large|)`;
+//! * **lane scan** — for balanced lengths, each element of the shorter list
+//!   is compared against an 8-wide window of the longer one with a
+//!   branch-free equality loop the compiler auto-vectorizes (one SIMD
+//!   compare per window), advancing the window a full lane at a time.
+//!
+//! Every function reports the number of *element comparisons* it performed
+//! so the strategy choice is auditable from the telemetry ledger
+//! (`tc_intersections` counts comparisons, not calls — satellite of the
+//! layout-engine change).
+
+
+/// Length ratio at which the adaptive strategy switches to galloping.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Window width of the balanced lane scan. Eight `u32` lanes fill a
+/// 256-bit vector register; the equality loop below is shaped so LLVM
+/// vectorizes it at that width (verified by `layout_bench`'s TC gate).
+pub const LANES: usize = 8;
+
+/// Result of one intersection: the match count plus the element
+/// comparisons spent finding it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Intersection {
+    /// Number of elements present in both lists.
+    pub count: u64,
+    /// Element comparisons performed (each probed element counts once;
+    /// a lane-window probe counts [`LANES`] comparisons).
+    pub comparisons: u64,
+}
+
+impl Intersection {
+    fn zero() -> Self {
+        Intersection::default()
+    }
+}
+
+/// Counts `|a ∩ b|`, picking the strategy from the length ratio.
+///
+/// Generic over the element type so both the `u32` adjacency rows and
+/// grb's widened `u64` column indices share one kernel.
+pub fn count<T: Copy + Ord>(a: &[T], b: &[T]) -> Intersection {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return Intersection::zero();
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        gallop_count(small, large)
+    } else {
+        lane_count(small, large)
+    }
+}
+
+/// Counts elements of `a ∩ b` strictly below `ceiling` — the oriented form
+/// triangle counting uses. Both lists are trimmed by binary search first so
+/// the inner loops never test the ceiling.
+pub fn count_below<T: Copy + Ord>(a: &[T], b: &[T], ceiling: T) -> Intersection {
+    let (a, ca) = trim_below(a, ceiling);
+    let (b, cb) = trim_below(b, ceiling);
+    let mut out = count(a, b);
+    out.comparisons += ca + cb;
+    out
+}
+
+/// Scalar branch-free two-pointer merge. This is the pre-layout-engine
+/// baseline, kept public so `layout_bench` can time the adaptive kernel
+/// against it.
+pub fn merge_count<T: Copy + Ord>(a: &[T], b: &[T]) -> Intersection {
+    let mut out = Intersection::zero();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        out.count += u64::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+        out.comparisons += 1;
+    }
+    out
+}
+
+/// `true` if sorted `row` contains `v`, via exponential-then-binary seek
+/// (cheap for the low-id targets oriented adjacency favors, logarithmic in
+/// the worst case).
+pub fn contains<T: Copy + Ord>(row: &[T], v: T) -> bool {
+    let mut cmps = 0u64;
+    let pos = gallop_seek(row, v, &mut cmps);
+    row.get(pos).is_some_and(|&y| y == v)
+}
+
+/// Trims `s` to its prefix strictly below `ceiling`, charging the binary
+/// search probes as comparisons.
+fn trim_below<T: Copy + Ord>(s: &[T], ceiling: T) -> (&[T], u64) {
+    // All probes of a partition_point over `len` elements: ceil(log2)+1.
+    let probes = (s.len() + 1).next_power_of_two().trailing_zeros() as u64;
+    (&s[..s.partition_point(|&x| x < ceiling)], probes)
+}
+
+/// First index `>= 0` in sorted `s` whose element is `>= x`, found by
+/// exponential bracketing from the front followed by binary search. Each
+/// probed element adds one comparison.
+fn gallop_seek<T: Copy + Ord>(s: &[T], x: T, cmps: &mut u64) -> usize {
+    if s.is_empty() {
+        return 0;
+    }
+    *cmps += 1;
+    if s[0] >= x {
+        return 0;
+    }
+    // Invariant: s[lo - 1] < x. Double the probe distance until an element
+    // >= x brackets the answer.
+    let mut lo = 1usize;
+    let mut step = 1usize;
+    let mut hi = loop {
+        let probe = lo + step;
+        if probe > s.len() {
+            break s.len();
+        }
+        *cmps += 1;
+        if s[probe - 1] < x {
+            lo = probe;
+            step *= 2;
+        } else {
+            break probe - 1;
+        }
+    };
+    // Binary search in s[lo..hi] for the first element >= x.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        *cmps += 1;
+        if s[mid] < x {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Galloping intersection: seek each element of `small` into the unread
+/// suffix of `large`.
+fn gallop_count<T: Copy + Ord>(small: &[T], large: &[T]) -> Intersection {
+    let mut out = Intersection::zero();
+    let mut rest = large;
+    for &x in small {
+        let pos = gallop_seek(rest, x, &mut out.comparisons);
+        rest = &rest[pos..];
+        match rest.first() {
+            Some(&y) => {
+                out.comparisons += 1;
+                if y == x {
+                    out.count += 1;
+                    rest = &rest[1..];
+                }
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Balanced-lengths path: each element of `small` is tested against an
+/// 8-lane window of `large` with a branch-free equality reduction
+/// (auto-vectorized), and the window advances a whole lane at a time.
+/// Falls back to the scalar merge for the tail that no longer fills a
+/// window.
+fn lane_count<T: Copy + Ord>(small: &[T], large: &[T]) -> Intersection {
+    let mut out = Intersection::zero();
+    let mut i = 0usize;
+    let mut j = 0usize;
+    'outer: while i < small.len() && j + LANES <= large.len() {
+        let x = small[i];
+        // Advance the window a lane at a time while it is entirely < x.
+        // Elements behind the window are < every remaining small element,
+        // so a match of x (if any) sits inside the current window.
+        while large[j + LANES - 1] < x {
+            out.comparisons += 1;
+            j += LANES;
+            if j + LANES > large.len() {
+                break 'outer;
+            }
+        }
+        out.comparisons += 1; // the window test that stopped the advance
+        let w = &large[j..j + LANES];
+        // Branch-free 8-lane equality reduction; LLVM lowers this to one
+        // vector compare + movemask at LANES = 8 u32 lanes.
+        let mut hit = 0u32;
+        for &y in w {
+            hit += u32::from(y == x);
+        }
+        out.comparisons += LANES as u64;
+        out.count += u64::from(hit);
+        i += 1;
+    }
+    // Scalar tail: whatever is left of either list.
+    let tail = merge_count(&small[i..], &large[j..]);
+    out.count += tail.count;
+    out.comparisons += tail.comparisons;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+
+    /// Reference intersection via std sets.
+    fn oracle(a: &[NodeId], b: &[NodeId]) -> u64 {
+        let sb: std::collections::BTreeSet<_> = b.iter().copied().collect();
+        a.iter().filter(|x| sb.contains(x)).count() as u64
+    }
+
+    fn strided(start: NodeId, stride: NodeId, len: usize) -> Vec<NodeId> {
+        (0..len as NodeId).map(|i| start + i * stride).collect()
+    }
+
+    #[test]
+    fn all_strategies_agree_with_oracle() {
+        let cases: Vec<(Vec<NodeId>, Vec<NodeId>)> = vec![
+            (vec![], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (vec![5], vec![1, 2, 3, 4, 5, 6]),
+            (strided(0, 2, 50), strided(0, 3, 50)),
+            (strided(0, 1, 7), strided(0, 1, 7)),
+            (strided(0, 1, 8), strided(4, 1, 200)),
+            (strided(100, 1, 3), strided(0, 1, 90)),
+            (strided(0, 7, 1000), strided(0, 11, 1000)),
+        ];
+        for (a, b) in cases {
+            let want = oracle(&a, &b);
+            assert_eq!(count(&a, &b).count, want, "adaptive on {a:?} ∩ {b:?}");
+            assert_eq!(merge_count(&a, &b).count, want, "merge on {a:?} ∩ {b:?}");
+            assert_eq!(count(&b, &a).count, want, "adaptive is symmetric");
+        }
+    }
+
+    #[test]
+    fn count_below_matches_trimmed_oracle() {
+        let a = strided(0, 2, 40);
+        let b = strided(0, 3, 40);
+        for ceiling in [0, 1, 7, 35, 1000] {
+            let want = a
+                .iter()
+                .filter(|&&x| x < ceiling && b.contains(&x))
+                .count() as u64;
+            assert_eq!(count_below(&a, &b, ceiling).count, want, "ceiling {ceiling}");
+        }
+    }
+
+    #[test]
+    fn galloping_engages_and_beats_merge_on_skew() {
+        let small = strided(0, 997, 8);
+        let large = strided(0, 1, 100_000);
+        let adaptive = count(&small, &large);
+        let merge = merge_count(&small, &large);
+        assert_eq!(adaptive.count, merge.count);
+        assert!(
+            adaptive.comparisons * 10 < merge.comparisons,
+            "gallop {} vs merge {} comparisons",
+            adaptive.comparisons,
+            merge.comparisons
+        );
+    }
+
+    #[test]
+    fn skew_ratio_sweep_agrees_with_oracle() {
+        // Adversarial cardinality skews from 1:1 to 1:10⁴, crossing the
+        // GALLOP_RATIO threshold in both directions, plus the degenerate
+        // shapes a degree-ordered TC prefix actually produces.
+        let long = strided(0, 3, 30_000);
+        for small_len in [1usize, 3, 30, 300, 3_000, 30_000] {
+            for stride in [1, 2, 9_973] {
+                let small = strided(1, stride, small_len);
+                let want = oracle(&small, &long);
+                let fwd = count(&small, &long);
+                let rev = count(&long, &small);
+                assert_eq!(fwd.count, want, "skew 1:{} stride {stride}", 30_000 / small_len);
+                assert_eq!(rev.count, want, "reversed skew, stride {stride}");
+                assert_eq!(merge_count(&small, &long).count, want, "merge oracle");
+            }
+        }
+        // Subset: every element of the small side hits.
+        let subset = strided(0, 300, 100);
+        assert_eq!(count(&subset, &long).count, oracle(&subset, &long));
+        assert_eq!(count(&subset, &long).count, 100);
+        // Disjoint: interleaved but never equal.
+        let disjoint = strided(1, 3, 10_000);
+        assert_eq!(count(&disjoint, &long).count, 0);
+        assert_eq!(merge_count(&disjoint, &long).count, 0);
+        // Empty against everything.
+        assert_eq!(count::<NodeId>(&[], &long).count, 0);
+        assert_eq!(count(&long, &[]).count, 0);
+    }
+
+    #[test]
+    fn comparisons_are_positive_for_nonempty_inputs() {
+        let a = strided(0, 1, 16);
+        let b = strided(8, 1, 16);
+        for r in [count(&a, &b), merge_count(&a, &b), count_below(&a, &b, 20)] {
+            assert!(r.comparisons > 0);
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_linear_scan() {
+        let row = strided(3, 5, 37);
+        for v in 0..200 {
+            assert_eq!(contains(&row, v), row.contains(&v), "element {v}");
+        }
+        assert!(!contains::<u32>(&[], 7));
+    }
+}

@@ -5,8 +5,8 @@
 use crate::builder::Builder;
 use crate::edgelist::{Edge, WEdge};
 use crate::error::GraphError;
-use crate::graph::{Graph, WGraph};
-use crate::types::{NodeId, Weight};
+use crate::graph::{AnyGraph, Graph, WGraph};
+use crate::types::{NodeId, OffsetIndex, Weight};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Magic bytes of the binary serialized graph format.
@@ -122,11 +122,14 @@ pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
     Ok(())
 }
 
-fn write_csr<W: Write>(w: &mut W, csr: &crate::CsrGraph) -> Result<(), GraphError> {
+fn write_csr<W: Write, O: OffsetIndex>(
+    w: &mut W,
+    csr: &crate::CsrGraph<O>,
+) -> Result<(), GraphError> {
     w.write_all(&(csr.num_vertices() as u64).to_le_bytes())?;
     w.write_all(&(csr.num_edges() as u64).to_le_bytes())?;
     for &o in csr.offsets_raw() {
-        w.write_all(&(o as u64).to_le_bytes())?;
+        w.write_all(&(o.to_usize() as u64).to_le_bytes())?;
     }
     for &t in csr.targets_raw() {
         w.write_all(&t.to_le_bytes())?;
@@ -141,6 +144,16 @@ fn write_csr<W: Write>(w: &mut W, csr: &crate::CsrGraph) -> Result<(), GraphErro
 /// Returns [`GraphError::Parse`] if the header is malformed and
 /// [`GraphError::Io`] on truncated input.
 pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    read_binary_as::<R, u32>(reader)
+}
+
+/// [`read_binary`] for an explicit offset width `O`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_binary`], plus a parse error when an offset
+/// overflows `O`.
+pub fn read_binary_as<R: Read, O: OffsetIndex>(reader: R) -> Result<Graph<O>, GraphError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -162,12 +175,47 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
     }
 }
 
-fn read_csr<R: Read>(r: &mut R) -> Result<crate::CsrGraph, GraphError> {
+/// Deserializes a graph written by [`write_binary`], selecting the offset
+/// width at runtime: the compact `u32` form whenever the stored arc count
+/// fits, the `usize` fallback otherwise.
+///
+/// # Errors
+///
+/// Same conditions as [`read_binary`].
+pub fn read_binary_any<R: Read>(mut reader: R) -> Result<AnyGraph, GraphError> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    // Header: magic (4), directed flag (1), vertex count (8), arc count
+    // (8). Offsets end at the arc count, so it alone decides the width.
+    let arcs = match buf.get(13..21) {
+        Some(bytes) => u64::from_le_bytes(bytes.try_into().expect("8-byte slice")) as usize,
+        None => 0, // short input: let the narrow reader report the error
+    };
+    if <u32 as OffsetIndex>::fits(arcs) {
+        Ok(AnyGraph::Narrow(read_binary(&buf[..])?))
+    } else {
+        Ok(AnyGraph::Wide(read_binary_as::<_, usize>(&buf[..])?))
+    }
+}
+
+/// Reads one on-disk CSR (offsets are `u64` in the format) and rebuilds it
+/// at offset width `O` through the fully validated boundary constructor.
+fn read_csr<R: Read, O: OffsetIndex>(r: &mut R) -> Result<crate::CsrGraph<O>, GraphError> {
     let n = read_u64(r)? as usize;
     let m = read_u64(r)? as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
+    let mut offsets: Vec<O> = Vec::with_capacity(n + 1);
     for _ in 0..=n {
-        offsets.push(read_u64(r)? as usize);
+        let o = read_u64(r)? as usize;
+        if !O::fits(o) {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!(
+                    "offset {o} overflows {} row offsets; read with read_binary_any",
+                    O::NAME
+                ),
+            });
+        }
+        offsets.push(O::from_usize(o));
     }
     let mut targets = Vec::with_capacity(m);
     let mut buf = [0u8; 4];
@@ -343,6 +391,19 @@ mod tests {
             let g2 = read_binary(&buf[..]).unwrap();
             assert_eq!(g, g2);
         }
+    }
+
+    #[test]
+    fn binary_any_picks_compact_width_for_small_graphs() {
+        let g = gen::urand(8, 8, 1);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let any = read_binary_any(&buf[..]).unwrap();
+        assert_eq!(any.offset_width(), "u32");
+        assert_eq!(any.clone().into_narrow().unwrap(), g);
+        // The explicit wide reader round-trips the same topology.
+        let wide = read_binary_as::<_, usize>(&buf[..]).unwrap();
+        assert_eq!(wide, g.widen());
     }
 
     #[test]

@@ -32,16 +32,19 @@ pub mod edgelist;
 pub mod error;
 pub mod gen;
 pub mod graph;
+pub mod intersect;
 pub mod io;
 pub mod perm;
 pub mod rng;
 pub mod scc;
 pub mod stats;
+pub mod strips;
 pub mod types;
 
 pub use builder::Builder;
 pub use csr::{CsrGraph, WCsrGraph};
 pub use edgelist::{Edge, EdgeList, WEdge, WEdgeList};
 pub use error::{BuildError, GraphError};
-pub use graph::{Graph, WGraph};
-pub use types::{NodeId, Weight};
+pub use graph::{AnyGraph, Graph, WGraph};
+pub use strips::Strips;
+pub use types::{NodeId, OffsetIndex, Weight};

@@ -9,7 +9,7 @@
 use crate::builder::{arc_sources, build_rows};
 use crate::csr::CsrGraph;
 use crate::graph::Graph;
-use crate::types::NodeId;
+use crate::types::{NodeId, OffsetIndex};
 use gapbs_parallel::ThreadPool;
 
 /// A bijective relabeling of vertex ids.
@@ -74,7 +74,7 @@ impl Permutation {
 /// Builds the degree-descending relabeling used by TC implementations:
 /// high-degree vertices get small ids so that orientation by id bounds the
 /// search work (ties broken by old id for determinism).
-pub fn degree_descending(g: &Graph) -> Permutation {
+pub fn degree_descending<O: OffsetIndex>(g: &Graph<O>) -> Permutation {
     let mut order: Vec<NodeId> = g.vertices().collect();
     order.sort_by_key(|&u| (std::cmp::Reverse(g.out_degree(u)), u));
     let mut new_of_old = vec![0 as NodeId; g.num_vertices()];
@@ -87,7 +87,7 @@ pub fn degree_descending(g: &Graph) -> Permutation {
 /// Applies a permutation, producing the relabeled graph (adjacency is
 /// re-sorted by the builder). Serial convenience wrapper over
 /// [`apply_in`].
-pub fn apply(g: &Graph, perm: &Permutation) -> Graph {
+pub fn apply<O: OffsetIndex>(g: &Graph<O>, perm: &Permutation) -> Graph<O> {
     apply_in(g, perm, &ThreadPool::new(1))
 }
 
@@ -98,7 +98,7 @@ pub fn apply(g: &Graph, perm: &Permutation) -> Graph {
 /// identical to [`apply`] for every thread count. Relabeling is a *timed*
 /// operation under the paper's rules, which is why it shares the
 /// kernels' pool instead of staying serial.
-pub fn apply_in(g: &Graph, perm: &Permutation, pool: &ThreadPool) -> Graph {
+pub fn apply_in<O: OffsetIndex>(g: &Graph<O>, perm: &Permutation, pool: &ThreadPool) -> Graph<O> {
     assert_eq!(perm.len(), g.num_vertices());
     let n = g.num_vertices();
     let csr = g.out_csr();
@@ -113,7 +113,7 @@ pub fn apply_in(g: &Graph, perm: &Permutation, pool: &ThreadPool) -> Graph {
         ))
     };
     let (offsets, adj) = build_rows(pool, n, m, &out_item);
-    let out = CsrGraph::from_parts_unchecked(offsets, adj);
+    let out = CsrGraph::from_scan_unchecked(offsets, adj);
     if g.is_directed() {
         let in_item = |arc: usize| {
             Some((
@@ -122,7 +122,7 @@ pub fn apply_in(g: &Graph, perm: &Permutation, pool: &ThreadPool) -> Graph {
             ))
         };
         let (in_offsets, in_adj) = build_rows(pool, n, m, &in_item);
-        Graph::directed(out, CsrGraph::from_parts_unchecked(in_offsets, in_adj))
+        Graph::directed(out, CsrGraph::from_scan_unchecked(in_offsets, in_adj))
     } else {
         // The arcs were already symmetric, so the one direction is the
         // whole adjacency.

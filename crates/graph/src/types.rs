@@ -28,6 +28,68 @@ pub const NO_PARENT: NodeId = NodeId::MAX;
 /// Floating-point score type used by PageRank and betweenness centrality.
 pub type Score = f64;
 
+/// Storage width of CSR row offsets.
+///
+/// Five of the six evaluated frameworks index with 32 bits; the paper's
+/// Section V attributes part of SuiteSparse's traversal deficit to its
+/// 64-bit indices. Parameterizing the offset width lets the substrate
+/// reproduce both sides of that tax: every in-repo graph fits `u32`
+/// offsets (halving the bytes touched per row lookup), while `usize`
+/// remains available as the runtime fallback for arc counts at or above
+/// `u32::MAX`.
+pub trait OffsetIndex:
+    Copy + Ord + Eq + Default + std::fmt::Debug + std::hash::Hash + Send + Sync + 'static
+{
+    /// Short label used in benchmark output and ledgers.
+    const NAME: &'static str;
+    /// Largest arc count this width can index.
+    const MAX_OFFSET: usize;
+
+    /// Converts from a `usize` offset. Debug-asserts the value fits; the
+    /// builder checks [`Self::fits`] on the total before narrowing.
+    fn from_usize(v: usize) -> Self;
+
+    /// Widens to `usize` for slicing.
+    fn to_usize(self) -> usize;
+
+    /// `true` if `v` is representable in this width.
+    #[inline]
+    fn fits(v: usize) -> bool {
+        v <= Self::MAX_OFFSET
+    }
+}
+
+impl OffsetIndex for u32 {
+    const NAME: &'static str = "u32";
+    const MAX_OFFSET: usize = u32::MAX as usize;
+
+    #[inline(always)]
+    fn from_usize(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "offset {v} exceeds u32 range");
+        v as u32
+    }
+
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl OffsetIndex for usize {
+    const NAME: &'static str = "usize";
+    const MAX_OFFSET: usize = usize::MAX;
+
+    #[inline(always)]
+    fn from_usize(v: usize) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

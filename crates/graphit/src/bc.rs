@@ -10,7 +10,7 @@
 
 use crate::schedule::FrontierLayout;
 use gapbs_graph::types::{NodeId, Score};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex};
 use gapbs_parallel::atomics::AtomicF64;
 use gapbs_parallel::{AtomicBitmap, ThreadPool};
 use gapbs_parallel::sync::Mutex;
@@ -20,8 +20,8 @@ const UNVISITED: u32 = u32::MAX;
 
 /// Runs Brandes BC from `sources` under the given frontier layout,
 /// normalized by the maximum score.
-pub fn bc(
-    g: &Graph,
+pub fn bc<O: OffsetIndex>(
+    g: &Graph<O>,
     sources: &[NodeId],
     frontier_layout: FrontierLayout,
     pool: &ThreadPool,
@@ -43,8 +43,8 @@ pub fn bc(
     scores
 }
 
-fn single_source(
-    g: &Graph,
+fn single_source<O: OffsetIndex>(
+    g: &Graph<O>,
     source: NodeId,
     frontier_layout: FrontierLayout,
     pool: &ThreadPool,
@@ -112,8 +112,8 @@ fn single_source(
     }
 }
 
-fn expand<F: Fn(NodeId) + Sync>(
-    g: &Graph,
+fn expand<O: OffsetIndex, F: Fn(NodeId) + Sync>(
+    g: &Graph<O>,
     frontier: &[NodeId],
     d: u32,
     depth: &[AtomicU32],

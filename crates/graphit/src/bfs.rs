@@ -8,14 +8,14 @@
 use crate::schedule::{Direction, FrontierLayout, Schedule};
 use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::as_atomic_u32;
 use gapbs_parallel::{AtomicBitmap, Schedule as LoopSched, ThreadPool};
 use gapbs_parallel::sync::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Runs BFS from `source` under the given schedule.
-pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) -> Vec<NodeId> {
+pub fn bfs<O: OffsetIndex>(g: &Graph<O>, source: NodeId, schedule: &Schedule, pool: &ThreadPool) -> Vec<NodeId> {
     let n = g.num_vertices();
     let mut parent = vec![NO_PARENT; n];
     if n == 0 {
@@ -28,6 +28,7 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
     visited.set(source as usize);
     let mut edges_to_check = g.num_arcs() as u64;
     let mut scout = g.out_degree(source) as u64;
+    let mut strips: Option<Strips> = None;
     let mut was_pull = false;
     let mut depth: u32 = 0;
     while !frontier.is_empty() {
@@ -52,26 +53,39 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
         });
         depth += 1;
         if pull {
+            // Pull phase over LLC-sized strips of in-edge mass; discovered
+            // vertices are batched per strip before touching the shared lock.
+            let strips = strips.get_or_insert_with(|| Strips::pull(g.in_csr()));
             let front = AtomicBitmap::new(n);
             for &u in &frontier {
                 front.set(u as usize);
             }
             let next = Mutex::new(Vec::new());
             let awake = AtomicU64::new(0);
-            pool.for_each_index(n, LoopSched::Dynamic(1024), |v| {
-                if !visited.get(v) {
-                    let mut scanned = 0u64;
-                    for &u in g.in_neighbors(v as NodeId) {
-                        scanned += 1;
-                        if front.get(u as usize) {
-                            parents[v].store(u, Ordering::Relaxed);
-                            visited.set(v);
-                            awake.fetch_add(g.out_degree(v as NodeId) as u64, Ordering::Relaxed);
-                            next.lock().push(v as NodeId);
-                            break;
+            pool.for_each_index(strips.len(), LoopSched::Dynamic(1), |s| {
+                let mut scanned = 0u64;
+                let mut woke = 0u64;
+                let mut found: Vec<NodeId> = Vec::new();
+                for v in strips.range(s) {
+                    if !visited.get(v) {
+                        for &u in g.in_neighbors(v as NodeId) {
+                            scanned += 1;
+                            if front.get(u as usize) {
+                                parents[v].store(u, Ordering::Relaxed);
+                                visited.set(v);
+                                woke += g.out_degree(v as NodeId) as u64;
+                                found.push(v as NodeId);
+                                break;
+                            }
                         }
                     }
-                    gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
+                }
+                gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
+                if woke > 0 {
+                    awake.fetch_add(woke, Ordering::Relaxed);
+                }
+                if !found.is_empty() {
+                    next.lock().extend_from_slice(&found);
                 }
             });
             edges_to_check = edges_to_check.saturating_sub(scout);
@@ -87,8 +101,8 @@ pub fn bfs(g: &Graph, source: NodeId, schedule: &Schedule, pool: &ThreadPool) ->
     parent
 }
 
-fn push_step(
-    g: &Graph,
+fn push_step<O: OffsetIndex>(
+    g: &Graph<O>,
     parents: &[AtomicU32],
     visited: &AtomicBitmap,
     frontier: &[NodeId],

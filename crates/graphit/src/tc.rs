@@ -12,7 +12,7 @@
 use crate::schedule::Intersection;
 use gapbs_graph::perm;
 use gapbs_graph::types::NodeId;
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex};
 use gapbs_parallel::{Schedule as LoopSched, ThreadPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// # Panics
 ///
 /// Panics if `g` is directed.
-pub fn tc(g: &Graph, intersection: Intersection, pool: &ThreadPool) -> u64 {
+pub fn tc<O: OffsetIndex>(g: &Graph<O>, intersection: Intersection, pool: &ThreadPool) -> u64 {
     assert!(!g.is_directed(), "TC expects the symmetrized graph");
     if skewed(g) {
         let relabeled = {
@@ -35,7 +35,7 @@ pub fn tc(g: &Graph, intersection: Intersection, pool: &ThreadPool) -> u64 {
     }
 }
 
-fn skewed(g: &Graph) -> bool {
+fn skewed<O: OffsetIndex>(g: &Graph<O>) -> bool {
     let n = g.num_vertices();
     if n < 10 {
         return false;
@@ -52,25 +52,30 @@ fn skewed(g: &Graph) -> bool {
     degrees.iter().sum::<usize>() / degrees.len() > 2 * median
 }
 
-fn count(g: &Graph, intersection: Intersection, pool: &ThreadPool) -> u64 {
+fn count<O: OffsetIndex>(g: &Graph<O>, intersection: Intersection, pool: &ThreadPool) -> u64 {
     let total = AtomicU64::new(0);
     pool.for_each_index(g.num_vertices(), LoopSched::Dynamic(64), |u| {
         let u = u as NodeId;
         let adj_u = g.out_neighbors(u);
         let prefix_u = &adj_u[..adj_u.partition_point(|&x| x < u)];
-        gapbs_telemetry::record(
-            gapbs_telemetry::Counter::TcIntersections,
-            prefix_u.len() as u64,
-        );
-        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, adj_u.len() as u64);
         let mut local = 0u64;
+        let mut comparisons = 0u64;
         for &v in prefix_u {
             let adj_v = g.out_neighbors(v);
-            local += match intersection {
+            let (found, compared) = match intersection {
                 Intersection::Merge => merge_below(prefix_u, adj_v, v),
                 Intersection::Naive => probe_below(prefix_u, adj_v, v),
             };
+            local += found;
+            comparisons += compared;
         }
+        // TcIntersections counts element comparisons (shared definition
+        // across frameworks); each one examines an adjacency element.
+        gapbs_telemetry::record(gapbs_telemetry::Counter::TcIntersections, comparisons);
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::EdgesExamined,
+            adj_u.len() as u64 + comparisons,
+        );
         if local > 0 {
             total.fetch_add(local, Ordering::Relaxed);
         }
@@ -78,27 +83,33 @@ fn count(g: &Graph, intersection: Intersection, pool: &ThreadPool) -> u64 {
     total.into_inner()
 }
 
-fn merge_below(a: &[NodeId], b: &[NodeId], ceiling: NodeId) -> u64 {
-    let (mut i, mut j, mut c) = (0usize, 0usize, 0u64);
+/// Returns `(matches, element comparisons)`.
+fn merge_below(a: &[NodeId], b: &[NodeId], ceiling: NodeId) -> (u64, u64) {
+    let (mut i, mut j, mut c, mut cmp) = (0usize, 0usize, 0u64, 0u64);
     while i < a.len() && j < b.len() && a[i] < ceiling && b[j] < ceiling {
         // Branch-reduced merge step.
         let (x, y) = (a[i], b[j]);
+        cmp += 1;
         c += u64::from(x == y);
         i += usize::from(x <= y);
         j += usize::from(y <= x);
     }
-    c
+    (c, cmp)
 }
 
-fn probe_below(a: &[NodeId], b: &[NodeId], ceiling: NodeId) -> u64 {
+/// Returns `(matches, element comparisons)`; each binary search is
+/// charged its ceil(log2) probe count.
+fn probe_below(a: &[NodeId], b: &[NodeId], ceiling: NodeId) -> (u64, u64) {
     // Probe elements of the shorter prefix into the longer one.
     let at = &a[..a.partition_point(|&x| x < ceiling)];
     let bt = &b[..b.partition_point(|&x| x < ceiling)];
     let (probe, into) = if at.len() <= bt.len() { (at, bt) } else { (bt, at) };
-    probe
+    let per_probe = u64::from((into.len() + 1).next_power_of_two().trailing_zeros()).max(1);
+    let c = probe
         .iter()
         .filter(|&&x| into.binary_search(&x).is_ok())
-        .count() as u64
+        .count() as u64;
+    (c, probe.len() as u64 * per_probe)
 }
 
 #[cfg(test)]

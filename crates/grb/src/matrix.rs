@@ -6,7 +6,7 @@
 //! matrices.
 
 use crate::GrbIndex;
-use gapbs_graph::{Graph, WGraph};
+use gapbs_graph::{Graph, OffsetIndex, WGraph};
 
 /// A sparse matrix in CSR form with `u64` row offsets and column indices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,17 +42,20 @@ impl GrbMatrix {
     }
 
     /// Adjacency matrix of `g` (row `i` = out-neighbors of vertex `i`).
-    pub fn from_graph(g: &Graph) -> Self {
+    ///
+    /// Accepts either offset width; the matrix always widens to `u64`
+    /// indices internally (the paper's index-width tax, kept on purpose).
+    pub fn from_graph<O: OffsetIndex>(g: &Graph<O>) -> Self {
         Self::convert(g.num_vertices(), g.out_csr())
     }
 
     /// Transposed adjacency (row `i` = in-neighbors of vertex `i`).
-    pub fn from_graph_transposed(g: &Graph) -> Self {
+    pub fn from_graph_transposed<O: OffsetIndex>(g: &Graph<O>) -> Self {
         Self::convert(g.num_vertices(), g.in_csr())
     }
 
-    fn convert(n: usize, csr: &gapbs_graph::CsrGraph) -> Self {
-        let offsets: Vec<u64> = csr.offsets_raw().iter().map(|&o| o as u64).collect();
+    fn convert<O: OffsetIndex>(n: usize, csr: &gapbs_graph::CsrGraph<O>) -> Self {
+        let offsets: Vec<u64> = csr.offsets_raw().iter().map(|&o| o.to_usize() as u64).collect();
         let cols: Vec<GrbIndex> = csr.targets_raw().iter().map(|&t| GrbIndex::from(t)).collect();
         GrbMatrix {
             nrows: n as u64,
@@ -64,14 +67,14 @@ impl GrbMatrix {
     }
 
     /// Weighted adjacency matrix of `wg`.
-    pub fn from_wgraph(wg: &WGraph) -> Self {
+    pub fn from_wgraph<O: OffsetIndex>(wg: &WGraph<O>) -> Self {
         let csr = wg.out_wcsr();
         let n = wg.num_vertices();
         let offsets: Vec<u64> = csr
             .unweighted()
             .offsets_raw()
             .iter()
-            .map(|&o| o as u64)
+            .map(|&o| o.to_usize() as u64)
             .collect();
         let cols: Vec<GrbIndex> = csr
             .unweighted()
@@ -101,6 +104,12 @@ impl GrbMatrix {
     /// Number of stored entries.
     pub fn nvals(&self) -> u64 {
         self.cols.len() as u64
+    }
+
+    /// Degree-aware row strips for pull-direction walks over this matrix
+    /// (LLC-sized entry mass per strip; see [`gapbs_graph::Strips`]).
+    pub fn pull_strips(&self) -> gapbs_graph::Strips {
+        gapbs_graph::Strips::pull_offsets(&self.offsets)
     }
 
     /// Column indices of row `i`, sorted ascending.

@@ -37,6 +37,7 @@ use crate::semiring::{AddMonoid, Semiring};
 use crate::vector::GrbVector;
 use crate::workspace::{OpWorkspace, VxmScratch};
 use crate::GrbIndex;
+use gapbs_graph::intersect;
 use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
 use gapbs_telemetry::{record, trace, Counter};
 
@@ -447,39 +448,49 @@ where
         let mask_probe = mask.map(MaskProbe::new);
         let bitmap_mask = mask_probe.as_ref().is_some_and(MaskProbe::words_backed);
         let spill_slice = SharedSlice::new(&mut spills[..threads]);
-        pool.for_each_index_tid(n as usize, Schedule::Dynamic(512), |tid, i| {
-            let i = i as GrbIndex;
-            if let Some(m) = &mask_probe {
-                if bitmap_mask {
-                    record(Counter::MaskBitmapTests, 1);
-                }
-                if !m.allows(i) {
-                    return;
-                }
-            }
-            let add = semiring.add();
-            let mut acc: Option<Y> = None;
+        // Degree-aware strips: each worker walks rows whose combined
+        // entry mass fits the LLC budget, keeping the gathered slice of
+        // `x` and the output spill warm for the whole strip.
+        let strips = a.pull_strips();
+        pool.for_each_index_tid(strips.len(), Schedule::Dynamic(1), |tid, s| {
             let mut scanned = 0u64;
-            let (cols, weights) = a.row_parts(i);
-            for (t, &k) in cols.iter().enumerate() {
-                scanned += 1;
-                if let Some(xv) = probe.get(k) {
-                    let product = semiring.multiply(k, weights[t], xv);
-                    acc = Some(match acc.take() {
-                        Some(cur) => add.combine(cur, product),
-                        None => add.combine(add.identity(), product),
-                    });
-                    if add.is_terminal(acc.as_ref().expect("just set")) {
-                        break;
+            let mut bitmap_tests = 0u64;
+            for i in strips.range(s) {
+                let i = i as GrbIndex;
+                if let Some(m) = &mask_probe {
+                    if bitmap_mask {
+                        bitmap_tests += 1;
                     }
+                    if !m.allows(i) {
+                        continue;
+                    }
+                }
+                let add = semiring.add();
+                let mut acc: Option<Y> = None;
+                let (cols, weights) = a.row_parts(i);
+                for (t, &k) in cols.iter().enumerate() {
+                    scanned += 1;
+                    if let Some(xv) = probe.get(k) {
+                        let product = semiring.multiply(k, weights[t], xv);
+                        acc = Some(match acc.take() {
+                            Some(cur) => add.combine(cur, product),
+                            None => add.combine(add.identity(), product),
+                        });
+                        if add.is_terminal(acc.as_ref().expect("just set")) {
+                            break;
+                        }
+                    }
+                }
+                if let Some(y) = acc {
+                    // SAFETY: slot `tid` is exclusive to the worker
+                    // running as `tid` for the duration of this body.
+                    let spill = unsafe { &mut spill_slice.range_mut(tid, tid + 1)[0] };
+                    spill.push((i, y));
                 }
             }
             record(Counter::EdgesExamined, scanned);
-            if let Some(y) = acc {
-                // SAFETY: slot `tid` is exclusive to the worker running
-                // as `tid` for the duration of this body.
-                let spill = unsafe { &mut spill_slice.range_mut(tid, tid + 1)[0] };
-                spill.push((i, y));
+            if bitmap_tests > 0 {
+                record(Counter::MaskBitmapTests, bitmap_tests);
             }
         });
         // Row indices are unique, so one sort restores canonical order
@@ -697,33 +708,25 @@ pub fn mxm_pair_masked_sum(l: &GrbMatrix, u_t: &GrbMatrix, pool: &ThreadPool) ->
                 if row_l.is_empty() {
                     return 0;
                 }
-                record(Counter::TcIntersections, row_l.len() as u64);
-                record(Counter::EdgesExamined, row_l.len() as u64);
                 // Mask C by L: only positions (i, j) with L_ij present.
-                row_l
-                    .iter()
-                    .map(|&j| intersection_size(row_l, u_t.row(j)))
-                    .sum()
+                // The adaptive intersection kernel is shared with every
+                // TC path (gallop on skewed rows, lane scan otherwise).
+                let mut found = 0u64;
+                let mut comparisons = 0u64;
+                for &j in row_l {
+                    let r = intersect::count(row_l, u_t.row(j));
+                    found += r.count;
+                    comparisons += r.comparisons;
+                }
+                // Comparisons feed both counters so `tc_intersections <=
+                // edges_examined` holds by construction.
+                record(Counter::TcIntersections, comparisons);
+                record(Counter::EdgesExamined, row_l.len() as u64 + comparisons);
+                found
             },
             |a, b| a + b,
         )
     })
-}
-
-fn intersection_size(a: &[GrbIndex], b: &[GrbIndex]) -> u64 {
-    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_telemetry::trace::Dir;
 use gapbs_telemetry::trace_iter;
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::as_atomic_u32;
 use gapbs_parallel::{AtomicBitmap, PerWorker, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -41,13 +41,13 @@ impl Default for BfsConfig {
 /// Runs direction-optimizing BFS from `source`, returning the parent array:
 /// `parent[source] == source`, unreached vertices hold
 /// [`NO_PARENT`].
-pub fn bfs(g: &Graph, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
+pub fn bfs<O: OffsetIndex>(g: &Graph<O>, source: NodeId, pool: &ThreadPool) -> Vec<NodeId> {
     bfs_with_config(g, source, pool, &BfsConfig::default())
 }
 
 /// [`bfs`] with explicit direction-optimization knobs.
-pub fn bfs_with_config(
-    g: &Graph,
+pub fn bfs_with_config<O: OffsetIndex>(
+    g: &Graph<O>,
     source: NodeId,
     pool: &ThreadPool,
     config: &BfsConfig,
@@ -66,6 +66,9 @@ pub fn bfs_with_config(
     // Edges left to explore, for the push→pull heuristic.
     let mut edges_to_check = g.num_arcs() as u64;
     let mut scout_count = g.out_degree(source) as u64;
+    // Cache-sized vertex strips for the pull phase, computed lazily on the
+    // first direction switch (push-only traversals never pay for them).
+    let mut strips: Option<Strips> = None;
 
     let parents = as_atomic_u32(&mut parent);
     let mut depth: u32 = 0;
@@ -75,6 +78,7 @@ pub fn bfs_with_config(
             // frontier is small again, convert back.
             gapbs_telemetry::record(gapbs_telemetry::Counter::DirectionSwitches, 1);
             queue_to_bitmap(&queue, &front, pool);
+            let strips = strips.get_or_insert_with(|| Strips::pull(g.in_csr()));
             let mut awake_count = queue.window_len() as u64;
             let mut old_awake;
             loop {
@@ -87,7 +91,7 @@ pub fn bfs_with_config(
                 depth += 1;
                 old_awake = awake_count;
                 next.clear();
-                awake_count = bottom_up_step(g, parents, &front, &next, pool);
+                awake_count = bottom_up_step(g, parents, &front, &next, strips, pool);
                 front.copy_from(&next);
                 if awake_count == 0
                     || (awake_count <= n as u64 / config.beta.max(1) && awake_count < old_awake)
@@ -119,8 +123,8 @@ pub fn bfs_with_config(
 
 /// One push step: frontier vertices claim their unvisited neighbors.
 /// Returns the total out-degree of newly visited vertices (scout count).
-fn top_down_step(
-    g: &Graph,
+fn top_down_step<O: OffsetIndex>(
+    g: &Graph<O>,
     parents: &[AtomicU32],
     queue: &SlidingQueue<NodeId>,
     pool: &ThreadPool,
@@ -168,28 +172,38 @@ fn top_down_step(
 
 /// One pull step: every unvisited vertex scans its in-neighbors for a
 /// frontier member. Returns the number of newly awakened vertices.
-fn bottom_up_step(
-    g: &Graph,
+///
+/// Vertices are walked in degree-aware strips whose in-edge mass fits the
+/// LLC, so the frontier bitmap words touched by a strip stay resident
+/// while its columns are scanned.
+fn bottom_up_step<O: OffsetIndex>(
+    g: &Graph<O>,
     parents: &[AtomicU32],
     front: &AtomicBitmap,
     next: &AtomicBitmap,
+    strips: &Strips,
     pool: &ThreadPool,
 ) -> u64 {
-    let n = g.num_vertices();
     let awake = AtomicU64::new(0);
-    pool.for_each_index(n, Schedule::Dynamic(1024), |v| {
-        if parents[v].load(Ordering::Relaxed) == NO_PARENT {
-            let mut scanned = 0u64;
-            for &u in g.in_neighbors(v as NodeId) {
-                scanned += 1;
-                if front.get(u as usize) {
-                    parents[v].store(u, Ordering::Relaxed);
-                    next.set(v);
-                    awake.fetch_add(1, Ordering::Relaxed);
-                    break;
+    pool.for_each_index(strips.len(), Schedule::Dynamic(1), |s| {
+        let mut scanned = 0u64;
+        let mut woke = 0u64;
+        for v in strips.range(s) {
+            if parents[v].load(Ordering::Relaxed) == NO_PARENT {
+                for &u in g.in_neighbors(v as NodeId) {
+                    scanned += 1;
+                    if front.get(u as usize) {
+                        parents[v].store(u, Ordering::Relaxed);
+                        next.set(v);
+                        woke += 1;
+                        break;
+                    }
                 }
             }
-            gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
+        }
+        gapbs_telemetry::record(gapbs_telemetry::Counter::EdgesExamined, scanned);
+        if woke > 0 {
+            awake.fetch_add(woke, Ordering::Relaxed);
         }
     });
     awake.into_inner()

@@ -7,7 +7,7 @@
 //! frameworks use — a contrast this reproduction preserves.
 
 use gapbs_graph::types::{NodeId, Score};
-use gapbs_graph::Graph;
+use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::{Schedule, ThreadPool};
 
 /// PageRank parameters.
@@ -42,12 +42,16 @@ pub struct PrResult {
 }
 
 /// Runs Jacobi PageRank until the L1 residual drops below the tolerance.
-pub fn pr(g: &Graph, pool: &ThreadPool) -> PrResult {
+pub fn pr<O: OffsetIndex>(g: &Graph<O>, pool: &ThreadPool) -> PrResult {
     pr_with_config(g, pool, &PrConfig::default())
 }
 
 /// [`pr`] with explicit parameters.
-pub fn pr_with_config(g: &Graph, pool: &ThreadPool, config: &PrConfig) -> PrResult {
+pub fn pr_with_config<O: OffsetIndex>(
+    g: &Graph<O>,
+    pool: &ThreadPool,
+    config: &PrConfig,
+) -> PrResult {
     let n = g.num_vertices();
     if n == 0 {
         return PrResult {
@@ -60,6 +64,9 @@ pub fn pr_with_config(g: &Graph, pool: &ThreadPool, config: &PrConfig) -> PrResu
     let mut scores = vec![init; n];
     let mut outgoing = vec![0.0 as Score; n];
     let mut iterations = 0usize;
+    // LLC-sized vertex strips: each pull sweep walks a strip's in-edges
+    // while its slice of `next` stays cache-resident.
+    let strips = Strips::pull(g.in_csr());
 
     // Dangling vertices (out-degree 0) spread their mass uniformly; GAP's
     // reference skips this, but the GAP spec scores remain comparable
@@ -84,13 +91,15 @@ pub fn pr_with_config(g: &Graph, pool: &ThreadPool, config: &PrConfig) -> PrResu
         let mut next = vec![0.0 as Score; n];
         {
             let next_cells = as_score_cells(&mut next);
-            pool.for_each_index(n, Schedule::Dynamic(256), |v| {
-                let mut sum = 0.0;
-                for &u in g.in_neighbors(v as NodeId) {
-                    sum += outgoing_ref[u as usize];
+            pool.for_each_index(strips.len(), Schedule::Dynamic(1), |s| {
+                for v in strips.range(s) {
+                    let mut sum = 0.0;
+                    for &u in g.in_neighbors(v as NodeId) {
+                        sum += outgoing_ref[u as usize];
+                    }
+                    let val = base + config.damping * (sum + dangling_mass);
+                    next_cells[v].store(val);
                 }
-                let val = base + config.damping * (sum + dangling_mass);
-                next_cells[v].store(val);
             });
         }
         let error: Score = pool.reduce_index(

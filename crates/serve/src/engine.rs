@@ -98,11 +98,17 @@ impl Engine {
         config: EngineConfig,
         ledger: Option<LedgerSink>,
     ) -> Engine {
+        let metrics = ServeMetrics::new();
+        // Resident graph bytes are fixed at load; registering the gauges
+        // once here puts them in every scrape from the first onward.
+        for (spec, bench) in registry.graphs() {
+            metrics.set_graph_bytes(spec.name(), bench.resident_bytes() as u64);
+        }
         Engine {
             registry,
             pool,
             gate: AdmissionGate::new(config.max_active, config.max_waiting),
-            metrics: ServeMetrics::new(),
+            metrics,
             ledger,
             default_deadline_ms: config.default_deadline_ms,
             coalescer: (config.coalesce_window_ms > 0)
@@ -473,6 +479,10 @@ impl Engine {
                                     "vertices".to_string(),
                                     Json::Num(bench.graph.num_vertices() as f64),
                                 ),
+                                (
+                                    "graph_bytes".to_string(),
+                                    Json::Num(bench.resident_bytes() as f64),
+                                ),
                             ])
                         })
                         .collect(),
@@ -557,6 +567,7 @@ impl Engine {
             counters,
             phases: gapbs_telemetry::PhaseTimes::zero(),
             peak_rss_bytes: gapbs_telemetry::trace::read_vm_status().map_or(0, |vm| vm.vm_hwm_bytes),
+            graph_bytes: bench.kernel_graph_bytes(query.kernel) as u64,
             git_rev: String::new(),
         };
         if let Err(e) = sink.append(&record) {

@@ -51,6 +51,10 @@ pub struct ServeMetrics {
     pool_parks: CounterHandle,
     /// Resident set size, refreshed from `/proc/self/status` per scrape.
     rss_bytes: GaugeHandle,
+    /// Per-graph resident CSR bytes, registered lazily by graph name.
+    /// Fixed at load time (the registry is immutable) but kept as a
+    /// gauge so dashboards can plot layout-width savings across deploys.
+    graph_bytes: Mutex<BTreeMap<String, GaugeHandle>>,
     /// Last pool stats folded into the mirrors, so concurrent scrapes
     /// can't double-add a delta.
     pool_seen: Mutex<PoolStats>,
@@ -109,8 +113,24 @@ impl ServeMetrics {
             pool_steals,
             pool_parks,
             rss_bytes,
+            graph_bytes: Mutex::new(BTreeMap::new()),
             pool_seen: Mutex::new(PoolStats::default()),
         }
+    }
+
+    /// Sets the resident-bytes gauge for one loaded graph (labelled
+    /// `graph_bytes{graph="..."}` in the exposition).
+    pub fn set_graph_bytes(&self, graph: &str, bytes: u64) {
+        let mut map = self.graph_bytes.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(graph.to_string())
+            .or_insert_with(|| {
+                self.registry.gauge_with_labels(
+                    "graph_bytes",
+                    &[("graph", graph)],
+                    "Resident CSR bytes of one loaded graph (all prepared structures)",
+                )
+            })
+            .set(bytes as i64);
     }
 
     /// Records one completed query: its end-to-end latency into the

@@ -40,7 +40,10 @@ pub enum Counter {
     WorklistSteals,
     /// PageRank iterations until convergence.
     PrIterations,
-    /// Neighbor-list intersections performed by triangle counting.
+    /// Element comparisons spent in triangle counting's neighbor-list
+    /// intersections (not intersection *calls*; every comparison also
+    /// examines an adjacency element, so `tc_intersections <=
+    /// edges_examined` is an invariant `perf_compare --lint` checks).
     TcIntersections,
     /// Worker teams brought up by a `ThreadPool` — one event per pool,
     /// regardless of how many regions it later runs.

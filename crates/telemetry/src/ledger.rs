@@ -61,6 +61,11 @@ pub struct TrialRecord {
     /// a process-lifetime high-water mark, not a per-trial delta: compare
     /// it across ledgers cell by cell, as `perf_compare` does.
     pub peak_rss_bytes: u64,
+    /// Bytes of the CSR arrays (offsets + targets + weights, both
+    /// directions) of the graph this trial ran on. Tracks the offset
+    /// width: the compact `u32` layout roughly halves this against the
+    /// `usize` form. 0 when the producer predates the field.
+    pub graph_bytes: u64,
     /// Git revision of the producing build ("unknown" outside a repo).
     pub git_rev: String,
 }
@@ -100,6 +105,10 @@ impl TrialRecord {
             (
                 "peak_rss_bytes".to_string(),
                 Json::Num(self.peak_rss_bytes as f64),
+            ),
+            (
+                "graph_bytes".to_string(),
+                Json::Num(self.graph_bytes as f64),
             ),
             ("git_rev".to_string(), Json::Str(self.git_rev.clone())),
         ];
@@ -173,6 +182,7 @@ impl TrialRecord {
             phases,
             // Absent in schema-v1 ledgers written before the field existed.
             peak_rss_bytes: u64_field("peak_rss_bytes").unwrap_or(0),
+            graph_bytes: u64_field("graph_bytes").unwrap_or(0),
             git_rev: str_field("git_rev").unwrap_or_else(|_| "unknown".into()),
         })
     }
@@ -411,6 +421,7 @@ mod tests {
             counters,
             phases,
             peak_rss_bytes: 64 * 1024 * 1024,
+            graph_bytes: 5 * 1024 * 1024,
             git_rev: "abc123def456".into(),
         }
     }
@@ -497,6 +508,16 @@ mod tests {
             .replace("\"peak_rss_bytes\":67108864,", "");
         let back = TrialRecord::from_json_line(&line).unwrap();
         assert_eq!(back.peak_rss_bytes, 0);
+    }
+
+    #[test]
+    fn pre_graph_bytes_ledgers_parse_with_zero() {
+        let line = sample()
+            .to_json_line()
+            .replace("\"graph_bytes\":5242880,", "");
+        assert!(!line.contains("graph_bytes"), "field really removed");
+        let back = TrialRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.graph_bytes, 0);
     }
 
     #[test]

@@ -141,6 +141,34 @@ else
     echo "WARN: results/baseline-msbfs.jsonl missing; skipping msbfs baseline compare"
 fi
 
+echo "== smoke: layout engine (layout_bench) =="
+# layout_bench first proves the compact u32-offset layout cannot change
+# answers: all six reference kernels run on both offset widths at thread
+# counts {1,2,7,16} and every canonical output must be bit-identical to
+# the 1-thread compact run. That identity check runs on every host. The
+# TEPS gate (compact+adaptive+strips vs the wide legacy arms, geomean
+# over tc and pr) only means something with real cores behind the pool.
+layout_gate=()
+if [[ "$(nproc)" -ge 4 ]]; then
+    layout_gate=(--min-speedup 1.2)
+else
+    echo "  (host has $(nproc) core(s): bit-identity checked, speedup gate skipped)"
+fi
+cargo run -q --release -p gapbs-bench --bin layout_bench -- \
+    --threads 4 --scale 15 --reps 3 \
+    --ledger "$smoke_dir/layout.jsonl" "${layout_gate[@]}"
+# Diff kernel times and resident bytes against the committed baseline.
+# Same wide time thresholds as the other microbench baselines; the
+# GRAPH-BYTES section is report-only but makes any layout growth visible
+# in the verify log.
+if [[ -f results/baseline-layout.jsonl ]]; then
+    cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+        --ratio 3 --floor 0.25 \
+        results/baseline-layout.jsonl "$smoke_dir/layout.jsonl"
+else
+    echo "WARN: results/baseline-layout.jsonl missing; skipping layout baseline compare"
+fi
+
 echo "== smoke: perf_compare gate =="
 # Identical ledgers must pass...
 cargo run -q --release -p gapbs-bench --bin perf_compare -- \
