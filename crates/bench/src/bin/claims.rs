@@ -2,7 +2,7 @@
 //! (no re-measuring).
 //!
 //! ```sh
-//! cargo run --release -p gapbs-bench --bin claims -- results_medium.csv
+//! cargo run --release -p gapbs-bench --bin claims -- results/results_medium.csv
 //! ```
 
 use gapbs_core::Report;

@@ -139,7 +139,10 @@ fn run_suite<O: OffsetIndex>(g: &Graph<O>, wg: &WGraph<O>, pool: &ThreadPool) ->
         pr_bits: pr_result.scores.iter().map(|s| s.to_bits()).collect(),
         pr_iterations: pr_result.iterations,
         cc_canonical: canonical_partition(&cc(g, pool)),
-        bc_bits: bc(g, &BC_SOURCES, pool).iter().map(|s| s.to_bits()).collect(),
+        bc_bits: bc(g, &BC_SOURCES, pool)
+            .iter()
+            .map(|s| s.to_bits())
+            .collect(),
         triangles: tc(g, pool),
     }
 }
@@ -150,7 +153,10 @@ fn assert_identical(got: &SuiteOutputs, want: &SuiteOutputs, arm: &str) {
         ("bfs depths", got.bfs_depths == want.bfs_depths),
         ("sssp distances", got.sssp_dists == want.sssp_dists),
         ("pr score bits", got.pr_bits == want.pr_bits),
-        ("pr iteration count", got.pr_iterations == want.pr_iterations),
+        (
+            "pr iteration count",
+            got.pr_iterations == want.pr_iterations,
+        ),
         ("cc partition", got.cc_canonical == want.cc_canonical),
         ("bc score bits", got.bc_bits == want.bc_bits),
         ("triangle count", got.triangles == want.triangles),
@@ -250,8 +256,12 @@ fn main() {
     let builder = || Builder::new().num_vertices(n).symmetrize(true);
     let narrow: Graph<u32> = builder().build(edges.clone()).expect("in-range endpoints");
     let wide: Graph<usize> = builder().build_as(edges).expect("in-range endpoints");
-    let wnarrow: WGraph<u32> = builder().build_weighted(wedges.clone()).expect("positive weights");
-    let wwide: WGraph<usize> = builder().build_weighted_as(wedges).expect("positive weights");
+    let wnarrow: WGraph<u32> = builder()
+        .build_weighted(wedges.clone())
+        .expect("positive weights");
+    let wwide: WGraph<usize> = builder()
+        .build_weighted_as(wedges)
+        .expect("positive weights");
 
     println!(
         "layout_bench: scale={} degree={} ({} vertices, {} arcs) threads={} reps={}",
@@ -306,22 +316,35 @@ fn main() {
 
     let (t_tc_opt, tri_opt) = best_of(args.reps, || tc(&narrow, &pool));
     let (t_tc_leg, tri_leg) = best_of(args.reps, || legacy_tc(&wide, &pool));
-    assert_eq!(tri_opt, tri_leg, "legacy merge arm must count the same triangles");
+    assert_eq!(
+        tri_opt, tri_leg,
+        "legacy merge arm must count the same triangles"
+    );
 
     let (t_pr_opt, pr_opt) = best_of(args.reps, || pr(&narrow, &pool));
     let (t_pr_leg, pr_leg) = best_of(args.reps, || legacy_pr(&wide, &pool));
     assert_eq!(
-        pr_opt.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        pr_opt
+            .scores
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
         pr_leg.0.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
         "legacy per-vertex arm must produce bit-identical PageRank scores"
     );
     assert_eq!(pr_opt.iterations, pr_leg.1);
 
     let (t_bfs_opt, _) = best_of(args.reps, || {
-        sources.iter().map(|&s| bfs(&narrow, s, &pool).len()).sum::<usize>()
+        sources
+            .iter()
+            .map(|&s| bfs(&narrow, s, &pool).len())
+            .sum::<usize>()
     });
     let (t_bfs_leg, _) = best_of(args.reps, || {
-        sources.iter().map(|&s| bfs(&wide, s, &pool).len()).sum::<usize>()
+        sources
+            .iter()
+            .map(|&s| bfs(&wide, s, &pool).len())
+            .sum::<usize>()
     });
 
     // The gate covers the kernels the layout engine rebuilt (adaptive
@@ -329,8 +352,20 @@ fn main() {
     // across arms, so it isolates — and reports — the pure index-width
     // tax without entering the geomean.
     let gated = [
-        ("tc ", "adaptive intersect + compact", t_tc_opt, "scalar merge + wide", t_tc_leg),
-        ("pr ", "LLC strips + compact", t_pr_opt, "Dynamic(256) chunks + wide", t_pr_leg),
+        (
+            "tc ",
+            "adaptive intersect + compact",
+            t_tc_opt,
+            "scalar merge + wide",
+            t_tc_leg,
+        ),
+        (
+            "pr ",
+            "LLC strips + compact",
+            t_pr_opt,
+            "Dynamic(256) chunks + wide",
+            t_pr_leg,
+        ),
     ];
     let mut log_sum = 0.0;
     for (kernel, opt_name, t_opt, leg_name, t_leg) in gated {
@@ -346,7 +381,10 @@ fn main() {
         t_bfs_leg / t_bfs_opt
     );
     let geomean = (log_sum / gated.len() as f64).exp();
-    println!("  geomean TEPS gain: {geomean:.2}x over {} kernels", gated.len());
+    println!(
+        "  geomean TEPS gain: {geomean:.2}x over {} kernels",
+        gated.len()
+    );
 
     if let Some(path) = &args.ledger {
         match Ledger::open(path) {

@@ -1,6 +1,9 @@
 //! Perf regression gate: diffs two run ledgers and exits non-zero when
 //! any (framework, kernel, graph, mode) cell got slower beyond the noise
-//! thresholds. Peak-RSS changes are reported alongside but never gate.
+//! thresholds. Relative peak-RSS changes are reported alongside but
+//! never gate; an explicit absolute budget (`--max-rss-mb`) does gate —
+//! that is the bounded-memory mode the snapshot work targets: mmap-fed
+//! kernels must stay under a fixed resident ceiling.
 //!
 //! ```sh
 //! cargo run -p gapbs-bench --bin perf_compare -- baseline.jsonl candidate.jsonl
@@ -19,7 +22,7 @@
 //! Exit codes: 0 clean, 1 regressions/lint problems found, 2 usage or
 //! read error.
 
-use gapbs_bench::perf::{compare, lint, lint_stats, CompareConfig};
+use gapbs_bench::perf::{compare, enforce_rss_budget, lint, lint_stats, CompareConfig};
 use gapbs_telemetry::json::Json;
 use gapbs_telemetry::Ledger;
 use std::io::Read;
@@ -29,15 +32,18 @@ const USAGE: &str = "\
 usage: perf_compare [options] <baseline.jsonl> <candidate.jsonl>
        perf_compare --lint <ledger.jsonl>
        perf_compare --lint-stats <stats.json|->
-  --ratio <r>    ratio threshold for a real change (default 1.25)
-  --floor <s>    absolute seconds floor for a real change (default 0.005)
-  --lint         sanity-check one ledger instead of diffing two
-  --lint-stats   sanity-check one serve-daemon stats snapshot";
+  --ratio <r>      ratio threshold for a real change (default 1.25)
+  --floor <s>      absolute seconds floor for a real change (default 0.005)
+  --max-rss-mb <n> hard-fail any cell whose peak RSS exceeds n MiB
+                   (candidate ledger in diff mode, the ledger in --lint)
+  --lint           sanity-check one ledger instead of diffing two
+  --lint-stats     sanity-check one serve-daemon stats snapshot";
 
 fn main() {
     let mut config = CompareConfig::default();
     let mut lint_mode = false;
     let mut lint_stats_mode = false;
+    let mut max_rss_bytes: Option<u64> = None;
     let mut paths = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -52,6 +58,14 @@ fn main() {
         match arg.as_str() {
             "--ratio" => config.ratio_threshold = value("--ratio"),
             "--floor" => config.absolute_floor = value("--floor"),
+            "--max-rss-mb" => {
+                let mb = value("--max-rss-mb");
+                if !mb.is_finite() || mb <= 0.0 {
+                    eprintln!("--max-rss-mb needs a positive value\n{USAGE}");
+                    exit(2);
+                }
+                max_rss_bytes = Some((mb * 1024.0 * 1024.0) as u64);
+            }
             "--lint" => lint_mode = true,
             "--lint-stats" => lint_stats_mode = true,
             "-h" | "--help" => {
@@ -68,10 +82,12 @@ fn main() {
         };
         let text = if path == "-" {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
-                eprintln!("stdin: {e}");
-                exit(2);
-            });
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("stdin: {e}");
+                    exit(2);
+                });
             buf
         } else {
             std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -103,7 +119,10 @@ fn main() {
             eprintln!("{e}");
             exit(2);
         });
-        let problems = lint(&records);
+        let mut problems = lint(&records);
+        if let Some(budget) = max_rss_bytes {
+            problems.extend(enforce_rss_budget(&records, budget));
+        }
         if problems.is_empty() {
             println!("{path}: {} record(s), no problems", records.len());
             return;
@@ -111,7 +130,11 @@ fn main() {
         for p in &problems {
             println!("LINT {p}");
         }
-        eprintln!("{path}: {} problem(s) in {} record(s)", problems.len(), records.len());
+        eprintln!(
+            "{path}: {} problem(s) in {} record(s)",
+            problems.len(),
+            records.len()
+        );
         exit(1);
     }
     let [baseline_path, candidate_path] = paths.as_slice() else {
@@ -138,7 +161,22 @@ fn main() {
 
     let result = compare(&baseline, &candidate, &config);
     print!("{}", result.render());
-    if result.has_regressions() {
+    let mut failed = result.has_regressions();
+    if let Some(budget) = max_rss_bytes {
+        let violations = enforce_rss_budget(&candidate, budget);
+        if violations.is_empty() {
+            println!(
+                "RSS BUDGET: every candidate cell within {:.1} MiB",
+                budget as f64 / (1024.0 * 1024.0)
+            );
+        } else {
+            for v in &violations {
+                println!("RSS BUDGET {v}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
         exit(1);
     }
 }

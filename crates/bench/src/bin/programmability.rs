@@ -106,7 +106,9 @@ const FRAMEWORKS: &[FrameworkSources] = &[
 fn main() {
     let root = workspace_root();
     println!("PROGRAMMABILITY PROXY — non-blank, non-comment lines per kernel implementation");
-    println!("(shared infrastructure counted once per framework; NWGraph kernels share one file)\n");
+    println!(
+        "(shared infrastructure counted once per framework; NWGraph kernels share one file)\n"
+    );
     println!(
         "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
         "Framework", "BFS", "SSSP", "CC", "PR", "BC", "TC", "shared", "total"

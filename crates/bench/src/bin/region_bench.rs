@@ -55,7 +55,10 @@ fn parse_args() -> Args {
             }
         }
     }
-    assert!(args.threads >= 2, "--threads must be >= 2 to launch regions");
+    assert!(
+        args.threads >= 2,
+        "--threads must be >= 2 to launch regions"
+    );
     assert!(args.regions > 0 && args.n > 0);
     args
 }
@@ -103,7 +106,10 @@ fn main() {
         });
     });
 
-    assert_eq!(pool_sum, scoped_sum, "both baselines must do identical work");
+    assert_eq!(
+        pool_sum, scoped_sum,
+        "both baselines must do identical work"
+    );
 
     let pool_us = pool_seconds / args.regions as f64 * 1e6;
     let scoped_us = scoped_seconds / args.regions as f64 * 1e6;

@@ -193,8 +193,14 @@ impl Comparison {
         section("REGRESSIONS", &self.regressions);
         section("IMPROVEMENTS", &self.improvements);
         for (title, keys) in [
-            ("BASELINE ONLY (cell missing from candidate)", &self.baseline_only),
-            ("CANDIDATE ONLY (cell missing from baseline)", &self.candidate_only),
+            (
+                "BASELINE ONLY (cell missing from candidate)",
+                &self.baseline_only,
+            ),
+            (
+                "CANDIDATE ONLY (cell missing from baseline)",
+                &self.candidate_only,
+            ),
         ] {
             if !keys.is_empty() {
                 out.push_str(title);
@@ -394,9 +400,7 @@ pub fn compare(
     result
         .memory
         .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
-    result
-        .build
-        .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    result.build.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
     result
         .graph_bytes
         .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
@@ -491,6 +495,34 @@ pub fn lint(records: &[TrialRecord]) -> Vec<String> {
     problems
 }
 
+/// Bounded-RSS mode: checks every trial's `peak_rss_bytes` against an
+/// absolute budget, returning one message per offending cell (the max
+/// over its trials is what's reported). Unlike the relative MEMORY
+/// section — which only informs — an explicit budget is a *hard* gate:
+/// `perf_compare --max-rss-mb N` exits non-zero on any violation.
+/// Records with `peak_rss_bytes == 0` (procfs unavailable) are skipped,
+/// so the gate degrades to a no-op rather than a false failure on
+/// platforms without RSS accounting.
+pub fn enforce_rss_budget(records: &[TrialRecord], max_bytes: u64) -> Vec<String> {
+    let mut peaks: BTreeMap<CellKey, u64> = BTreeMap::new();
+    for r in records {
+        let entry = peaks.entry(r.cell_key()).or_insert(0);
+        *entry = (*entry).max(r.peak_rss_bytes);
+    }
+    let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+    peaks
+        .into_iter()
+        .filter(|&(_, peak)| peak > max_bytes)
+        .map(|((fw, kernel, graph, mode), peak)| {
+            format!(
+                "{fw} {kernel} {graph} {mode}: peak RSS {:.1} MiB exceeds the {:.1} MiB budget",
+                mib(peak),
+                mib(max_bytes)
+            )
+        })
+        .collect()
+}
+
 /// Sanity-checks one `{"cmd":"stats"}` snapshot from the serve daemon,
 /// returning one message per violated invariant (empty = clean). This is
 /// `perf_compare --lint-stats`, the scrape-side counterpart of [`lint`]:
@@ -559,6 +591,43 @@ pub fn lint_stats(stats: &Json) -> Vec<String> {
                 }
             } else {
                 problems.push("metrics.latency_us missing buckets table".into());
+            }
+        }
+    }
+    // Cold-start series: time-to-ready is set exactly once at startup
+    // and must be a plausible duration; every resident graph loads
+    // exactly once, so its snapshot_hit/snapshot_miss pair sums to 1.
+    match stats
+        .get("metrics")
+        .and_then(|m| m.get("time_to_ready_seconds"))
+        .and_then(Json::as_f64)
+    {
+        None => problems.push("stats missing metrics.time_to_ready_seconds".into()),
+        Some(s) if !s.is_finite() || s < 0.0 => {
+            problems.push(format!("implausible time_to_ready_seconds {s}"));
+        }
+        Some(_) => {}
+    }
+    if let Some(Json::Obj(metrics)) = stats.get("metrics") {
+        let graph_of = |key: &str, family: &str| -> Option<String> {
+            key.strip_prefix(family)
+                .and_then(|rest| rest.strip_prefix("{graph=\""))
+                .and_then(|rest| rest.strip_suffix("\"}"))
+                .map(str::to_string)
+        };
+        let mut loads: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (key, value) in metrics {
+            for family in ["snapshot_hit", "snapshot_miss"] {
+                if let Some(graph) = graph_of(key, family) {
+                    *loads.entry(graph).or_insert(0) += value.as_u64().unwrap_or(0);
+                }
+            }
+        }
+        for (graph, total) in loads {
+            if total != 1 {
+                problems.push(format!(
+                    "graph {graph:?} loaded {total} times by snapshot_hit+snapshot_miss; expected exactly 1"
+                ));
             }
         }
     }
@@ -662,7 +731,11 @@ mod tests {
         assert!(!cmp.has_regressions(), "memory never fails the gate");
         assert_eq!(cmp.memory.len(), 1);
         assert!((cmp.memory[0].ratio() - 2.0).abs() < 1e-12);
-        assert!(cmp.render().contains("MEMORY (peak RSS"), "{}", cmp.render());
+        assert!(
+            cmp.render().contains("MEMORY (peak RSS"),
+            "{}",
+            cmp.render()
+        );
 
         // 10 MiB swing is under the 16 MiB floor: noise.
         let mut small = record("GAP", "bfs", 0, 0.1);
@@ -691,7 +764,11 @@ mod tests {
         assert!(!cmp.has_regressions(), "build time never fails the gate");
         assert_eq!(cmp.build.len(), 1);
         assert!((cmp.build[0].ratio() - 0.4).abs() < 1e-12);
-        assert!(cmp.render().contains("BUILD (construction"), "{}", cmp.render());
+        assert!(
+            cmp.render().contains("BUILD (construction"),
+            "{}",
+            cmp.render()
+        );
 
         // Sub-floor swing is noise.
         let mut close = record("GAP", "tc", 0, 0.1);
@@ -788,7 +865,10 @@ mod tests {
         bad.counters.set(Counter::SpaInserts, 201);
         let problems = lint(&[bad]);
         assert_eq!(problems.len(), 1);
-        assert!(problems[0].contains("exceed edges examined"), "{problems:?}");
+        assert!(
+            problems[0].contains("exceed edges examined"),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -915,13 +995,20 @@ mod tests {
             ("batch_queries".to_string(), Json::Num(0.0)),
             (
                 "metrics".to_string(),
-                Json::obj([(
-                    "latency_us".to_string(),
-                    Json::obj([
-                        ("count".to_string(), Json::Num(hist_count as f64)),
-                        ("buckets".to_string(), Json::Arr(buckets)),
-                    ]),
-                )]),
+                Json::obj([
+                    (
+                        "latency_us".to_string(),
+                        Json::obj([
+                            ("count".to_string(), Json::Num(hist_count as f64)),
+                            ("buckets".to_string(), Json::Arr(buckets)),
+                        ]),
+                    ),
+                    ("time_to_ready_seconds".to_string(), Json::Num(0.25)),
+                    ("snapshot_hit{graph=\"kron\"}".to_string(), Json::Num(1.0)),
+                    ("snapshot_miss{graph=\"kron\"}".to_string(), Json::Num(0.0)),
+                    ("snapshot_hit{graph=\"road\"}".to_string(), Json::Num(0.0)),
+                    ("snapshot_miss{graph=\"road\"}".to_string(), Json::Num(1.0)),
+                ]),
             ),
         ])
     }
@@ -929,9 +1016,15 @@ mod tests {
     #[test]
     fn lint_stats_accepts_a_coherent_snapshot() {
         // Mid-load: 2 in flight, 5 done, histogram tracks completions.
-        assert_eq!(lint_stats(&stats_snapshot(7, 5, 2, 5)), Vec::<String>::new());
+        assert_eq!(
+            lint_stats(&stats_snapshot(7, 5, 2, 5)),
+            Vec::<String>::new()
+        );
         // Quiescent zero state.
-        assert_eq!(lint_stats(&stats_snapshot(0, 0, 0, 0)), Vec::<String>::new());
+        assert_eq!(
+            lint_stats(&stats_snapshot(0, 0, 0, 0)),
+            Vec::<String>::new()
+        );
     }
 
     #[test]
@@ -998,6 +1091,82 @@ mod tests {
         );
         assert!(
             problems.iter().any(|p| p.contains("latency_us")),
+            "{problems:?}"
+        );
+    }
+
+    /// Applies `edit` to the fixture's `metrics` object.
+    fn edit_metrics(
+        mut stats: Json,
+        edit: impl FnOnce(&mut std::collections::BTreeMap<String, Json>),
+    ) -> Json {
+        if let Json::Obj(fields) = &mut stats {
+            if let Some(Json::Obj(metrics)) = fields.get_mut("metrics") {
+                edit(metrics);
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn rss_budget_gates_only_cells_over_the_line() {
+        let mib = 1024 * 1024;
+        let mut heavy = record("GAP", "pr", 0, 0.1);
+        heavy.peak_rss_bytes = 900 * mib;
+        let mut light = record("GAP", "bfs", 0, 0.1);
+        light.peak_rss_bytes = 100 * mib;
+        let mut unknown = record("GAP", "tc", 0, 0.1);
+        unknown.peak_rss_bytes = 0; // procfs unavailable: never gates
+
+        let records = [heavy, light, unknown];
+        let violations = enforce_rss_budget(&records, 512 * mib);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("pr"), "{violations:?}");
+        assert!(violations[0].contains("exceeds"), "{violations:?}");
+        assert!(enforce_rss_budget(&records, 1024 * mib).is_empty());
+    }
+
+    #[test]
+    fn lint_stats_checks_cold_start_series() {
+        // The coherent fixture already carries a balanced pair per graph.
+        assert_eq!(
+            lint_stats(&stats_snapshot(0, 0, 0, 0)),
+            Vec::<String>::new()
+        );
+
+        // A graph that claims both a hit and a miss double-loaded.
+        let stats = edit_metrics(stats_snapshot(0, 0, 0, 0), |m| {
+            m.insert("snapshot_miss{graph=\"kron\"}".to_string(), Json::Num(1.0));
+        });
+        let problems = lint_stats(&stats);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("\"kron\" loaded 2 times")),
+            "{problems:?}"
+        );
+
+        // A negative time-to-ready is nonsense.
+        let stats = edit_metrics(stats_snapshot(0, 0, 0, 0), |m| {
+            m.insert("time_to_ready_seconds".to_string(), Json::Num(-1.0));
+        });
+        let problems = lint_stats(&stats);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("implausible time_to_ready_seconds")),
+            "{problems:?}"
+        );
+
+        // Dropping the gauge entirely is flagged.
+        let stats = edit_metrics(stats_snapshot(0, 0, 0, 0), |m| {
+            m.remove("time_to_ready_seconds");
+        });
+        let problems = lint_stats(&stats);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("missing metrics.time_to_ready_seconds")),
             "{problems:?}"
         );
     }

@@ -32,7 +32,11 @@ impl TraceEvent {
     fn from_json(v: &Json) -> Option<TraceEvent> {
         Some(TraceEvent {
             ph: v.get("ph")?.as_str()?.to_string(),
-            cat: v.get("cat").and_then(Json::as_str).unwrap_or("").to_string(),
+            cat: v
+                .get("cat")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
             name: v.get("name")?.as_str()?.to_string(),
             ts: v.get("ts").and_then(Json::as_f64).unwrap_or(0.0),
             dur: v.get("dur").and_then(Json::as_f64).unwrap_or(0.0),
@@ -129,7 +133,11 @@ pub fn region_stats(events: &[TraceEvent]) -> Vec<RegionStat> {
         let (Some(region), Some(worker)) = (e.arg_u64("region"), e.arg_u64("worker")) else {
             continue;
         };
-        *by_region.entry(region).or_default().entry(worker).or_insert(0.0) += e.dur;
+        *by_region
+            .entry(region)
+            .or_default()
+            .entry(worker)
+            .or_insert(0.0) += e.dur;
     }
     by_region
         .into_iter()
@@ -182,7 +190,11 @@ pub fn bfs_narrative(events: &[TraceEvent]) -> String {
         }
         out.push_str(&format!(
             "  level {depth:>3}  frontier {frontier:>10}  {dir}{}\n",
-            if switched { "   <- direction switch" } else { "" }
+            if switched {
+                "   <- direction switch"
+            } else {
+                ""
+            }
         ));
         prev_dir = Some(dir);
     }
@@ -207,17 +219,19 @@ pub fn iteration_table(events: &[TraceEvent]) -> String {
     }
     let mut out = String::from("ITERATION EVENTS\n");
     for (name, count) in &counts {
-        let detail = match *name {
-            "bfs_level" | "bc_level" => arg_range(events, name, "frontier")
-                .map(|(lo, hi)| format!("frontier {lo}..{hi}")),
-            "sssp_bucket" => arg_range(events, name, "size")
-                .map(|(lo, hi)| format!("bucket size {lo}..{hi}")),
-            "pr_sweep" => last_arg_f64(events, name, "residual")
-                .map(|r| format!("final residual {r:.3e}")),
-            "cc_round" => arg_range(events, name, "changed")
-                .map(|(lo, hi)| format!("changed {lo}..{hi}")),
-            _ => None,
-        };
+        let detail =
+            match *name {
+                "bfs_level" | "bc_level" => arg_range(events, name, "frontier")
+                    .map(|(lo, hi)| format!("frontier {lo}..{hi}")),
+                "sssp_bucket" => arg_range(events, name, "size")
+                    .map(|(lo, hi)| format!("bucket size {lo}..{hi}")),
+                "pr_sweep" => last_arg_f64(events, name, "residual")
+                    .map(|r| format!("final residual {r:.3e}")),
+                "cc_round" => {
+                    arg_range(events, name, "changed").map(|(lo, hi)| format!("changed {lo}..{hi}"))
+                }
+                _ => None,
+            };
         out.push_str(&format!(
             "  {name:<12} {count:>6} event(s){}\n",
             detail.map_or(String::new(), |d| format!("  [{d}]"))
@@ -287,9 +301,7 @@ pub fn render(events: &[TraceEvent]) -> String {
         }
         out.push_str(&format!("imbalance: {ratio:.3}\n\n"));
     } else {
-        out.push_str(
-            "POOL WORKER TIME: no region events (build with --features telemetry)\n",
-        );
+        out.push_str("POOL WORKER TIME: no region events (build with --features telemetry)\n");
         out.push_str("imbalance: n/a\n\n");
     }
 
@@ -359,7 +371,10 @@ mod tests {
         ]);
         let stats = region_stats(&events);
         assert_eq!(stats.len(), 2);
-        assert!((stats[0].imbalance() - 1.0).abs() < 1e-12, "region 0 balanced");
+        assert!(
+            (stats[0].imbalance() - 1.0).abs() < 1e-12,
+            "region 0 balanced"
+        );
         let (busy, ratio) = worker_imbalance(&stats).expect("has workers");
         assert_eq!(busy.len(), 3);
         assert!((ratio - 1.8).abs() < 1e-9, "got {ratio}");
@@ -391,7 +406,13 @@ mod tests {
             ev("{\"ph\":\"i\",\"cat\":\"iter\",\"name\":\"cc_round\",\"ts\":3,\"pid\":1,\"tid\":0,\"args\":{\"round\":0,\"changed\":9}}"),
         ]);
         let table = iteration_table(&events);
-        for needle in ["bfs_level", "pr_sweep", "sssp_bucket", "cc_round", "2.500e-1"] {
+        for needle in [
+            "bfs_level",
+            "pr_sweep",
+            "sssp_bucket",
+            "cc_round",
+            "2.500e-1",
+        ] {
             assert!(table.contains(needle), "missing {needle} in {table}");
         }
     }

@@ -1,8 +1,6 @@
 //! Adapter for the Galois-style framework (`gapbs-galois`).
 
-use crate::framework::{
-    AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels,
-};
+use crate::framework::{AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels};
 use crate::kernel::{Kernel, Mode};
 use gapbs_galois::cc::CcVariant;
 use gapbs_galois::tc::Relabeling;

@@ -1,8 +1,6 @@
 //! Adapter for the GraphIt-style framework (`gapbs-graphit`).
 
-use crate::framework::{
-    AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels,
-};
+use crate::framework::{AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels};
 use crate::kernel::{Kernel, Mode};
 use gapbs_graph::types::{Distance, NodeId, Score};
 use gapbs_graphit::Schedule;
@@ -103,10 +101,19 @@ impl PreparedKernels for Prepared<'_> {
     }
 
     fn bc(&self, sources: &[NodeId]) -> Vec<Score> {
-        gapbs_graphit::bc(&self.input.graph, sources, self.schedule.frontier, &self.pool)
+        gapbs_graphit::bc(
+            &self.input.graph,
+            sources,
+            self.schedule.frontier,
+            &self.pool,
+        )
     }
 
     fn tc(&self) -> u64 {
-        gapbs_graphit::tc(&self.input.sym_graph, self.schedule.intersection, &self.pool)
+        gapbs_graphit::tc(
+            &self.input.sym_graph,
+            self.schedule.intersection,
+            &self.pool,
+        )
     }
 }

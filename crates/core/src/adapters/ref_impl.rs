@@ -1,8 +1,6 @@
 //! Adapter for the GAP reference implementations (`gapbs-ref`).
 
-use crate::framework::{
-    AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels,
-};
+use crate::framework::{AlgorithmChoice, BenchGraph, Framework, FrameworkInfo, PreparedKernels};
 use crate::kernel::{Kernel, Mode};
 use gapbs_graph::types::{Distance, NodeId, Score};
 use gapbs_parallel::ThreadPool;

@@ -55,7 +55,12 @@ impl BenchGraph {
 
     /// [`BenchGraph::from_graphs`] with the symmetrized TC view built on
     /// `pool`, straight from the stored adjacency (no edge-list clone).
-    pub fn from_graphs_in(spec: GraphSpec, graph: Graph, wgraph: WGraph, pool: &ThreadPool) -> Self {
+    pub fn from_graphs_in(
+        spec: GraphSpec,
+        graph: Graph,
+        wgraph: WGraph,
+        pool: &ThreadPool,
+    ) -> Self {
         let sym_graph = if graph.is_directed() {
             symmetrize_graph(&graph, pool)
         } else {
@@ -71,7 +76,10 @@ impl BenchGraph {
         };
         source_candidates.retain(|&u| graph.out_degree(u) > 0);
         if source_candidates.is_empty() {
-            source_candidates = graph.vertices().filter(|&u| graph.out_degree(u) > 0).collect();
+            source_candidates = graph
+                .vertices()
+                .filter(|&u| graph.out_degree(u) > 0)
+                .collect();
         }
         BenchGraph {
             spec,

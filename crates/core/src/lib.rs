@@ -26,6 +26,7 @@ pub mod kernel;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod snapshot_cache;
 pub mod spec;
 
 pub use framework::{BenchGraph, Framework, FrameworkInfo, PreparedKernels};
@@ -35,3 +36,4 @@ pub use report::Report;
 pub use runner::{
     run_cell, run_cell_in_pool, run_matrix, run_matrix_in_pool, CellRecord, TrialConfig,
 };
+pub use snapshot_cache::CacheOutcome;

@@ -60,13 +60,28 @@ mod tests {
                 .find(|f| f.name() == n)
                 .unwrap_or_else(|| panic!("{n} missing"))
         };
-        assert_eq!(by_name("GraphIt").algorithm(Kernel::Cc).algorithm, "Label Propagation");
-        assert_eq!(by_name("GKC").algorithm(Kernel::Cc).algorithm, "Shiloach-Vishkin");
-        assert_eq!(by_name("SuiteSparse").algorithm(Kernel::Cc).algorithm, "FastSV");
+        assert_eq!(
+            by_name("GraphIt").algorithm(Kernel::Cc).algorithm,
+            "Label Propagation"
+        );
+        assert_eq!(
+            by_name("GKC").algorithm(Kernel::Cc).algorithm,
+            "Shiloach-Vishkin"
+        );
+        assert_eq!(
+            by_name("SuiteSparse").algorithm(Kernel::Cc).algorithm,
+            "FastSV"
+        );
         assert_eq!(by_name("GKC").algorithm(Kernel::Tc).algorithm, "Lee & Low");
         assert!(by_name("GAP").algorithm(Kernel::Sssp).bucket_fusion);
         assert!(!by_name("Galois").algorithm(Kernel::Sssp).bucket_fusion);
-        assert_eq!(by_name("GAP").algorithm(Kernel::Pr).algorithm, "Jacobi SpMV");
-        assert_eq!(by_name("Galois").algorithm(Kernel::Pr).algorithm, "Gauss-Seidel SpMV");
+        assert_eq!(
+            by_name("GAP").algorithm(Kernel::Pr).algorithm,
+            "Jacobi SpMV"
+        );
+        assert_eq!(
+            by_name("Galois").algorithm(Kernel::Pr).algorithm,
+            "Gauss-Seidel SpMV"
+        );
     }
 }

@@ -75,13 +75,7 @@ impl Report {
 
     /// Speedup of `framework` over the GAP reference for a test
     /// (Table V's percentage / 100): above 1.0 = faster than GAP.
-    pub fn speedup(
-        &self,
-        framework: &str,
-        kernel: Kernel,
-        graph: &str,
-        mode: Mode,
-    ) -> Option<f64> {
+    pub fn speedup(&self, framework: &str, kernel: Kernel, graph: &str, mode: Mode) -> Option<f64> {
         let fw = self.find(framework, kernel, graph, mode)?.stat_seconds();
         let gap = self
             .find(BASELINE_FRAMEWORK, kernel, graph, mode)?
@@ -236,7 +230,8 @@ impl Report {
     /// Serializes every cell as CSV
     /// (`mode,graph,framework,kernel,best,mean,trials,verified,note`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("mode,graph,framework,kernel,best_s,mean_s,trials,verified,note\n");
+        let mut out =
+            String::from("mode,graph,framework,kernel,best_s,mean_s,trials,verified,note\n");
         for c in &self.cells {
             let _ = writeln!(
                 out,
@@ -348,8 +343,20 @@ mod tests {
     #[test]
     fn speedups_are_relative_to_gap() {
         let r = sample_report();
-        assert!((r.speedup("GKC", Kernel::Bfs, "Kron", Mode::Baseline).unwrap() - 2.0).abs() < 1e-12);
-        assert!((r.speedup("GraphIt", Kernel::Bfs, "Kron", Mode::Baseline).unwrap() - 0.5).abs() < 1e-12);
+        assert!(
+            (r.speedup("GKC", Kernel::Bfs, "Kron", Mode::Baseline)
+                .unwrap()
+                - 2.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (r.speedup("GraphIt", Kernel::Bfs, "Kron", Mode::Baseline)
+                .unwrap()
+                - 0.5)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -166,7 +166,9 @@ pub fn run_cell_in_pool(
         let trial_trace_start = gapbs_telemetry::trace::now_ns();
         match kernel {
             Kernel::Bfs => {
-                let source = config.source_override.unwrap_or_else(|| picker.next_source());
+                let source = config
+                    .source_override
+                    .unwrap_or_else(|| picker.next_source());
                 let start = Instant::now();
                 let parent = prepared.bfs(source);
                 times.push(start.elapsed().as_secs_f64());
@@ -176,7 +178,9 @@ pub fn run_cell_in_pool(
                 }
             }
             Kernel::Sssp => {
-                let source = config.source_override.unwrap_or_else(|| picker.next_source());
+                let source = config
+                    .source_override
+                    .unwrap_or_else(|| picker.next_source());
                 let start = Instant::now();
                 let dist = prepared.sssp(source);
                 times.push(start.elapsed().as_secs_f64());
@@ -193,8 +197,7 @@ pub fn run_cell_in_pool(
                 if verify_this {
                     let _vs = Span::enter(Phase::Verify);
                     verified &=
-                        gapbs_verify::verify_pr(&input.graph, &scores, PR_TOLERANCE * 50.0)
-                            .is_ok();
+                        gapbs_verify::verify_pr(&input.graph, &scores, PR_TOLERANCE * 50.0).is_ok();
                 }
             }
             Kernel::Cc => {
@@ -231,8 +234,7 @@ pub fn run_cell_in_pool(
             }
         }
         let trial_seconds = *times.last().expect("every arm records a time");
-        gapbs_telemetry::span::clock()
-            .accrue(Phase::Kernel, (trial_seconds * 1e9) as u64);
+        gapbs_telemetry::span::clock().accrue(Phase::Kernel, (trial_seconds * 1e9) as u64);
         gapbs_telemetry::trace::trial(
             format!(
                 "{} {} {} {} #{trial}",
@@ -364,13 +366,7 @@ mod tests {
         let config = tiny_config();
         for framework in all_frameworks() {
             for kernel in Kernel::ALL {
-                let record = run_cell(
-                    framework.as_ref(),
-                    &input,
-                    kernel,
-                    Mode::Baseline,
-                    &config,
-                );
+                let record = run_cell(framework.as_ref(), &input, kernel, Mode::Baseline, &config);
                 assert!(
                     record.verified,
                     "{} failed verification on {kernel}",
@@ -388,13 +384,7 @@ mod tests {
         let config = tiny_config();
         for framework in all_frameworks() {
             for kernel in Kernel::ALL {
-                let record = run_cell(
-                    framework.as_ref(),
-                    &input,
-                    kernel,
-                    Mode::Optimized,
-                    &config,
-                );
+                let record = run_cell(framework.as_ref(), &input, kernel, Mode::Optimized, &config);
                 assert!(
                     record.verified,
                     "{} failed optimized verification on {kernel}",

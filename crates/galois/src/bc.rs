@@ -16,7 +16,12 @@ use std::sync::atomic::{AtomicU32, Ordering};
 const UNVISITED: u32 = u32::MAX;
 
 /// Runs Brandes BC from `sources`, normalized by the maximum score.
-pub fn bc<O: OffsetIndex>(g: &Graph<O>, sources: &[NodeId], style: ExecutionStyle, pool: &ThreadPool) -> Vec<Score> {
+pub fn bc<O: OffsetIndex>(
+    g: &Graph<O>,
+    sources: &[NodeId],
+    style: ExecutionStyle,
+    pool: &ThreadPool,
+) -> Vec<Score> {
     let n = g.num_vertices();
     let mut scores = vec![0.0; n];
     if n == 0 {
@@ -239,7 +244,10 @@ mod tests {
             let sources = [0, 3, 11, 19];
             let want = oracle(&g, &sources);
             let p = pool();
-            for style in [ExecutionStyle::Asynchronous, ExecutionStyle::BulkSynchronous] {
+            for style in [
+                ExecutionStyle::Asynchronous,
+                ExecutionStyle::BulkSynchronous,
+            ] {
                 let got = bc(&g, &sources, style, &p);
                 for v in 0..want.len() {
                     assert!(

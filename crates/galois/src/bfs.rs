@@ -13,11 +13,18 @@ use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::as_atomic_u32;
-use gapbs_parallel::{AtomicBitmap, ChunkedWorklist, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
+use gapbs_parallel::{
+    AtomicBitmap, ChunkedWorklist, QueueBuffer, Schedule, SlidingQueue, ThreadPool,
+};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Runs BFS from `source` using the given execution style.
-pub fn bfs<O: OffsetIndex>(g: &Graph<O>, source: NodeId, style: ExecutionStyle, pool: &ThreadPool) -> Vec<NodeId> {
+pub fn bfs<O: OffsetIndex>(
+    g: &Graph<O>,
+    source: NodeId,
+    style: ExecutionStyle,
+    pool: &ThreadPool,
+) -> Vec<NodeId> {
     match style {
         ExecutionStyle::BulkSynchronous => bulk_sync(g, source, pool),
         ExecutionStyle::Asynchronous => asynchronous(g, source, pool),
@@ -265,7 +272,10 @@ mod tests {
     fn both_styles_build_valid_trees_on_road() {
         let g = gen::road(&gen::RoadConfig::gap_like(20), 7);
         let p = pool();
-        for style in [ExecutionStyle::Asynchronous, ExecutionStyle::BulkSynchronous] {
+        for style in [
+            ExecutionStyle::Asynchronous,
+            ExecutionStyle::BulkSynchronous,
+        ] {
             let parent = bfs(&g, 0, style, &p);
             check_tree(&g, 0, &parent);
         }
@@ -275,7 +285,10 @@ mod tests {
     fn both_styles_build_valid_trees_on_kron() {
         let g = gen::kron(9, 10, 2);
         let p = pool();
-        for style in [ExecutionStyle::Asynchronous, ExecutionStyle::BulkSynchronous] {
+        for style in [
+            ExecutionStyle::Asynchronous,
+            ExecutionStyle::BulkSynchronous,
+        ] {
             let parent = bfs(&g, 5, style, &p);
             check_tree(&g, 5, &parent);
         }
@@ -283,9 +296,7 @@ mod tests {
 
     #[test]
     fn directed_reachability_respected() {
-        let g = Builder::new()
-            .build(edges([(0, 1), (2, 0)]))
-            .unwrap();
+        let g = Builder::new().build(edges([(0, 1), (2, 0)])).unwrap();
         let parent = bfs(&g, 0, ExecutionStyle::Asynchronous, &pool());
         assert_eq!(parent[1], 0);
         assert_eq!(parent[2], NO_PARENT);

@@ -149,11 +149,7 @@ mod tests {
                     (1.0 - 0.85) / nf + 0.85 * (sum + dangling)
                 })
                 .collect();
-            let err: f64 = scores
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let err: f64 = scores.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             scores = next;
             if err < tol {
                 return iter + 1;

@@ -10,8 +10,8 @@ use crate::heuristic::ExecutionStyle;
 use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::{OffsetIndex, WGraph, Weight};
 use gapbs_parallel::atomics::{as_atomic_i64, fetch_min_i64};
-use gapbs_parallel::{OrderedWorklist, ThreadPool};
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::{OrderedWorklist, ThreadPool};
 use std::sync::atomic::Ordering;
 
 /// Runs SSSP from `source` using the given execution style.
@@ -62,7 +62,12 @@ fn asynchronous<O: OffsetIndex>(g: &WGraph<O>, source: NodeId, pool: &ThreadPool
 
 /// Bulk-synchronous delta-stepping *without* bucket fusion: every bucket
 /// drain is a synchronized parallel round.
-fn bulk_sync<O: OffsetIndex>(g: &WGraph<O>, source: NodeId, delta: Weight, pool: &ThreadPool) -> Vec<Distance> {
+fn bulk_sync<O: OffsetIndex>(
+    g: &WGraph<O>,
+    source: NodeId,
+    delta: Weight,
+    pool: &ThreadPool,
+) -> Vec<Distance> {
     let n = g.num_vertices();
     let mut dist = vec![INF_DIST; n];
     if n == 0 {

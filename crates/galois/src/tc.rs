@@ -36,8 +36,7 @@ pub fn tc<O: OffsetIndex>(g: &Graph<O>, relabeling: Relabeling, pool: &ThreadPoo
         Relabeling::HeuristicTimed => {
             if skewed(g) {
                 let relabeled = {
-                    let _relabel =
-                        gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
+                    let _relabel = gapbs_telemetry::Span::enter(gapbs_telemetry::Phase::Relabel);
                     perm::apply_in(g, &perm::degree_descending(g), pool)
                 };
                 count(&relabeled, pool)

@@ -5,8 +5,8 @@
 use gapbs_graph::types::{NodeId, Score};
 use gapbs_graph::{Graph, OffsetIndex};
 use gapbs_parallel::atomics::AtomicF64;
-use gapbs_parallel::{AtomicBitmap, ThreadPool};
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::{AtomicBitmap, ThreadPool};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 const UNVISITED: u32 = u32::MAX;
@@ -157,8 +157,8 @@ mod tests {
                 for &u in order.iter().rev() {
                     for &v in g.out_neighbors(u) {
                         if depth[v as usize] == depth[u as usize] + 1 {
-                            delta[u as usize] += (sigma[u as usize] / sigma[v as usize])
-                                * (1.0 + delta[v as usize]);
+                            delta[u as usize] +=
+                                (sigma[u as usize] / sigma[v as usize]) * (1.0 + delta[v as usize]);
                         }
                     }
                     if u != s {

@@ -191,7 +191,11 @@ impl Builder {
         if self.symmetrize {
             // Item space: forward edges then their mirrors, both virtual.
             let item = |i: usize| {
-                let e = if i < m { edges[i] } else { edges[i - m].reversed() };
+                let e = if i < m {
+                    edges[i]
+                } else {
+                    edges[i - m].reversed()
+                };
                 live(&e).then_some((e.src as usize, e.dst))
             };
             let (offsets, targets) = build_rows(&pool, n, 2 * m, &item);
@@ -282,7 +286,11 @@ impl Builder {
         let edges = edges.as_slice();
         if self.symmetrize {
             let item = |i: usize| {
-                let e = if i < m { edges[i] } else { edges[i - m].reversed() };
+                let e = if i < m {
+                    edges[i]
+                } else {
+                    edges[i - m].reversed()
+                };
                 live(&e).then_some((e.src as usize, (e.dst, e.weight)))
             };
             let (offsets, pairs) = build_rows(&pool, n, 2 * m, &item);
@@ -300,10 +308,7 @@ impl Builder {
             let (oo, op) = build_rows(&pool, n, m, &out_item);
             check_width::<O>(&oo)?;
             let (io, ip) = build_rows(&pool, n, m, &in_item);
-            Ok(WGraph::directed(
-                wcsr(&pool, oo, &op),
-                wcsr(&pool, io, &ip),
-            ))
+            Ok(WGraph::directed(wcsr(&pool, oo, &op), wcsr(&pool, io, &ip)))
         }
     }
 }
@@ -584,7 +589,10 @@ mod tests {
             .num_vertices(2)
             .build(edges([(0, 5)]))
             .unwrap_err();
-        assert!(matches!(err, BuildError::EndpointOutOfRange { node: 5, .. }));
+        assert!(matches!(
+            err,
+            BuildError::EndpointOutOfRange { node: 5, .. }
+        ));
     }
 
     #[test]
@@ -634,18 +642,25 @@ mod tests {
 
     #[test]
     fn pooled_build_matches_serial_build() {
-        let list: Vec<(u32, u32)> = (0..500u32)
-            .map(|i| (i % 37, (i * 7 + 3) % 53))
-            .collect();
-        let serial = Builder::new().symmetrize(true).build(edges(list.clone())).unwrap();
+        let list: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 37, (i * 7 + 3) % 53)).collect();
+        let serial = Builder::new()
+            .symmetrize(true)
+            .build(edges(list.clone()))
+            .unwrap();
         let pool = ThreadPool::new(4);
         let pooled = Builder::new()
             .symmetrize(true)
             .pool(&pool)
             .build(edges(list))
             .unwrap();
-        assert_eq!(serial.out_csr().offsets_raw(), pooled.out_csr().offsets_raw());
-        assert_eq!(serial.out_csr().targets_raw(), pooled.out_csr().targets_raw());
+        assert_eq!(
+            serial.out_csr().offsets_raw(),
+            pooled.out_csr().offsets_raw()
+        );
+        assert_eq!(
+            serial.out_csr().targets_raw(),
+            pooled.out_csr().targets_raw()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! lines touched per row lookup, while `CsrGraph<usize>` remains available
 //! as the wide fallback the paper's 64-bit frameworks correspond to.
 
+use crate::segment::Segment;
 use crate::types::{NodeId, OffsetIndex, Weight};
 
 /// One direction of adjacency in compressed sparse row form.
@@ -17,38 +18,64 @@ use crate::types::{NodeId, OffsetIndex, Weight};
 /// `offsets` has `num_vertices() + 1` entries; the neighbors of vertex `u`
 /// occupy `targets[offsets[u]..offsets[u + 1]]`, sorted ascending with no
 /// duplicates.
+///
+/// The arrays are [`Segment`]s: owned vectors when built from an edge
+/// list, zero-copy views when loaded from an mmap'ed snapshot. Equality
+/// and cloning follow the element contents either way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph<O: OffsetIndex = u32> {
-    offsets: Vec<O>,
-    targets: Vec<NodeId>,
+    offsets: Segment<O>,
+    targets: Segment<NodeId>,
 }
 
-/// Panics unless `(offsets, targets)` satisfy every CSR invariant:
-/// monotone offsets starting at 0 and ending at `targets.len()`, sorted
-/// duplicate-free rows, in-range targets. O(V + E).
-fn validate_parts<O: OffsetIndex>(offsets: &[O], targets: &[NodeId]) {
-    assert!(!offsets.is_empty(), "offsets must have at least one entry");
-    assert_eq!(offsets[0].to_usize(), 0, "offsets must start at 0");
-    assert_eq!(
-        offsets.last().expect("non-empty").to_usize(),
-        targets.len(),
-        "offsets must end at targets.len()"
-    );
+/// Checks every CSR invariant on `(offsets, targets)`: monotone offsets
+/// starting at 0 and ending at `targets.len()`, sorted duplicate-free
+/// rows, in-range targets. O(V + E). Returns the first violation as a
+/// message; [`CsrGraph::from_parts`] panics on it, the snapshot loader's
+/// paranoid mode surfaces it as a structured error.
+pub(crate) fn check_parts<O: OffsetIndex>(offsets: &[O], targets: &[NodeId]) -> Result<(), String> {
+    if offsets.is_empty() {
+        return Err("offsets must have at least one entry".to_string());
+    }
+    if offsets[0].to_usize() != 0 {
+        return Err("offsets must start at 0".to_string());
+    }
+    if offsets.last().expect("non-empty").to_usize() != targets.len() {
+        return Err(format!(
+            "offsets must end at targets.len() ({} != {})",
+            offsets.last().expect("non-empty").to_usize(),
+            targets.len()
+        ));
+    }
     let n = offsets.len() - 1;
     for w in offsets.windows(2) {
-        assert!(w[0] <= w[1], "offsets must be monotone");
+        if w[0] > w[1] {
+            return Err("offsets must be monotone".to_string());
+        }
     }
     for u in 0..n {
         let row = &targets[offsets[u].to_usize()..offsets[u + 1].to_usize()];
         for pair in row.windows(2) {
-            assert!(
-                pair[0] < pair[1],
-                "adjacency list of {u} must be sorted and duplicate-free"
-            );
+            if pair[0] >= pair[1] {
+                return Err(format!(
+                    "adjacency list of {u} must be sorted and duplicate-free"
+                ));
+            }
         }
         if let Some(&last) = row.last() {
-            assert!((last as usize) < n, "target {last} out of range");
+            if last as usize >= n {
+                return Err(format!("target {last} out of range"));
+            }
         }
+    }
+    Ok(())
+}
+
+/// Panics unless `(offsets, targets)` satisfy every CSR invariant (see
+/// [`check_parts`]).
+fn validate_parts<O: OffsetIndex>(offsets: &[O], targets: &[NodeId]) {
+    if let Err(msg) = check_parts(offsets, targets) {
+        panic!("{msg}");
     }
 }
 
@@ -68,7 +95,10 @@ impl<O: OffsetIndex> CsrGraph<O> {
     /// rather than `Result`.
     pub fn from_parts(offsets: Vec<O>, targets: Vec<NodeId>) -> Self {
         validate_parts(&offsets, &targets);
-        CsrGraph { offsets, targets }
+        CsrGraph {
+            offsets: Segment::from_vec(offsets),
+            targets: Segment::from_vec(targets),
+        }
     }
 
     /// Builds a CSR from trusted builder output without release-mode
@@ -76,6 +106,15 @@ impl<O: OffsetIndex> CsrGraph<O> {
     /// every test exercises it; release rebuilds skip the O(V+E) sweep the
     /// deterministic pipeline has already paid for.
     pub(crate) fn from_parts_unchecked(offsets: Vec<O>, targets: Vec<NodeId>) -> Self {
+        Self::from_segments_unchecked(Segment::from_vec(offsets), Segment::from_vec(targets))
+    }
+
+    /// Builds a CSR directly over [`Segment`] storage — the snapshot
+    /// loader's boundary. Trust comes from the snapshot's section
+    /// checksums (always verified on load); paranoid loads additionally
+    /// run [`check_parts`] before calling this. Debug builds re-validate
+    /// unconditionally, mirroring [`Self::from_parts_unchecked`].
+    pub(crate) fn from_segments_unchecked(offsets: Segment<O>, targets: Segment<NodeId>) -> Self {
         #[cfg(debug_assertions)]
         validate_parts(&offsets, &targets);
         debug_assert!(!offsets.is_empty());
@@ -127,6 +166,13 @@ impl<O: OffsetIndex> CsrGraph<O> {
         &self.offsets
     }
 
+    /// A handle to the offsets storage (cheap for views; the snapshot
+    /// loader uses this to share one offsets section between the
+    /// unweighted and weighted CSRs).
+    pub(crate) fn offsets_segment(&self) -> Segment<O> {
+        self.offsets.clone()
+    }
+
     /// The raw flattened target array.
     pub fn targets_raw(&self) -> &[NodeId] {
         &self.targets
@@ -158,11 +204,12 @@ impl<O: OffsetIndex> CsrGraph<O> {
             return None;
         }
         Some(CsrGraph {
-            offsets: self
-                .offsets
-                .iter()
-                .map(|&o| P::from_usize(o.to_usize()))
-                .collect(),
+            offsets: Segment::from_vec(
+                self.offsets
+                    .iter()
+                    .map(|&o| P::from_usize(o.to_usize()))
+                    .collect(),
+            ),
             targets: self.targets.clone(),
         })
     }
@@ -176,7 +223,7 @@ impl<O: OffsetIndex> CsrGraph<O> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WCsrGraph<O: OffsetIndex = u32> {
     csr: CsrGraph<O>,
-    weights: Vec<Weight>,
+    weights: Segment<Weight>,
 }
 
 impl<O: OffsetIndex> WCsrGraph<O> {
@@ -187,6 +234,11 @@ impl<O: OffsetIndex> WCsrGraph<O> {
     ///
     /// Panics if `weights.len() != csr.num_edges()`.
     pub fn from_parts(csr: CsrGraph<O>, weights: Vec<Weight>) -> Self {
+        Self::from_segments(csr, Segment::from_vec(weights))
+    }
+
+    /// [`Self::from_parts`] over [`Segment`] storage (snapshot loads).
+    pub(crate) fn from_segments(csr: CsrGraph<O>, weights: Segment<Weight>) -> Self {
         assert_eq!(
             weights.len(),
             csr.num_edges(),

@@ -60,6 +60,120 @@ impl fmt::Display for BuildError {
 
 impl Error for BuildError {}
 
+/// Errors raised while reading a binary graph snapshot. Every
+/// malformation a hostile or truncated file can exhibit maps to a
+/// variant here — the loader never panics or reads out of bounds on bad
+/// input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The format version is newer (or older) than this build supports.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u16,
+        /// Version this build reads and writes.
+        supported: u16,
+    },
+    /// The file ends before a structure it declares.
+    Truncated {
+        /// What the loader was reading when it ran out of bytes.
+        what: &'static str,
+        /// Bytes the structure needs.
+        needed: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// A stored checksum does not match the bytes on disk.
+    ChecksumMismatch {
+        /// Which structure failed (`"header"` or a section name).
+        section: &'static str,
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum computed over the mapped bytes.
+        computed: u64,
+    },
+    /// The snapshot's offset width differs from the requested type.
+    WidthMismatch {
+        /// Offset width in bytes recorded in the header.
+        stored: u8,
+        /// Offset-width label (`"u32"` / `"usize"`) the caller asked for.
+        requested: &'static str,
+    },
+    /// A section the header's flags promise is absent.
+    MissingSection {
+        /// Section name.
+        section: &'static str,
+    },
+    /// The snapshot was built from different generator parameters than
+    /// the caller expects (stale cache entry).
+    ParamsMismatch {
+        /// Parameter hash recorded in the file.
+        stored: u64,
+        /// Parameter hash the caller derived from its generator config.
+        expected: u64,
+    },
+    /// A structural inconsistency not covered by the variants above
+    /// (bad section bounds, impossible counts, misalignment).
+    Malformed {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// Paranoid validation found a CSR invariant violation the
+    /// checksums could not catch (a well-formed file describing an
+    /// invalid graph).
+    Invalid {
+        /// The violated invariant.
+        message: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic { found } => {
+                write!(f, "bad snapshot magic {found:02x?}")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build supports {supported})"
+            ),
+            SnapshotError::Truncated { what, needed, have } => write!(
+                f,
+                "snapshot truncated reading {what}: need {needed} bytes, have {have}"
+            ),
+            SnapshotError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {section}: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::WidthMismatch { stored, requested } => write!(
+                f,
+                "snapshot stores {stored}-byte offsets but {requested} offsets were requested"
+            ),
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section {section}")
+            }
+            SnapshotError::ParamsMismatch { stored, expected } => write!(
+                f,
+                "snapshot parameter hash {stored:#018x} does not match expected {expected:#018x}"
+            ),
+            SnapshotError::Malformed { message } => write!(f, "malformed snapshot: {message}"),
+            SnapshotError::Invalid { message } => {
+                write!(f, "snapshot describes an invalid graph: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
 /// Errors raised by graph I/O routines.
 #[derive(Debug)]
 pub enum GraphError {
@@ -74,6 +188,8 @@ pub enum GraphError {
     },
     /// The parsed edge list violated a builder invariant.
     Build(BuildError),
+    /// A binary snapshot failed to load.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for GraphError {
@@ -84,6 +200,7 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Build(e) => write!(f, "build error: {e}"),
+            GraphError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -93,6 +210,7 @@ impl Error for GraphError {
         match self {
             GraphError::Io(e) => Some(e),
             GraphError::Build(e) => Some(e),
+            GraphError::Snapshot(e) => Some(e),
             GraphError::Parse { .. } => None,
         }
     }
@@ -107,6 +225,12 @@ impl From<std::io::Error> for GraphError {
 impl From<BuildError> for GraphError {
     fn from(e: BuildError) -> Self {
         GraphError::Build(e)
+    }
+}
+
+impl From<SnapshotError> for GraphError {
+    fn from(e: SnapshotError) -> Self {
+        GraphError::Snapshot(e)
     }
 }
 

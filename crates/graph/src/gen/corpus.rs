@@ -221,7 +221,9 @@ pub enum Scale {
     Small,
     /// Default benchmark corpus (≈16–64k vertices, 10⁵–10⁶ arcs).
     Medium,
-    /// Stress corpus (4× Medium edge counts).
+    /// Stress corpus: ≈16× Medium edge counts (10⁶–10⁷ arcs), the tier
+    /// the snapshot cache makes practical — regenerating it from
+    /// scratch on every process start is what snapshots eliminate.
     Large,
 }
 
@@ -232,7 +234,7 @@ impl Scale {
             Scale::Tiny => 9,
             Scale::Small => 12,
             Scale::Medium => 14,
-            Scale::Large => 16,
+            Scale::Large => 18,
         }
     }
 
@@ -242,7 +244,7 @@ impl Scale {
             Scale::Tiny => 24,
             Scale::Small => 64,
             Scale::Medium => 160,
-            Scale::Large => 320,
+            Scale::Large => 640,
         }
     }
 }

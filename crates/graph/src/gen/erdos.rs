@@ -8,8 +8,8 @@
 use super::{build_graph, EDGE_BLOCK};
 use crate::edgelist::Edge;
 use crate::graph::Graph;
-use crate::types::NodeId;
 use crate::rng::{mix64, SeededRng};
+use crate::types::NodeId;
 use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
 
 /// Generates `n * edges_per_vertex / 2` uniform random edge tuples over

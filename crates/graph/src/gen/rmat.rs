@@ -10,8 +10,8 @@
 use super::{build_graph, EDGE_BLOCK};
 use crate::edgelist::Edge;
 use crate::graph::Graph;
-use crate::types::NodeId;
 use crate::rng::{mix64, SeededRng};
+use crate::types::NodeId;
 use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
 
 /// Stream constant deriving the id-shuffle generator from the master
@@ -155,7 +155,11 @@ pub fn kron_edges_in(
     seed: u64,
     pool: &ThreadPool,
 ) -> Vec<Edge> {
-    rmat_edges_in(&RmatConfig::graph500(scale, edges_per_vertex / 2), seed, pool)
+    rmat_edges_in(
+        &RmatConfig::graph500(scale, edges_per_vertex / 2),
+        seed,
+        pool,
+    )
 }
 
 /// Generates the undirected `Kron` benchmark graph.

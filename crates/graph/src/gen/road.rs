@@ -12,8 +12,8 @@
 use super::build_graph;
 use crate::edgelist::Edge;
 use crate::graph::Graph;
-use crate::types::NodeId;
 use crate::rng::{mix64, SeededRng};
+use crate::types::NodeId;
 use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
 
 /// Diagonal shortcuts drawn per RNG block.
@@ -102,21 +102,25 @@ pub fn road_edges_in(config: &RoadConfig, seed: u64, pool: &ThreadPool) -> Vec<E
         let mut diag = vec![Edge::new(0, 0); diagonals * 2];
         {
             let out = SharedSlice::new(&mut diag);
-            pool.for_each_index(diagonals.div_ceil(DIAG_BLOCK), Schedule::Dynamic(1), |block| {
-                let mut rng =
-                    SeededRng::seed_from_u64(mix64(mix64(seed, DIAG_STREAM), block as u64));
-                let lo = block * DIAG_BLOCK;
-                let hi = (lo + DIAG_BLOCK).min(diagonals);
-                for d in lo..hi {
-                    let x = rng.gen_range(0..w - 1);
-                    let y = rng.gen_range(0..h - 1);
-                    // SAFETY: diagonal `d` owns slots 2d and 2d+1.
-                    unsafe {
-                        out.write(2 * d, Edge::new(id(x, y), id(x + 1, y + 1)));
-                        out.write(2 * d + 1, Edge::new(id(x + 1, y + 1), id(x, y)));
+            pool.for_each_index(
+                diagonals.div_ceil(DIAG_BLOCK),
+                Schedule::Dynamic(1),
+                |block| {
+                    let mut rng =
+                        SeededRng::seed_from_u64(mix64(mix64(seed, DIAG_STREAM), block as u64));
+                    let lo = block * DIAG_BLOCK;
+                    let hi = (lo + DIAG_BLOCK).min(diagonals);
+                    for d in lo..hi {
+                        let x = rng.gen_range(0..w - 1);
+                        let y = rng.gen_range(0..h - 1);
+                        // SAFETY: diagonal `d` owns slots 2d and 2d+1.
+                        unsafe {
+                            out.write(2 * d, Edge::new(id(x, y), id(x + 1, y + 1)));
+                            out.write(2 * d + 1, Edge::new(id(x + 1, y + 1), id(x, y)));
+                        }
                     }
-                }
-            });
+                },
+            );
         }
         edges.extend_from_slice(&diag);
     }

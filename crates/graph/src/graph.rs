@@ -212,10 +212,7 @@ impl<O: OffsetIndex> WGraph<O> {
     }
 
     /// `(neighbor, weight)` pairs of `u` in the outgoing direction.
-    pub fn out_neighbors_weighted(
-        &self,
-        u: NodeId,
-    ) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+    pub fn out_neighbors_weighted(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
         self.out.neighbors_weighted(u)
     }
 

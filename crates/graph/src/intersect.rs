@@ -18,7 +18,6 @@
 //! (`tc_intersections` counts comparisons, not calls — satellite of the
 //! layout-engine change).
 
-
 /// Length ratio at which the adaptive strategy switches to galloping.
 pub const GALLOP_RATIO: usize = 16;
 
@@ -247,11 +246,12 @@ mod tests {
         let a = strided(0, 2, 40);
         let b = strided(0, 3, 40);
         for ceiling in [0, 1, 7, 35, 1000] {
-            let want = a
-                .iter()
-                .filter(|&&x| x < ceiling && b.contains(&x))
-                .count() as u64;
-            assert_eq!(count_below(&a, &b, ceiling).count, want, "ceiling {ceiling}");
+            let want = a.iter().filter(|&&x| x < ceiling && b.contains(&x)).count() as u64;
+            assert_eq!(
+                count_below(&a, &b, ceiling).count,
+                want,
+                "ceiling {ceiling}"
+            );
         }
     }
 
@@ -282,7 +282,12 @@ mod tests {
                 let want = oracle(&small, &long);
                 let fwd = count(&small, &long);
                 let rev = count(&long, &small);
-                assert_eq!(fwd.count, want, "skew 1:{} stride {stride}", 30_000 / small_len);
+                assert_eq!(
+                    fwd.count,
+                    want,
+                    "skew 1:{} stride {stride}",
+                    30_000 / small_len
+                );
                 assert_eq!(rev.count, want, "reversed skew, stride {stride}");
                 assert_eq!(merge_count(&small, &long).count, want, "merge oracle");
             }

@@ -319,7 +319,9 @@ pub fn graph_from_el<R: Read>(reader: R, symmetrize: bool) -> Result<Graph, Grap
 /// Propagates parse, I/O, and build failures.
 pub fn wgraph_from_wel<R: Read>(reader: R, symmetrize: bool) -> Result<WGraph, GraphError> {
     let edges = read_weighted_edge_list(reader)?;
-    Ok(Builder::new().symmetrize(symmetrize).build_weighted(edges)?)
+    Ok(Builder::new()
+        .symmetrize(symmetrize)
+        .build_weighted(edges)?)
 }
 
 #[cfg(test)]

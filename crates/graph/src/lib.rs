@@ -37,6 +37,8 @@ pub mod io;
 pub mod perm;
 pub mod rng;
 pub mod scc;
+pub mod segment;
+pub mod snapshot;
 pub mod stats;
 pub mod strips;
 pub mod types;
@@ -44,7 +46,9 @@ pub mod types;
 pub use builder::Builder;
 pub use csr::{CsrGraph, WCsrGraph};
 pub use edgelist::{Edge, EdgeList, WEdge, WEdgeList};
-pub use error::{BuildError, GraphError};
+pub use error::{BuildError, GraphError, SnapshotError};
 pub use graph::{AnyGraph, Graph, WGraph};
+pub use segment::{MapRegion, Segment};
+pub use snapshot::{CompressedCsr, Compression, Snapshot, SnapshotBundle, SnapshotContents};
 pub use strips::Strips;
 pub use types::{NodeId, OffsetIndex, Weight};

@@ -106,21 +106,13 @@ pub fn apply_in<O: OffsetIndex>(g: &Graph<O>, perm: &Permutation, pool: &ThreadP
     let m = targets.len();
     let srcs = arc_sources(pool, csr.offsets_raw(), n, m);
     let map = perm.new_of_old.as_slice();
-    let out_item = |arc: usize| {
-        Some((
-            map[srcs[arc] as usize] as usize,
-            map[targets[arc] as usize],
-        ))
-    };
+    let out_item =
+        |arc: usize| Some((map[srcs[arc] as usize] as usize, map[targets[arc] as usize]));
     let (offsets, adj) = build_rows(pool, n, m, &out_item);
     let out = CsrGraph::from_scan_unchecked(offsets, adj);
     if g.is_directed() {
-        let in_item = |arc: usize| {
-            Some((
-                map[targets[arc] as usize] as usize,
-                map[srcs[arc] as usize],
-            ))
-        };
+        let in_item =
+            |arc: usize| Some((map[targets[arc] as usize] as usize, map[srcs[arc] as usize]));
         let (in_offsets, in_adj) = build_rows(pool, n, m, &in_item);
         Graph::directed(out, CsrGraph::from_scan_unchecked(in_offsets, in_adj))
     } else {

@@ -359,7 +359,7 @@ mod tests {
         assert!(switch_to_push(50, 60, 1000));
         assert!(!switch_to_push(55, 60, 180)); // not below 180/18 = 10
         assert!(!switch_to_push(50, 50, 1000)); // not shrinking
-        // One-shot prediction trips on either threshold.
+                                                // One-shot prediction trips on either threshold.
         assert!(predict_pull(100, 1000, 1, 1000));
         assert!(predict_pull(0, 1000, 500, 1000));
         assert!(!predict_pull(5, 1000, 1, 1000));

@@ -49,9 +49,26 @@ impl Strips {
     /// layout bench's sizing experiments).
     pub fn with_budget<O: OffsetIndex>(csr: &CsrGraph<O>, budget_bytes: usize) -> Self {
         let offsets = csr.offsets_raw();
-        Self::build(csr.num_vertices(), csr.num_edges(), budget_bytes, |target| {
-            offsets.partition_point(|&o| o.to_usize() <= target) - 1
-        })
+        Self::build(
+            csr.num_vertices(),
+            csr.num_edges(),
+            budget_bytes,
+            |target| offsets.partition_point(|&o| o.to_usize() <= target) - 1,
+        )
+    }
+
+    /// [`Strips::pull`] over a delta-varint compressed adjacency. The
+    /// compressed form keeps the ordinary element offsets, so strip
+    /// boundaries (and therefore pull-sweep results) are identical to
+    /// the raw layout's.
+    pub fn pull_compressed<O: OffsetIndex>(comp: &crate::snapshot::CompressedCsr<O>) -> Self {
+        let offsets = comp.offsets_raw();
+        Self::build(
+            comp.num_vertices(),
+            comp.num_edges(),
+            STRIP_BYTES,
+            |target| offsets.partition_point(|&o| o.to_usize() <= target) - 1,
+        )
     }
 
     /// [`Strips::pull`] over raw `u64` row offsets, for CSR-shaped
@@ -130,7 +147,12 @@ mod tests {
         let mut next = 0usize;
         for s in 0..strips.len() {
             let r = strips.range(s);
-            assert_eq!(r.start, next, "strip {s} must start where {} ended", s.max(1) - 1);
+            assert_eq!(
+                r.start,
+                next,
+                "strip {s} must start where {} ended",
+                s.max(1) - 1
+            );
             assert!(r.end > r.start, "strip {s} must be non-empty");
             next = r.end;
         }

@@ -38,7 +38,16 @@ pub type Score = f64;
 /// remains available as the runtime fallback for arc counts at or above
 /// `u32::MAX`.
 pub trait OffsetIndex:
-    Copy + Ord + Eq + Default + std::fmt::Debug + std::hash::Hash + Send + Sync + 'static
+    Copy
+    + Ord
+    + Eq
+    + Default
+    + std::fmt::Debug
+    + std::hash::Hash
+    + Send
+    + Sync
+    + 'static
+    + crate::segment::Pod
 {
     /// Short label used in benchmark output and ledgers.
     const NAME: &'static str;

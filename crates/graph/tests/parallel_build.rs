@@ -27,10 +27,19 @@ fn adversarial_inputs() -> Vec<(&'static str, usize, Vec<Edge>)> {
     cases.push((
         "dups+loops",
         6,
-        [(0, 1), (1, 0), (0, 1), (2, 2), (0, 1), (3, 4), (4, 3), (2, 2)]
-            .iter()
-            .map(|&(a, b)| Edge::new(a, b))
-            .collect(),
+        [
+            (0, 1),
+            (1, 0),
+            (0, 1),
+            (2, 2),
+            (0, 1),
+            (3, 4),
+            (4, 3),
+            (2, 2),
+        ]
+        .iter()
+        .map(|&(a, b)| Edge::new(a, b))
+        .collect(),
     ));
     // Vertices 50..64 are isolated; vertex 0 is a hub touching everyone.
     let mut skew = Vec::new();
@@ -48,7 +57,9 @@ fn adversarial_inputs() -> Vec<(&'static str, usize, Vec<Edge>)> {
     let mut dense = Vec::new();
     let mut x = 9u64;
     for _ in 0..4000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = ((x >> 33) % 61) as u32;
         let b = ((x >> 13) % 61) as u32;
         dense.push(Edge::new(a, b));
@@ -101,7 +112,10 @@ fn pooled_build_is_identical_to_serial_and_oracle() {
                     b.build(edges.clone()).expect("in-range endpoints")
                 };
                 let serial = make(None);
-                assert_matches_oracle(&serial, &oracle_adjacency(n, &edges, symmetrize, drop_loops));
+                assert_matches_oracle(
+                    &serial,
+                    &oracle_adjacency(n, &edges, symmetrize, drop_loops),
+                );
                 for threads in THREADS {
                     let pool = ThreadPool::new(threads);
                     let pooled = make(Some(&pool));
@@ -123,7 +137,9 @@ fn oracle_weights(
 ) -> BTreeMap<(usize, NodeId), Weight> {
     let mut min: BTreeMap<(usize, NodeId), Weight> = BTreeMap::new();
     let mut add = |u: usize, v: NodeId, w: Weight| {
-        min.entry((u, v)).and_modify(|m| *m = (*m).min(w)).or_insert(w);
+        min.entry((u, v))
+            .and_modify(|m| *m = (*m).min(w))
+            .or_insert(w);
     };
     let _ = n;
     for e in edges {
@@ -201,7 +217,10 @@ fn permutation_apply_is_thread_count_independent() {
     for (directed, g) in [
         (
             true,
-            Builder::new().num_vertices(48).build(edges.clone()).unwrap(),
+            Builder::new()
+                .num_vertices(48)
+                .build(edges.clone())
+                .unwrap(),
         ),
         (
             false,
@@ -217,11 +236,7 @@ fn permutation_apply_is_thread_count_independent() {
             perm::degree_descending(&g),
             Permutation::identity(g.num_vertices()),
             // Reversal permutation: maximally far from identity.
-            Permutation::new(
-                (0..g.num_vertices() as NodeId)
-                    .rev()
-                    .collect::<Vec<_>>(),
-            ),
+            Permutation::new((0..g.num_vertices() as NodeId).rev().collect::<Vec<_>>()),
         ] {
             let serial = perm::apply(&g, &p);
             for threads in THREADS {
@@ -246,7 +261,11 @@ fn generators_are_thread_count_independent() {
     let weights = gen::with_uniform_weights_in(&kron, 42, &serial);
     for threads in [2, 7, 16] {
         let pool = ThreadPool::new(threads);
-        assert_eq!(kron, gen::kron_edges_in(9, 8, 42, &pool), "kron @ {threads}");
+        assert_eq!(
+            kron,
+            gen::kron_edges_in(9, 8, 42, &pool),
+            "kron @ {threads}"
+        );
         assert_eq!(
             urand,
             gen::urand_edges_in(9, 8, 42, &pool),
@@ -288,6 +307,10 @@ fn corpus_generation_is_pool_size_independent() {
         let w1 = spec.generate_weighted_in(Scale::Tiny, &serial);
         let pool = ThreadPool::new(7);
         assert_eq!(g1, spec.generate_in(Scale::Tiny, &pool), "{spec}");
-        assert_eq!(w1, spec.generate_weighted_in(Scale::Tiny, &pool), "{spec} weighted");
+        assert_eq!(
+            w1,
+            spec.generate_weighted_in(Scale::Tiny, &pool),
+            "{spec} weighted"
+        );
     }
 }

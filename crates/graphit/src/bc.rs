@@ -12,8 +12,8 @@ use crate::schedule::FrontierLayout;
 use gapbs_graph::types::{NodeId, Score};
 use gapbs_graph::{Graph, OffsetIndex};
 use gapbs_parallel::atomics::AtomicF64;
-use gapbs_parallel::{AtomicBitmap, ThreadPool};
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::{AtomicBitmap, ThreadPool};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 const UNVISITED: u32 = u32::MAX;
@@ -72,12 +72,16 @@ fn single_source<O: OffsetIndex>(
         let next: Vec<NodeId> = match frontier_layout {
             FrontierLayout::BitVector => {
                 let bits = AtomicBitmap::new(n);
-                expand(g, frontier, d, &depth, &sigma, pool, |v| bits.set(v as usize));
+                expand(g, frontier, d, &depth, &sigma, pool, |v| {
+                    bits.set(v as usize)
+                });
                 bits.iter_ones().map(|v| v as NodeId).collect()
             }
             FrontierLayout::SparseQueue => {
                 let list = Mutex::new(Vec::new());
-                expand(g, frontier, d, &depth, &sigma, pool, |v| list.lock().push(v));
+                expand(g, frontier, d, &depth, &sigma, pool, |v| {
+                    list.lock().push(v)
+                });
                 let mut next = list.into_inner();
                 next.sort_unstable();
                 next

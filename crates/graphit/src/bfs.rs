@@ -10,12 +10,17 @@ use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
 use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::as_atomic_u32;
-use gapbs_parallel::{AtomicBitmap, Schedule as LoopSched, ThreadPool};
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::{AtomicBitmap, Schedule as LoopSched, ThreadPool};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Runs BFS from `source` under the given schedule.
-pub fn bfs<O: OffsetIndex>(g: &Graph<O>, source: NodeId, schedule: &Schedule, pool: &ThreadPool) -> Vec<NodeId> {
+pub fn bfs<O: OffsetIndex>(
+    g: &Graph<O>,
+    source: NodeId,
+    schedule: &Schedule,
+    pool: &ThreadPool,
+) -> Vec<NodeId> {
     let n = g.num_vertices();
     let mut parent = vec![NO_PARENT; n];
     if n == 0 {
@@ -203,7 +208,11 @@ mod tests {
     fn all_schedules_produce_valid_trees() {
         let g = gen::kron(9, 10, 6);
         let p = pool();
-        for direction in [Direction::Push, Direction::Pull, Direction::DirectionOptimizing] {
+        for direction in [
+            Direction::Push,
+            Direction::Pull,
+            Direction::DirectionOptimizing,
+        ] {
             for frontier in [FrontierLayout::SparseQueue, FrontierLayout::BitVector] {
                 let s = Schedule {
                     direction,

@@ -38,8 +38,12 @@ pub fn cc<O: OffsetIndex>(g: &Graph<O>, short_circuit: bool, pool: &ThreadPool) 
             if !active.get(u) {
                 return;
             }
-            let scanned =
-                g.out_degree(u as NodeId) as u64 + if g.is_directed() { g.in_degree(u as NodeId) as u64 } else { 0 };
+            let scanned = g.out_degree(u as NodeId) as u64
+                + if g.is_directed() {
+                    g.in_degree(u as NodeId) as u64
+                } else {
+                    0
+                };
             let lu = cells[u].load(Ordering::Relaxed);
             for &v in g.out_neighbors(u as NodeId) {
                 if fetch_min_u32(&cells[v as usize], lu) {

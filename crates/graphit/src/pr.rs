@@ -73,8 +73,7 @@ pub fn pr<O: OffsetIndex>(
                 // source block per pass.
                 for tile in tiles {
                     for (v, sources) in tile {
-                        let sum: Score =
-                            sources.iter().map(|&u| outgoing[u as usize]).sum();
+                        let sum: Score = sources.iter().map(|&u| outgoing[u as usize]).sum();
                         next[*v as usize] += damping * sum;
                     }
                 }
@@ -92,11 +91,7 @@ pub fn pr<O: OffsetIndex>(
                 });
             }
         }
-        let error: Score = scores
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let error: Score = scores.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         scores = next;
         gapbs_telemetry::trace_iter!(PrSweep {
             sweep: iterations as u32,

@@ -9,8 +9,8 @@
 use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::{OffsetIndex, WGraph, Weight};
 use gapbs_parallel::atomics::{as_atomic_i64, fetch_min_i64};
-use gapbs_parallel::ThreadPool;
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::ThreadPool;
 use std::sync::atomic::Ordering;
 
 /// The bucket-size threshold below which a fused (synchronization-free)

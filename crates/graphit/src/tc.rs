@@ -103,7 +103,11 @@ fn probe_below(a: &[NodeId], b: &[NodeId], ceiling: NodeId) -> (u64, u64) {
     // Probe elements of the shorter prefix into the longer one.
     let at = &a[..a.partition_point(|&x| x < ceiling)];
     let bt = &b[..b.partition_point(|&x| x < ceiling)];
-    let (probe, into) = if at.len() <= bt.len() { (at, bt) } else { (bt, at) };
+    let (probe, into) = if at.len() <= bt.len() {
+        (at, bt)
+    } else {
+        (bt, at)
+    };
     let per_probe = u64::from((into.len() + 1).next_power_of_two().trailing_zeros()).max(1);
     let c = probe
         .iter()

@@ -112,7 +112,12 @@ impl<X> FrontierMatrix<X> {
     }
 
     /// Appends a row whose values come from `value_of(column)`.
-    pub fn push_row_with(&mut self, index: GrbIndex, active: u64, mut value_of: impl FnMut(usize) -> X) {
+    pub fn push_row_with(
+        &mut self,
+        index: GrbIndex,
+        active: u64,
+        mut value_of: impl FnMut(usize) -> X,
+    ) {
         debug_assert!(active != 0, "a stored row must be active somewhere");
         self.indices.push(index);
         self.active.push(active);
@@ -301,7 +306,10 @@ where
     if buckets.len() < blocks * ranges {
         buckets.resize_with(blocks * ranges, Vec::new);
     }
-    debug_assert!(buckets.iter().all(Vec::is_empty), "buckets drained per call");
+    debug_assert!(
+        buckets.iter().all(Vec::is_empty),
+        "buckets drained per call"
+    );
     if range_touched.len() < ranges {
         range_touched.resize_with(ranges, Vec::new);
     }

@@ -32,8 +32,14 @@ pub fn bc(ctx: &LaGraphContext, sources: &[NodeId], pool: &ThreadPool) -> Vec<Sc
         while frontier.nvals() > 0 {
             // q<!numsp> = frontier' * A : propagate path counts.
             let mask = Mask::complement(&numsp);
-            let next: GrbVector<f64> =
-                vxm(&semiring, &frontier, &ctx.a, Some(&mask), &ctx.workspace, pool);
+            let next: GrbVector<f64> = vxm(
+                &semiring,
+                &frontier,
+                &ctx.a,
+                Some(&mask),
+                &ctx.workspace,
+                pool,
+            );
             for (i, &v) in next.iter() {
                 numsp.set(i, v);
             }

@@ -23,9 +23,14 @@ const DEGREE_SUM_CUTOFF: usize = 1 << 12;
 /// indirection) and reduces on the pool for large frontiers, so the
 /// heuristic itself no longer costs a serial O(frontier) row walk.
 fn frontier_degree_sum(ctx: &LaGraphContext, q: &GrbVector<()>, pool: &ThreadPool) -> u64 {
-    let entries = q.sparse_entries().expect("frontier is sparse at level start");
+    let entries = q
+        .sparse_entries()
+        .expect("frontier is sparse at level start");
     if entries.len() < DEGREE_SUM_CUTOFF {
-        return entries.iter().map(|&(k, _)| ctx.out_degree[k as usize]).sum();
+        return entries
+            .iter()
+            .map(|&(k, _)| ctx.out_degree[k as usize])
+            .sum();
     }
     pool.reduce_index(
         entries.len(),
@@ -169,16 +174,13 @@ mod tests {
     fn gapbs_verify_depths(g: &gapbs_graph::Graph, source: NodeId, parent: &[NodeId]) {
         let depths = gapbs_graph::stats::bfs_eccentricity(g, source);
         let _ = depths; // eccentricity only; do a full manual check below
-        // walk each parent chain to the source
+                        // walk each parent chain to the source
         for v in g.vertices() {
             let p = parent[v as usize];
             if p == NO_PARENT || v == source {
                 continue;
             }
-            assert!(
-                g.out_csr().has_edge(p, v),
-                "parent edge ({p}, {v}) missing"
-            );
+            assert!(g.out_csr().has_edge(p, v), "parent edge ({p}, {v}) missing");
         }
         assert_eq!(parent[source as usize], source);
     }

@@ -51,19 +51,29 @@ pub fn cc(ctx: &LaGraphContext, pool: &ThreadPool) -> Vec<NodeId> {
         let mut gp_vec = GrbVector::full(n, GrbIndex::MAX);
         gp_vec.as_full_slice_mut().copy_from_slice(&gp);
         let mut mngp: Vec<GrbIndex> = gp.clone();
-        let pulled: GrbVector<GrbIndex> =
-            mxv(&semiring, &ctx.a, &gp_vec, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
+        let pulled: GrbVector<GrbIndex> = mxv(
+            &semiring,
+            &ctx.a,
+            &gp_vec,
+            None::<&Mask<'_, ()>>,
+            &ctx.workspace,
+            pool,
+        );
         merge_min(&mut mngp, &pulled, par, pool);
         if ctx.directed {
-            let pulled_t: GrbVector<GrbIndex> =
-                mxv(&semiring, &ctx.at, &gp_vec, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
+            let pulled_t: GrbVector<GrbIndex> = mxv(
+                &semiring,
+                &ctx.at,
+                &gp_vec,
+                None::<&Mask<'_, ()>>,
+                &ctx.workspace,
+                pool,
+            );
             merge_min(&mut mngp, &pulled_t, par, pool);
         }
         let mut changed = false;
         // Stochastic hooking: f[f[i]] = min(f[f[i]], mngp[i]).
-        let hooks: Vec<(GrbIndex, GrbIndex)> = (0..n as usize)
-            .map(|i| (f[i], mngp[i]))
-            .collect();
+        let hooks: Vec<(GrbIndex, GrbIndex)> = (0..n as usize).map(|i| (f[i], mngp[i])).collect();
         changed |= scatter_min(&mut f, &hooks);
         // Aggressive hooking: f[i] = min(f[i], mngp[i], gp[i]). Each
         // slot depends only on its own index, so the pooled version is
@@ -170,9 +180,9 @@ mod tests {
     fn labels_partition_eq(a: &[NodeId], b: &[NodeId]) -> bool {
         let mut fwd = std::collections::HashMap::new();
         let mut bwd = std::collections::HashMap::new();
-        a.iter().zip(b).all(|(&x, &y)| {
-            *fwd.entry(x).or_insert(y) == y && *bwd.entry(y).or_insert(x) == x
-        })
+        a.iter()
+            .zip(b)
+            .all(|(&x, &y)| *fwd.entry(x).or_insert(y) == y && *bwd.entry(y).or_insert(x) == x)
     }
 
     #[test]

@@ -91,8 +91,14 @@ pub fn pr(
             }
         }) / nf;
         // importance = A' * contrib  (pull over in-edges).
-        let importance: GrbVector<f64> =
-            mxv(&semiring, &ctx.at, &contrib, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
+        let importance: GrbVector<f64> = mxv(
+            &semiring,
+            &ctx.at,
+            &contrib,
+            None::<&Mask<'_, ()>>,
+            &ctx.workspace,
+            pool,
+        );
         let mut next = GrbVector::full(n, base + damping * dangling);
         {
             let slice = next.as_full_slice_mut();

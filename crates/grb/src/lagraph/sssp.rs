@@ -23,7 +23,12 @@ const SCAN_CUTOFF: usize = 1 << 13;
 /// # Panics
 ///
 /// Panics if the context has no weighted matrix.
-pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight, pool: &ThreadPool) -> Vec<Distance> {
+pub fn sssp(
+    ctx: &LaGraphContext,
+    source: NodeId,
+    delta: Weight,
+    pool: &ThreadPool,
+) -> Vec<Distance> {
     let aw = ctx
         .aw
         .as_ref()
@@ -54,8 +59,14 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight, pool: &ThreadPo
                 bucket: bucket as u64,
                 size: active.nvals()
             });
-            let reach: GrbVector<Distance> =
-                vxm(&semiring, &active, aw, None::<&Mask<'_, ()>>, &ctx.workspace, pool);
+            let reach: GrbVector<Distance> = vxm(
+                &semiring,
+                &active,
+                aw,
+                None::<&Mask<'_, ()>>,
+                &ctx.workspace,
+                pool,
+            );
             let reached = reach.sparse_entries().expect("engine products are sparse");
             let mut next_active = Vec::new();
             {
@@ -63,10 +74,7 @@ pub fn sssp(ctx: &LaGraphContext, source: NodeId, delta: Weight, pool: &ThreadPo
                 for &(j, nd) in reached {
                     if nd < tv[j as usize] {
                         tv[j as usize] = nd;
-                        gapbs_telemetry::record(
-                            gapbs_telemetry::Counter::BucketRelaxations,
-                            1,
-                        );
+                        gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, 1);
                         if nd < hi {
                             next_active.push((j, nd));
                         }

@@ -84,9 +84,9 @@ fn permute_by_degree(a: &GrbMatrix) -> GrbMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lagraph::LaGraphContext;
     use gapbs_graph::edgelist::edges;
     use gapbs_graph::{gen, Builder};
-    use crate::lagraph::LaGraphContext;
 
     fn pool() -> ThreadPool {
         ThreadPool::new(2)

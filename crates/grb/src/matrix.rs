@@ -55,8 +55,16 @@ impl GrbMatrix {
     }
 
     fn convert<O: OffsetIndex>(n: usize, csr: &gapbs_graph::CsrGraph<O>) -> Self {
-        let offsets: Vec<u64> = csr.offsets_raw().iter().map(|&o| o.to_usize() as u64).collect();
-        let cols: Vec<GrbIndex> = csr.targets_raw().iter().map(|&t| GrbIndex::from(t)).collect();
+        let offsets: Vec<u64> = csr
+            .offsets_raw()
+            .iter()
+            .map(|&o| o.to_usize() as u64)
+            .collect();
+        let cols: Vec<GrbIndex> = csr
+            .targets_raw()
+            .iter()
+            .map(|&t| GrbIndex::from(t))
+            .collect();
         GrbMatrix {
             nrows: n as u64,
             ncols: n as u64,

@@ -112,7 +112,10 @@ impl<'a, M: Clone> MaskProbe<'a, M> {
                 complemented,
             }
         } else if let Some((words, _)) = mask.vector.bitmap_slots() {
-            MaskProbe::Words { words, complemented }
+            MaskProbe::Words {
+                words,
+                complemented,
+            }
         } else {
             MaskProbe::Full { complemented }
         }
@@ -126,9 +129,10 @@ impl<'a, M: Clone> MaskProbe<'a, M> {
                 entries,
                 complemented,
             } => entries.binary_search_by_key(&j, |&(i, _)| i).is_ok() != *complemented,
-            MaskProbe::Words { words, complemented } => {
-                (words[j as usize / 64] >> (j % 64) & 1 != 0) != *complemented
-            }
+            MaskProbe::Words {
+                words,
+                complemented,
+            } => (words[j as usize / 64] >> (j % 64) & 1 != 0) != *complemented,
             MaskProbe::Full { complemented } => !*complemented,
         }
     }
@@ -204,10 +208,15 @@ where
         let mask_probe = mask.map(MaskProbe::new);
         let frontier = x.sparse_entries();
         let out = match frontier {
-            Some(entries)
-                if pool.num_threads() > 1 && entries.len() >= VXM_PAR_CUTOFF && n > 0 =>
-            {
-                vxm_parallel(semiring, entries, a, mask_probe.as_ref(), &mut scratch, pool)
+            Some(entries) if pool.num_threads() > 1 && entries.len() >= VXM_PAR_CUTOFF && n > 0 => {
+                vxm_parallel(
+                    semiring,
+                    entries,
+                    a,
+                    mask_probe.as_ref(),
+                    &mut scratch,
+                    pool,
+                )
             }
             Some(entries) => vxm_serial(
                 semiring,
@@ -231,7 +240,7 @@ fn vxm_serial<'a, X, Y, S, M>(
     a: &GrbMatrix,
     mask: Option<&MaskProbe<'_, M>>,
     scratch: &mut VxmScratch<Y>,
-    ) -> GrbVector<Y>
+) -> GrbVector<Y>
 where
     X: Clone + 'a,
     Y: Clone,
@@ -259,7 +268,10 @@ where
             }
             let product = semiring.multiply(k, weights[t], xv);
             let value = add.combine(add.identity(), product);
-            if scratch.spa.upsert(ju, value, |cur, new| add.combine(cur, new)) {
+            if scratch
+                .spa
+                .upsert(ju, value, |cur, new| add.combine(cur, new))
+            {
                 hits += 1;
             } else {
                 inserts += 1;
@@ -319,7 +331,10 @@ where
     if buckets.len() < blocks * ranges {
         buckets.resize_with(blocks * ranges, Vec::new);
     }
-    debug_assert!(buckets.iter().all(Vec::is_empty), "buckets drained per call");
+    debug_assert!(
+        buckets.iter().all(Vec::is_empty),
+        "buckets drained per call"
+    );
     if range_touched.len() < ranges {
         range_touched.resize_with(ranges, Vec::new);
     }
@@ -377,7 +392,8 @@ where
         let out = &mut unsafe { entries_slice.range_mut(r, r + 1) }[0];
         let (mut hits, mut inserts) = (0u64, 0u64);
         for b in 0..blocks {
-            let bucket = &mut unsafe { bucket_slice.range_mut(b * ranges + r, b * ranges + r + 1) }[0];
+            let bucket =
+                &mut unsafe { bucket_slice.range_mut(b * ranges + r, b * ranges + r + 1) }[0];
             for (j, product) in bucket.drain(..) {
                 let jj = j as usize - jlo;
                 if stamps_r[jj] == generation {
@@ -399,11 +415,14 @@ where
             }
         }
         touched.sort_unstable();
-        out.extend(
-            touched
-                .drain(..)
-                .map(|j| (j, values_r[j as usize - jlo].take().expect("touched slot is live"))),
-        );
+        out.extend(touched.drain(..).map(|j| {
+            (
+                j,
+                values_r[j as usize - jlo]
+                    .take()
+                    .expect("touched slot is live"),
+            )
+        }));
         record(Counter::SpaHits, hits);
         record(Counter::SpaInserts, inserts);
     });
@@ -572,7 +591,12 @@ where
 
 /// Fixed-block fold: block partials combine in block index order, so the
 /// association is a pure function of `items.len()`.
-fn reduce_blocked<I, T, A>(items: &[I], value: impl Fn(&I) -> T + Sync, add: &A, pool: &ThreadPool) -> T
+fn reduce_blocked<I, T, A>(
+    items: &[I],
+    value: impl Fn(&I) -> T + Sync,
+    add: &A,
+    pool: &ThreadPool,
+) -> T
 where
     I: Sync,
     T: Clone + Send + Sync,
@@ -610,11 +634,7 @@ where
     F: Fn(GrbIndex, &T) -> U + Sync,
 {
     traced("apply", || {
-        let entries = gather_blocked(
-            vec,
-            |i, v| Some((i, f(i, v))),
-            pool,
-        );
+        let entries = gather_blocked(vec, |i, v| Some((i, f(i, v))), pool);
         GrbVector::from_sorted_entries(vec.size(), entries)
     })
 }
@@ -627,11 +647,7 @@ where
     F: Fn(GrbIndex, &T) -> bool + Sync,
 {
     traced("select", || {
-        let entries = gather_blocked(
-            vec,
-            |i, v| keep(i, v).then(|| (i, v.clone())),
-            pool,
-        );
+        let entries = gather_blocked(vec, |i, v| keep(i, v).then(|| (i, v.clone())), pool);
         GrbVector::from_sorted_entries(vec.size(), entries)
     })
 }
@@ -874,13 +890,17 @@ mod tests {
         let g = gen::urand(9, 6, 7);
         let at = GrbMatrix::from_graph(&g).transpose();
         let n = at.nrows();
-        let x = GrbVector::from_entries(
-            n,
-            (0..n).step_by(2).map(|i| (i, i as f64 * 0.5)).collect(),
-        );
+        let x =
+            GrbVector::from_entries(n, (0..n).step_by(2).map(|i| (i, i as f64 * 0.5)).collect());
         let s = PlusSecond::default();
-        let reference: GrbVector<f64> =
-            mxv(&s, &at, &x, None::<&Mask<'_, ()>>, &ws(), &ThreadPool::new(1));
+        let reference: GrbVector<f64> = mxv(
+            &s,
+            &at,
+            &x,
+            None::<&Mask<'_, ()>>,
+            &ws(),
+            &ThreadPool::new(1),
+        );
         for threads in [2, 5] {
             let got: GrbVector<f64> = mxv(
                 &s,

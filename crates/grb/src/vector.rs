@@ -315,7 +315,10 @@ impl<T: Clone + Send + Sync> GrbVector<T> {
             return self.convert(to, fill);
         }
         let moved = self.nvals;
-        match (std::mem::replace(&mut self.repr, Repr::Sparse(Vec::new())), to) {
+        match (
+            std::mem::replace(&mut self.repr, Repr::Sparse(Vec::new())),
+            to,
+        ) {
             // Sparse → Bitmap: the BFS pull-side conversion. Slot scatter
             // is parallel (entries are unique, so writes are disjoint);
             // the presence words are a serial O(nnz) bit pass.
@@ -548,7 +551,10 @@ mod tests {
             assert_eq!(a, b, "moved counts diverge for {to:?}");
             assert_eq!(serial.nvals(), pooled.nvals());
             assert_eq!(serial.storage(), pooled.storage());
-            assert!(serial.iter().eq(pooled.iter()), "entries diverge for {to:?}");
+            assert!(
+                serial.iter().eq(pooled.iter()),
+                "entries diverge for {to:?}"
+            );
         }
     }
 }

@@ -127,7 +127,9 @@ impl<Y> Spa<Y> {
     #[inline]
     pub fn peek(&self, j: usize) -> &Y {
         debug_assert!(self.is_live(j));
-        self.values[j].as_ref().expect("live SPA slot holds a value")
+        self.values[j]
+            .as_ref()
+            .expect("live SPA slot holds a value")
     }
 
     /// Moves the value out of live slot `j` (the slot stays live but

@@ -5,9 +5,7 @@
 use gapbs_graph::edgelist::edges;
 use gapbs_graph::{gen, Builder};
 use gapbs_grb::ops::{self, Mask};
-use gapbs_grb::semiring::{
-    AddMonoid, AnyMonoid, MinMonoid, MinPlus, PlusMonoid, PlusSecond,
-};
+use gapbs_grb::semiring::{AddMonoid, AnyMonoid, MinMonoid, MinPlus, PlusMonoid, PlusSecond};
 use gapbs_grb::{GrbMatrix, GrbVector, OpWorkspace, Storage};
 use gapbs_parallel::ThreadPool;
 

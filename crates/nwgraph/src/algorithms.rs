@@ -10,8 +10,8 @@ use crate::adjacency::{AdjacencyRange, WeightedAdjacencyRange};
 use gapbs_graph::types::{Distance, NodeId, Score, INF_DIST, NO_PARENT};
 use gapbs_graph::Weight;
 use gapbs_parallel::atomics::{as_atomic_i64, as_atomic_u32, fetch_min_i64, AtomicF64};
-use gapbs_parallel::{AtomicBitmap, Schedule, ThreadPool};
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::{AtomicBitmap, Schedule, ThreadPool};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -451,11 +451,7 @@ where
             for &v in prefix_u {
                 let adj_v = &adj[v as usize];
                 let (mut i, mut j) = (0usize, 0usize);
-                while i < prefix_u.len()
-                    && j < adj_v.len()
-                    && prefix_u[i] < v
-                    && adj_v[j] < v
-                {
+                while i < prefix_u.len() && j < adj_v.len() && prefix_u[i] < v && adj_v[j] < v {
                     match prefix_u[i].cmp(&adj_v[j]) {
                         std::cmp::Ordering::Less => i += 1,
                         std::cmp::Ordering::Greater => j += 1,
@@ -622,9 +618,10 @@ mod tests {
         let want: Vec<NodeId> = (0..n).map(|u| findf(&mut p, u) as NodeId).collect();
         let mut fm = std::collections::HashMap::new();
         let mut rm = std::collections::HashMap::new();
-        assert!(got.iter().zip(&want).all(|(&x, &y)| {
-            *fm.entry(x).or_insert(y) == y && *rm.entry(y).or_insert(x) == x
-        }));
+        assert!(got
+            .iter()
+            .zip(&want)
+            .all(|(&x, &y)| { *fm.entry(x).or_insert(y) == y && *rm.entry(y).or_insert(x) == x }));
     }
 
     #[test]

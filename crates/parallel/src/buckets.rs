@@ -62,7 +62,10 @@ impl<T> BucketQueue<T> {
         if items.is_empty() {
             return;
         }
-        gapbs_telemetry::record(gapbs_telemetry::Counter::BucketRelaxations, items.len() as u64);
+        gapbs_telemetry::record(
+            gapbs_telemetry::Counter::BucketRelaxations,
+            items.len() as u64,
+        );
         if level < self.current {
             gapbs_telemetry::record(
                 gapbs_telemetry::Counter::BucketReRelaxations,

@@ -81,7 +81,10 @@ impl RangeDeques {
     ///
     /// Panics if `n > MAX_INDEX` or `workers == 0`.
     pub fn split(n: usize, workers: usize) -> Self {
-        assert!(n <= MAX_INDEX, "loop of {n} indices exceeds the packed range");
+        assert!(
+            n <= MAX_INDEX,
+            "loop of {n} indices exceeds the packed range"
+        );
         assert!(workers > 0, "need at least one worker");
         let per = n.div_ceil(workers);
         let slots = (0..workers)
@@ -193,7 +196,10 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&s| s), "n={n} workers={workers} missed indices");
+            assert!(
+                seen.iter().all(|&s| s),
+                "n={n} workers={workers} missed indices"
+            );
         }
     }
 
@@ -262,7 +268,11 @@ mod tests {
             let bad: Vec<usize> = (0..n)
                 .filter(|&i| hits[i].load(Ordering::Relaxed) != 1)
                 .collect();
-            assert!(bad.is_empty(), "{policy:?}: bad indices {:?}", &bad[..bad.len().min(8)]);
+            assert!(
+                bad.is_empty(),
+                "{policy:?}: bad indices {:?}",
+                &bad[..bad.len().min(8)]
+            );
         }
     }
 }

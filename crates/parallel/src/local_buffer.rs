@@ -81,8 +81,7 @@ mod tests {
         use std::cell::RefCell;
         let flushed = RefCell::new(Vec::new());
         let mut buf = LocalBuffer::with_capacity(2);
-        let mut sink =
-            |items: &mut Vec<u32>| flushed.borrow_mut().extend(items.iter().copied());
+        let mut sink = |items: &mut Vec<u32>| flushed.borrow_mut().extend(items.iter().copied());
         buf.push(1, &mut sink);
         buf.push(2, &mut sink);
         assert!(flushed.borrow().is_empty());

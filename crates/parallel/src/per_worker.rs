@@ -37,7 +37,9 @@ impl<T> PerWorker<T> {
     /// One slot per worker, each initialised with `init()`.
     pub fn new(workers: usize, mut init: impl FnMut() -> T) -> Self {
         PerWorker {
-            slots: (0..workers).map(|_| Slot(UnsafeCell::new(init()))).collect(),
+            slots: (0..workers)
+                .map(|_| Slot(UnsafeCell::new(init())))
+                .collect(),
         }
     }
 

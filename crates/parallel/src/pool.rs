@@ -137,8 +137,7 @@ impl Job {
         // SAFETY: erases the borrow's lifetime from the fat pointer's
         // type only — the leader upholds the real lifetime by joining
         // the team before `run` returns (see the struct docs).
-        let f: *const (dyn Fn(usize) + Sync + 'static) =
-            unsafe { std::mem::transmute(wide) };
+        let f: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(wide) };
         Job { f }
     }
 }
@@ -442,7 +441,14 @@ impl ThreadPool {
     /// let sum = pool.reduce_index(1000, Schedule::Guided, 0u64, |i| i as u64, |a, b| a + b);
     /// assert_eq!(sum, 999 * 1000 / 2);
     /// ```
-    pub fn reduce_index<T, M, F>(&self, n: usize, schedule: Schedule, identity: T, map: M, fold: F) -> T
+    pub fn reduce_index<T, M, F>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        identity: T,
+        map: M,
+        fold: F,
+    ) -> T
     where
         T: Clone + Send + Sync,
         M: Fn(usize) -> T + Sync,
@@ -485,10 +491,7 @@ impl ThreadPool {
                 .lock()
                 .push(acc.expect("accumulator present after drain"));
         });
-        partials
-            .into_inner()
-            .into_iter()
-            .fold(identity, &fold)
+        partials.into_inner().into_iter().fold(identity, &fold)
     }
 }
 
@@ -714,7 +717,10 @@ mod tests {
             });
         }
         let stats = pool.stats();
-        assert_eq!(stats.spawn_events, 1, "workers spawned once, not per region");
+        assert_eq!(
+            stats.spawn_events, 1,
+            "workers spawned once, not per region"
+        );
         assert_eq!(stats.regions, 50);
         // Clones share the team and its stats.
         let clone = pool.clone();

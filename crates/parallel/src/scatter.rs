@@ -31,7 +31,10 @@ impl RowCursors {
     pub fn from_offsets(offsets: &[usize]) -> Self {
         let rows = offsets.len().saturating_sub(1);
         RowCursors {
-            cursors: offsets[..rows].iter().map(|&o| AtomicUsize::new(o)).collect(),
+            cursors: offsets[..rows]
+                .iter()
+                .map(|&o| AtomicUsize::new(o))
+                .collect(),
             ends: offsets[1..].to_vec(),
         }
     }
@@ -74,8 +77,13 @@ impl RowCursors {
 ///
 /// Panics when a row receives more items than its cursor range allows,
 /// or when a cursor range reaches past `out.len()`.
-pub fn scatter<T, F>(pool: &ThreadPool, n_items: usize, cursors: &RowCursors, out: &mut [T], item: F)
-where
+pub fn scatter<T, F>(
+    pool: &ThreadPool,
+    n_items: usize,
+    cursors: &RowCursors,
+    out: &mut [T],
+    item: F,
+) where
     T: Send,
     F: Fn(usize) -> Option<(usize, T)> + Sync,
 {
@@ -121,14 +129,15 @@ mod tests {
             let pool = ThreadPool::new(threads);
             let cursors = RowCursors::from_offsets(&offsets);
             let mut out = vec![usize::MAX; 10];
-            scatter(&pool, items.len(), &cursors, &mut out, |i| Some((items[i], i)));
+            scatter(&pool, items.len(), &cursors, &mut out, |i| {
+                Some((items[i], i))
+            });
             // Each row holds exactly the item indices targeting it, in
             // some order.
             for r in 0..4 {
                 let mut row = out[offsets[r]..offsets[r + 1]].to_vec();
                 row.sort_unstable();
-                let expect: Vec<usize> =
-                    (0..items.len()).filter(|&i| items[i] == r).collect();
+                let expect: Vec<usize> = (0..items.len()).filter(|&i| items[i] == r).collect();
                 assert_eq!(row, expect, "row {r} @ {threads} threads");
             }
         }

@@ -10,8 +10,8 @@
 use gapbs_graph::types::{NodeId, Score};
 use gapbs_graph::{Graph, OffsetIndex};
 use gapbs_parallel::atomics::AtomicF64;
-use gapbs_parallel::{AtomicBitmap, ThreadPool};
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::{AtomicBitmap, ThreadPool};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 const UNVISITED: u32 = u32::MAX;
@@ -81,7 +81,12 @@ fn single_source<O: OffsetIndex>(
                     let dv = depth[v as usize].load(Ordering::Relaxed);
                     if dv == UNVISITED
                         && depth[v as usize]
-                            .compare_exchange(UNVISITED, d + 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .compare_exchange(
+                                UNVISITED,
+                                d + 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
                             .is_ok()
                     {
                         local_next.push(v);

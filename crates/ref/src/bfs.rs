@@ -9,11 +9,11 @@
 
 use gapbs_graph::stats;
 use gapbs_graph::types::{NodeId, NO_PARENT};
-use gapbs_telemetry::trace::Dir;
-use gapbs_telemetry::trace_iter;
 use gapbs_graph::{Graph, OffsetIndex, Strips};
 use gapbs_parallel::atomics::as_atomic_u32;
 use gapbs_parallel::{AtomicBitmap, PerWorker, QueueBuffer, Schedule, SlidingQueue, ThreadPool};
+use gapbs_telemetry::trace::Dir;
+use gapbs_telemetry::trace_iter;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Tuning knobs of the direction-optimizing heuristic.

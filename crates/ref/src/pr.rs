@@ -127,9 +127,7 @@ fn as_score_cells(slice: &mut [Score]) -> &[gapbs_parallel::atomics::AtomicF64] 
     // Safety: AtomicF64 wraps an AtomicU64 with the same layout as f64 on
     // all supported platforms; the exclusive borrow prevents non-atomic
     // aliasing during the region.
-    unsafe {
-        &*(slice as *mut [Score] as *const [gapbs_parallel::atomics::AtomicF64])
-    }
+    unsafe { &*(slice as *mut [Score] as *const [gapbs_parallel::atomics::AtomicF64]) }
 }
 
 #[cfg(test)]

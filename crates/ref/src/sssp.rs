@@ -10,8 +10,8 @@
 use gapbs_graph::types::{Distance, NodeId, INF_DIST};
 use gapbs_graph::{OffsetIndex, WGraph, Weight};
 use gapbs_parallel::atomics::{as_atomic_i64, fetch_min_i64};
-use gapbs_parallel::ThreadPool;
 use gapbs_parallel::sync::Mutex;
+use gapbs_parallel::ThreadPool;
 use std::sync::atomic::Ordering;
 
 /// Tuning knobs for delta-stepping.
@@ -51,7 +51,12 @@ pub fn default_delta(avg_degree: f64) -> Weight {
 
 /// Runs delta-stepping from `source`, returning tentative distances
 /// ([`INF_DIST`] for unreachable vertices).
-pub fn sssp<O: OffsetIndex>(g: &WGraph<O>, source: NodeId, delta: Weight, pool: &ThreadPool) -> Vec<Distance> {
+pub fn sssp<O: OffsetIndex>(
+    g: &WGraph<O>,
+    source: NodeId,
+    delta: Weight,
+    pool: &ThreadPool,
+) -> Vec<Distance> {
     sssp_with_config(g, source, pool, &SsspConfig::with_delta(delta))
 }
 

@@ -233,7 +233,10 @@ impl AdmissionGate {
 
     /// `true` once [`drain`](Self::drain) has begun (readiness probes).
     pub fn draining(&self) -> bool {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).draining
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .draining
     }
 
     /// Number of permits currently held.
@@ -291,7 +294,9 @@ impl AdmissionGate {
     /// share one), so `batch_queries <= admitted` is an invariant.
     pub fn note_batch(&self, members: u64) {
         let _state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        self.stats.batch_queries.fetch_add(members, Ordering::Relaxed);
+        self.stats
+            .batch_queries
+            .fetch_add(members, Ordering::Relaxed);
         self.stats.batch_width.fetch_max(members, Ordering::Relaxed);
         gapbs_telemetry::record(gapbs_telemetry::Counter::BatchQueries, members);
     }
@@ -345,7 +350,8 @@ impl Permit<'_> {
     /// into the gate's histogram. Unset permits record their own hold
     /// time, so every release contributes exactly one entry either way.
     pub fn set_latency_us(&self, us: u64) {
-        self.latency_us.store(us.min(u64::MAX - 1), Ordering::Relaxed);
+        self.latency_us
+            .store(us.min(u64::MAX - 1), Ordering::Relaxed);
     }
 
     fn release(&self) {

@@ -150,33 +150,99 @@ struct Cell {
 
 /// Deterministic cells only — see the module docs.
 const CHECK_CELLS: [Cell; 10] = [
-    Cell { kernel: Kernel::Bfs, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Sssp, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Pr, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Cc, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Bc, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Tc, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Bfs, framework: "GAP" },
-    Cell { kernel: Kernel::Sssp, framework: "GAP" },
-    Cell { kernel: Kernel::Cc, framework: "GAP" },
-    Cell { kernel: Kernel::Tc, framework: "GAP" },
+    Cell {
+        kernel: Kernel::Bfs,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Sssp,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Pr,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Cc,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Bc,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Tc,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Bfs,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Sssp,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Cc,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Tc,
+        framework: "GAP",
+    },
 ];
 
 /// The unchecked mix adds the reference float kernels (their values are
 /// race-dependent, so only `--check` excludes them).
 const MIXED_CELLS: [Cell; 12] = [
-    Cell { kernel: Kernel::Bfs, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Sssp, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Pr, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Cc, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Bc, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Tc, framework: "SuiteSparse" },
-    Cell { kernel: Kernel::Bfs, framework: "GAP" },
-    Cell { kernel: Kernel::Sssp, framework: "GAP" },
-    Cell { kernel: Kernel::Pr, framework: "GAP" },
-    Cell { kernel: Kernel::Cc, framework: "GAP" },
-    Cell { kernel: Kernel::Bc, framework: "GAP" },
-    Cell { kernel: Kernel::Tc, framework: "GAP" },
+    Cell {
+        kernel: Kernel::Bfs,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Sssp,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Pr,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Cc,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Bc,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Tc,
+        framework: "SuiteSparse",
+    },
+    Cell {
+        kernel: Kernel::Bfs,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Sssp,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Pr,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Cc,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Bc,
+        framework: "GAP",
+    },
+    Cell {
+        kernel: Kernel::Tc,
+        framework: "GAP",
+    },
 ];
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -287,18 +353,24 @@ fn quantiles_agree(client_ms: f64, daemon_lower_us: u64) -> bool {
     (client_bucket - daemon_bucket).abs() <= 1
 }
 
-fn request_line(cell: Cell, graph: GraphSpec, source: u64, deadline_ms: Option<u64>, id: u64) -> String {
+fn request_line(
+    cell: Cell,
+    graph: GraphSpec,
+    source: u64,
+    deadline_ms: Option<u64>,
+    id: u64,
+) -> String {
     let mut fields = vec![
         ("id".to_string(), Json::Num(id as f64)),
         (
             "kernel".to_string(),
             Json::Str(cell.kernel.name().to_lowercase()),
         ),
+        ("graph".to_string(), Json::Str(graph.name().to_lowercase())),
         (
-            "graph".to_string(),
-            Json::Str(graph.name().to_lowercase()),
+            "framework".to_string(),
+            Json::Str(cell.framework.to_string()),
         ),
-        ("framework".to_string(), Json::Str(cell.framework.to_string())),
     ];
     if cell.kernel.takes_source() {
         fields.push(("source".to_string(), Json::Num(source as f64)));
@@ -320,7 +392,11 @@ struct Checker {
 
 impl Checker {
     fn expected(&self, cell: Cell, graph: GraphSpec, source: u64) -> u64 {
-        let source_key = if cell.kernel.takes_source() { source } else { 0 };
+        let source_key = if cell.kernel.takes_source() {
+            source
+        } else {
+            0
+        };
         let key = format!(
             "{}|{}|{}|{}",
             cell.kernel.name(),
@@ -397,7 +473,9 @@ fn run_client(
             .and_then(|()| writer.flush())
             .map_err(|e| format!("write: {e}"))?;
         line.clear();
-        reader.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
         if line.is_empty() {
             return Err("server closed the connection mid-workload".to_string());
@@ -488,7 +566,11 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchSummary, String> {
     } else {
         None
     };
-    let cells: &[Cell] = if config.check { &CHECK_CELLS } else { &MIXED_CELLS };
+    let cells: &[Cell] = if config.check {
+        &CHECK_CELLS
+    } else {
+        &MIXED_CELLS
+    };
     let start = Instant::now();
     let results: Vec<Result<ClientResult, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients.max(1))
@@ -498,7 +580,10 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchSummary, String> {
                 scope.spawn(move || run_client(client, config, graphs, cells, checker))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
     });
     let wall = start.elapsed().as_secs_f64();
     let mut summary = BenchSummary::default();
@@ -516,11 +601,16 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchSummary, String> {
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     summary.p50_ms = percentile(&latencies, 0.50);
     summary.p99_ms = percentile(&latencies, 0.99);
-    summary.qps = if wall > 0.0 { summary.ok as f64 / wall } else { 0.0 };
+    summary.qps = if wall > 0.0 {
+        summary.ok as f64 / wall
+    } else {
+        0.0
+    };
     if let Some(before) = hist_before {
         let after = parse_latency_histogram(&fetch_stats(&config.addr)?)?;
         let delta = bucket_delta(&after, &before);
-        for (q, client_ms, label) in [(0.50, summary.p50_ms, "p50"), (0.99, summary.p99_ms, "p99")] {
+        for (q, client_ms, label) in [(0.50, summary.p50_ms, "p50"), (0.99, summary.p99_ms, "p99")]
+        {
             match delta.quantile(q) {
                 Some(lower_us) if quantiles_agree(client_ms, lower_us) => {}
                 Some(lower_us) => {
@@ -685,7 +775,10 @@ mod tests {
     #[test]
     fn request_lines_parse_back() {
         let line = request_line(
-            Cell { kernel: Kernel::Bfs, framework: "GAP" },
+            Cell {
+                kernel: Kernel::Bfs,
+                framework: "GAP",
+            },
             GraphSpec::Kron,
             17,
             Some(250),
@@ -711,7 +804,11 @@ mod tests {
 
     #[test]
     fn summary_gate_logic() {
-        let mut s = BenchSummary { ok: 10, qps: 50.0, ..BenchSummary::default() };
+        let mut s = BenchSummary {
+            ok: 10,
+            qps: 50.0,
+            ..BenchSummary::default()
+        };
         assert!(s.passed(None));
         assert!(s.passed(Some(20.0)));
         assert!(!s.passed(Some(80.0)));

@@ -99,10 +99,18 @@ impl Engine {
         ledger: Option<LedgerSink>,
     ) -> Engine {
         let metrics = ServeMetrics::new();
-        // Resident graph bytes are fixed at load; registering the gauges
-        // once here puts them in every scrape from the first onward.
+        // Resident graph bytes and cold-start accounting are fixed at
+        // load; registering the gauges once here puts them in every
+        // scrape from the first onward.
         for (spec, bench) in registry.graphs() {
             metrics.set_graph_bytes(spec.name(), bench.resident_bytes() as u64);
+        }
+        metrics.set_time_to_ready(registry.time_to_ready_seconds());
+        for record in registry.load_records() {
+            metrics.note_snapshot_load(
+                record.spec.name(),
+                record.outcome == gapbs_core::CacheOutcome::Hit,
+            );
         }
         Engine {
             registry,
@@ -247,7 +255,9 @@ impl Engine {
     /// past the `--slow-ms` threshold (`docs/OPERATIONS.md` documents
     /// the schema).
     fn log_slow(&self, query: &Query, latency: Duration, queue_wait: Duration, fingerprint: u64) {
-        let Some(threshold) = self.slow_ms else { return };
+        let Some(threshold) = self.slow_ms else {
+            return;
+        };
         let latency_ms = latency.as_secs_f64() * 1e3;
         if latency_ms < threshold as f64 {
             return;
@@ -255,8 +265,14 @@ impl Engine {
         self.metrics.note_slow();
         let mut fields = vec![
             ("slow_query".to_string(), Json::Bool(true)),
-            ("kernel".to_string(), Json::Str(query.kernel.name().to_lowercase())),
-            ("graph".to_string(), Json::Str(query.graph.name().to_lowercase())),
+            (
+                "kernel".to_string(),
+                Json::Str(query.kernel.name().to_lowercase()),
+            ),
+            (
+                "graph".to_string(),
+                Json::Str(query.graph.name().to_lowercase()),
+            ),
             ("framework".to_string(), Json::Str(query.framework.clone())),
             ("latency_ms".to_string(), Json::Num(latency_ms)),
             (
@@ -341,7 +357,12 @@ impl Engine {
                 return error_line(query.id.as_ref(), &err);
             }
         }
-        batch_success_line(query.id.as_ref(), query, latency.as_secs_f64() * 1e3, results)
+        batch_success_line(
+            query.id.as_ref(),
+            query,
+            latency.as_secs_f64() * 1e3,
+            results,
+        )
     }
 
     /// Validates and executes a batch, returning one result object per
@@ -351,7 +372,10 @@ impl Engine {
         let bench = self.registry.get(query.graph).ok_or_else(|| {
             ProtoError::new(
                 ErrorCode::UnknownGraph,
-                format!("graph {:?} is not resident in this daemon", query.graph.name()),
+                format!(
+                    "graph {:?} is not resident in this daemon",
+                    query.graph.name()
+                ),
             )
         })?;
         let n = bench.num_vertices();
@@ -359,7 +383,10 @@ impl Engine {
             if (v as usize) >= n {
                 return Err(ProtoError::new(
                     ErrorCode::BadSource,
-                    format!("{field} {v} out of range for {} ({n} vertices)", bench.spec.name()),
+                    format!(
+                        "{field} {v} out of range for {} ({n} vertices)",
+                        bench.spec.name()
+                    ),
                 ));
             }
             Ok(())
@@ -466,7 +493,10 @@ impl Engine {
         let rss = gapbs_telemetry::trace::read_vm_status().map_or(0, |vm| vm.vm_rss_bytes);
         Json::obj([
             ("ok".to_string(), Json::Bool(true)),
-            ("scale".to_string(), Json::Str(format!("{:?}", self.registry.scale()).to_lowercase())),
+            (
+                "scale".to_string(),
+                Json::Str(format!("{:?}", self.registry.scale()).to_lowercase()),
+            ),
             (
                 "graphs".to_string(),
                 Json::Arr(
@@ -488,19 +518,49 @@ impl Engine {
                         .collect(),
                 ),
             ),
-            ("threads".to_string(), Json::Num(self.pool.num_threads() as f64)),
+            (
+                "threads".to_string(),
+                Json::Num(self.pool.num_threads() as f64),
+            ),
             ("active".to_string(), Json::Num(obs.active as f64)),
             ("waiting".to_string(), Json::Num(obs.waiting as f64)),
-            ("queue_age_us".to_string(), Json::Num(obs.queue_age_us as f64)),
-            ("queries_admitted".to_string(), Json::Num(snap.admitted as f64)),
-            ("queries_rejected".to_string(), Json::Num(snap.rejected as f64)),
-            ("queries_completed".to_string(), Json::Num(snap.completed as f64)),
-            ("deadline_exceeded".to_string(), Json::Num(snap.deadline_exceeded as f64)),
-            ("batch_queries".to_string(), Json::Num(snap.batch_queries as f64)),
-            ("batch_width".to_string(), Json::Num(snap.batch_width as f64)),
+            (
+                "queue_age_us".to_string(),
+                Json::Num(obs.queue_age_us as f64),
+            ),
+            (
+                "queries_admitted".to_string(),
+                Json::Num(snap.admitted as f64),
+            ),
+            (
+                "queries_rejected".to_string(),
+                Json::Num(snap.rejected as f64),
+            ),
+            (
+                "queries_completed".to_string(),
+                Json::Num(snap.completed as f64),
+            ),
+            (
+                "deadline_exceeded".to_string(),
+                Json::Num(snap.deadline_exceeded as f64),
+            ),
+            (
+                "batch_queries".to_string(),
+                Json::Num(snap.batch_queries as f64),
+            ),
+            (
+                "batch_width".to_string(),
+                Json::Num(snap.batch_width as f64),
+            ),
             ("rss_bytes".to_string(), Json::Num(rss as f64)),
-            ("pool_regions".to_string(), Json::Num(pool_stats.regions as f64)),
-            ("pool_steals".to_string(), Json::Num(pool_stats.steals as f64)),
+            (
+                "pool_regions".to_string(),
+                Json::Num(pool_stats.regions as f64),
+            ),
+            (
+                "pool_steals".to_string(),
+                Json::Num(pool_stats.steals as f64),
+            ),
             ("pool_parks".to_string(), Json::Num(pool_stats.parks as f64)),
             ("draining".to_string(), Json::Bool(self.gate.draining())),
             (
@@ -542,7 +602,9 @@ impl Engine {
         counters_before: &gapbs_telemetry::CounterSet,
     ) {
         let Some(sink) = &self.ledger else { return };
-        let Some(bench) = self.registry.get(query.graph) else { return };
+        let Some(bench) = self.registry.get(query.graph) else {
+            return;
+        };
         let mut counters = gapbs_telemetry::snapshot().delta(counters_before);
         let snap = self.gate.snapshot();
         counters.set(Counter::QueriesAdmitted, snap.admitted);
@@ -566,7 +628,8 @@ impl Engine {
             num_arcs: bench.graph.num_arcs() as u64,
             counters,
             phases: gapbs_telemetry::PhaseTimes::zero(),
-            peak_rss_bytes: gapbs_telemetry::trace::read_vm_status().map_or(0, |vm| vm.vm_hwm_bytes),
+            peak_rss_bytes: gapbs_telemetry::trace::read_vm_status()
+                .map_or(0, |vm| vm.vm_hwm_bytes),
             graph_bytes: bench.kernel_graph_bytes(query.kernel) as u64,
             git_rev: String::new(),
         };
@@ -586,9 +649,10 @@ fn admit_error(err: AdmitError) -> ProtoError {
             ErrorCode::DeadlineExceeded,
             "deadline expired while queued for an execution slot",
         ),
-        AdmitError::Draining => {
-            ProtoError::new(ErrorCode::ShuttingDown, "daemon is draining; no new queries")
-        }
+        AdmitError::Draining => ProtoError::new(
+            ErrorCode::ShuttingDown,
+            "daemon is draining; no new queries",
+        ),
     }
 }
 
@@ -610,7 +674,10 @@ pub fn run_query_local(
     let bench = registry.get(query.graph).ok_or_else(|| {
         ProtoError::new(
             ErrorCode::UnknownGraph,
-            format!("graph {:?} is not resident in this daemon", query.graph.name()),
+            format!(
+                "graph {:?} is not resident in this daemon",
+                query.graph.name()
+            ),
         )
     })?;
     let framework = registry.framework(&query.framework).ok_or_else(|| {
@@ -638,7 +705,10 @@ pub fn execute_query(
         match v {
             Some(v) if (v as usize) >= n => Err(ProtoError::new(
                 ErrorCode::BadSource,
-                format!("{field} {v} out of range for {} ({n} vertices)", bench.spec.name()),
+                format!(
+                    "{field} {v} out of range for {} ({n} vertices)",
+                    bench.spec.name()
+                ),
             )),
             _ => Ok(()),
         }
@@ -666,7 +736,11 @@ pub fn execute_query(
                 let d = dist[t as usize];
                 fields.push((
                     "target_distance".to_string(),
-                    if d == INF_DIST { Json::Null } else { Json::Num(d as f64) },
+                    if d == INF_DIST {
+                        Json::Null
+                    } else {
+                        Json::Num(d as f64)
+                    },
                 ));
             }
             QueryOutcome {
@@ -731,8 +805,15 @@ pub fn execute_query(
 /// builds these whether the depths came from a solo parent-array run, a
 /// coalesced MS-BFS column, or an explicit batch — which is what makes
 /// batching invisible in responses.
-fn bfs_result_fields(source: NodeId, target: Option<NodeId>, depths: &[u32]) -> Vec<(String, Json)> {
-    let reached = depths.iter().filter(|&&d| d != canonical::UNREACHED).count();
+fn bfs_result_fields(
+    source: NodeId,
+    target: Option<NodeId>,
+    depths: &[u32],
+) -> Vec<(String, Json)> {
+    let reached = depths
+        .iter()
+        .filter(|&&d| d != canonical::UNREACHED)
+        .count();
     let max_depth = depths
         .iter()
         .filter(|&&d| d != canonical::UNREACHED)
@@ -816,11 +897,20 @@ mod tests {
     fn engine_answers_bfs_with_fingerprint_matching_local_run() {
         let registry = Arc::clone(tiny_registry());
         let pool = ThreadPool::new(2);
-        let engine = Engine::new(Arc::clone(&registry), pool.clone(), EngineConfig::default(), None);
+        let engine = Engine::new(
+            Arc::clone(&registry),
+            pool.clone(),
+            EngineConfig::default(),
+            None,
+        );
         let q = query(r#"{"kernel":"bfs","graph":"kron","source":1,"id":9}"#);
         let line = engine.handle(&q);
         let v = Json::parse(&line).unwrap();
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "line: {line}"
+        );
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
         let expected = run_query_local(&registry, &q, &pool).unwrap();
         assert_eq!(
@@ -858,7 +948,10 @@ mod tests {
         let q = query(r#"{"kernel":"tc","graph":"kron","deadline_ms":0}"#);
         let v = Json::parse(&engine.handle(&q)).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
-        assert_eq!(v.get("code").and_then(Json::as_str), Some("deadline_exceeded"));
+        assert_eq!(
+            v.get("code").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
         // The pool is not poisoned: the next undeadlined query succeeds.
         let q = query(r#"{"kernel":"tc","graph":"kron"}"#);
         let v = Json::parse(&engine.handle(&q)).unwrap();
@@ -875,7 +968,10 @@ mod tests {
         let q = query(r#"{"kernel":"bfs","graph":"kron","source":1,"deadline_ms":0}"#);
         let v = Json::parse(&engine.handle(&q)).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
-        assert_eq!(v.get("code").and_then(Json::as_str), Some("deadline_exceeded"));
+        assert_eq!(
+            v.get("code").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
         // The fail-fast path returns before touching the pool: the query
         // examined zero edges (meaningful in telemetry builds; trivially
         // zero otherwise).
@@ -889,16 +985,26 @@ mod tests {
     fn batch_request_fingerprints_match_individual_queries() {
         let registry = Arc::clone(tiny_registry());
         let pool = ThreadPool::new(2);
-        let engine = Engine::new(Arc::clone(&registry), pool.clone(), EngineConfig::default(), None);
-        let b = match parse_request(r#"{"kernel":"bfs","graph":"kron","sources":[1,5,9],"target":3}"#)
-            .unwrap()
-        {
-            Command::Batch(b) => b,
-            other => panic!("expected batch, got {other:?}"),
-        };
+        let engine = Engine::new(
+            Arc::clone(&registry),
+            pool.clone(),
+            EngineConfig::default(),
+            None,
+        );
+        let b =
+            match parse_request(r#"{"kernel":"bfs","graph":"kron","sources":[1,5,9],"target":3}"#)
+                .unwrap()
+            {
+                Command::Batch(b) => b,
+                other => panic!("expected batch, got {other:?}"),
+            };
         let line = engine.handle_batch(&b);
         let v = Json::parse(&line).unwrap();
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "line: {line}"
+        );
         assert_eq!(v.get("batch").and_then(Json::as_u64), Some(3));
         let Some(Json::Arr(results)) = v.get("results") else {
             panic!("missing results array: {line}");
@@ -942,7 +1048,12 @@ mod tests {
             coalesce_window_ms: 200,
             ..EngineConfig::default()
         };
-        let engine = Arc::new(Engine::new(Arc::clone(&registry), pool.clone(), config, None));
+        let engine = Arc::new(Engine::new(
+            Arc::clone(&registry),
+            pool.clone(),
+            config,
+            None,
+        ));
         let sources = [1u32, 6, 11];
         let lines: Vec<String> = std::thread::scope(|scope| {
             let handles: Vec<_> = sources
@@ -950,7 +1061,9 @@ mod tests {
                 .map(|&s| {
                     let engine = Arc::clone(&engine);
                     scope.spawn(move || {
-                        let q = query(&format!(r#"{{"kernel":"bfs","graph":"kron","source":{s}}}"#));
+                        let q = query(&format!(
+                            r#"{{"kernel":"bfs","graph":"kron","source":{s}}}"#
+                        ));
                         engine.handle(&q)
                     })
                 })
@@ -959,8 +1072,14 @@ mod tests {
         });
         for (line, &s) in lines.iter().zip(&sources) {
             let v = Json::parse(line).unwrap();
-            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
-            let solo = query(&format!(r#"{{"kernel":"bfs","graph":"kron","source":{s}}}"#));
+            assert_eq!(
+                v.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "line: {line}"
+            );
+            let solo = query(&format!(
+                r#"{{"kernel":"bfs","graph":"kron","source":{s}}}"#
+            ));
             let expected = run_query_local(&registry, &solo, &pool).unwrap();
             assert_eq!(
                 v.get("fingerprint").and_then(Json::as_str),
@@ -978,11 +1097,20 @@ mod tests {
     fn traced_query_returns_inline_chrome_events() {
         let registry = Arc::clone(tiny_registry());
         let pool = ThreadPool::new(2);
-        let engine = Engine::new(Arc::clone(&registry), pool.clone(), EngineConfig::default(), None);
+        let engine = Engine::new(
+            Arc::clone(&registry),
+            pool.clone(),
+            EngineConfig::default(),
+            None,
+        );
         let q = query(r#"{"kernel":"bfs","graph":"kron","source":1,"trace":true}"#);
         let line = engine.handle(&q);
         let v = Json::parse(&line).unwrap();
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "line: {line}");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "line: {line}"
+        );
         let Some(Json::Arr(events)) = v.get("trace") else {
             panic!("traced response carries no trace array: {line}");
         };
@@ -1014,15 +1142,28 @@ mod tests {
         let pool = ThreadPool::new(2);
         let engine = Engine::new(Arc::clone(&registry), pool, EngineConfig::default(), None);
         for source in [1u32, 2, 3] {
-            let q = query(&format!(r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#));
+            let q = query(&format!(
+                r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#
+            ));
             engine.handle(&q);
         }
         let stats = engine.stats_json();
-        let num = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing {k}"));
-        assert_eq!(num("queries_admitted"), num("queries_completed") + num("active"));
+        let num = |k: &str| {
+            stats
+                .get(k)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing {k}"))
+        };
+        assert_eq!(
+            num("queries_admitted"),
+            num("queries_completed") + num("active")
+        );
         let metrics = stats.get("metrics").expect("metrics object");
         assert_eq!(
-            metrics.get("latency_us").and_then(|h| h.get("count")).and_then(Json::as_u64),
+            metrics
+                .get("latency_us")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
             Some(num("queries_completed")),
             "gate latency histogram count == completed"
         );
@@ -1061,7 +1202,9 @@ mod tests {
     #[test]
     fn top_k_orders_by_score_then_vertex() {
         let json = top_k(&[0.5, 0.9, 0.5, 0.1], 3);
-        let Json::Arr(items) = json else { panic!("expected array") };
+        let Json::Arr(items) = json else {
+            panic!("expected array")
+        };
         let vertices: Vec<u64> = items
             .iter()
             .map(|o| o.get("vertex").and_then(Json::as_u64).unwrap())

@@ -56,5 +56,5 @@ pub use coalesce::Coalescer;
 pub use engine::{execute_query, run_query_local, Engine, EngineConfig, QueryOutcome};
 pub use metrics::ServeMetrics;
 pub use protocol::{parse_request, BatchQuery, Command, ErrorCode, ProtoError, Query};
-pub use registry::GraphRegistry;
+pub use registry::{GraphRegistry, LoadRecord, RegistryOptions};
 pub use server::{serve_main, ServeConfig, ServeSummary, Server};

@@ -20,7 +20,8 @@ use std::sync::Mutex;
 
 use gapbs_parallel::PoolStats;
 use gapbs_telemetry::metrics::{
-    CounterHandle, GaugeHandle, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot,
+    CounterHandle, FloatGaugeHandle, GaugeHandle, HistogramHandle, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
 };
 
 use crate::admission::GateObservation;
@@ -51,6 +52,14 @@ pub struct ServeMetrics {
     pool_parks: CounterHandle,
     /// Resident set size, refreshed from `/proc/self/status` per scrape.
     rss_bytes: GaugeHandle,
+    /// Wall-clock seconds from load start until every graph was
+    /// resident — the daemon's cold-start cost, set once at startup.
+    time_to_ready_seconds: FloatGaugeHandle,
+    /// Per-graph snapshot-cache outcome counters, registered at load
+    /// time: each resident graph gets a `snapshot_hit{graph=...}` and a
+    /// `snapshot_miss{graph=...}` pair summing to exactly 1 (loads
+    /// without a snapshot dir count as misses — they rebuilt).
+    snapshot_loads: Mutex<BTreeMap<String, (CounterHandle, CounterHandle)>>,
     /// Per-graph resident CSR bytes, registered lazily by graph name.
     /// Fixed at load time (the registry is immutable) but kept as a
     /// gauge so dashboards can plot layout-width savings across deploys.
@@ -102,6 +111,10 @@ impl ServeMetrics {
             "rss_bytes",
             "Resident set size from /proc/self/status, sampled per scrape",
         );
+        let time_to_ready_seconds = registry.float_gauge(
+            "time_to_ready_seconds",
+            "Wall-clock seconds from daemon start until every graph was resident",
+        );
         ServeMetrics {
             registry,
             latency_by_label: Mutex::new(BTreeMap::new()),
@@ -113,8 +126,46 @@ impl ServeMetrics {
             pool_steals,
             pool_parks,
             rss_bytes,
+            time_to_ready_seconds,
+            snapshot_loads: Mutex::new(BTreeMap::new()),
             graph_bytes: Mutex::new(BTreeMap::new()),
             pool_seen: Mutex::new(PoolStats::default()),
+        }
+    }
+
+    /// Sets the startup time-to-ready gauge (seconds until every graph
+    /// was resident). Called once when the engine is built.
+    pub fn set_time_to_ready(&self, seconds: f64) {
+        self.time_to_ready_seconds.set(seconds);
+    }
+
+    /// Records how one resident graph was sourced at startup: a
+    /// snapshot-cache hit bumps `snapshot_hit{graph=...}`, a rebuild
+    /// bumps `snapshot_miss{graph=...}`. Both series are registered so
+    /// every resident graph exposes the pair (one at 1, one at 0).
+    pub fn note_snapshot_load(&self, graph: &str, hit: bool) {
+        let mut map = self
+            .snapshot_loads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let (hits, misses) = map.entry(graph.to_string()).or_insert_with(|| {
+            (
+                self.registry.counter_with_labels(
+                    "snapshot_hit",
+                    &[("graph", graph)],
+                    "Startup loads of this graph served from a snapshot file",
+                ),
+                self.registry.counter_with_labels(
+                    "snapshot_miss",
+                    &[("graph", graph)],
+                    "Startup loads of this graph rebuilt from the generators",
+                ),
+            )
+        });
+        if hit {
+            hits.add(1);
+        } else {
+            misses.add(1);
         }
     }
 
@@ -144,18 +195,26 @@ impl ServeMetrics {
         latency_us: u64,
         queue_wait_us: u64,
     ) {
-        self.latency_histogram(kernel, graph, framework).record(latency_us);
+        self.latency_histogram(kernel, graph, framework)
+            .record(latency_us);
         self.queue_wait_us.record(queue_wait_us);
     }
 
     /// The per-label latency histogram, registering it on first use.
     fn latency_histogram(&self, kernel: &str, graph: &str, framework: &str) -> HistogramHandle {
-        let mut map = self.latency_by_label.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = self
+            .latency_by_label
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         map.entry((kernel.to_string(), graph.to_string(), framework.to_string()))
             .or_insert_with(|| {
                 self.registry.histogram_with_labels(
                     "query_latency_us",
-                    &[("kernel", kernel), ("graph", graph), ("framework", framework)],
+                    &[
+                        ("kernel", kernel),
+                        ("graph", graph),
+                        ("framework", framework),
+                    ],
                     "End-to-end query latency in microseconds",
                 )
             })
@@ -197,16 +256,38 @@ impl ServeMetrics {
             self.rss_bytes.set(vm.vm_rss_bytes as i64);
         }
         let counter = |name: &str, help: &str, v: u64| {
-            (name.to_string(), String::new(), help.to_string(), MetricValue::Counter(v))
+            (
+                name.to_string(),
+                String::new(),
+                help.to_string(),
+                MetricValue::Counter(v),
+            )
         };
         let gauge = |name: &str, help: &str, v: i64| {
-            (name.to_string(), String::new(), help.to_string(), MetricValue::Gauge(v))
+            (
+                name.to_string(),
+                String::new(),
+                help.to_string(),
+                MetricValue::Gauge(v),
+            )
         };
         let mut snapshot = MetricsSnapshot {
             metrics: vec![
-                counter("queries_admitted_total", "Queries granted an execution slot", gate.stats.admitted),
-                counter("queries_rejected_total", "Queries refused at admission", gate.stats.rejected),
-                counter("queries_completed_total", "Queries that released their slot", gate.stats.completed),
+                counter(
+                    "queries_admitted_total",
+                    "Queries granted an execution slot",
+                    gate.stats.admitted,
+                ),
+                counter(
+                    "queries_rejected_total",
+                    "Queries refused at admission",
+                    gate.stats.rejected,
+                ),
+                counter(
+                    "queries_completed_total",
+                    "Queries that released their slot",
+                    gate.stats.completed,
+                ),
                 counter(
                     "deadline_exceeded_total",
                     "Queries that missed their deadline (queued or executed)",
@@ -217,9 +298,21 @@ impl ServeMetrics {
                     "Logical queries answered via MS-BFS batches",
                     gate.stats.batch_queries,
                 ),
-                gauge("batch_width_max", "Widest batch executed so far", gate.stats.batch_width as i64),
-                gauge("active_queries", "Admission permits currently held", gate.active as i64),
-                gauge("waiting_queries", "Queries parked waiting for a slot", gate.waiting as i64),
+                gauge(
+                    "batch_width_max",
+                    "Widest batch executed so far",
+                    gate.stats.batch_width as i64,
+                ),
+                gauge(
+                    "active_queries",
+                    "Admission permits currently held",
+                    gate.active as i64,
+                ),
+                gauge(
+                    "waiting_queries",
+                    "Queries parked waiting for a slot",
+                    gate.waiting as i64,
+                ),
                 gauge(
                     "queue_age_us",
                     "Age of the oldest parked waiter in microseconds",
@@ -262,22 +355,37 @@ mod tests {
 
         let snap = metrics.snapshot(&observation(&gate), PoolStats::default());
         let json = snap.to_json();
-        assert_eq!(json.get("queries_admitted_total").and_then(Json::as_u64), Some(2));
-        assert_eq!(json.get("queries_completed_total").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            json.get("queries_admitted_total").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            json.get("queries_completed_total").and_then(Json::as_u64),
+            Some(1)
+        );
         assert_eq!(json.get("active_queries").and_then(Json::as_u64), Some(1));
         assert_eq!(
-            json.get("latency_us").and_then(|h| h.get("count")).and_then(Json::as_u64),
+            json.get("latency_us")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
             Some(1),
             "gate latency histogram count tracks completed"
         );
         let hist = json
             .get("query_latency_us{framework=\"GAP\",graph=\"kron\",kernel=\"bfs\"}")
-            .or_else(|| json.get("query_latency_us{kernel=\"bfs\",graph=\"kron\",framework=\"GAP\"}"))
+            .or_else(|| {
+                json.get("query_latency_us{kernel=\"bfs\",graph=\"kron\",framework=\"GAP\"}")
+            })
             .expect("labeled latency histogram present");
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
-        assert_eq!(json.get("slow_queries_total").and_then(Json::as_u64), Some(1));
         assert_eq!(
-            json.get("batch_width").and_then(|h| h.get("count")).and_then(Json::as_u64),
+            json.get("slow_queries_total").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("batch_width")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
             Some(1)
         );
     }
@@ -286,7 +394,12 @@ mod tests {
     fn pool_deltas_fold_once_across_scrapes() {
         let metrics = ServeMetrics::new();
         let gate = AdmissionGate::new(1, 0);
-        let stats1 = PoolStats { spawn_events: 1, regions: 10, steals: 4, parks: 2 };
+        let stats1 = PoolStats {
+            spawn_events: 1,
+            regions: 10,
+            steals: 4,
+            parks: 2,
+        };
         let snap = metrics.snapshot(&observation(&gate), stats1);
         let regions = |s: &MetricsSnapshot| {
             s.metrics
@@ -303,9 +416,57 @@ mod tests {
         let snap = metrics.snapshot(&observation(&gate), stats1);
         assert_eq!(regions(&snap), 10);
         // Progress folds in as a delta.
-        let stats2 = PoolStats { spawn_events: 1, regions: 25, steals: 9, parks: 2 };
+        let stats2 = PoolStats {
+            spawn_events: 1,
+            regions: 25,
+            steals: 9,
+            parks: 2,
+        };
         let snap = metrics.snapshot(&observation(&gate), stats2);
         assert_eq!(regions(&snap), 25);
+    }
+
+    #[test]
+    fn cold_start_series_reach_both_renderings() {
+        let metrics = ServeMetrics::new();
+        let gate = AdmissionGate::new(1, 0);
+        metrics.set_time_to_ready(0.125);
+        metrics.note_snapshot_load("kron", true);
+        metrics.note_snapshot_load("road", false);
+
+        let snap = metrics.snapshot(&observation(&gate), PoolStats::default());
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("time_to_ready_seconds").and_then(Json::as_f64),
+            Some(0.125)
+        );
+        assert_eq!(
+            json.get("snapshot_hit{graph=\"kron\"}")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("snapshot_miss{graph=\"kron\"}")
+                .and_then(Json::as_u64),
+            Some(0),
+            "the zero side of the pair is still exposed"
+        );
+        assert_eq!(
+            json.get("snapshot_hit{graph=\"road\"}")
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            json.get("snapshot_miss{graph=\"road\"}")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+
+        let text = snap.to_prometheus(PROM_PREFIX);
+        assert!(text.contains("# TYPE gapbs_serve_time_to_ready_seconds gauge"));
+        assert!(text.contains("gapbs_serve_time_to_ready_seconds 0.125"));
+        assert!(text.contains("gapbs_serve_snapshot_hit{graph=\"kron\"} 1"));
+        assert!(text.contains("gapbs_serve_snapshot_miss{graph=\"road\"} 1"));
     }
 
     #[test]

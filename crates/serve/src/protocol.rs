@@ -187,7 +187,9 @@ pub fn parse_framework(s: &str) -> Result<&'static str, ProtoError> {
         "nwgraph" => Ok("NWGraph"),
         other => Err(ProtoError::new(
             ErrorCode::UnknownFramework,
-            format!("unknown framework {other:?}; expected gap|suitesparse|galois|graphit|gkc|nwgraph"),
+            format!(
+                "unknown framework {other:?}; expected gap|suitesparse|galois|graphit|gkc|nwgraph"
+            ),
         )),
     }
 }
@@ -325,20 +327,19 @@ fn parse_query(v: &Json) -> Result<Query, ProtoError> {
 }
 
 fn parse_query_fields(v: &Json) -> Result<Query, ProtoError> {
-    let kernel = parse_kernel(
-        v.get("kernel")
-            .and_then(Json::as_str)
-            .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "missing string field \"kernel\""))?,
-    )?;
-    let graph = parse_graph(
-        v.get("graph")
-            .and_then(Json::as_str)
-            .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "missing string field \"graph\""))?,
-    )?;
+    let kernel = parse_kernel(v.get("kernel").and_then(Json::as_str).ok_or_else(|| {
+        ProtoError::new(ErrorCode::BadRequest, "missing string field \"kernel\"")
+    })?)?;
+    let graph = parse_graph(v.get("graph").and_then(Json::as_str).ok_or_else(|| {
+        ProtoError::new(ErrorCode::BadRequest, "missing string field \"graph\"")
+    })?)?;
     let framework = match v.get("framework") {
         None | Some(Json::Null) => "GAP",
         Some(f) => parse_framework(f.as_str().ok_or_else(|| {
-            ProtoError::new(ErrorCode::BadRequest, "field \"framework\" must be a string")
+            ProtoError::new(
+                ErrorCode::BadRequest,
+                "field \"framework\" must be a string",
+            )
         })?)?,
     };
     let mode = match v.get("mode").and_then(Json::as_str) {
@@ -355,7 +356,10 @@ fn parse_query_fields(v: &Json) -> Result<Query, ProtoError> {
     let k = match v.get("k") {
         None | Some(Json::Null) => DEFAULT_TOP_K,
         Some(value) => value.as_u64().map(|n| n as usize).ok_or_else(|| {
-            ProtoError::new(ErrorCode::BadRequest, "field \"k\" must be a non-negative integer")
+            ProtoError::new(
+                ErrorCode::BadRequest,
+                "field \"k\" must be a non-negative integer",
+            )
         })?,
     };
     let deadline_ms = match v.get("deadline_ms") {
@@ -402,8 +406,14 @@ pub fn success_line(
 ) -> String {
     let mut fields = vec![
         ("ok".to_string(), Json::Bool(true)),
-        ("kernel".to_string(), Json::Str(query.kernel.name().to_lowercase())),
-        ("graph".to_string(), Json::Str(query.graph.name().to_string())),
+        (
+            "kernel".to_string(),
+            Json::Str(query.kernel.name().to_lowercase()),
+        ),
+        (
+            "graph".to_string(),
+            Json::Str(query.graph.name().to_string()),
+        ),
         ("framework".to_string(), Json::Str(query.framework.clone())),
         ("latency_ms".to_string(), Json::Num(latency_ms)),
         ("result".to_string(), result),
@@ -431,8 +441,14 @@ pub fn batch_success_line(
 ) -> String {
     let mut fields = vec![
         ("ok".to_string(), Json::Bool(true)),
-        ("kernel".to_string(), Json::Str(query.kernel.name().to_lowercase())),
-        ("graph".to_string(), Json::Str(query.graph.name().to_string())),
+        (
+            "kernel".to_string(),
+            Json::Str(query.kernel.name().to_lowercase()),
+        ),
+        (
+            "graph".to_string(),
+            Json::Str(query.graph.name().to_string()),
+        ),
         ("framework".to_string(), Json::Str(query.framework.clone())),
         ("latency_ms".to_string(), Json::Num(latency_ms)),
         ("batch".to_string(), Json::Num(results.len() as f64)),
@@ -637,7 +653,10 @@ mod tests {
                 .code,
             ErrorCode::BadRequest
         );
-        let events = Json::Arr(vec![Json::obj([("ph".to_string(), Json::Str("X".to_string()))])]);
+        let events = Json::Arr(vec![Json::obj([(
+            "ph".to_string(),
+            Json::Str("X".to_string()),
+        )])]);
         let line = success_line(None, &q, 2.0, Json::obj([]), 1, Some(events));
         let v = Json::parse(&line).unwrap();
         let Some(Json::Arr(trace)) = v.get("trace") else {
@@ -680,9 +699,18 @@ mod tests {
             Ok(Command::Batch(_))
         ));
         let code = |line: &str| parse_request(line).unwrap_err().code;
-        assert_eq!(code(r#"{"kernel":"sssp","graph":"kron","sources":[1]}"#), ErrorCode::BadRequest);
-        assert_eq!(code(r#"{"kernel":"bfs","graph":"kron","sources":[]}"#), ErrorCode::BadRequest);
-        assert_eq!(code(r#"{"kernel":"bfs","graph":"kron","sources":7}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(r#"{"kernel":"sssp","graph":"kron","sources":[1]}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"kernel":"bfs","graph":"kron","sources":[]}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"kernel":"bfs","graph":"kron","sources":7}"#),
+            ErrorCode::BadRequest
+        );
         assert_eq!(
             code(r#"{"kernel":"bfs","graph":"kron","source":1,"sources":[2]}"#),
             ErrorCode::BadRequest
@@ -699,7 +727,10 @@ mod tests {
 
     #[test]
     fn control_commands_parse() {
-        assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Command::Shutdown);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Command::Shutdown
+        );
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Command::Stats);
         assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Command::Ping);
     }
@@ -710,13 +741,22 @@ mod tests {
         assert_eq!(code("{nope"), ErrorCode::Malformed);
         assert_eq!(code("[1,2]"), ErrorCode::BadRequest);
         assert_eq!(code(r#"{"graph":"kron"}"#), ErrorCode::BadRequest);
-        assert_eq!(code(r#"{"kernel":"mst","graph":"kron"}"#), ErrorCode::UnknownKernel);
-        assert_eq!(code(r#"{"kernel":"bfs","graph":"orkut","source":0}"#), ErrorCode::UnknownGraph);
+        assert_eq!(
+            code(r#"{"kernel":"mst","graph":"kron"}"#),
+            ErrorCode::UnknownKernel
+        );
+        assert_eq!(
+            code(r#"{"kernel":"bfs","graph":"orkut","source":0}"#),
+            ErrorCode::UnknownGraph
+        );
         assert_eq!(
             code(r#"{"kernel":"bfs","graph":"kron","source":0,"framework":"ligra"}"#),
             ErrorCode::UnknownFramework
         );
-        assert_eq!(code(r#"{"kernel":"bfs","graph":"kron"}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(r#"{"kernel":"bfs","graph":"kron"}"#),
+            ErrorCode::BadRequest
+        );
         assert_eq!(
             code(r#"{"kernel":"bfs","graph":"kron","source":-3}"#),
             ErrorCode::BadRequest
@@ -735,12 +775,27 @@ mod tests {
         else {
             panic!("expected query")
         };
-        let line = success_line(q.id.as_ref(), &q, 1.25, Json::obj([("triangles".to_string(), Json::Num(3.0))]), 0xabcd, None);
+        let line = success_line(
+            q.id.as_ref(),
+            &q,
+            1.25,
+            Json::obj([("triangles".to_string(), Json::Num(3.0))]),
+            0xabcd,
+            None,
+        );
         let v = Json::parse(&line).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("id").and_then(Json::as_str), Some("a1"));
-        assert_eq!(v.get("fingerprint").and_then(Json::as_str), Some("000000000000abcd"));
-        assert_eq!(v.get("result").and_then(|r| r.get("triangles")).and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("fingerprint").and_then(Json::as_str),
+            Some("000000000000abcd")
+        );
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("triangles"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
 
         let err = error_line(None, &ProtoError::new(ErrorCode::Rejected, "queue full"));
         let v = Json::parse(&err).unwrap();

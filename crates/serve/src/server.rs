@@ -33,7 +33,7 @@ use gapbs_telemetry::LedgerSink;
 use crate::admission::GateSnapshot;
 use crate::engine::{Engine, EngineConfig};
 use crate::protocol::{error_line, parse_request, Command};
-use crate::registry::GraphRegistry;
+use crate::registry::{GraphRegistry, RegistryOptions};
 use crate::signal;
 
 /// Everything the daemon needs to start.
@@ -61,6 +61,12 @@ pub struct ServeConfig {
     pub ledger_path: Option<PathBuf>,
     /// Route SIGINT/SIGTERM to graceful shutdown (off in tests).
     pub handle_signals: bool,
+    /// Snapshot cache directory (`--snapshot-dir`): cold-start by
+    /// mmapping cached snapshot files, writing them on first use.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Full O(V+E) validation of snapshot loads (`--paranoid`) instead
+    /// of the default checksum-only verification.
+    pub paranoid: bool,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +82,8 @@ impl Default for ServeConfig {
             engine: EngineConfig::default(),
             ledger_path: None,
             handle_signals: false,
+            snapshot_dir: None,
+            paranoid: false,
         }
     }
 }
@@ -104,7 +112,16 @@ impl Server {
     /// Loads the corpus, builds the engine, and binds the listener.
     pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
         let pool = ThreadPool::new(config.threads.max(1));
-        let registry = Arc::new(GraphRegistry::load(config.scale, &config.graphs, &pool));
+        let opts = RegistryOptions {
+            snapshot_dir: config.snapshot_dir.clone(),
+            paranoid: config.paranoid,
+        };
+        let registry = Arc::new(GraphRegistry::load_with(
+            config.scale,
+            &config.graphs,
+            &pool,
+            &opts,
+        ));
         Self::bind_with_registry(config, registry, pool)
     }
 
@@ -159,7 +176,9 @@ impl Server {
 
     /// The metrics listener's bound address, when one is configured.
     pub fn metrics_addr(&self) -> Option<SocketAddr> {
-        self.metrics_listener.as_ref().and_then(|l| l.local_addr().ok())
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The engine (tests inspect gate stats through it).
@@ -173,8 +192,7 @@ impl Server {
     }
 
     fn should_stop(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
-            || (self.handle_signals && signal::shutdown_requested())
+        self.stop.load(Ordering::SeqCst) || (self.handle_signals && signal::shutdown_requested())
     }
 
     /// Serves until shutdown is requested, then drains and returns.
@@ -224,7 +242,10 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
-        eprintln!("serve: draining {} active queries", self.engine.gate().active());
+        eprintln!(
+            "serve: draining {} active queries",
+            self.engine.gate().active()
+        );
         // In-flight queries finish and answer; queued waiters fail fast.
         self.engine.gate().drain();
         // Unblock idle readers with EOF; write halves stay open so any
@@ -406,7 +427,9 @@ pub fn parse_scale(s: &str) -> Result<Scale, String> {
         "small" => Ok(Scale::Small),
         "medium" => Ok(Scale::Medium),
         "large" => Ok(Scale::Large),
-        other => Err(format!("unknown scale {other:?}; expected tiny|small|medium|large")),
+        other => Err(format!(
+            "unknown scale {other:?}; expected tiny|small|medium|large"
+        )),
     }
 }
 
@@ -426,10 +449,12 @@ pub fn serve_main(args: impl Iterator<Item = String>) -> i32 {
         ..ServeConfig::default()
     };
     let mut args = args.peekable();
-    let usage = "usage: serve [--addr HOST:PORT] [--port-file PATH] [--scale tiny|small|medium|large] \
+    let usage =
+        "usage: serve [--addr HOST:PORT] [--port-file PATH] [--scale tiny|small|medium|large] \
                  [--graphs a,b,...] [--threads N] [--max-active N] [--max-waiting N] \
                  [--deadline-ms N] [--coalesce-ms N] [--slow-ms N] [--ledger PATH] \
-                 [--metrics-addr HOST:PORT] [--metrics-port-file PATH]";
+                 [--metrics-addr HOST:PORT] [--metrics-port-file PATH] \
+                 [--snapshot-dir DIR] [--paranoid]";
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -462,12 +487,18 @@ pub fn serve_main(args: impl Iterator<Item = String>) -> i32 {
             "--slow-ms" => value("--slow-ms")
                 .and_then(|v| v.parse().map_err(|_| "bad --slow-ms".to_string()))
                 .map(|n| config.engine.slow_ms = Some(n)),
-            "--metrics-addr" => {
-                value("--metrics-addr").map(|v| config.metrics_addr = Some(v))
+            "--metrics-addr" => value("--metrics-addr").map(|v| config.metrics_addr = Some(v)),
+            "--metrics-port-file" => {
+                value("--metrics-port-file").map(|v| config.metrics_port_file = Some(v.into()))
             }
-            "--metrics-port-file" => value("--metrics-port-file")
-                .map(|v| config.metrics_port_file = Some(v.into())),
             "--ledger" => value("--ledger").map(|v| config.ledger_path = Some(v.into())),
+            "--snapshot-dir" => {
+                value("--snapshot-dir").map(|v| config.snapshot_dir = Some(v.into()))
+            }
+            "--paranoid" => {
+                config.paranoid = true;
+                Ok(())
+            }
             "--help" | "-h" => {
                 println!("{usage}");
                 return 0;

@@ -73,7 +73,11 @@ fn shutdown_and_join(server: TestServer) -> ServeSummary {
     let v = roundtrip(&mut w, &mut r, r#"{"cmd":"shutdown"}"#);
     assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
     drop((w, r));
-    server.handle.join().expect("server thread").expect("clean shutdown")
+    server
+        .handle
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown")
 }
 
 /// The scrape-consistency invariants (same rules as `perf_compare
@@ -104,7 +108,10 @@ fn assert_coherent(stats: &Json, ctx: &str) -> (u64, u64) {
         .get("metrics")
         .and_then(|m| m.get("latency_us"))
         .unwrap_or_else(|| panic!("{ctx}: stats missing metrics.latency_us"));
-    let count = hist.get("count").and_then(Json::as_u64).expect("histogram count");
+    let count = hist
+        .get("count")
+        .and_then(Json::as_u64)
+        .expect("histogram count");
     assert_eq!(
         count, completed,
         "{ctx}: histogram holds {count} records but {completed} queries completed"
@@ -114,11 +121,20 @@ fn assert_coherent(stats: &Json, ctx: &str) -> (u64, u64) {
     };
     let mut prev = 0u64;
     for bucket in buckets {
-        let c = bucket.get("count").and_then(Json::as_u64).expect("cumulative count");
-        assert!(c >= prev, "{ctx}: bucket table not monotone ({c} after {prev})");
+        let c = bucket
+            .get("count")
+            .and_then(Json::as_u64)
+            .expect("cumulative count");
+        assert!(
+            c >= prev,
+            "{ctx}: bucket table not monotone ({c} after {prev})"
+        );
         prev = c;
     }
-    assert_eq!(prev, count, "{ctx}: bucket table tops out at {prev}, count {count}");
+    assert_eq!(
+        prev, count,
+        "{ctx}: bucket table tops out at {prev}, count {count}"
+    );
     (admitted, completed)
 }
 
@@ -137,9 +153,8 @@ fn stats_scrapes_stay_coherent_under_64_client_load() {
                     let mut ok = 0usize;
                     for i in 0..REQUESTS {
                         let source = (client * REQUESTS + i) % 32;
-                        let line = format!(
-                            r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#
-                        );
+                        let line =
+                            format!(r#"{{"kernel":"bfs","graph":"kron","source":{source}}}"#);
                         let v = roundtrip(&mut w, &mut r, &line);
                         if v.get("ok").and_then(Json::as_bool) == Some(true) {
                             ok += 1;
@@ -234,7 +249,9 @@ fn metrics_listener_serves_prometheus_stats_and_probes() {
         if line.starts_with('#') || line.is_empty() {
             continue;
         }
-        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad line {line:?}"));
         assert!(!name.is_empty());
         assert!(value.parse::<f64>().is_ok(), "bad sample value in {line:?}");
     }

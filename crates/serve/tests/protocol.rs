@@ -80,7 +80,11 @@ fn shutdown_and_join(server: TestServer) -> ServeSummary {
     let v = client.roundtrip(r#"{"cmd":"shutdown"}"#);
     assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
     drop(client);
-    server.handle.join().expect("server thread").expect("clean shutdown")
+    server
+        .handle
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown")
 }
 
 #[test]
@@ -89,13 +93,26 @@ fn malformed_and_invalid_requests_get_stable_error_codes() {
     let mut client = Client::connect(server.addr);
     let code = |client: &mut Client, line: &str| {
         let v = client.roundtrip(line);
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "line: {line}");
-        v.get("code").and_then(Json::as_str).map(str::to_string).expect("code field")
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "line: {line}"
+        );
+        v.get("code")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .expect("code field")
     };
     assert_eq!(code(&mut client, "{not json"), "malformed");
-    assert_eq!(code(&mut client, r#"{"kernel":"mst","graph":"kron"}"#), "unknown_kernel");
     assert_eq!(
-        code(&mut client, r#"{"kernel":"bfs","graph":"orkut","source":0}"#),
+        code(&mut client, r#"{"kernel":"mst","graph":"kron"}"#),
+        "unknown_kernel"
+    );
+    assert_eq!(
+        code(
+            &mut client,
+            r#"{"kernel":"bfs","graph":"orkut","source":0}"#
+        ),
         "unknown_graph"
     );
     assert_eq!(
@@ -104,12 +121,21 @@ fn malformed_and_invalid_requests_get_stable_error_codes() {
         "web is in the vocabulary but not resident in this daemon"
     );
     assert_eq!(
-        code(&mut client, r#"{"kernel":"bfs","graph":"kron","source":0,"framework":"ligra"}"#),
+        code(
+            &mut client,
+            r#"{"kernel":"bfs","graph":"kron","source":0,"framework":"ligra"}"#
+        ),
         "unknown_framework"
     );
-    assert_eq!(code(&mut client, r#"{"kernel":"bfs","graph":"kron"}"#), "bad_request");
     assert_eq!(
-        code(&mut client, r#"{"kernel":"bfs","graph":"kron","source":999999}"#),
+        code(&mut client, r#"{"kernel":"bfs","graph":"kron"}"#),
+        "bad_request"
+    );
+    assert_eq!(
+        code(
+            &mut client,
+            r#"{"kernel":"bfs","graph":"kron","source":999999}"#
+        ),
         "bad_source"
     );
     // The connection survives every error and still answers pings.
@@ -153,7 +179,10 @@ fn served_results_are_bit_identical_to_batch_mode() {
                 "{framework} {kernel} on {graph}: {}",
                 v.encode()
             );
-            let served = v.get("fingerprint").and_then(Json::as_str).expect("fingerprint");
+            let served = v
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .expect("fingerprint");
             let Command::Query(query) = parse_request(&line).expect("parse own request") else {
                 panic!("expected query");
             };
@@ -177,7 +206,12 @@ fn batch_lines_fan_out_with_solo_identical_fingerprints() {
     let mut client = Client::connect(server.addr);
     let sources = [2u32, 8, 2, 31];
     let v = client.roundtrip(r#"{"kernel":"bfs","graph":"kron","sources":[2,8,2,31]}"#);
-    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", v.encode());
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v.encode()
+    );
     assert_eq!(v.get("batch").and_then(Json::as_u64), Some(4));
     let Some(Json::Arr(results)) = v.get("results") else {
         panic!("missing results: {}", v.encode());
@@ -206,10 +240,18 @@ fn expired_deadlines_error_without_poisoning_the_daemon() {
     let mut client = Client::connect(server.addr);
     let v = client.roundtrip(r#"{"kernel":"tc","graph":"kron","deadline_ms":0}"#);
     assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
-    assert_eq!(v.get("code").and_then(Json::as_str), Some("deadline_exceeded"));
+    assert_eq!(
+        v.get("code").and_then(Json::as_str),
+        Some("deadline_exceeded")
+    );
     // Same connection, next query: fine.
     let v = client.roundtrip(r#"{"kernel":"tc","graph":"kron"}"#);
-    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", v.encode());
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        v.encode()
+    );
     let summary = shutdown_and_join(server);
     assert_eq!(summary.queries.deadline_exceeded, 1);
     assert!(summary.queries.completed >= 2);
@@ -233,7 +275,9 @@ fn concurrent_clients_all_get_correct_answers() {
     };
     let expected = format!(
         "{:016x}",
-        run_query_local(registry(), &query, &pool).unwrap().fingerprint
+        run_query_local(registry(), &query, &pool)
+            .unwrap()
+            .fingerprint
     );
     let addr = server.addr;
     std::thread::scope(|scope| {
@@ -242,9 +286,13 @@ fn concurrent_clients_all_get_correct_answers() {
             scope.spawn(move || {
                 let mut client = Client::connect(addr);
                 for _ in 0..3 {
-                    let v =
-                        client.roundtrip(r#"{"kernel":"bfs","graph":"kron","source":7}"#);
-                    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", v.encode());
+                    let v = client.roundtrip(r#"{"kernel":"bfs","graph":"kron","source":7}"#);
+                    assert_eq!(
+                        v.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "{}",
+                        v.encode()
+                    );
                     assert_eq!(
                         v.get("fingerprint").and_then(Json::as_str),
                         Some(expected.as_str())
@@ -308,7 +356,12 @@ fn shutdown_flushes_a_lint_clean_ledger() {
         r#"{"kernel":"tc","graph":"kron"}"#,
     ] {
         let v = client.roundtrip(line);
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", v.encode());
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            v.encode()
+        );
     }
     let summary = shutdown_and_join(server);
     assert_eq!(summary.ledger_records, 3);
@@ -320,9 +373,18 @@ fn shutdown_flushes_a_lint_clean_ledger() {
     assert_eq!(records.len(), 3);
     for record in &records {
         let counters = record.get("counters").expect("counters");
-        let admitted = counters.get("queries_admitted").and_then(Json::as_u64).unwrap_or(0);
-        let completed = counters.get("queries_completed").and_then(Json::as_u64).unwrap_or(0);
-        assert!(admitted >= 1, "lifecycle counters are recorded even without --features telemetry");
+        let admitted = counters
+            .get("queries_admitted")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let completed = counters
+            .get("queries_completed")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        assert!(
+            admitted >= 1,
+            "lifecycle counters are recorded even without --features telemetry"
+        );
         assert!(completed <= admitted, "the lint invariant holds per record");
         assert!(record.get("seconds").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
     }

@@ -318,7 +318,10 @@ mod tests {
     fn nested_structures_round_trip() {
         let v = Json::obj([
             ("name".into(), Json::Str("BFS \"fast\"\n".into())),
-            ("times".into(), Json::Arr(vec![Json::Num(0.5), Json::Num(3.0)])),
+            (
+                "times".into(),
+                Json::Arr(vec![Json::Num(0.5), Json::Num(3.0)]),
+            ),
             (
                 "inner".into(),
                 Json::obj([("ok".into(), Json::Bool(true)), ("n".into(), Json::Null)]),
@@ -363,6 +366,9 @@ mod tests {
     #[test]
     fn whitespace_is_tolerated() {
         let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
-        assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]))
+        );
     }
 }

@@ -493,10 +493,7 @@ mod tests {
     #[test]
     fn unknown_counter_keys_are_ignored_not_fatal() {
         let mut line = sample().to_json_line();
-        line = line.replace(
-            "\"counters\":{",
-            "\"counters\":{\"future_counter\":9,",
-        );
+        line = line.replace("\"counters\":{", "\"counters\":{\"future_counter\":9,");
         let back = TrialRecord::from_json_line(&line).unwrap();
         assert_eq!(back.counters.get(Counter::EdgesExamined), 1234);
     }

@@ -34,8 +34,8 @@ pub mod span;
 pub mod trace;
 
 pub use counters::{record, snapshot, Counter, CounterSet, Registry};
-pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use ledger::{Ledger, LedgerSink, TrialRecord};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::{Phase, PhaseTimes, Span};
 pub use trace::Trace;
 

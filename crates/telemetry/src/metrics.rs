@@ -281,6 +281,9 @@ enum Instrument {
     Counter(AtomicU64),
     /// Point-in-time signed value (queue depths, RSS bytes).
     Gauge(AtomicI64),
+    /// Point-in-time float value (seconds, ratios), stored as f64 bits
+    /// in an atomic word so set/get stay lock-free.
+    FloatGauge(AtomicU64),
     /// Log₂ latency histogram.
     Histogram(Box<Histogram>),
 }
@@ -321,6 +324,10 @@ pub struct CounterHandle(std::sync::Arc<InstrumentCell>);
 /// Handle to a registered gauge.
 #[derive(Debug, Clone)]
 pub struct GaugeHandle(std::sync::Arc<InstrumentCell>);
+
+/// Handle to a registered float gauge.
+#[derive(Debug, Clone)]
+pub struct FloatGaugeHandle(std::sync::Arc<InstrumentCell>);
 
 /// Handle to a registered histogram.
 #[derive(Debug, Clone)]
@@ -370,6 +377,24 @@ impl GaugeHandle {
     }
 }
 
+impl FloatGaugeHandle {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Instrument::FloatGauge(g) = &self.0.inner {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        match &self.0.inner {
+            Instrument::FloatGauge(g) => f64::from_bits(g.load(Ordering::Relaxed)),
+            _ => 0.0,
+        }
+    }
+}
+
 impl HistogramHandle {
     /// Records one value.
     #[inline]
@@ -395,6 +420,8 @@ pub enum MetricValue {
     Counter(u64),
     /// Gauge value.
     Gauge(i64),
+    /// Float gauge value.
+    FloatGauge(f64),
     /// Histogram snapshot (boxed: 64 buckets dwarf the scalar variants).
     Histogram(Box<HistogramSnapshot>),
 }
@@ -433,12 +460,33 @@ impl MetricsRegistry {
 
     /// Registers a monotone counter.
     pub fn counter(&self, name: &str, help: &str) -> CounterHandle {
-        CounterHandle(self.register(name, String::new(), help, Instrument::Counter(AtomicU64::new(0))))
+        CounterHandle(self.register(
+            name,
+            String::new(),
+            help,
+            Instrument::Counter(AtomicU64::new(0)),
+        ))
     }
 
     /// Registers a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> GaugeHandle {
-        GaugeHandle(self.register(name, String::new(), help, Instrument::Gauge(AtomicI64::new(0))))
+        GaugeHandle(self.register(
+            name,
+            String::new(),
+            help,
+            Instrument::Gauge(AtomicI64::new(0)),
+        ))
+    }
+
+    /// Registers a float-valued gauge (Prometheus gauges are floats
+    /// anyway; this one keeps fractional precision, e.g. seconds).
+    pub fn float_gauge(&self, name: &str, help: &str) -> FloatGaugeHandle {
+        FloatGaugeHandle(self.register(
+            name,
+            String::new(),
+            help,
+            Instrument::FloatGauge(AtomicU64::new(0f64.to_bits())),
+        ))
     }
 
     /// Registers a histogram.
@@ -468,7 +516,12 @@ impl MetricsRegistry {
     }
 
     /// Registers a gauge with a label set.
-    pub fn gauge_with_labels(&self, name: &str, labels: &[(&str, &str)], help: &str) -> GaugeHandle {
+    pub fn gauge_with_labels(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> GaugeHandle {
         GaugeHandle(self.register(
             name,
             encode_labels(labels),
@@ -501,6 +554,9 @@ impl MetricsRegistry {
                 let value = match &e.instrument.inner {
                     Instrument::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
                     Instrument::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                    Instrument::FloatGauge(g) => {
+                        MetricValue::FloatGauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
                     Instrument::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
                 };
                 (e.name.clone(), e.labels.clone(), e.help.clone(), value)
@@ -543,7 +599,7 @@ impl MetricsSnapshot {
             let family = format!("{prefix}{name}");
             let ty = match value {
                 MetricValue::Counter(_) => "counter",
-                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Gauge(_) | MetricValue::FloatGauge(_) => "gauge",
                 MetricValue::Histogram(_) => "histogram",
             };
             if !seen_families.contains(&family) {
@@ -556,6 +612,12 @@ impl MetricsSnapshot {
                     out.push_str(&format!("{family}{} {v}\n", braced(labels)));
                 }
                 MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{family}{} {v}\n", braced(labels)));
+                }
+                MetricValue::FloatGauge(v) => {
+                    // Non-finite values are not representable in the
+                    // exposition format's sample grammar; clamp to 0.
+                    let v = if v.is_finite() { *v } else { 0.0 };
                     out.push_str(&format!("{family}{} {v}\n", braced(labels)));
                 }
                 MetricValue::Histogram(h) => {
@@ -591,6 +653,7 @@ impl MetricsSnapshot {
             let v = match value {
                 MetricValue::Counter(c) => Json::Num(*c as f64),
                 MetricValue::Gauge(g) => Json::Num(*g as f64),
+                MetricValue::FloatGauge(g) => Json::Num(if g.is_finite() { *g } else { 0.0 }),
                 MetricValue::Histogram(h) => h.to_json(),
             };
             (key, v)
@@ -776,13 +839,41 @@ mod tests {
             }
             let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
             assert!(!name_part.is_empty());
-            assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "bad value {value:?}");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value {value:?}"
+            );
         }
 
         let json = snap.to_json();
         assert_eq!(json.get("queries_total").and_then(Json::as_u64), Some(3));
         let hist = json.get("latency_us{kernel=\"bfs\"}").expect("hist key");
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn float_gauge_round_trips_through_both_renderings() {
+        let reg = MetricsRegistry::new();
+        let g = reg.float_gauge("time_to_ready_seconds", "Startup load time");
+        assert_eq!(g.get(), 0.0, "registers at zero");
+        g.set(1.75);
+        assert_eq!(g.get(), 1.75);
+
+        let snap = reg.snapshot();
+        let text = snap.to_prometheus("gapbs_serve_");
+        assert!(text.contains("# TYPE gapbs_serve_time_to_ready_seconds gauge"));
+        assert!(text.contains("gapbs_serve_time_to_ready_seconds 1.75"));
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("time_to_ready_seconds").and_then(Json::as_f64),
+            Some(1.75)
+        );
+
+        // Non-finite values degrade to 0 rather than breaking the
+        // exposition grammar.
+        g.set(f64::NAN);
+        let text = reg.snapshot().to_prometheus("x_");
+        assert!(text.contains("x_time_to_ready_seconds 0\n"), "{text}");
     }
 
     #[test]

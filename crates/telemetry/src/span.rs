@@ -112,7 +112,10 @@ impl PhaseClock {
     pub fn times(&self) -> PhaseTimes {
         let mut out = PhaseTimes::zero();
         for p in Phase::ALL {
-            out.set(p, self.nanos[p as usize].load(Ordering::Relaxed) as f64 / 1e9);
+            out.set(
+                p,
+                self.nanos[p as usize].load(Ordering::Relaxed) as f64 / 1e9,
+            );
         }
         out
     }

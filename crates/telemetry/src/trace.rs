@@ -132,7 +132,11 @@ impl IterEvent {
 
     fn args(&self) -> Json {
         match *self {
-            IterEvent::BfsLevel { depth, frontier, dir } => Json::obj([
+            IterEvent::BfsLevel {
+                depth,
+                frontier,
+                dir,
+            } => Json::obj([
                 ("depth".into(), Json::Num(depth as f64)),
                 ("frontier".into(), Json::Num(frontier as f64)),
                 ("dir".into(), Json::Str(dir.name().into())),
@@ -736,7 +740,10 @@ mod tests {
                     ts_ns: 1_000,
                     dur_ns: 500,
                     lane: 0,
-                    kind: EventKind::Region { worker: 0, region: 1 },
+                    kind: EventKind::Region {
+                        worker: 0,
+                        region: 1,
+                    },
                 },
                 Event {
                     ts_ns: 1_200,
@@ -798,7 +805,9 @@ mod tests {
             .find(|i| i.get("name").and_then(Json::as_str) == Some("bfs_level"))
             .unwrap();
         assert_eq!(
-            bfs.get("args").and_then(|a| a.get("dir")).and_then(Json::as_str),
+            bfs.get("args")
+                .and_then(|a| a.get("dir"))
+                .and_then(Json::as_str),
             Some("pull")
         );
         assert_eq!(
@@ -822,7 +831,10 @@ mod tests {
                 ts_ns: 0,
                 dur_ns: 0,
                 lane: 0,
-                kind: EventKind::Steal { worker: 0, ranges: 1 },
+                kind: EventKind::Steal {
+                    worker: 0,
+                    ranges: 1,
+                },
             }],
             lanes: vec![(0, "main".into())],
         };

@@ -112,11 +112,7 @@ pub fn verify_bfs(g: &Graph, source: NodeId, parent: &[NodeId]) -> Result<(), Ve
 /// # Errors
 ///
 /// Fails on any per-vertex disagreement.
-pub fn verify_sssp(
-    g: &WGraph,
-    source: NodeId,
-    dist: &[Distance],
-) -> Result<(), VerifyError> {
+pub fn verify_sssp(g: &WGraph, source: NodeId, dist: &[Distance]) -> Result<(), VerifyError> {
     const K: &str = "sssp";
     if dist.len() != g.num_vertices() {
         return Err(VerifyError::new(K, "distance array length mismatch"));
@@ -151,7 +147,10 @@ pub fn verify_pr(g: &Graph, scores: &[Score], slack: f64) -> Result<(), VerifyEr
         return Ok(());
     }
     if scores.iter().any(|s| !s.is_finite() || *s < 0.0) {
-        return Err(VerifyError::new(K, "scores must be finite and non-negative"));
+        return Err(VerifyError::new(
+            K,
+            "scores must be finite and non-negative",
+        ));
     }
     let total: Score = scores.iter().sum();
     if (total - 1.0).abs() > 1e-3 {
@@ -213,11 +212,7 @@ pub fn verify_cc(g: &Graph, labels: &[NodeId]) -> Result<(), VerifyError> {
 /// # Errors
 ///
 /// Fails if any normalized score deviates by more than `1e-6`.
-pub fn verify_bc(
-    g: &Graph,
-    sources: &[NodeId],
-    scores: &[Score],
-) -> Result<(), VerifyError> {
+pub fn verify_bc(g: &Graph, sources: &[NodeId], scores: &[Score]) -> Result<(), VerifyError> {
     const K: &str = "bc";
     if scores.len() != g.num_vertices() {
         return Err(VerifyError::new(K, "score array length mismatch"));

@@ -21,7 +21,10 @@ fn main() {
         verify: true,
         ..Default::default()
     };
-    eprintln!("Running {} cells...", frameworks.len() * Kernel::ALL.len() * inputs.len());
+    eprintln!(
+        "Running {} cells...",
+        frameworks.len() * Kernel::ALL.len() * inputs.len()
+    );
     let report = run_matrix(
         &frameworks,
         &inputs,
@@ -41,7 +44,10 @@ fn main() {
     );
 
     println!("\nSpeedup over the GAP reference (>100% = faster):\n");
-    println!("{:<12} {:<6} {:>10} {:>10}", "framework", "kernel", "Kron", "Road");
+    println!(
+        "{:<12} {:<6} {:>10} {:>10}",
+        "framework", "kernel", "Kron", "Road"
+    );
     for fw in ["SuiteSparse", "Galois", "GraphIt", "GKC", "NWGraph"] {
         for kernel in Kernel::ALL {
             let kron = report

@@ -29,7 +29,10 @@ fn main() {
         trials: 2,
         ..Default::default()
     };
-    println!("\n{:<6} {:>12} {:>10}  note", "kernel", "best (s)", "verified");
+    println!(
+        "\n{:<6} {:>12} {:>10}  note",
+        "kernel", "best (s)", "verified"
+    );
     for kernel in Kernel::ALL {
         let record = run_cell(&GapReference, &input, kernel, Mode::Baseline, &config);
         println!(

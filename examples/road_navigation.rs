@@ -72,5 +72,7 @@ fn main() {
         assert_eq!(a, b, "fusion must not change distances");
         println!("{delta:>8} {fused:>12.6} {unfused:>12.6}");
     }
-    println!("\n(The gap between the two columns is the synchronization cost bucket fusion removes.)");
+    println!(
+        "\n(The gap between the two columns is the synchronization cost bucket fusion removes.)"
+    );
 }

@@ -10,9 +10,9 @@
 //! cargo run --release --example social_network
 //! ```
 
-use gapbs::core::{BenchGraph, Mode};
 use gapbs::core::adapters::{GaloisFramework, GkcFramework};
 use gapbs::core::framework::Framework;
+use gapbs::core::{BenchGraph, Mode};
 use gapbs::graph::gen::{GraphSpec, Scale};
 use gapbs::graph::types::NodeId;
 use gapbs::parallel::ThreadPool;

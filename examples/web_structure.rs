@@ -46,7 +46,10 @@ fn main() {
         sizes
     };
     let (sa, sb) = (counts(&labels_a), counts(&labels_b));
-    assert_eq!(sa, sb, "Afforest and FastSV must induce the same partition sizes");
+    assert_eq!(
+        sa, sb,
+        "Afforest and FastSV must induce the same partition sizes"
+    );
     println!(
         "\nComponents: {} total; largest holds {:.1}% of pages (Afforest and FastSV agree)",
         sa.len(),
@@ -68,8 +71,14 @@ fn main() {
     );
 
     // Hubs (many outgoing links) and authorities (many incoming).
-    let hub = g.vertices().max_by_key(|&u| g.out_degree(u)).expect("non-empty");
-    let authority = g.vertices().max_by_key(|&u| g.in_degree(u)).expect("non-empty");
+    let hub = g
+        .vertices()
+        .max_by_key(|&u| g.out_degree(u))
+        .expect("non-empty");
+    let authority = g
+        .vertices()
+        .max_by_key(|&u| g.in_degree(u))
+        .expect("non-empty");
     println!(
         "\nExtremes: hub page {hub} links out to {} pages; authority page {authority} is linked from {} pages",
         g.out_degree(hub),

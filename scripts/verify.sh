@@ -14,6 +14,9 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== lint: cargo fmt --check =="
+cargo fmt --check
+
 echo "== lint: cargo clippy --all-targets -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
@@ -39,8 +42,20 @@ for fw in GAP SuiteSparse Galois GraphIt GKC NWGraph; do
 done
 # Structured ledger sanity: finite times, verified outputs, non-empty
 # graphs, and (telemetry build) every trial examined at least one edge.
+# The bounded-RSS ceiling rides along: a tiny-corpus run that cannot fit
+# in 8 GiB means the accounting broke, and the same flag with an absurd
+# 1 MiB budget must trip, proving the gate actually gates.
 cargo run -q --release -p gapbs-bench --bin perf_compare -- \
-    --lint "$smoke_dir/ledger.jsonl"
+    --lint --max-rss-mb 8192 "$smoke_dir/ledger.jsonl"
+if grep -q '"peak_rss_bytes":[1-9]' "$smoke_dir/ledger.jsonl"; then
+    if cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+        --lint --max-rss-mb 1 "$smoke_dir/ledger.jsonl" > /dev/null; then
+        echo "FAIL: --max-rss-mb 1 did not trip on recorded RSS peaks"
+        exit 1
+    fi
+else
+    echo "  (no nonzero peak_rss_bytes recorded on this host: RSS trip test skipped)"
+fi
 
 echo "== smoke: execution trace + trace_stats =="
 # A traced BFS on the Kron generator must produce a loadable Chrome
@@ -169,6 +184,52 @@ else
     echo "WARN: results/baseline-layout.jsonl missing; skipping layout baseline compare"
 fi
 
+echo "== smoke: snapshot round-trip + corruption rejection =="
+# Build two tiny corpus snapshots, inspect one, load it back through the
+# full paranoid sweep (mmap -> Graph -> from_parts invariants), then
+# corrupt a single mid-file byte and demand a structured checksum error
+# -- never UB, never a panic.
+snap_dir="$smoke_dir/snaps"
+cargo run -q --release --bin gapbs-snapshot -- \
+    build --dir "$snap_dir" --scale tiny --graphs kron,road > /dev/null
+cargo run -q --release --bin gapbs-snapshot -- \
+    info "$snap_dir/kron-tiny-v1.gsnap" > "$smoke_dir/snap_info.out"
+grep -q 'format version : 1' "$smoke_dir/snap_info.out" \
+    || { echo "FAIL: snapshot info shows no format version"; cat "$smoke_dir/snap_info.out"; exit 1; }
+cargo run -q --release --bin gapbs-snapshot -- \
+    verify "$snap_dir/kron-tiny-v1.gsnap" --paranoid > /dev/null
+cp "$snap_dir/road-tiny-v1.gsnap" "$snap_dir/bad.gsnap"
+orig=$(dd if="$snap_dir/bad.gsnap" bs=1 skip=2048 count=1 status=none | od -An -tu1 | tr -d ' ')
+printf "\\$(printf '%03o' $(( (orig + 1) % 256 )))" \
+    | dd of="$snap_dir/bad.gsnap" bs=1 seek=2048 count=1 conv=notrunc status=none
+if cargo run -q --release --bin gapbs-snapshot -- \
+    verify "$snap_dir/bad.gsnap" 2> "$smoke_dir/bad.err" > /dev/null; then
+    echo "FAIL: corrupted snapshot verified clean"
+    exit 1
+fi
+grep -q 'checksum mismatch' "$smoke_dir/bad.err" \
+    || { echo "FAIL: corruption did not surface as a structured checksum error"; cat "$smoke_dir/bad.err"; exit 1; }
+rm "$snap_dir/bad.gsnap"
+
+echo "== smoke: snapshot_bench (mmap cold-start gate + identity matrix) =="
+# snapshot_bench first proves decompressed loads are bit-identical to the
+# in-memory build (kernels + streamed decode, both offset widths, thread
+# counts {1,2,7,16}), then gates the zero-copy mmap load at >=50x over a
+# full rebuild on the medium corpus. mmap-vs-rebuild is not a parallelism
+# claim, so unlike the speedup benches this gate applies on every host.
+cargo run -q --release -p gapbs-bench --bin snapshot_bench -- \
+    --scale medium --reps 3 --min-speedup 50 \
+    --ledger "$smoke_dir/snapshot.jsonl"
+# Diff cold-start times against the committed baseline with the same wide
+# thresholds as the other microbench baselines.
+if [[ -f results/baseline-snapshot.jsonl ]]; then
+    cargo run -q --release -p gapbs-bench --bin perf_compare -- \
+        --ratio 3 --floor 0.25 \
+        results/baseline-snapshot.jsonl "$smoke_dir/snapshot.jsonl"
+else
+    echo "WARN: results/baseline-snapshot.jsonl missing; skipping snapshot baseline compare"
+fi
+
 echo "== smoke: perf_compare gate =="
 # Identical ledgers must pass...
 cargo run -q --release -p gapbs-bench --bin perf_compare -- \
@@ -210,6 +271,7 @@ cargo run -q --release --bin serve -- \
     --metrics-addr 127.0.0.1:0 --metrics-port-file "$smoke_dir/metrics.port" \
     --slow-ms 0 \
     --scale tiny --graphs kron,road --threads 2 \
+    --snapshot-dir "$snap_dir" \
     --ledger "$smoke_dir/serve.jsonl" > /dev/null 2> "$serve_log" &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -254,7 +316,10 @@ for needle in \
     'gapbs_serve_latency_us_bucket{le=' \
     'gapbs_serve_queries_completed_total ' \
     'gapbs_serve_rss_bytes ' \
-    'gapbs_serve_pool_regions_total '; do
+    'gapbs_serve_pool_regions_total ' \
+    'gapbs_serve_time_to_ready_seconds ' \
+    'gapbs_serve_snapshot_hit{graph="Kron"} 1' \
+    'gapbs_serve_snapshot_hit{graph="Road"} 1'; do
     grep -qF "$needle" "$smoke_dir/metrics.body" \
         || { echo "FAIL: /metrics missing $needle"; cat "$smoke_dir/metrics.body"; exit 1; }
 done

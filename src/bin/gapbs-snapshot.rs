@@ -1,0 +1,205 @@
+//! `gapbs-snapshot`: build, inspect, and verify on-disk graph
+//! snapshots (the `.gsnap` format from `crates/graph/src/snapshot.rs`).
+//!
+//! ```sh
+//! # Build the whole corpus once; serve and the benches then cold-start
+//! # from these files in milliseconds.
+//! cargo run --release --bin gapbs-snapshot -- build --dir snapshots --scale medium
+//!
+//! # What's in a file, and does it still checksum?
+//! cargo run --release --bin gapbs-snapshot -- info snapshots/kron-medium-v1.gsnap
+//! cargo run --release --bin gapbs-snapshot -- verify snapshots/kron-medium-v1.gsnap --paranoid
+//! ```
+//!
+//! `verify` exits 0 when the file is sound and 1 with the structured
+//! error otherwise; `--paranoid` additionally materializes every stored
+//! structure through the full `from_parts` invariant sweep.
+
+use gapbs_core::framework::BenchGraph;
+use gapbs_core::snapshot_cache::snapshot_path;
+use gapbs_graph::gen::{GraphSpec, Scale};
+use gapbs_graph::snapshot::{Compression, LoadOptions, Snapshot};
+use gapbs_parallel::ThreadPool;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: gapbs-snapshot build --dir <dir> [--scale tiny|small|medium|large]
+                      [--graphs web,twitter,...] [--compression auto|never|always]
+                      [--threads <n>]
+       gapbs-snapshot info <file.gsnap>
+       gapbs-snapshot verify <file.gsnap> [--paranoid]
+
+build writes each corpus graph to its canonical cache path under --dir
+(the same naming `--snapshot-dir` consumers probe), info prints the
+header and section table, verify checksums the file (0 sound, 1 not).";
+
+fn usage_exit() -> ! {
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+fn parse_scale(s: &str) -> Scale {
+    match s.to_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        other => {
+            eprintln!("unknown scale {other:?}");
+            usage_exit()
+        }
+    }
+}
+
+fn build(args: &[String]) {
+    let mut dir: Option<PathBuf> = None;
+    let mut scale = Scale::Medium;
+    let mut graphs: Option<Vec<String>> = None;
+    let mut compression = Compression::Auto;
+    let mut threads = 2usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .unwrap_or_else(|| usage_exit())
+        };
+        match flag.as_str() {
+            "--dir" => dir = Some(value().into()),
+            "--scale" => scale = parse_scale(value()),
+            "--graphs" => graphs = Some(value().split(',').map(|g| g.to_lowercase()).collect()),
+            "--compression" => {
+                compression = match value() {
+                    "auto" => Compression::Auto,
+                    "never" => Compression::Never,
+                    "always" => Compression::Always,
+                    other => {
+                        eprintln!("unknown compression {other:?}");
+                        usage_exit()
+                    }
+                }
+            }
+            "--threads" => {
+                threads = value().parse().unwrap_or_else(|_| usage_exit());
+            }
+            _ => usage_exit(),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| usage_exit());
+    if let Some(names) = &graphs {
+        for name in names {
+            if !GraphSpec::TABLE_ORDER
+                .iter()
+                .any(|s| s.name().eq_ignore_ascii_case(name))
+            {
+                eprintln!("unknown graph {name:?} (corpus: web, twitter, road, kron, urand)");
+                exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        exit(2);
+    });
+    let pool = ThreadPool::new(threads.max(1));
+    for spec in GraphSpec::TABLE_ORDER {
+        if let Some(names) = &graphs {
+            if !names.iter().any(|n| spec.name().eq_ignore_ascii_case(n)) {
+                continue;
+            }
+        }
+        let built = BenchGraph::generate_in(spec, scale, &pool);
+        let stats = built
+            .write_snapshot_with(&dir, scale, compression)
+            .unwrap_or_else(|e| {
+                eprintln!("{spec}: {e}");
+                exit(1);
+            });
+        println!(
+            "{}: {} vertices, {} arcs, {} bytes, adjacency ratio {:.3}",
+            snapshot_path(&dir, spec, scale).display(),
+            built.graph.num_vertices(),
+            built.graph.num_arcs(),
+            stats.file_bytes,
+            stats.adjacency_ratio(),
+        );
+    }
+}
+
+fn open_or_die(path: &Path, paranoid: bool) -> Snapshot {
+    Snapshot::open_with(
+        path,
+        LoadOptions {
+            paranoid,
+            force_heap: false,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{}: {e}", path.display());
+        exit(1);
+    })
+}
+
+fn info(path: &Path) {
+    let snap = open_or_die(path, false);
+    println!("{}", path.display());
+    println!("  format version : {}", snap.version());
+    println!("  offset width   : {} bytes", snap.width_bytes());
+    println!("  directed       : {}", snap.is_directed());
+    println!("  vertices       : {}", snap.num_vertices());
+    println!("  arcs           : {}", snap.num_arcs());
+    println!("  weights        : {}", snap.has_weights());
+    println!("  symmetrized    : {}", snap.has_sym());
+    println!("  candidates     : {}", snap.has_candidates());
+    println!("  sssp delta     : {}", snap.delta());
+    println!("  params hash    : {:#018x}", snap.params_hash());
+    println!("  mapped         : {}", snap.is_mmap());
+    println!("  sections:");
+    for s in snap.sections() {
+        println!(
+            "    {:<16} {:<12} {:>12} B  checksum {:#018x}",
+            s.name, s.encoding, s.bytes, s.checksum
+        );
+    }
+}
+
+/// Materializes every stored structure so paranoid validation (and the
+/// compressed decoders) actually run, not just the header checks.
+fn verify(path: &Path, paranoid: bool) {
+    let snap = open_or_die(path, paranoid);
+    let loaded = match snap.width_bytes() {
+        4 => snap
+            .bundle_in::<u32>(None)
+            .map(|b| (b.graph.num_vertices(), b.graph.num_arcs())),
+        _ => snap
+            .bundle_in::<usize>(None)
+            .map(|b| (b.graph.num_vertices(), b.graph.num_arcs())),
+    };
+    match loaded {
+        Ok((n, m)) => {
+            let depth = if paranoid { "paranoid" } else { "checksum" };
+            println!(
+                "{}: ok ({depth} verification, {n} vertices, {m} arcs)",
+                path.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parts: Vec<&str> = args.iter().map(String::as_str).collect();
+    match parts.as_slice() {
+        ["build", ..] => build(&args[1..]),
+        ["info", path] => info(Path::new(path)),
+        ["verify", path] => verify(Path::new(path), false),
+        ["verify", path, "--paranoid"] => verify(Path::new(path), true),
+        ["-h"] | ["--help"] => println!("{USAGE}"),
+        _ => usage_exit(),
+    }
+}

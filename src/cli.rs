@@ -200,7 +200,8 @@ impl CliOptions {
             "nwgraph" => "NWGraph",
             other => {
                 return Err(format!(
-                    "unknown framework {other:?}; expected gap|suitesparse|galois|graphit|gkc|nwgraph"
+                    "unknown framework {other:?}; expected \
+                     gap|suitesparse|galois|graphit|gkc|nwgraph"
                 ))
             }
         };
@@ -415,7 +416,9 @@ mod tests {
 
     #[test]
     fn generator_flags_parse() {
-        let o = parse(&["-u", "12", "-k", "8", "-n", "5", "-r", "7", "-x", "gkc", "-o"]);
+        let o = parse(&[
+            "-u", "12", "-k", "8", "-n", "5", "-r", "7", "-x", "gkc", "-o",
+        ]);
         assert_eq!(o.source, GraphSource::Urand(12));
         assert_eq!(o.degree, 8);
         assert_eq!(o.trials, 5);

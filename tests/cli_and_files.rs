@@ -26,10 +26,7 @@ fn el_file_roundtrip_through_cli_load() {
     assert!(!input.graph.is_directed(), "-s symmetrizes");
     assert_eq!(input.graph.out_neighbors(0), &[1, 2, 3]);
     // The weighted companion is synthesized with positive weights.
-    assert!(input
-        .wgraph
-        .out_neighbors_weighted(0)
-        .all(|(_, w)| w >= 1));
+    assert!(input.wgraph.out_neighbors_weighted(0).all(|(_, w)| w >= 1));
     std::fs::remove_file(&path).ok();
 }
 

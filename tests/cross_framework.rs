@@ -76,11 +76,7 @@ fn pr_scores_agree_within_tolerance() {
             let got = fw.prepare(&input, Mode::Baseline, &p).pr().0;
             // Different iteration styles stop at slightly different
             // points; the fixed point is shared.
-            let l1: f64 = got
-                .iter()
-                .zip(&reference)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let l1: f64 = got.iter().zip(&reference).map(|(a, b)| (a - b).abs()).sum();
             assert!(
                 l1 < 5e-3,
                 "{} on {}: L1 distance {l1}",
@@ -155,11 +151,7 @@ fn optimized_mode_matches_baseline_answers() {
             let opt = fw.prepare(&input, Mode::Optimized, &p);
             assert_eq!(base.sssp(0), opt.sssp(0), "{} sssp", fw.name());
             assert_eq!(base.tc(), opt.tc(), "{} tc", fw.name());
-            assert!(
-                same_partition(&base.cc(), &opt.cc()),
-                "{} cc",
-                fw.name()
-            );
+            assert!(same_partition(&base.cc(), &opt.cc()), "{} cc", fw.name());
         }
     }
 }

@@ -47,11 +47,7 @@ fn suitesparse_agrees_with_reference_at_every_thread_count() {
     for input in corpus() {
         let ref_pool = ThreadPool::new(2);
         let reference = gap.prepare(&input, Mode::Baseline, &ref_pool);
-        let ref_reach: Vec<bool> = reference
-            .bfs(0)
-            .iter()
-            .map(|&p| p != NO_PARENT)
-            .collect();
+        let ref_reach: Vec<bool> = reference.bfs(0).iter().map(|&p| p != NO_PARENT).collect();
         let ref_sssp = reference.sssp(0);
         let ref_pr = reference.pr().0;
         let ref_cc = reference.cc();

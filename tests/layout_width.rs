@@ -177,7 +177,12 @@ fn graphit_suite<O: OffsetIndex>(g: &Graph<O>, wg: &WGraph<O>, pool: &ThreadPool
         sssp_dists: graphit::sssp(wg, 0, SSSP_DELTA, sched.bucket_fusion, pool),
         pr_bits: bits(&graphit::pr(g, PR_DAMPING, PR_TOLERANCE, PR_MAX_ITERS, false, pool).0),
         cc_canonical: canonical_partition(&graphit::cc(g, false, pool)),
-        bc_bits: bits(&graphit::bc(g, &BC_SOURCES, FrontierLayout::BitVector, pool)),
+        bc_bits: bits(&graphit::bc(
+            g,
+            &BC_SOURCES,
+            FrontierLayout::BitVector,
+            pool,
+        )),
         triangles: graphit::tc(g, Intersection::Merge, pool),
     }
 }

@@ -262,7 +262,11 @@ fn frontier_profile_is_consistent() {
         let total: usize = p.frontier_sizes.iter().sum();
         assert!(total >= 1, "case {seed}: source always reached");
         assert!(total <= g.num_vertices(), "case {seed}");
-        assert_eq!(p.frontier_sizes.len(), p.frontier_edges.len(), "case {seed}");
+        assert_eq!(
+            p.frontier_sizes.len(),
+            p.frontier_edges.len(),
+            "case {seed}"
+        );
         assert_eq!(p.frontier_sizes.len(), p.pull_levels.len(), "case {seed}");
         // Edge counts per level are bounded by the graph's arc count.
         assert!(
@@ -378,10 +382,13 @@ fn reduce_index_matches_sequential_fold_under_all_schedules() {
         let n = rng.gen_range(0..3000usize);
         let pool = ThreadPool::new(threads);
         for schedule in [Schedule::Static, Schedule::Dynamic(13), Schedule::Guided] {
-            let total =
-                pool.reduce_index(n, schedule, 0u64, |i| (i as u64).wrapping_mul(2654435761), |a, b| {
-                    a.wrapping_add(b)
-                });
+            let total = pool.reduce_index(
+                n,
+                schedule,
+                0u64,
+                |i| (i as u64).wrapping_mul(2654435761),
+                |a, b| a.wrapping_add(b),
+            );
             let expect = (0..n as u64)
                 .map(|i| i.wrapping_mul(2654435761))
                 .fold(0u64, u64::wrapping_add);

@@ -6,9 +6,9 @@
 //! `#[ignore]`d by default to keep `cargo test` fast and robust on
 //! loaded machines. `run_all` evaluates the same claims at Medium scale.
 
+use gapbs::core::adapters::{GaloisFramework, GapReference, GraphItFramework};
 use gapbs::core::framework::Framework;
 use gapbs::core::{BenchGraph, Kernel, Mode, TrialConfig};
-use gapbs::core::adapters::{GaloisFramework, GapReference, GraphItFramework};
 use gapbs::graph::gen::{GraphSpec, Scale};
 
 fn best(fw: &dyn Framework, input: &BenchGraph, kernel: Kernel) -> f64 {
@@ -124,7 +124,10 @@ fn gauss_seidel_pr_records_fewer_sweeps_than_jacobi() {
         jacobi.get(Counter::PrIterations),
         gs.get(Counter::PrIterations),
     );
-    assert!(j > 0 && s > 0, "both runs must count sweeps (jacobi={j}, gauss-seidel={s})");
+    assert!(
+        j > 0 && s > 0,
+        "both runs must count sweeps (jacobi={j}, gauss-seidel={s})"
+    );
     assert!(s < j, "gauss-seidel counted {s} sweeps, jacobi {j}");
 }
 
