@@ -22,7 +22,8 @@
 use crate::framework::BenchGraph;
 use gapbs_graph::gen::{GraphSpec, Scale};
 use gapbs_graph::snapshot::{
-    self, Compression, LoadOptions, SnapshotContents, WriteStats, FORMAT_VERSION,
+    self, Compression, LoadOptions, SnapshotContents, WriteStats, FNV1A_OFFSET, FNV1A_PRIME,
+    FORMAT_VERSION,
 };
 use gapbs_graph::{GraphError, Snapshot, SnapshotError};
 use gapbs_parallel::ThreadPool;
@@ -43,13 +44,11 @@ pub enum CacheOutcome {
 /// version. Any change to generator seeds or the format invalidates
 /// cached files through this value.
 pub fn params_hash(spec: GraphSpec, scale: Scale) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x1000_0000_01b3;
-    let mut h = OFFSET;
+    let mut h = FNV1A_OFFSET;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
             h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
+            h = h.wrapping_mul(FNV1A_PRIME);
         }
     };
     eat(spec.name().as_bytes());

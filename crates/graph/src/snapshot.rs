@@ -8,7 +8,7 @@
 //! layout so a later process maps the file and serves the arrays
 //! straight out of the page cache — zero copies, millisecond loads.
 //!
-//! # File layout (format version 1, little-endian)
+//! # File layout (format version 2, little-endian)
 //!
 //! ```text
 //! offset  size  field
@@ -34,11 +34,17 @@
 //! one linear pass at load catches any single-byte corruption.
 //!
 //! Loads verify the header and every section checksum, then hand out
-//! [`crate::Segment`] views into the mapping: **checksum-only** trust,
-//! O(bytes) scan but no O(V+E) semantic validation and no copies.
-//! Paranoid loads (`LoadOptions::paranoid`) additionally re-run the
-//! full CSR invariant sweep that [`crate::CsrGraph::from_parts`]
-//! performs, surfacing violations as [`SnapshotError::Invalid`].
+//! [`crate::Segment`] views into the mapping: no O(V+E) per-row
+//! semantic validation and no copies. Memory safety never rests on the
+//! checksums alone, though — every load also runs the cheap structural
+//! checks that unsafe downstream code depends on (offset arrays
+//! monotone and bounded, raw targets in `[0, n)`), so a
+//! checksum-consistent but malformed file fails with a structured
+//! error instead of reaching kernels or the parallel decoder. Paranoid
+//! loads (`LoadOptions::paranoid`) additionally re-run the full CSR
+//! invariant sweep that [`crate::CsrGraph::from_parts`] performs
+//! (sorted duplicate-free rows), surfacing violations as
+//! [`SnapshotError::Invalid`].
 //!
 //! # Compressed adjacency
 //!
@@ -66,8 +72,11 @@ use gapbs_parallel::{Schedule, SharedSlice, ThreadPool};
 /// mistake a snapshot for text.
 pub const MAGIC: [u8; 8] = *b"GAPSNAP\x01";
 
-/// Format version this build reads and writes.
-pub const FORMAT_VERSION: u16 = 1;
+/// Format version this build reads and writes. Version 2 switched the
+/// section checksums to the canonical FNV-1a 64-bit prime (v1 used a
+/// non-standard constant); snapshots are a cache, so v1 files are
+/// simply rebuilt.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Every section starts on a 64-byte boundary (cache line; also
 /// satisfies every element alignment the format uses).
@@ -127,22 +136,26 @@ impl SectionKind {
     }
 }
 
+/// FNV-1a 64-bit offset basis (also the seed of the cache-key hash in
+/// `gapbs-core`'s `snapshot_cache::params_hash`).
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Canonical FNV-1a 64-bit prime, 2^40 + 2^8 + 0xb3.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 /// FNV-1a over 64-bit little-endian words, trailing bytes folded
 /// individually. Word-wise folding keeps the load-time integrity scan
 /// ~8× cheaper than byte-wise FNV while still flipping on any
 /// single-byte change.
 pub fn section_checksum(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x1000_0000_01b3;
-    let mut h = OFFSET;
+    let mut h = FNV1A_OFFSET;
     let mut chunks = bytes.chunks_exact(8);
     for c in &mut chunks {
         h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-        h = h.wrapping_mul(PRIME);
+        h = h.wrapping_mul(FNV1A_PRIME);
     }
     for &b in chunks.remainder() {
         h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
+        h = h.wrapping_mul(FNV1A_PRIME);
     }
     h
 }
@@ -560,14 +573,25 @@ pub fn write<O: OffsetIndex>(
     covered.extend_from_slice(&table);
     header[56..64].copy_from_slice(&section_checksum(&covered).to_le_bytes());
 
-    // Write atomically: temp file, then rename.
+    // Write atomically: temp file, then rename. The temp name appends a
+    // pid + counter suffix to the *full* file name, so concurrent
+    // writers racing on the same snapshot (two processes missing the
+    // cache at once) each rename their own complete file, and files
+    // sharing a stem with different extensions never collide.
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    let tmp = path.with_extension("tmp");
-    {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    let written = (|| -> Result<(), GraphError> {
         use std::io::Write as _;
         let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
         out.write_all(&header)?;
@@ -580,8 +604,13 @@ pub fn write<O: OffsetIndex>(
             pos = off + payload.bytes().len() as u64;
         }
         out.flush()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if let Err(e) = written {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
     }
-    std::fs::rename(&tmp, path)?;
 
     Ok(WriteStats {
         file_bytes,
@@ -923,6 +952,14 @@ impl Snapshot {
     /// Loads the offsets of a CSR pair and derives its arc count from
     /// the final offset, cross-checked against `expect_arcs` when the
     /// header pins it.
+    ///
+    /// Always verifies the array is monotone (O(V), even on
+    /// non-paranoid loads): downstream code — `degree()` subtraction,
+    /// row slicing, and the parallel decoder's disjoint
+    /// `SharedSlice::range_mut` writes — relies on `offsets[u] <=
+    /// offsets[u + 1] <= offsets[n]`, so a checksum-consistent but
+    /// malformed file must fail here, not underflow or write out of
+    /// bounds later.
     fn load_offsets<O: OffsetIndex>(
         &self,
         kind: SectionKind,
@@ -934,6 +971,11 @@ impl Snapshot {
         if offs.first().map_or(1, |o| o.to_usize()) != 0 {
             return err(SnapshotError::Malformed {
                 message: format!("section {} does not start at offset 0", kind.name()),
+            });
+        }
+        if offs.windows(2).any(|w| w[0] > w[1]) {
+            return err(SnapshotError::Malformed {
+                message: format!("section {} offsets are not monotone", kind.name()),
             });
         }
         if let Some(m) = expect_arcs {
@@ -965,7 +1007,26 @@ impl Snapshot {
             let decoded = Arc::new(comp.decode_vec(pool).map_err(GraphError::Snapshot)?);
             Segment::from_shared_vec(decoded)
         } else {
-            self.typed::<NodeId>(sec, m)?
+            // Raw targets skip the per-row decode validation, so range
+            // check them here even on non-paranoid loads: kernels index
+            // (and some unsafely write) arrays by target id, and an
+            // out-of-range id from a checksum-consistent file must be a
+            // structured error, not an out-of-bounds access. One O(E)
+            // pass, same order as the checksum scan the load already
+            // paid; row sortedness stays behind the paranoid flag.
+            let t = self.typed::<NodeId>(sec, m)?;
+            if !self.paranoid {
+                let n = self.num_vertices;
+                if let Some(&bad) = t.iter().find(|&&v| v as usize >= n) {
+                    return err(SnapshotError::Malformed {
+                        message: format!(
+                            "section {} target {bad} out of range for {n} vertices",
+                            tgt_kind.name()
+                        ),
+                    });
+                }
+            }
+            t
         };
         if self.paranoid {
             if let Err(message) = check_parts(&offs, &targets) {
@@ -1282,6 +1343,15 @@ impl<O: OffsetIndex> CompressedCsr<O> {
                 message: "compressed offsets do not cover the arc count".to_string(),
             });
         }
+        // The loader already validated monotonicity, but the unsafe
+        // disjoint-write below must not depend on callers: re-check
+        // here (O(V)) so `range_mut(lo, hi)` always sees
+        // `lo <= hi <= m` on any input.
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SnapshotError::Malformed {
+                message: "compressed offsets are not monotone".to_string(),
+            });
+        }
         let mut targets = vec![0 as NodeId; m];
         let bad = std::sync::atomic::AtomicBool::new(false);
         {
@@ -1294,7 +1364,9 @@ impl<O: OffsetIndex> CompressedCsr<O> {
                     bad.store(true, std::sync::atomic::Ordering::Relaxed);
                     return;
                 };
-                // Safety: rows partition the output array disjointly.
+                // Safety: offsets are monotone and end at m (checked
+                // above), so `lo <= hi <= m` and the per-row ranges
+                // partition the output array disjointly.
                 let row = unsafe { out.range_mut(lo, hi) };
                 if !decode_row(bytes, row, n) {
                     bad.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -1603,6 +1675,30 @@ mod tests {
         let b: Graph = heaped.graph().expect("load");
         assert_eq!(a, b);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_does_not_clobber_files_sharing_a_stem() {
+        // The temp name must extend the full file name (pid + sequence
+        // suffix), not replace the extension: a sibling `foo.tmp` next
+        // to `foo.gsnap` belongs to someone else.
+        let g = gen::urand(6, 4, 8);
+        let path = tmp_path("sibling");
+        let sibling = path.with_extension("tmp");
+        std::fs::write(&sibling, b"precious").expect("plant sibling");
+        write(
+            &path,
+            &SnapshotContents::graph_only(&g, 0),
+            Compression::Never,
+        )
+        .expect("write");
+        assert_eq!(
+            std::fs::read(&sibling).expect("sibling survives"),
+            b"precious"
+        );
+        Snapshot::open(&path).expect("snapshot itself is intact");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sibling).ok();
     }
 
     #[test]

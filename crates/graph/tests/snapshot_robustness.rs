@@ -311,6 +311,116 @@ fn compressed_stream_corruption_fails_decode_not_process() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Finds the section-table row for `kind`, returning `(row_offset,
+/// payload_offset, payload_len)`.
+fn find_section(bytes: &[u8], kind: u32) -> (usize, usize, usize) {
+    let section_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    for i in 0..section_count {
+        let row = 64 + i * 32;
+        if u32::from_le_bytes(bytes[row..row + 4].try_into().unwrap()) == kind {
+            let off = u64::from_le_bytes(bytes[row + 8..row + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[row + 16..row + 24].try_into().unwrap()) as usize;
+            return (row, off, len);
+        }
+    }
+    panic!("section kind {kind} not present");
+}
+
+/// Recomputes a tampered section's checksum plus the header checksum,
+/// simulating a hostile file that is internally checksum-consistent.
+fn reseal(bytes: &mut [u8], row: usize, off: usize, len: usize) {
+    let sum = snapshot::section_checksum(&bytes[off..off + len]);
+    bytes[row + 24..row + 32].copy_from_slice(&sum.to_le_bytes());
+    patch_header_checksum(bytes);
+}
+
+#[test]
+fn non_monotone_offsets_fail_structurally_on_default_loads() {
+    // A checksum-consistent file with offsets[k] > offsets[k + 1] used
+    // to reach degree arithmetic and the parallel decoder's unsafe
+    // disjoint writes; the default (non-paranoid) load must reject it
+    // with a structured error under both adjacency encodings.
+    for compression in [Compression::Never, Compression::Always] {
+        let (path, mut bytes) = good_snapshot("nonmono", compression);
+        let (row, off, len) = find_section(&bytes, 1); // out_offsets
+        let offsets: Vec<u32> = bytes[off..off + len]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        // Swap an interior increasing pair: first stays 0 and last
+        // still matches the header's arc count, so only the new
+        // monotonicity check can catch the file.
+        let k = (1..offsets.len() - 2)
+            .find(|&k| offsets[k] < offsets[k + 1])
+            .expect("kron graph has an interior increasing offset pair");
+        bytes[off + k * 4..off + k * 4 + 4].copy_from_slice(&offsets[k + 1].to_le_bytes());
+        bytes[off + (k + 1) * 4..off + (k + 1) * 4 + 4].copy_from_slice(&offsets[k].to_le_bytes());
+        reseal(&mut bytes, row, off, len);
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let snap = Snapshot::open(&path).expect("checksums are consistent");
+        match snap.graph::<u32>() {
+            Err(GraphError::Snapshot(SnapshotError::Malformed { message })) => {
+                assert!(message.contains("monotone"), "message: {message}");
+            }
+            other => panic!("({compression:?}) expected Malformed, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn out_of_range_raw_target_fails_structurally_on_default_loads() {
+    // Kernels index (and some unsafely write) per-vertex arrays by
+    // target id, so a checksum-consistent raw section holding an
+    // out-of-range id must fail the default load, not flow downstream.
+    let (path, mut bytes) = good_snapshot("oobtarget", Compression::Never);
+    let (row, off, len) = find_section(&bytes, 2); // out_targets
+    bytes[off..off + 4].copy_from_slice(&(1u32 << 20).to_le_bytes());
+    reseal(&mut bytes, row, off, len);
+    std::fs::write(&path, &bytes).expect("rewrite");
+
+    let snap = Snapshot::open(&path).expect("checksums are consistent");
+    match snap.graph::<u32>() {
+        Err(GraphError::Snapshot(SnapshotError::Malformed { message })) => {
+            assert!(message.contains("out of range"), "message: {message}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn non_monotone_compressed_row_index_fails_decode_not_process() {
+    // Scramble the compressed section's row byte-index (blo > bhi for
+    // some row) while keeping its first/last sentinels: the validated
+    // decode must reject the file rather than slice out of bounds.
+    let (path, mut bytes) = good_snapshot("rowindex", Compression::Always);
+    let (row, off, len) = find_section(&bytes, 2); // out_targets (varint)
+    let n_plus_1 = {
+        let n = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        n + 1
+    };
+    let starts: Vec<u64> = bytes[off..off + n_plus_1 * 8]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let k = (1..starts.len() - 2)
+        .find(|&k| starts[k] < starts[k + 1])
+        .expect("some row has bytes");
+    bytes[off + k * 8..off + k * 8 + 8].copy_from_slice(&starts[k + 1].to_le_bytes());
+    bytes[off + (k + 1) * 8..off + (k + 1) * 8 + 8].copy_from_slice(&starts[k].to_le_bytes());
+    reseal(&mut bytes, row, off, len);
+    std::fs::write(&path, &bytes).expect("rewrite");
+
+    let snap = Snapshot::open(&path).expect("checksums are consistent");
+    match snap.graph::<u32>() {
+        Err(GraphError::Snapshot(SnapshotError::Malformed { .. })) => {}
+        other => panic!("expected Malformed from decode, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn paranoid_mode_catches_semantically_invalid_but_well_checksummed_files() {
     // Swap two adjacent targets in a raw section (breaking row

@@ -193,12 +193,12 @@ snap_dir="$smoke_dir/snaps"
 cargo run -q --release --bin gapbs-snapshot -- \
     build --dir "$snap_dir" --scale tiny --graphs kron,road > /dev/null
 cargo run -q --release --bin gapbs-snapshot -- \
-    info "$snap_dir/kron-tiny-v1.gsnap" > "$smoke_dir/snap_info.out"
-grep -q 'format version : 1' "$smoke_dir/snap_info.out" \
+    info "$snap_dir/kron-tiny-v2.gsnap" > "$smoke_dir/snap_info.out"
+grep -q 'format version : 2' "$smoke_dir/snap_info.out" \
     || { echo "FAIL: snapshot info shows no format version"; cat "$smoke_dir/snap_info.out"; exit 1; }
 cargo run -q --release --bin gapbs-snapshot -- \
-    verify "$snap_dir/kron-tiny-v1.gsnap" --paranoid > /dev/null
-cp "$snap_dir/road-tiny-v1.gsnap" "$snap_dir/bad.gsnap"
+    verify "$snap_dir/kron-tiny-v2.gsnap" --paranoid > /dev/null
+cp "$snap_dir/road-tiny-v2.gsnap" "$snap_dir/bad.gsnap"
 orig=$(dd if="$snap_dir/bad.gsnap" bs=1 skip=2048 count=1 status=none | od -An -tu1 | tr -d ' ')
 printf "\\$(printf '%03o' $(( (orig + 1) % 256 )))" \
     | dd of="$snap_dir/bad.gsnap" bs=1 seek=2048 count=1 conv=notrunc status=none

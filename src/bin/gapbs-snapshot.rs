@@ -7,8 +7,8 @@
 //! cargo run --release --bin gapbs-snapshot -- build --dir snapshots --scale medium
 //!
 //! # What's in a file, and does it still checksum?
-//! cargo run --release --bin gapbs-snapshot -- info snapshots/kron-medium-v1.gsnap
-//! cargo run --release --bin gapbs-snapshot -- verify snapshots/kron-medium-v1.gsnap --paranoid
+//! cargo run --release --bin gapbs-snapshot -- info snapshots/kron-medium-v2.gsnap
+//! cargo run --release --bin gapbs-snapshot -- verify snapshots/kron-medium-v2.gsnap --paranoid
 //! ```
 //!
 //! `verify` exits 0 when the file is sound and 1 with the structured
